@@ -1,0 +1,367 @@
+// Package aitia is the public API of the AITIA reproduction: automated
+// root-cause diagnosis of kernel concurrency failures, after "Diagnosing
+// Kernel Concurrency Failures with AITIA" (EuroSys 2023).
+//
+// The library diagnoses concurrency failures of kernel programs written
+// in a small instruction-level IR (see Compile for the textual form, or
+// the built-in scenario corpus reproducing the paper's 22 real-world
+// bugs). Diagnosis runs in two stages:
+//
+//  1. Least Interleaving First Search (LIFS) reproduces the failure as a
+//     totally ordered failure-causing instruction sequence, exploring
+//     interleavings of conflicting instructions from the smallest number
+//     of preemptions upward, with DPOR-style pruning.
+//
+//  2. Causality Analysis flips the order of each data race in the
+//     sequence — one at a time, everything else fixed — and re-executes:
+//     races whose flip prevents the failure form the root cause; their
+//     flip runs reveal which other races they steer (race-steered control
+//     flows). The result is a causality chain, e.g.
+//
+//     (A2 => B11 ∧ B2 => A6) → A6 => B12 → B17 => A12 → kernel BUG (BUG_ON)
+//
+// Quick start:
+//
+//	res, err := aitia.DiagnoseScenario("cve-2017-15649", aitia.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Chain)
+package aitia
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/history"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/manager"
+	"aitia/internal/report"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+// Options configure a diagnosis.
+type Options struct {
+	// Workers is the number of parallel reproducer/diagnoser instances
+	// (the paper's VM fleet; default GOMAXPROCS).
+	Workers int
+	// MaxInterleavings bounds LIFS's iterative deepening (default 3).
+	MaxInterleavings int
+	// StepBudget is the per-run watchdog limit.
+	StepBudget int
+	// LeakCheck enables the end-of-run memory-leak oracle.
+	LeakCheck bool
+	// FailureKind restricts reproduction to a failure kind from the crash
+	// report (empty = any).
+	FailureKind string
+	// FailureLabel restricts reproduction to a failing instruction label.
+	FailureLabel string
+}
+
+// Program is a compiled kernel program.
+type Program struct {
+	prog *kir.Program
+}
+
+// Compile assembles a program from kasm source text. See package
+// internal/kasm for the format.
+func Compile(src string) (*Program, error) {
+	p, err := kasm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// Source disassembles the program back to kasm text.
+func (p *Program) Source() string { return kasm.Disassemble(p.prog) }
+
+// Race describes one data race of a diagnosis in paper notation.
+type Race struct {
+	// First and Second are the racing instructions ("A6", "B12" or
+	// "fn+idx"), in the failure-causing order First => Second.
+	First, Second string
+	// Threads executing the two accesses.
+	FirstThread, SecondThread string
+	// Variable is the raced variable (global symbol or object address).
+	Variable string
+	// Phantom marks races whose Second access never executed in the
+	// failing run (the failure truncated its thread first).
+	Phantom bool
+	// Ambiguous marks surrounding races that could not be tested in
+	// isolation (§3.4).
+	Ambiguous bool
+}
+
+// Result is a completed diagnosis.
+type Result struct {
+	// Scenario is the scenario name, when diagnosed from the corpus.
+	Scenario string
+	// Failure is the crash symptom ("kernel BUG (BUG_ON)", ...).
+	Failure string
+	// FailSequence is the failure-causing instruction sequence (labelled
+	// instructions only).
+	FailSequence string
+	// Chain is the formatted causality chain.
+	Chain string
+	// ChainRaces are the chain's races in chain order.
+	ChainRaces []Race
+	// Benign are the races excluded from the chain by Causality Analysis.
+	Benign []Race
+	// Statistics, matching the paper's Tables 2-3 columns.
+	LIFSSchedules     int
+	Interleavings     int
+	AnalysisSchedules int
+	TestSetSize       int
+	MemAccesses       int
+	// Report is the full human-readable diagnosis report.
+	Report string
+}
+
+// ScenarioInfo describes one corpus entry.
+type ScenarioInfo struct {
+	Name       string // registry key, e.g. "cve-2017-15649"
+	Title      string // paper identifier
+	Group      string // "cve", "syzkaller" or "figure"
+	Subsystem  string
+	BugType    string
+	MultiVar   bool
+	LooselyCor bool
+	Notes      string
+}
+
+// Scenarios lists the built-in corpus (the paper's 22 real-world bugs
+// plus its figure examples).
+func Scenarios() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, s := range scenarios.All() {
+		out = append(out, ScenarioInfo{
+			Name:       s.Name,
+			Title:      s.Title,
+			Group:      string(s.Group),
+			Subsystem:  s.Subsystem,
+			BugType:    s.BugType,
+			MultiVar:   s.MultiVariable,
+			LooselyCor: s.LooselyCorrelated,
+			Notes:      s.Notes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DiagnoseScenario diagnoses a corpus scenario by name.
+func DiagnoseScenario(name string, opts Options) (*Result, error) {
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("aitia: unknown scenario %q (see Scenarios())", name)
+	}
+	prog, err := sc.Program()
+	if err != nil {
+		return nil, err
+	}
+	if opts.FailureKind == "" {
+		opts.FailureKind = sc.WantKind.String()
+	}
+	if opts.FailureLabel == "" {
+		opts.FailureLabel = sc.WantLabel
+	}
+	opts.LeakCheck = opts.LeakCheck || sc.NeedsLeakCheck()
+	res, err := diagnose(prog, opts)
+	if err != nil {
+		return nil, fmt.Errorf("aitia: scenario %s: %w", name, err)
+	}
+	res.Scenario = name
+	return res, nil
+}
+
+// Diagnose diagnoses a compiled program's declared threads.
+func Diagnose(p *Program, opts Options) (*Result, error) {
+	return diagnose(p.prog, opts)
+}
+
+// FuzzResult reports a fuzzing campaign that found a failure.
+type FuzzResult struct {
+	// CrashReport is the rendered crash report.
+	CrashReport string
+	// Trace is the ftrace-style execution history.
+	Trace string
+	// Runs is the number of random schedules executed.
+	Runs int
+	// Diagnosis is the subsequent AITIA diagnosis of the finding.
+	Diagnosis *Result
+}
+
+// FuzzAndDiagnose runs the full pipeline of the paper's §5.2 evaluation:
+// a Syzkaller-style random-schedule fuzzing campaign until a failure is
+// found, followed by history modeling, slicing, LIFS and Causality
+// Analysis on the finding. seed makes the campaign reproducible; maxRuns
+// bounds it (0 = default).
+func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzResult, error) {
+	fz, err := fuzz.New(p.prog, fuzz.Options{
+		Seed:       seed,
+		MaxRuns:    maxRuns,
+		StepBudget: opts.StepBudget,
+		LeakCheck:  opts.LeakCheck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	finding, err := fz.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	if finding == nil {
+		return nil, fmt.Errorf("aitia: fuzzing found no failure")
+	}
+
+	mgr, err := manager.New(p.prog, manager.Options{
+		Workers: opts.Workers,
+		LIFS:    lifsOptions(p.prog, opts),
+	})
+	if err != nil {
+		return nil, err
+	}
+	mres, err := mgr.DiagnoseTrace(finding.Trace)
+	if err != nil {
+		return nil, err
+	}
+	res := buildResult(p.prog, mres.Reproduction, mres.Diagnosis)
+	return &FuzzResult{
+		CrashReport: finding.Report,
+		Trace:       finding.Trace.Format(),
+		Runs:        finding.Runs,
+		Diagnosis:   res,
+	}, nil
+}
+
+// lifsOptions translates the public options.
+func lifsOptions(prog *kir.Program, opts Options) core.LIFSOptions {
+	lo := core.LIFSOptions{
+		MaxInterleavings: opts.MaxInterleavings,
+		StepBudget:       opts.StepBudget,
+		LeakCheck:        opts.LeakCheck,
+		WantInstr:        kir.NoInstr,
+	}
+	if opts.FailureKind != "" {
+		if k, ok := sanitizer.KindByName(opts.FailureKind); ok {
+			lo.WantKind = k
+		}
+	}
+	if opts.FailureLabel != "" {
+		if in, ok := prog.ByLabel(opts.FailureLabel); ok {
+			lo.WantInstr = in.ID
+		}
+	}
+	return lo
+}
+
+// diagnose runs the pipeline on a program's declared threads.
+func diagnose(prog *kir.Program, opts Options) (*Result, error) {
+	m, err := kvm.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Reproduce(m, lifsOptions(prog, opts))
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{
+		StepBudget: opts.StepBudget,
+		LeakCheck:  opts.LeakCheck,
+		Workers:    opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(prog, rep, d), nil
+}
+
+// FromInternal converts internal pipeline results (a reproduction and its
+// diagnosis) into the public Result shape. It exists for tools in this
+// module that drive the internal packages directly, such as cmd/aitia's
+// finding-file mode.
+func FromInternal(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *Result {
+	return buildResult(prog, rep, d)
+}
+
+// buildResult converts internal results to the public shape.
+func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *Result {
+	m, _ := kvm.New(prog) // for symbolizing addresses
+	variable := func(addr uint64) string {
+		if m != nil {
+			if sym, off, ok := m.Space().SymbolAt(addr); ok {
+				if off != 0 {
+					return fmt.Sprintf("%s+%d", sym, off)
+				}
+				return sym
+			}
+		}
+		return fmt.Sprintf("%#x", addr)
+	}
+	var sb strings.Builder
+	report.WriteDiagnosis(&sb, prog, rep, d)
+
+	res := &Result{
+		Failure:           d.Failure.Kind.String(),
+		FailSequence:      rep.Run.FormatSeq(prog, false),
+		Chain:             d.Chain.Format(prog),
+		LIFSSchedules:     rep.Stats.Schedules,
+		Interleavings:     rep.Stats.Interleavings,
+		AnalysisSchedules: d.Stats.Schedules,
+		TestSetSize:       d.Stats.TestSet,
+		MemAccesses:       d.Stats.MemAccesses,
+		Report:            sb.String(),
+	}
+	ambiguous := make(map[string]bool)
+	for _, r := range d.Ambiguous {
+		ambiguous[r.Format(prog)] = true
+	}
+	for _, r := range d.Chain.Races() {
+		res.ChainRaces = append(res.ChainRaces, Race{
+			First:        prog.InstrName(r.First.Instr),
+			Second:       prog.InstrName(r.Second.Instr),
+			FirstThread:  r.First.Thread,
+			SecondThread: r.Second.Thread,
+			Variable:     variable(r.Addr),
+			Phantom:      r.Phantom,
+			Ambiguous:    ambiguous[r.Format(prog)],
+		})
+	}
+	for _, r := range d.Benign {
+		res.Benign = append(res.Benign, Race{
+			First:        prog.InstrName(r.First.Instr),
+			Second:       prog.InstrName(r.Second.Instr),
+			FirstThread:  r.First.Thread,
+			SecondThread: r.Second.Thread,
+			Variable:     variable(r.Addr),
+			Phantom:      r.Phantom,
+		})
+	}
+	return res
+}
+
+// FuzzTrace exposes the trace/slicing pipeline for a compiled program:
+// it fuzzes until a failure, then returns the modelled slices — useful
+// for inspecting what the reproducers would be given.
+func FuzzTrace(p *Program, seed int64, maxRuns int) (traceText string, slices []string, err error) {
+	fz, err := fuzz.New(p.prog, fuzz.Options{Seed: seed, MaxRuns: maxRuns})
+	if err != nil {
+		return "", nil, err
+	}
+	finding, err := fz.Campaign()
+	if err != nil {
+		return "", nil, err
+	}
+	if finding == nil {
+		return "", nil, fmt.Errorf("aitia: fuzzing found no failure")
+	}
+	for _, sl := range history.Model(finding.Trace) {
+		slices = append(slices, sl.String())
+	}
+	return finding.Trace.Format(), slices, nil
+}

@@ -1,0 +1,476 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the real pipeline on the scenario corpus and
+// reports the paper's metrics (schedules, interleavings, chain races) via
+// b.ReportMetric, so the "shape" columns of Tables 2-3 appear directly in
+// the benchmark output.
+package aitia_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aitia"
+	"aitia/internal/baselines/coopbl"
+	"aitia/internal/baselines/kairux"
+	"aitia/internal/baselines/muvi"
+	"aitia/internal/core"
+	"aitia/internal/eval"
+	"aitia/internal/fuzz"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// benchScenario runs the full diagnosis pipeline on one scenario.
+func benchScenario(b *testing.B, sc *scenarios.Scenario) {
+	b.Helper()
+	prog := sc.MustProgram()
+	var lifsScheds, caScheds, inter, chain float64
+	for i := 0; i < b.N; i++ {
+		m, err := kvm.New(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{
+			WantKind:  sc.WantKind,
+			WantInstr: sc.WantInstr(),
+			LeakCheck: sc.NeedsLeakCheck(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := core.Analyze(m, rep, core.AnalysisOptions{LeakCheck: sc.NeedsLeakCheck()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lifsScheds = float64(rep.Stats.Schedules)
+		caScheds = float64(d.Stats.Schedules)
+		inter = float64(rep.Stats.Interleavings)
+		chain = float64(d.Chain.Len())
+	}
+	b.ReportMetric(lifsScheds, "LIFS-scheds")
+	b.ReportMetric(caScheds, "CA-scheds")
+	b.ReportMetric(inter, "interleavings")
+	b.ReportMetric(chain, "chain-races")
+}
+
+// BenchmarkTable2CVEs regenerates Table 2: one sub-benchmark per CVE,
+// reporting LIFS/CA schedule counts and the interleaving count.
+func BenchmarkTable2CVEs(b *testing.B) {
+	for _, sc := range scenarios.Table2() {
+		b.Run(sc.Title, func(b *testing.B) { benchScenario(b, sc) })
+	}
+}
+
+// BenchmarkTable3Syzkaller regenerates Table 3: one sub-benchmark per
+// Syzkaller bug, reporting the same metrics plus the chain size.
+func BenchmarkTable3Syzkaller(b *testing.B) {
+	for _, sc := range scenarios.Table3() {
+		b.Run(sc.Name, func(b *testing.B) { benchScenario(b, sc) })
+	}
+}
+
+// BenchmarkTable1Baselines regenerates the Table 1 requirements matrix:
+// the three reimplemented prior approaches run against the full Syzkaller
+// corpus and their completeness is measured.
+func BenchmarkTable1Baselines(b *testing.B) {
+	var coopComplete, muviReaches, kairComplete float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunBaselines(scenarios.GroupSyzkaller, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coopComplete, muviReaches, kairComplete = 0, 0, 0
+		for _, r := range rows {
+			if r.CoopBLComplete {
+				coopComplete++
+			}
+			if r.MUVIReaches {
+				muviReaches++
+			}
+			if r.KairuxComplete {
+				kairComplete++
+			}
+		}
+	}
+	b.ReportMetric(coopComplete, "coopbl-complete")
+	b.ReportMetric(muviReaches, "muvi-reaches")
+	b.ReportMetric(kairComplete, "kairux-complete")
+}
+
+// BenchmarkConciseness regenerates the §5.2 conciseness statistics over
+// the Syzkaller corpus: accesses vs. races vs. chain races.
+func BenchmarkConciseness(b *testing.B) {
+	var c eval.Conciseness
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunGroup(scenarios.GroupSyzkaller)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = eval.Concise(rows)
+	}
+	b.ReportMetric(c.AvgMemAccesses, "avg-accesses")
+	b.ReportMetric(c.AvgRaces, "avg-races")
+	b.ReportMetric(c.AvgChainRaces, "avg-chain-races")
+}
+
+// BenchmarkFigure1Quickstart regenerates Figure 1's diagnosis through the
+// public API.
+func BenchmarkFigure1Quickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := aitia.DiagnoseScenario("fig1", aitia.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Chain == "" {
+			b.Fatal("empty chain")
+		}
+	}
+}
+
+// BenchmarkFigure4Patterns regenerates the three complex concurrency
+// patterns of Figure 4 (kworker, RCU chain, three objects).
+func BenchmarkFigure4Patterns(b *testing.B) {
+	for _, name := range []string{"fig4a", "fig4b", "fig4c"} {
+		sc, _ := scenarios.ByName(name)
+		b.Run(name, func(b *testing.B) { benchScenario(b, sc) })
+	}
+}
+
+// BenchmarkFigure5LIFS regenerates the Figure 5 search tree: the LIFS
+// exploration with leaf recording, reporting the leaf and pruning counts.
+func BenchmarkFigure5LIFS(b *testing.B) {
+	var leaves, pruned float64
+	for i := 0; i < b.N; i++ {
+		ls, rep, err := eval.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaves = float64(len(ls))
+		pruned = float64(rep.Stats.Pruned)
+	}
+	b.ReportMetric(leaves, "search-leaves")
+	b.ReportMetric(pruned, "pruned")
+}
+
+// BenchmarkFigure6CausalitySteps regenerates the Figure 6 walkthrough:
+// Causality Analysis on CVE-2017-15649, reporting the test-set size
+// (the four races of the paper plus the planted benign one).
+func BenchmarkFigure6CausalitySteps(b *testing.B) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var testSet float64
+	for i := 0; i < b.N; i++ {
+		d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		testSet = float64(d.Stats.TestSet)
+	}
+	b.ReportMetric(testSet, "test-set")
+}
+
+// BenchmarkFigure7Ambiguity regenerates the §3.4 nested-race ambiguity
+// case.
+func BenchmarkFigure7Ambiguity(b *testing.B) {
+	sc, _ := scenarios.ByName("fig7")
+	benchScenario(b, sc)
+}
+
+// BenchmarkFigure9Irqfd regenerates the Figure 9 case study, including the
+// Kairux comparison of §5.3.
+func BenchmarkFigure9Irqfd(b *testing.B) {
+	sc, _ := scenarios.ByName("syz04-kvm-irqfd")
+	prog := sc.MustProgram()
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := kvm.New(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Analyze(m, rep, core.AnalysisOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kairux.Analyze(rep.Run, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the four design-choice ablations of DESIGN.md
+// (pruning, least-interleaving-first, phantom races, critical-section
+// units).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunAblations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("ablations = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkReproductionComparison measures LIFS vs random scheduling on
+// the hardest bug (#8 CAN, the only 2-interleaving reproduction in the
+// corpus), reporting both schedule counts.
+func BenchmarkReproductionComparison(b *testing.B) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	prog := sc.MustProgram()
+	var lifsN, randN float64
+	for i := 0; i < b.N; i++ {
+		m, err := kvm.New(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lifsN = float64(rep.Stats.Schedules)
+		fz, err := fuzz.New(prog, fuzz.Options{Seed: int64(i + 1), WantKind: sc.WantKind, MaxRuns: 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		finding, err := fz.Campaign()
+		if err != nil || finding == nil {
+			b.Fatalf("random campaign: %v, %v", finding, err)
+		}
+		randN = float64(finding.Runs)
+	}
+	b.ReportMetric(lifsN, "LIFS-scheds")
+	b.ReportMetric(randN, "random-runs")
+}
+
+// BenchmarkLIFSScaling measures how the search grows with the number of
+// benign races surrounding one real bug — the situation the paper's
+// conciseness argument targets (§2.3: benign races inflate the space a
+// diagnosis has to consider). Each extra shared statistics counter adds a
+// conflicting instruction pair to every thread.
+func BenchmarkLIFSScaling(b *testing.B) {
+	build := func(counters int) *kir.Program {
+		kb := kir.NewBuilder()
+		kb.Var("ptr_valid", 0)
+		kb.VarAddrOf("ptr", "obj")
+		kb.Global("obj", 1, 42)
+		for i := 0; i < counters; i++ {
+			kb.Var(fmt.Sprintf("stat%d", i), 1)
+		}
+		a := kb.Func("fa")
+		for i := 0; i < counters; i++ {
+			a.RefGet(kir.R9, kir.G(fmt.Sprintf("stat%d", i)))
+		}
+		a.Store(kir.G("ptr_valid"), kir.Imm(1)).L("A1")
+		a.Load(kir.R1, kir.G("ptr")).L("A2")
+		a.Load(kir.R2, kir.Ind(kir.R1, 0))
+		a.Ret()
+		fb := kb.Func("fb")
+		for i := 0; i < counters; i++ {
+			fb.RefGet(kir.R9, kir.G(fmt.Sprintf("stat%d", i)))
+		}
+		fb.Load(kir.R1, kir.G("ptr_valid")).L("B1")
+		fb.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		fb.Store(kir.G("ptr"), kir.Imm(0)).L("B2")
+		fb.At("out").Ret()
+		kb.Thread("A", "fa")
+		kb.Thread("B", "fb")
+		prog, err := kb.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prog
+	}
+	for _, counters := range []int{0, 2, 4, 8} {
+		prog := build(counters)
+		b.Run(fmt.Sprintf("benign-races=%d", counters), func(b *testing.B) {
+			var scheds float64
+			for i := 0; i < b.N; i++ {
+				m, err := kvm.New(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := core.Reproduce(m, core.LIFSOptions{
+					WantKind: sanitizer.KindNullDeref,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scheds = float64(rep.Stats.Schedules)
+			}
+			b.ReportMetric(scheds, "LIFS-scheds")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks (the simulator itself) ---
+
+// BenchmarkMachineStep measures raw instruction throughput of the kernel
+// VM.
+func BenchmarkMachineStep(b *testing.B) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init := m.Snapshot()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		if m.Failure() != nil || m.AllDone() {
+			b.StopTimer()
+			m.Restore(init)
+			b.StartTimer()
+		}
+		run := m.Runnable()
+		if len(run) == 0 {
+			b.StopTimer()
+			m.Restore(init)
+			b.StartTimer()
+			continue
+		}
+		if _, err := m.Step(run[0]); err != nil {
+			b.Fatal(err)
+		}
+		steps++
+	}
+	_ = steps
+}
+
+// BenchmarkSnapshotRestore measures the VM-revert cost that dominates
+// LIFS's depth-first search.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	m, err := kvm.New(sc.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := m.Snapshot()
+		m.Restore(snap)
+	}
+}
+
+// BenchmarkEnforcedRun measures one schedule enforcement (the unit of
+// both LIFS and Causality Analysis).
+func BenchmarkEnforcedRun(b *testing.B) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init := m.Snapshot()
+	enf := sched.NewEnforcer(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Restore(init)
+		if _, err := enf.Run(sched.Serial("setsockopt", "bind"), sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRaceExtraction measures test-set construction from a failing
+// run.
+func BenchmarkRaceExtraction(b *testing.B) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	m, err := kvm.New(sc.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if races := sched.ExtractRaces(rep.Run); len(races) == 0 {
+			b.Fatal("no races")
+		}
+	}
+}
+
+// BenchmarkFuzzerRun measures the bug finder's per-run cost.
+func BenchmarkFuzzerRun(b *testing.B) {
+	sc, _ := scenarios.ByName("fig5")
+	fz, err := fuzz.New(sc.MustProgram(), fuzz.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fz.CollectRuns(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMUVIMining measures correlation mining over a 400-run corpus.
+func BenchmarkMUVIMining(b *testing.B) {
+	sc, _ := scenarios.ByName("syz03-l2tp-uaf")
+	corpusProg, err := sc.CorpusProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fz, err := fuzz.New(corpusProg, fuzz.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(eval.CorpusRuns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muvi.Mine(runs, muvi.Options{})
+	}
+}
+
+// BenchmarkCoopBLRanking measures pattern extraction and ranking over a
+// 400-run corpus.
+func BenchmarkCoopBLRanking(b *testing.B) {
+	sc, _ := scenarios.ByName("syz05-rxrpc-local")
+	fz, err := fuzz.New(sc.MustProgram(), fuzz.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(eval.CorpusRuns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coopbl.Analyze(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Command aitia-bench regenerates the paper's evaluation artifacts from
+// the scenario corpus: Table 1 (requirements matrix), Table 2 (CVE
+// diagnoses), Table 3 (Syzkaller-bug diagnoses), the §5.2 conciseness
+// statistics, the baseline comparison, and the Figure 5 search tree.
+//
+// Usage:
+//
+//	aitia-bench -all
+//	aitia-bench -table 2
+//	aitia-bench -conciseness -baselines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aitia/internal/eval"
+	"aitia/internal/report"
+	"aitia/internal/scenarios"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "regenerate every artifact")
+		table    = flag.Int("table", 0, "regenerate one table (1, 2 or 3)")
+		concise  = flag.Bool("conciseness", false, "regenerate the §5.2 conciseness statistics")
+		baseline = flag.Bool("baselines", false, "regenerate the baseline comparison (§5.2/§5.3)")
+		figure5  = flag.Bool("figure5", false, "regenerate the Figure 5 search tree")
+		ablation = flag.Bool("ablations", false, "run the design-choice ablations")
+		repro    = flag.Bool("reproduction", false, "compare LIFS vs random scheduling for reproduction cost")
+		chains   = flag.Bool("chains", false, "print every scenario's causality chain")
+		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro {
+		*all = true
+	}
+
+	if *all || *table == 2 {
+		check(printTable2())
+	}
+	if *all || *table == 3 {
+		check(printTable3())
+	}
+	if *all || *concise {
+		check(printConciseness())
+	}
+	if *all || *baseline || *table == 1 {
+		check(printBaselines(*seed, *all || *table == 1))
+	}
+	if *all || *figure5 {
+		check(printFigure5())
+	}
+	if *all || *ablation {
+		check(printAblations())
+	}
+	if *all || *repro {
+		check(printReproduction(*seed))
+	}
+	if *chains {
+		check(printChains())
+	}
+}
+
+func printReproduction(seed int64) error {
+	rows, err := eval.RunReproductionComparison(scenarios.GroupSyzkaller, seed)
+	if err != nil {
+		return err
+	}
+	t := report.Table{Title: "Reproduction cost: LIFS vs random scheduling (schedules until the reported failure)"}
+	t.Add("Bug", "LIFS", "random (mean)", "random (worst seed)")
+	for _, r := range rows {
+		t.Add(shortTitle(r.Scenario),
+			fmt.Sprint(r.LIFSScheds),
+			fmt.Sprintf("%.1f", r.RandomRuns),
+			fmt.Sprint(r.RandomMax))
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("  (random figures averaged over %d seeds)\n\n", eval.ReproTrials)
+	return nil
+}
+
+func printAblations() error {
+	rows, err := eval.RunAblations()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Design-choice ablations (DESIGN.md):")
+	for _, r := range rows {
+		fmt.Printf("  %s [%s]\n", r.Mechanism, r.Scenario)
+		fmt.Printf("    with:    %s\n", r.With)
+		fmt.Printf("    without: %s\n", r.Without)
+		fmt.Printf("    => %s\n", r.Verdict)
+	}
+	fmt.Println()
+	return nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aitia-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func printTable2() error {
+	rows, err := eval.RunGroup(scenarios.GroupCVE)
+	if err != nil {
+		return err
+	}
+	t := report.Table{Title: "Table 2: CVEs caused by a concurrency failure in Linux (reproduced)"}
+	t.Add("Bug ID", "Subsystem", "LIFS time", "# sched", "Inter.", "CA time", "# sched")
+	for _, r := range rows {
+		t.Add(r.Scenario.Title, r.Scenario.Subsystem,
+			fmt.Sprint(r.LIFSTime.Round(10_000)), fmt.Sprint(r.LIFSScheds),
+			fmt.Sprint(r.Interleavings),
+			fmt.Sprint(r.CATime.Round(10_000)), fmt.Sprint(r.CAScheds))
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func printTable3() error {
+	rows, err := eval.RunGroup(scenarios.GroupSyzkaller)
+	if err != nil {
+		return err
+	}
+	t := report.Table{Title: "Table 3: Syzkaller concurrency bugs (reproduced)"}
+	t.Add("Bug", "Subsystem", "Bug type", "Multi?", "LIFS time", "# sched", "Inter.", "CA time", "# sched", "Chain")
+	for _, r := range rows {
+		multi := "No"
+		if r.Scenario.MultiVariable {
+			multi = "Yes"
+			if r.Scenario.LooselyCorrelated {
+				multi = "Yes*"
+			}
+		}
+		t.Add(shortTitle(r.Scenario), r.Scenario.Subsystem, r.Scenario.BugType, multi,
+			fmt.Sprint(r.LIFSTime.Round(10_000)), fmt.Sprint(r.LIFSScheds),
+			fmt.Sprint(r.Interleavings),
+			fmt.Sprint(r.CATime.Round(10_000)), fmt.Sprint(r.CAScheds),
+			fmt.Sprint(r.ChainRaces))
+	}
+	t.Write(os.Stdout)
+	fmt.Println("  (* = loosely correlated variables)")
+	fmt.Println()
+	return nil
+}
+
+func printConciseness() error {
+	rows, err := eval.RunGroup(scenarios.GroupSyzkaller)
+	if err != nil {
+		return err
+	}
+	c := eval.Concise(rows)
+	fmt.Println("Conciseness (§5.2, reproduced):")
+	fmt.Printf("  memory-accessing instructions per failed execution: avg %.1f (range %d..%d)\n",
+		c.AvgMemAccesses, c.MinMemAccesses, c.MaxMemAccesses)
+	fmt.Printf("  individual data races per failed execution:         avg %.1f (range %d..%d)\n",
+		c.AvgRaces, c.MinRaces, c.MaxRaces)
+	fmt.Printf("  data races in the causality chain:                  avg %.1f\n", c.AvgChainRaces)
+	benign := 0
+	for _, r := range rows {
+		benign += r.BenignRaces
+	}
+	fmt.Printf("  benign races excluded across the corpus:            %d (none appear in any chain)\n\n", benign)
+	return nil
+}
+
+func printBaselines(seed int64, withTable1 bool) error {
+	rows, err := eval.RunBaselines(scenarios.GroupSyzkaller, seed)
+	if err != nil {
+		return err
+	}
+	t := report.Table{Title: "Baseline comparison on the Syzkaller corpus (§5.2/§5.3, reproduced)"}
+	t.Add("Bug", "AITIA chain", "Kairux complete?", "CoopBL covers", "MUVI reaches?")
+	var coop, muvi, kair int
+	for _, r := range rows {
+		if r.CoopBLComplete {
+			coop++
+		}
+		if r.MUVIReaches {
+			muvi++
+		}
+		if r.KairuxComplete {
+			kair++
+		}
+		t.Add(shortTitle(r.Scenario),
+			fmt.Sprintf("%d races", r.AITIAChain),
+			yesNo(r.KairuxComplete),
+			fmt.Sprintf("%d/%d", r.CoopBLCovered, r.AITIAChain),
+			yesNo(r.MUVIReaches))
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("  AITIA diagnoses %d/%d; Kairux completes %d/%d; CoopBL completes %d/%d; MUVI reaches %d/%d\n\n",
+		len(rows), len(rows), kair, len(rows), coop, len(rows), muvi, len(rows))
+
+	if withTable1 {
+		t1 := report.Table{Title: "Table 1: requirements matrix (derived from the measured corpus)"}
+		t1.Add("System", "Comprehensive", "Pattern-agnostic", "Concise", "Evidence")
+		for _, r := range eval.Table1(rows) {
+			t1.Add(r.System, r.Comprehensive, r.PatternAgnostic, r.Concise, r.Evidence)
+		}
+		t1.Write(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFigure5() error {
+	leaves, rep, err := eval.Figure5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: LIFS search tree on the fig5 scenario (reproduced)")
+	for i, l := range leaves {
+		status := ""
+		if l.Failed {
+			status = "  <- failure"
+		}
+		fmt.Printf("  search order %2d: %s%s\n", i+1, strings.Join(l.Labels, " => "), status)
+	}
+	fmt.Printf("  schedules: %d, pruned-equivalent states: %d, reproduced at interleaving count %d\n\n",
+		rep.Stats.Schedules, rep.Stats.Pruned, rep.Stats.Interleavings)
+	return nil
+}
+
+func printChains() error {
+	rows, err := eval.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Causality chains across the corpus:")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %s\n", r.Scenario.Name, r.Chain)
+	}
+	fmt.Println()
+	return nil
+}
+
+func shortTitle(sc *scenarios.Scenario) string {
+	if i := strings.IndexByte(sc.Title, ' '); i > 0 && strings.HasPrefix(sc.Title, "#") {
+		return sc.Title[:i] + " " + sc.Subsystem
+	}
+	return sc.Name
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

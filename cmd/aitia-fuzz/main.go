@@ -1,0 +1,116 @@
+// Command aitia-fuzz is the bug-finding front end of the pipeline: a
+// Syzkaller-style random-schedule fuzzer that executes a kernel program
+// under randomized interleavings until a failure manifests, then emits
+// the crash report and the timestamped execution trace that command
+// aitia (or the library) consumes — and, with -diagnose, runs the full
+// diagnosis right away.
+//
+// Usage:
+//
+//	aitia-fuzz -scenario cve-2017-15649 -seed 7
+//	aitia-fuzz -file bug.kasm -runs 50000 -diagnose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aitia"
+	findingpkg "aitia/internal/finding"
+	"aitia/internal/fuzz"
+	"aitia/internal/history"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/scenarios"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "fuzz a built-in scenario by name")
+		file     = flag.String("file", "", "fuzz a kasm program file")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		runs     = flag.Int("runs", 0, "maximum runs (0 = default)")
+		leak     = flag.Bool("leak-check", false, "enable the memory-leak oracle")
+		diagnose = flag.Bool("diagnose", false, "diagnose the finding with AITIA")
+		out      = flag.String("out", "", "write the finding to a JSON file (consumed by 'aitia -finding')")
+	)
+	flag.Parse()
+
+	var (
+		prog *kir.Program
+		err  error
+	)
+	switch {
+	case *scenario != "":
+		sc, ok := scenarios.ByName(*scenario)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q", *scenario))
+		}
+		if sc.NeedsLeakCheck() {
+			*leak = true
+		}
+		prog, err = sc.Program()
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			prog, err = kasm.Parse(string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -scenario or -file; see -help")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: *seed, MaxRuns: *runs, LeakCheck: *leak})
+	if err != nil {
+		fatal(err)
+	}
+	finding, err := fz.Campaign()
+	if err != nil {
+		fatal(err)
+	}
+	if finding == nil {
+		fmt.Println("no failure found (try more -runs or another -seed)")
+		return
+	}
+
+	if *out != "" {
+		if err := findingpkg.Save(*out, findingpkg.FromFinding(prog, finding)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("finding written to %s\n", *out)
+	}
+
+	fmt.Printf("failure found after %d run(s) (seed %d)\n\n", finding.Runs, finding.Seed)
+	fmt.Println("--- crash report ---")
+	fmt.Print(finding.Report)
+	fmt.Println("\n--- execution trace (ftrace analogue) ---")
+	fmt.Print(finding.Trace.Format())
+	fmt.Println("\n--- slices (backward from the failure) ---")
+	for i, sl := range history.Model(finding.Trace) {
+		fmt.Printf("%2d: %s\n", i+1, sl)
+	}
+
+	if *diagnose {
+		fmt.Println("\n--- AITIA diagnosis ---")
+		src := kasm.Disassemble(prog)
+		p, err := aitia.Compile(src)
+		if err != nil {
+			fatal(err)
+		}
+		fres, err := aitia.FuzzAndDiagnose(p, *seed, *runs, aitia.Options{LeakCheck: *leak})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(fres.Diagnosis.Report)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aitia-fuzz:", err)
+	os.Exit(1)
+}

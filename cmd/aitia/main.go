@@ -1,0 +1,235 @@
+// Command aitia diagnoses the root cause of a kernel concurrency failure:
+// it reproduces the failure with Least Interleaving First Search and
+// distills it into a causality chain with Causality Analysis.
+//
+// Usage:
+//
+//	aitia -list                          # list the built-in bug corpus
+//	aitia -scenario cve-2017-15649       # diagnose a corpus scenario
+//	aitia -file bug.kasm                 # diagnose a kasm program
+//	aitia -scenario fig1 -quiet          # print only the chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aitia"
+	"aitia/internal/core"
+	"aitia/internal/finding"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/manager"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the built-in scenario corpus and exit")
+		scenario   = flag.String("scenario", "", "diagnose a built-in scenario by name")
+		file       = flag.String("file", "", "diagnose a kasm program file")
+		findingArg = flag.String("finding", "", "diagnose a finding file written by 'aitia-fuzz -out'")
+		export     = flag.String("export-corpus", "", "write every corpus scenario as a .kasm file into this directory and exit")
+		verifyFix  = flag.Bool("verify-fix", false, "with -scenario: check that the modelled developer fix prevents the failure; with -file and -fixed: check a custom patch")
+		fixedFile  = flag.String("fixed", "", "patched kasm program to verify against -file's diagnosis")
+		workers    = flag.Int("workers", 0, "parallel diagnoser instances (0 = GOMAXPROCS)")
+		kind       = flag.String("failure", "", "expected failure kind from the crash report (optional)")
+		label      = flag.String("at", "", "expected failing instruction label (optional)")
+		leak       = flag.Bool("leak-check", false, "enable the memory-leak oracle")
+		quiet      = flag.Bool("quiet", false, "print only the causality chain")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range aitia.Scenarios() {
+			fmt.Printf("%-22s %-14s %-13s %s\n", s.Name, s.Group+"/"+s.Subsystem, s.BugType, s.Title)
+		}
+		return
+	}
+	if *export != "" {
+		if err := exportCorpus(*export); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opts := aitia.Options{
+		Workers:      *workers,
+		FailureKind:  *kind,
+		FailureLabel: *label,
+		LeakCheck:    *leak,
+	}
+
+	if *verifyFix {
+		if err := runVerifyFix(*scenario, *file, *fixedFile, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var (
+		res *aitia.Result
+		err error
+	)
+	switch {
+	case *scenario != "":
+		res, err = aitia.DiagnoseScenario(*scenario, opts)
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		prog, cerr := aitia.Compile(string(src))
+		if cerr != nil {
+			fatal(cerr)
+		}
+		res, err = aitia.Diagnose(prog, opts)
+	case *findingArg != "":
+		res, err = diagnoseFinding(*findingArg, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "need -scenario, -file, -finding or -list; see -help")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		fmt.Println(res.Chain)
+		return
+	}
+	fmt.Print(res.Report)
+}
+
+// diagnoseFinding runs the pipeline on a saved bug-finder finding: the
+// trace is modelled into slices and the crash information constrains
+// which failure LIFS accepts.
+func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
+	prog, tr, _, err := finding.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	mres, err := mgr.DiagnoseTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	return aitia.FromInternal(prog, mres.Reproduction, mres.Diagnosis), nil
+}
+
+// runVerifyFix implements the paper's §5.1 verification: diagnose the
+// buggy program, then show that the patched variant no longer reproduces
+// the failure — the fix removed an interleaving order from the chain.
+func runVerifyFix(scenario, file, fixedFile string, opts aitia.Options) error {
+	var (
+		res       *aitia.Result
+		fixedProg *kir.Program
+		err       error
+	)
+	switch {
+	case scenario != "":
+		sc, ok := scenarios.ByName(scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q", scenario)
+		}
+		res, err = aitia.DiagnoseScenario(scenario, opts)
+		if err != nil {
+			return err
+		}
+		fixedProg, err = sc.Fixed()
+		if err != nil {
+			return err
+		}
+	case file != "" && fixedFile != "":
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return rerr
+		}
+		prog, cerr := aitia.Compile(string(src))
+		if cerr != nil {
+			return cerr
+		}
+		res, err = aitia.Diagnose(prog, opts)
+		if err != nil {
+			return err
+		}
+		fsrc, rerr := os.ReadFile(fixedFile)
+		if rerr != nil {
+			return rerr
+		}
+		fixedProg, err = kasm.Parse(string(fsrc))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-verify-fix needs -scenario, or -file plus -fixed")
+	}
+
+	fmt.Println("diagnosis of the buggy program:")
+	fmt.Println("  " + res.Chain)
+
+	m, err := kvm.New(fixedProg)
+	if err != nil {
+		return err
+	}
+	lifs := core.LIFSOptions{LeakCheck: opts.LeakCheck, WantInstr: kir.NoInstr}
+	if k, ok := sanitizer.KindByName(res.Failure); ok {
+		lifs.WantKind = k
+	}
+	_, err = core.Reproduce(m, lifs)
+	switch {
+	case core.IsNotReproduced(err):
+		fmt.Println("\nfix verified: the failure does not reproduce on the patched program —")
+		fmt.Println("the patch removes an interleaving order present in the chain.")
+		return nil
+	case err == nil:
+		return fmt.Errorf("fix REJECTED: the patched program still reproduces the failure")
+	default:
+		return err
+	}
+}
+
+// exportCorpus writes every corpus scenario as a standalone .kasm file,
+// with its ground truth as a comment header, so the programs can be
+// inspected, edited and re-diagnosed with `aitia -file`.
+func exportCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range scenarios.All() {
+		prog, err := sc.Program()
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "; %s — %s\n", sc.Name, sc.Title)
+		fmt.Fprintf(&b, "; subsystem: %s, bug type: %s, group: %s\n", sc.Subsystem, sc.BugType, sc.Group)
+		fmt.Fprintf(&b, "; expected failure: %s\n", sc.WantKind)
+		if sc.WantChain != "" {
+			fmt.Fprintf(&b, "; expected chain: %s\n", sc.WantChain)
+		}
+		if sc.Notes != "" {
+			fmt.Fprintf(&b, "; %s\n", sc.Notes)
+		}
+		b.WriteString("\n")
+		b.WriteString(kasm.Disassemble(prog))
+		path := filepath.Join(dir, sc.Name+".kasm")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aitia:", err)
+	os.Exit(1)
+}

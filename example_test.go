@@ -1,0 +1,81 @@
+package aitia_test
+
+import (
+	"fmt"
+
+	"aitia"
+)
+
+// ExampleDiagnoseScenario diagnoses the paper's running example,
+// CVE-2017-15649, and prints its causality chain — the Figure 3 result.
+func ExampleDiagnoseScenario() {
+	res, err := aitia.DiagnoseScenario("cve-2017-15649", aitia.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Failure)
+	fmt.Println(res.Chain)
+	// Output:
+	// kernel BUG (BUG_ON)
+	// (A2 => B11 ∧ B2 => A6) → A6 => B12 → B17 => A12 → kernel BUG (BUG_ON)
+}
+
+// ExampleCompile diagnoses a program written in the kasm text format: the
+// abstract two-variable race of the paper's Figure 1.
+func ExampleCompile() {
+	prog, err := aitia.Compile(`
+global ptr_valid = 0
+ptr    ptr -> obj
+global obj = 42
+
+thread A thread_a
+thread B thread_b
+
+func thread_a
+@A1  store [ptr_valid], 1
+@A2  load r1, [ptr]
+@A2d load r2, [r1]
+     ret
+end
+
+func thread_b
+@B1  load r1, [ptr_valid]
+     beq r1, 0, out
+@B2  store [ptr], 0
+out:
+     ret
+end
+`)
+	if err != nil {
+		fmt.Println("compile error:", err)
+		return
+	}
+	res, err := aitia.Diagnose(prog, aitia.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Chain)
+	for _, r := range res.Benign {
+		fmt.Printf("benign: %s => %s\n", r.First, r.Second)
+	}
+	// Output:
+	// A1 => B1 → B2 => A2 → NULL pointer dereference
+}
+
+// ExampleScenarios lists part of the built-in corpus.
+func ExampleScenarios() {
+	for _, s := range aitia.Scenarios() {
+		if s.Group == "figure" {
+			fmt.Println(s.Name)
+		}
+	}
+	// Output:
+	// fig1
+	// fig4a
+	// fig4b
+	// fig4c
+	// fig5
+	// fig7
+}

@@ -1,0 +1,87 @@
+// The paper's §5.1 verification loop as a workflow: diagnose the bug, read
+// the chain as a patch specification ("forbid any one of these orders"),
+// apply a candidate patch, and let AITIA verify it. An incomplete patch —
+// the paper's motivating observation is that developers write incorrect
+// concurrency fixes — is caught because the failure still reproduces.
+//
+//	go run ./examples/fix-validation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aitia/internal/core"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+func main() {
+	sc, ok := scenarios.ByName("cve-2017-15649")
+	if !ok {
+		log.Fatal("corpus scenario missing")
+	}
+	prog := sc.MustProgram()
+
+	// 1. Diagnose.
+	m, err := kvm.New(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chain:", d.Chain.Format(prog))
+	fmt.Println("\nthe chain is a patch specification: forbid any one order and the")
+	fmt.Println("BUG_ON cannot fire.")
+
+	// 2. An incomplete patch: serialize only the setsockopt path. The
+	//    bind path still races into the window.
+	raw, err := sc.RawProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	broken, err := raw.FixSerialize("fanout_add")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bm, err := kvm.New(broken)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wi := sc.WantInstr()
+	if in, ok := broken.ByLabel(sc.WantLabel); ok {
+		wi = in.ID
+	}
+	if _, err := core.Reproduce(bm, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: wi}); err == nil {
+		fmt.Println("\ncandidate patch 1 (lock fanout_add only): REJECTED — still reproduces.")
+	} else {
+		fmt.Println("\ncandidate patch 1 unexpectedly verified:", err)
+	}
+
+	// 3. The real fix: both paths access (po->running, po->fanout)
+	//    atomically — the chain's first conjunction becomes impossible.
+	fixed, err := sc.Fixed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fm, err := kvm.New(fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wi2 := wi
+	if in, ok := fixed.ByLabel(sc.WantLabel); ok {
+		wi2 = in.ID
+	}
+	if _, err := core.Reproduce(fm, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: wi2}); core.IsNotReproduced(err) {
+		fmt.Println("candidate patch 2 (serialize both paths): VERIFIED — search exhausted,")
+		fmt.Println("the failure cannot manifest under any explored interleaving.")
+	} else {
+		fmt.Println("candidate patch 2 rejected:", err)
+	}
+}

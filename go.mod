@@ -1,0 +1,3 @@
+module aitia
+
+go 1.23

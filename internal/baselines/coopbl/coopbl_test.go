@@ -1,0 +1,122 @@
+package coopbl
+
+import (
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+func site(thread string, id kir.InstrID) sched.Site {
+	return sched.Site{Thread: thread, Instr: id}
+}
+
+// TestSingleVariableBugIsFound: on the single-race RxRPC bug (#5),
+// cooperative bug localization's top pattern should cover the chain — the
+// class of bugs the technique handles.
+func TestSingleVariableBugIsFound(t *testing.T) {
+	sc, _ := scenarios.ByName("syz05-rxrpc-local")
+	prog := sc.MustProgram()
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Analyze(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no patterns")
+	}
+	if ranked[0].Score <= 0 {
+		t.Fatalf("top score = %f", ranked[0].Score)
+	}
+
+	m, _ := kvm.New(prog)
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := d.Chain.Races()
+	if got := Covers(ranked[0], chain); got != len(chain) {
+		t.Errorf("top pattern covers %d/%d: %s", got, len(chain), ranked[0].Pattern.Format(prog))
+	}
+}
+
+// TestMultiVariableBugIsPartial: on the four-race BPF bug (#6), one
+// pattern cannot cover the chain — the comprehensiveness gap.
+func TestMultiVariableBugIsPartial(t *testing.T) {
+	sc, _ := scenarios.ByName("syz06-bpf-devmap")
+	prog := sc.MustProgram()
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Analyze(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := kvm.New(prog)
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := d.Chain.Races()
+	if got := Covers(ranked[0], chain); got >= len(chain) {
+		t.Errorf("one pattern cannot cover a %d-race chain (covered %d)", len(chain), got)
+	}
+}
+
+func TestAnalyzeNeedsMixedCorpus(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	fz, _ := fuzz.New(sc.MustProgram(), fuzz.Options{Seed: 1, PreemptProb: 0.001})
+	runs, err := fz.CollectRuns(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only passing runs.
+	for _, r := range runs {
+		if r.Failed() {
+			return // corpus happened to be mixed; fine
+		}
+	}
+	if _, err := Analyze(runs); err == nil {
+		t.Error("pure-passing corpus should fail")
+	}
+}
+
+func TestPatternFormatting(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	a1, _ := prog.ByLabel("A1")
+	b1, _ := prog.ByLabel("B1")
+	p := Pattern{Kind: OrderViolation, Addr: 0x100,
+		First:  site("A", a1.ID),
+		Second: site("B", b1.ID)}
+	if got := p.Format(prog); got == "" {
+		t.Error("empty format")
+	}
+	if OrderViolation.String() != "order violation" || AtomicityViolation.String() != "atomicity violation" {
+		t.Error("bad kind names")
+	}
+}

@@ -1,0 +1,70 @@
+package kairux
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// TestFigure9InflectionPoint reproduces the paper's §5.3 discussion: on
+// the KVM irqfd bug, "an inflection point might be K1, since in a failed
+// run A1 => B1 => K1 => A2, K1 is the instruction that firstly deviates
+// from non-failed runs".
+func TestFigure9InflectionPoint(t *testing.T) {
+	sc, _ := scenarios.ByName("syz04-kvm-irqfd")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(rep.Run, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := prog.InstrName(res.Site.Instr)
+	// The inflection point is inside the kworker's path or the UAF access
+	// itself — a single instruction, not the cross-thread chain.
+	if name != "K1" && name != "A2" {
+		t.Errorf("inflection point = %s, want K1 or A2", name)
+	}
+	if !strings.Contains(res.Format(prog), "inflection point") {
+		t.Errorf("Format = %q", res.Format(prog))
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	m, _ := kvm.New(prog)
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(rep.Run, nil); err == nil {
+		t.Error("no passing runs should fail")
+	}
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Error("nil failed run should fail")
+	}
+	// A corpus containing only the failing run itself is unusable.
+	if _, err := Analyze(rep.Run, []*sched.RunResult{rep.Run}); err == nil {
+		t.Error("corpus without passing runs should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package muvi
+
+import (
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+func chainOf(t *testing.T, name string) ([]sched.Race, []*sched.RunResult) {
+	t.Helper()
+	sc, _ := scenarios.ByName(name)
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusProg, err := sc.CorpusProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := fuzz.New(corpusProg, fuzz.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := fz.CollectRuns(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Chain.Races(), runs
+}
+
+// TestTightPairIsMined: the L2TP session bug's variable pair is tightly
+// correlated (every session operation touches both), so MUVI's mining
+// reaches it.
+func TestTightPairIsMined(t *testing.T) {
+	chain, runs := chainOf(t, "syz03-l2tp-uaf")
+	cors := Mine(runs, Options{})
+	ok, why := CanExplain(cors, chain)
+	if !ok {
+		t.Errorf("tight pair not reached: %s", why)
+	}
+}
+
+// TestLoosePairIsMissed: the KVM irqfd bug's pair is loosely correlated
+// (fd-table operations do not touch the device object), defeating MUVI's
+// assumption — the §2.2 argument.
+func TestLoosePairIsMissed(t *testing.T) {
+	chain, runs := chainOf(t, "syz04-kvm-irqfd")
+	cors := Mine(runs, Options{})
+	ok, why := CanExplain(cors, chain)
+	if ok {
+		t.Errorf("loose pair should be below threshold, got: %s", why)
+	}
+}
+
+// TestSingleVariableIsOutOfScope: MUVI targets multi-variable bugs only.
+func TestSingleVariableIsOutOfScope(t *testing.T) {
+	chain, runs := chainOf(t, "syz05-rxrpc-local")
+	cors := Mine(runs, Options{})
+	if ok, why := CanExplain(cors, chain); ok {
+		t.Errorf("single-variable bug should be out of scope: %s", why)
+	}
+}
+
+func TestMineConfidenceBounds(t *testing.T) {
+	_, runs := chainOf(t, "syz03-l2tp-uaf")
+	for _, c := range Mine(runs, Options{}) {
+		if c.Confidence() < DefaultMinConfidence || c.ConfXY > 1 || c.ConfYX > 1 {
+			t.Errorf("bad confidence: %+v", c)
+		}
+		if c.X >= c.Y {
+			t.Errorf("pair not ordered: %+v", c)
+		}
+	}
+}
+
+func TestCorrelated(t *testing.T) {
+	cors := []Correlation{{X: 1, Y: 2}}
+	if !Correlated(cors, 2, 1) || !Correlated(cors, 1, 2) {
+		t.Error("Correlated should be symmetric")
+	}
+	if Correlated(cors, 1, 3) {
+		t.Error("unmined pair reported")
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/sched"
+)
+
+// Verdict is the outcome of testing one data race's causality to the
+// failure.
+type Verdict uint8
+
+const (
+	// VerdictBenign: the failure still manifests with the race flipped —
+	// the race does not contribute (a benign race).
+	VerdictBenign Verdict = iota
+	// VerdictRootCause: flipping the race prevents the failure.
+	VerdictRootCause
+	// VerdictAmbiguous: the race surrounds a nested root-cause race, so
+	// its own flip could not be tested in isolation (§3.4).
+	VerdictAmbiguous
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBenign:
+		return "benign"
+	case VerdictRootCause:
+		return "root-cause"
+	case VerdictAmbiguous:
+		return "ambiguous"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// TestedRace records the causality test of one race from the test set.
+type TestedRace struct {
+	Race    sched.Race
+	Verdict Verdict
+	// FlipRealized reports whether the flipped interleaving order was
+	// actually observed in the test run (control flow can make a flip
+	// unrealizable; the verdict is still decided by the failure outcome,
+	// per the paper).
+	FlipRealized bool
+	// FlipRun is the run with this race flipped.
+	FlipRun *sched.RunResult
+}
+
+// AnalysisStats summarize one Causality Analysis.
+type AnalysisStats struct {
+	Schedules   int // runs executed (one per tested race)
+	TestSet     int // races tested
+	MemAccesses int // memory-accessing instruction executions in the failing run
+	Elapsed     time.Duration
+}
+
+// AnalysisOptions configure Causality Analysis.
+type AnalysisOptions struct {
+	StepBudget int
+	LeakCheck  bool
+	// Workers parallelizes the flip tests across that many independent
+	// machines (the paper's fleet of diagnoser VMs, §4.5). Zero or one
+	// means serial.
+	Workers int
+	// NoCriticalSections is an ablation switch: disable the §3.4 rule of
+	// flipping whole critical sections as units.
+	NoCriticalSections bool
+}
+
+// Diagnosis is the final output: the causality chain plus the full
+// evidence (every tested race with its verdict and test run).
+type Diagnosis struct {
+	Failure   *sanitizer.Failure
+	Tested    []TestedRace
+	RootCause []sched.Race
+	Benign    []sched.Race
+	Ambiguous []sched.Race
+	Chain     *Chain
+	Stats     AnalysisStats
+}
+
+// Analyze runs Causality Analysis on a reproduction: it flips each data
+// race of the failure-causing sequence one at a time (backward, nested
+// races before their surrounding races), re-executes, and classifies races
+// by whether the failure still manifests. From the root-cause set and the
+// flip runs it builds the causality chain.
+//
+// The machine must execute the same program that produced rep; Analyze
+// resets it before the first test run.
+func Analyze(m *kvm.Machine, rep *Reproduction, opts AnalysisOptions) (*Diagnosis, error) {
+	if rep == nil || rep.Run == nil || !rep.Run.Failed() {
+		return nil, fmt.Errorf("core: Analyze needs a failing reproduction")
+	}
+	if err := m.Reset(); err != nil {
+		return nil, err
+	}
+	init := m.Snapshot()
+	enf := sched.NewEnforcer(m)
+	runOpts := sched.Options{StepBudget: opts.StepBudget, LeakCheck: opts.LeakCheck}
+
+	var fallback []string
+	for _, td := range m.Prog().Threads {
+		fallback = append(fallback, td.Name)
+	}
+
+	failSeq := rep.Run.Seq
+	original := rep.Run.Failure
+	start := time.Now()
+
+	d := &Diagnosis{Failure: original}
+	d.Stats.TestSet = len(rep.Races)
+	for _, e := range failSeq {
+		if len(e.Accesses) > 0 {
+			d.Stats.MemAccesses++
+		}
+	}
+
+	// Test order: backward from the failure point; a nested race is
+	// tested before any race surrounding it (§3.4).
+	order := testOrder(rep.Races)
+
+	fo := sched.FlipOptions{NoCriticalSections: opts.NoCriticalSections}
+	testRace := func(enf *sched.Enforcer, init *kvm.Snapshot, r sched.Race) (TestedRace, error) {
+		plan := sched.PlanFlipOpt(failSeq, r, fallback, fo)
+		enf.Machine().Restore(init)
+		res, err := enf.Run(plan, runOpts)
+		if err != nil {
+			return TestedRace{}, fmt.Errorf("core: flip run for %s: %w", r.FormatLong(m.Prog()), err)
+		}
+		tr := TestedRace{
+			Race:         r,
+			FlipRealized: flipRealized(res, r),
+			FlipRun:      res,
+		}
+		if res.Failed() && res.Failure.SameSymptom(original) {
+			tr.Verdict = VerdictBenign
+		} else {
+			tr.Verdict = VerdictRootCause
+		}
+		return tr, nil
+	}
+
+	d.Tested = make([]TestedRace, len(order))
+	if opts.Workers > 1 {
+		// One independent machine per diagnoser, as in the paper's VM
+		// fleet; flip tests are mutually independent.
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		jobs := make(chan int)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wm, err := kvm.New(m.Prog())
+				if err != nil {
+					fail(err)
+					for range jobs {
+						// drain so the feeder never blocks
+					}
+					return
+				}
+				wenf := sched.NewEnforcer(wm)
+				winit := wm.Snapshot()
+				for idx := range jobs {
+					tr, err := testRace(wenf, winit, order[idx])
+					if err != nil {
+						fail(err)
+						continue
+					}
+					d.Tested[idx] = tr
+				}
+			}()
+		}
+		for i := range order {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for i, r := range order {
+			tr, err := testRace(enf, init, r)
+			if err != nil {
+				return nil, err
+			}
+			d.Tested[i] = tr
+		}
+	}
+	d.Stats.Schedules += len(order)
+
+	// Ambiguity: a surrounding race whose flip avoids the failure cannot
+	// be attributed when its nested race is itself a root cause — flipping
+	// the surrounding race necessarily flipped the nested one too.
+	for i := range d.Tested {
+		p := &d.Tested[i]
+		if p.Verdict != VerdictRootCause {
+			continue
+		}
+		for j := range d.Tested {
+			q := &d.Tested[j]
+			if i == j || q.Verdict != VerdictRootCause {
+				continue
+			}
+			if surrounds(p.Race, q.Race) {
+				p.Verdict = VerdictAmbiguous
+			}
+		}
+	}
+
+	for _, tr := range d.Tested {
+		switch tr.Verdict {
+		case VerdictRootCause:
+			d.RootCause = append(d.RootCause, tr.Race)
+		case VerdictBenign:
+			d.Benign = append(d.Benign, tr.Race)
+		case VerdictAmbiguous:
+			d.Ambiguous = append(d.Ambiguous, tr.Race)
+		}
+	}
+
+	d.Chain = buildChain(d, original)
+	d.Stats.Elapsed = time.Since(start)
+	return d, nil
+}
+
+// testOrder sorts the test set backward from the failure point and hoists
+// nested races in front of the races that surround them.
+func testOrder(races []sched.Race) []sched.Race {
+	order := append([]sched.Race(nil), races...)
+	sort.Slice(order, func(i, j int) bool { return order[i].LastStep() > order[j].LastStep() })
+	// Bubble nested races ahead of their surrounders (the relation is
+	// acyclic: surround intervals strictly contain nested intervals).
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(order); i++ {
+			if surrounds(order[i], order[i+1]) {
+				order[i], order[i+1] = order[i+1], order[i]
+				changed = true
+			}
+		}
+	}
+	return order
+}
+
+// surrounds reports whether race p surrounds race q: flipping p (delaying
+// p.First's thread past p.Second) necessarily also flips q, because q's
+// First access belongs to the delayed thread inside the displaced span and
+// q's Second access lies inside the kept span.
+func surrounds(p, q sched.Race) bool {
+	if p.Phantom || q.Phantom {
+		return false
+	}
+	return q.First.Thread == p.First.Thread &&
+		q.Second.Thread != p.First.Thread &&
+		p.FirstStep < q.FirstStep && q.FirstStep < p.SecondStep &&
+		p.FirstStep < q.SecondStep && q.SecondStep < p.SecondStep
+}
+
+// flipRealized reports whether the intended reversed order was observed.
+func flipRealized(res *sched.RunResult, r sched.Race) bool {
+	if r.Phantom {
+		// The phantom's Second access had never executed; realization
+		// means it ran at all before First (or First vanished entirely).
+		switch sched.RaceOrder(res, r) {
+		case -1:
+			return true
+		}
+		return res.Executed(r.Second) && !res.Executed(r.First)
+	}
+	switch sched.RaceOrder(res, r) {
+	case -1:
+		return true
+	case 0:
+		// The pair vanished: the flip steered control flow away from the
+		// racing accesses altogether, which also counts as "the original
+		// order did not happen".
+		return !res.Executed(r.First) || !res.Executed(r.Second)
+	}
+	return false
+}

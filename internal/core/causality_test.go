@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// diagnose runs the full LIFS + Causality Analysis pipeline on a scenario.
+func diagnose(t *testing.T, name string, lifs LIFSOptions) *Diagnosis {
+	t.Helper()
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	prog := sc.MustProgram()
+	m := mustMachine(t, prog)
+	lifs.WantKind = sc.WantKind
+	lifs.WantInstr = sc.WantInstr()
+	rep, err := Reproduce(m, lifs)
+	if err != nil {
+		t.Fatalf("Reproduce(%s): %v", name, err)
+	}
+	d, err := Analyze(m, rep, AnalysisOptions{})
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", name, err)
+	}
+	return d
+}
+
+// TestFigure1Chain checks the causality chain of the abstract Figure 1
+// example: A1 => B1 → B2 => A2 → NULL deref.
+func TestFigure1Chain(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	d := diagnose(t, "fig1", LIFSOptions{})
+	got := d.Chain.Format(sc.MustProgram())
+	if got != sc.WantChain {
+		t.Errorf("chain = %q, want %q", got, sc.WantChain)
+	}
+	if d.Chain.Len() != sc.WantChainLen {
+		t.Errorf("chain length = %d, want %d", d.Chain.Len(), sc.WantChainLen)
+	}
+}
+
+// TestCVE201715649Chain reproduces the paper's Figures 2/3/6: the
+// four-race test set, the conjunction of the two multi-variable orders,
+// the race-steered edge to B17 => A12 (whose second access never executed
+// in the failing run), and the exclusion of the planted benign race.
+func TestCVE201715649Chain(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	d := diagnose(t, "cve-2017-15649", LIFSOptions{})
+
+	if d.Failure == nil || d.Failure.Kind != sanitizer.KindBugOn {
+		t.Fatalf("failure = %v, want BUG_ON", d.Failure)
+	}
+	got := d.Chain.Format(prog)
+	if got != sc.WantChain {
+		t.Errorf("chain = %q\nwant    %q", got, sc.WantChain)
+	}
+	if d.Chain.Len() != 4 {
+		t.Errorf("chain has %d races, want 4", d.Chain.Len())
+	}
+
+	// The planted stats race (SA/SB) must be classified benign and must
+	// not appear in the chain.
+	foundBenignStats := false
+	for _, r := range d.Benign {
+		n1, n2 := prog.InstrName(r.First.Instr), prog.InstrName(r.Second.Instr)
+		if (n1 == "SA" && n2 == "SB") || (n1 == "SB" && n2 == "SA") {
+			foundBenignStats = true
+		}
+	}
+	if !foundBenignStats {
+		t.Errorf("stats counter race not classified benign; benign set: %v", formatRaces(prog, d.Benign))
+	}
+	for _, r := range d.Chain.Races() {
+		n1, n2 := prog.InstrName(r.First.Instr), prog.InstrName(r.Second.Instr)
+		if n1 == "SA" || n1 == "SB" || n2 == "SA" || n2 == "SB" {
+			t.Errorf("benign stats race %s => %s leaked into the chain", n1, n2)
+		}
+	}
+	if len(d.Ambiguous) != 0 {
+		t.Errorf("unexpected ambiguous races: %v", formatRaces(prog, d.Ambiguous))
+	}
+}
+
+func formatRaces(prog *kir.Program, races []sched.Race) []string {
+	out := make([]string, len(races))
+	for i, r := range races {
+		out[i] = r.Format(prog)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package core implements the paper's primary contribution: Least
+// Interleaving First Search (LIFS, §3.3) for reproducing a kernel
+// concurrency failure as a totally ordered failure-causing instruction
+// sequence, and Causality Analysis (§3.4) for distilling that sequence
+// into a causality chain — the root cause.
+//
+// # LIFS
+//
+// LIFS explores interleavings of conflicting instructions in
+// least-interleaving-first order: iterative deepening on the number of
+// preemptions, where a preemption suspends the running thread immediately
+// before a conflicting memory access and resumes another thread.
+// Conflicting instructions are discovered dynamically from the accesses
+// observed in earlier runs (including instructions that only execute under
+// race-steered control flows), and equivalent machine states are pruned
+// DPOR-style via state signatures.
+//
+// # Causality Analysis
+//
+// Causality Analysis takes the failure-causing sequence and its data races
+// (the test set), then flips each race's interleaving order one at a time
+// — keeping every other order fixed — and re-executes. A race whose flip
+// prevents the failure joins the root cause set; a race whose flip still
+// fails is benign and is excluded. Flipping a root-cause race and
+// observing which later root-cause races stop occurring yields the
+// causality edges (race-steered control flow); races that surround a
+// nested root-cause race are reported as ambiguous (§3.4).
+package core

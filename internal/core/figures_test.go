@@ -1,0 +1,347 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// TestFigure5SearchOrder reproduces the LIFS search-tree behaviour of the
+// paper's Figure 5 on the fig5 scenario:
+//   - interleaving count 0 explores the serial orders first, and the
+//     B-first order does not contain K1 (the race-steered control flow
+//     A1 => B1 never happens, so queue_work never runs);
+//   - the failure reproduces at interleaving count 1, with the final leaf
+//     showing K1 => A3.
+func TestFigure5SearchOrder(t *testing.T) {
+	sc, _ := scenarios.ByName("fig5")
+	prog := sc.MustProgram()
+	m := mustMachine(t, prog)
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, RecordLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Leaves) < 3 {
+		t.Fatalf("too few leaves: %d", len(rep.Leaves))
+	}
+	// Leaf 1: A first, serial — includes K1 after B's part.
+	l0 := strings.Join(rep.Leaves[0].Labels, " ")
+	if !strings.HasPrefix(l0, "A1 A2 A3") {
+		t.Errorf("first serial leaf = %q", l0)
+	}
+	// Some serial leaf starting with B must NOT contain K1 (order 2 in
+	// the paper: "does not include K1 due to the race-steered control
+	// flow").
+	foundBFirstNoK := false
+	for _, l := range rep.Leaves {
+		s := strings.Join(l.Labels, " ")
+		if strings.HasPrefix(s, "B1") && !strings.Contains(s, "K1") {
+			foundBFirstNoK = true
+		}
+	}
+	if !foundBFirstNoK {
+		t.Error("no B-first leaf without K1 (race-steered control flow not observed)")
+	}
+	// The failing leaf ends the search, contains K1 before A3.
+	last := rep.Leaves[len(rep.Leaves)-1]
+	if !last.Failed {
+		t.Error("last leaf should be the failure")
+	}
+	s := strings.Join(last.Labels, " ")
+	if !strings.Contains(s, "K1") || strings.Index(s, "K1") > strings.Index(s, "A3") {
+		t.Errorf("failing leaf = %q, want K1 before A3", s)
+	}
+	if rep.Stats.Interleavings != 1 {
+		t.Errorf("interleavings = %d, want 1", rep.Stats.Interleavings)
+	}
+}
+
+// TestFigure7Ambiguity reproduces §3.4's ambiguity case: A1 => B2
+// surrounds A2 => B1, both flips avoid the failure, and the nested race
+// is a root cause — so the surrounding race must be reported ambiguous.
+func TestFigure7Ambiguity(t *testing.T) {
+	d := diagnose(t, "fig7", LIFSOptions{})
+	prog, _ := scenarios.ByName("fig7")
+	p := prog.MustProgram()
+
+	if len(d.Ambiguous) != 1 {
+		t.Fatalf("ambiguous = %v", formatRaces(p, d.Ambiguous))
+	}
+	amb := d.Ambiguous[0]
+	if p.InstrName(amb.First.Instr) != "A1" || p.InstrName(amb.Second.Instr) != "B2" {
+		t.Errorf("ambiguous race = %s, want A1 => B2", amb.Format(p))
+	}
+	foundNested := false
+	for _, r := range d.RootCause {
+		if p.InstrName(r.First.Instr) == "A2" && p.InstrName(r.Second.Instr) == "B1" {
+			foundNested = true
+		}
+	}
+	if !foundNested {
+		t.Errorf("nested race A2 => B1 not in root cause: %v", formatRaces(p, d.RootCause))
+	}
+	if !d.Chain.HasAmbiguity() {
+		t.Error("chain should carry the ambiguity flag")
+	}
+	if !strings.Contains(d.Chain.Format(p), "(ambiguous)") {
+		t.Errorf("chain rendering misses the flag: %s", d.Chain.Format(p))
+	}
+}
+
+// TestFigure4Patterns checks that the three complex patterns of Figure 4
+// all reproduce and diagnose: (a) two syscalls + kworker, (b) a single
+// syscall racing with its own deferred work chain (kworker -> RCU),
+// (c) two syscalls over three objects with chained race-steered flows.
+func TestFigure4Patterns(t *testing.T) {
+	for _, name := range []string{"fig4a", "fig4b", "fig4c"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, _ := scenarios.ByName(name)
+			d := diagnose(t, name, LIFSOptions{})
+			if d.Failure.Kind != sc.WantKind {
+				t.Errorf("failure = %v, want %v", d.Failure.Kind, sc.WantKind)
+			}
+			if d.Chain.Len() != sc.WantChainLen {
+				t.Errorf("chain len = %d, want %d", d.Chain.Len(), sc.WantChainLen)
+			}
+		})
+	}
+	// fig4b specifically: the chain's race crosses from the RCU callback
+	// (softirq context) back into the originating syscall.
+	sc, _ := scenarios.ByName("fig4b")
+	prog := sc.MustProgram()
+	d := diagnose(t, "fig4b", LIFSOptions{})
+	r := d.Chain.Races()[0]
+	if !strings.HasPrefix(r.First.Thread, "rcu:") {
+		t.Errorf("fig4b chain race First thread = %q, want an RCU context", r.First.Thread)
+	}
+	_ = prog
+}
+
+// TestPhantomRaceDiagnosis: the CVE-2017-15649 test set must contain the
+// phantom race B17 => A12 (A12 never executed in the failing run) and it
+// must be diagnosed root-cause, exactly like the paper's Figure 6 step 1.
+func TestPhantomRaceDiagnosis(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	d := diagnose(t, "cve-2017-15649", LIFSOptions{})
+	found := false
+	for _, tr := range d.Tested {
+		if tr.Race.Phantom {
+			found = true
+			if prog.InstrName(tr.Race.First.Instr) != "B17" || prog.InstrName(tr.Race.Second.Instr) != "A12" {
+				t.Errorf("phantom = %s", tr.Race.Format(prog))
+			}
+			if tr.Verdict != VerdictRootCause {
+				t.Errorf("phantom verdict = %v", tr.Verdict)
+			}
+			if !tr.FlipRealized {
+				t.Error("phantom flip not realized: A12 should have executed before B17")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no phantom race in the test set")
+	}
+}
+
+// TestCriticalSectionFlip: on syz10 (md_ioctl), the mutex-protected check
+// races with the unlocked update; flipping it must move the whole
+// critical section (§3.4's liveness rule) and classify it root-cause.
+func TestCriticalSectionFlip(t *testing.T) {
+	sc, _ := scenarios.ByName("syz10-md-ioctl")
+	prog := sc.MustProgram()
+	d := diagnose(t, "syz10-md-ioctl", LIFSOptions{})
+	csTested := false
+	for _, tr := range d.Tested {
+		// The race whose First access ran under the reconfig mutex.
+		if tr.Race.CSLock == 0 && prog.InstrName(tr.Race.First.Instr) != "C1" {
+			continue
+		}
+		if prog.InstrName(tr.Race.First.Instr) == "C1" {
+			csTested = true
+			if tr.FlipRun.Failed() && tr.FlipRun.Failure.Kind == sanitizer.KindDeadlock {
+				t.Error("critical-section flip deadlocked: the §3.4 rule was not applied")
+			}
+		}
+	}
+	if !csTested {
+		t.Error("no critical-section race was tested")
+	}
+	if d.Chain.Len() != sc.WantChainLen {
+		t.Errorf("chain = %s", d.Chain.Format(prog))
+	}
+}
+
+// TestLIFSPruningReducesSchedules: the DPOR-style state pruning must
+// fire on a program with independent (commuting) accesses.
+func TestLIFSPruningReducesSchedules(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	m := mustMachine(t, sc.MustProgram())
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Pruned == 0 {
+		t.Error("no states pruned on a 2-interleaving search")
+	}
+}
+
+// TestDiagnosisDeterminism: two full pipeline runs produce identical
+// chains and statistics — everything is deterministic by construction.
+func TestDiagnosisDeterminism(t *testing.T) {
+	for _, name := range []string{"cve-2017-15649", "syz08-j1939-refcount", "fig5"} {
+		sc, _ := scenarios.ByName(name)
+		prog := sc.MustProgram()
+		run := func() (string, int, int) {
+			m := mustMachine(t, prog)
+			rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Analyze(m, rep, AnalysisOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d.Chain.Format(prog), rep.Stats.Schedules, d.Stats.Schedules
+		}
+		c1, l1, a1 := run()
+		c2, l2, a2 := run()
+		if c1 != c2 || l1 != l2 || a1 != a2 {
+			t.Errorf("%s not deterministic: (%q,%d,%d) vs (%q,%d,%d)", name, c1, l1, a1, c2, l2, a2)
+		}
+	}
+}
+
+// TestParallelAnalysisMatchesSerial: Workers > 1 must produce the same
+// verdicts and chain as the serial analysis.
+func TestParallelAnalysisMatchesSerial(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+
+	m1 := mustMachine(t, prog)
+	rep1, err := Reproduce(m1, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Analyze(m1, rep1, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := mustMachine(t, prog)
+	rep2, err := Reproduce(m2, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Analyze(m2, rep2, AnalysisOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Chain.Format(prog) != parallel.Chain.Format(prog) {
+		t.Errorf("chains differ: %q vs %q", serial.Chain.Format(prog), parallel.Chain.Format(prog))
+	}
+	if len(serial.Tested) != len(parallel.Tested) {
+		t.Fatalf("test set sizes differ")
+	}
+	for i := range serial.Tested {
+		if serial.Tested[i].Verdict != parallel.Tested[i].Verdict {
+			t.Errorf("verdict %d differs: %v vs %v", i, serial.Tested[i].Verdict, parallel.Tested[i].Verdict)
+		}
+	}
+}
+
+// TestReproduceRespectsWantInstr: on the CVE-2017-15649 program, which
+// harbours two distinct BUG_ON failures (the fanout_unlink assertion and
+// the global_list double insertion), LIFS must reproduce the one named in
+// the crash report.
+func TestReproduceRespectsWantInstr(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+
+	// Unconstrained: the list-corruption failure is cheaper (1
+	// interleaving) and is found first.
+	m := mustMachine(t, prog)
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sanitizer.KindBugOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a12, _ := prog.ByLabel("A12")
+	b17bug, _ := prog.ByLabel("B17bug")
+	if rep.Run.Failure.Instr != a12.ID {
+		t.Errorf("unconstrained failure at %s, want the double-insertion at A12",
+			prog.InstrName(rep.Run.Failure.Instr))
+	}
+
+	// Constrained to the crash report's location: the fanout_unlink BUG.
+	m2 := mustMachine(t, prog)
+	rep2, err := Reproduce(m2, LIFSOptions{WantKind: sanitizer.KindBugOn, WantInstr: b17bug.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Run.Failure.Instr != b17bug.ID {
+		t.Errorf("constrained failure at %s", prog.InstrName(rep2.Run.Failure.Instr))
+	}
+}
+
+// TestMemoryLeakDiagnosis: the seccomp leak only manifests through the
+// end-of-run leak oracle; the chain still excludes the benign races.
+func TestMemoryLeakDiagnosis(t *testing.T) {
+	sc, _ := scenarios.ByName("syz09-seccomp-leak")
+	prog := sc.MustProgram()
+	m := mustMachine(t, prog)
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, LeakCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run.Failure.Kind != sanitizer.KindMemoryLeak {
+		t.Fatalf("failure = %v", rep.Run.Failure)
+	}
+	d, err := Analyze(m, rep, AnalysisOptions{LeakCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chain.Len() != sc.WantChainLen {
+		t.Errorf("chain = %s", d.Chain.Format(prog))
+	}
+}
+
+// TestNotReproduced: a race-free program exhausts the search.
+func TestNotReproduced(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	single, err := prog.Restrict([]string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kvm.New(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Reproduce(m, LIFSOptions{})
+	if !IsNotReproduced(err) {
+		t.Errorf("err = %v, want ErrNotReproduced", err)
+	}
+}
+
+// TestRacesSortedBackward: the test set comes back ordered by position in
+// the failing run, so Causality Analysis can pop from the back.
+func TestRacesSortedBackward(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	m := mustMachine(t, sc.MustProgram())
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Races); i++ {
+		if rep.Races[i].LastStep() < rep.Races[i-1].LastStep() {
+			t.Errorf("races out of order at %d", i)
+		}
+	}
+	_ = sched.Race{}
+}

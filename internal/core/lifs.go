@@ -1,0 +1,516 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/sched"
+)
+
+// LIFSOptions configure a reproduction search.
+type LIFSOptions struct {
+	// MaxInterleavings bounds the iterative deepening on preemption count.
+	// Zero means DefaultMaxInterleavings. The paper observes that one or
+	// two interleavings reproduce almost every real failure.
+	MaxInterleavings int
+	// StepBudget is the per-run watchdog limit (sched.Options.StepBudget).
+	StepBudget int
+	// MaxSchedules aborts the search after this many executed schedules
+	// (zero = DefaultMaxSchedules).
+	MaxSchedules int
+	// WantKind restricts acceptance to failures of this kind, taken from
+	// the crash report. KindNone accepts any failure except watchdogs.
+	WantKind sanitizer.Kind
+	// WantInstr further restricts acceptance to failures at this
+	// instruction (the crash report's failing location). NoInstr matches
+	// any location.
+	WantInstr kir.InstrID
+	// LeakCheck enables the memory-leak oracle at run completion (needed
+	// to reproduce leak failures, which manifest only at the end).
+	LeakCheck bool
+	// RecordLeaves retains a per-leaf search trace (used to regenerate the
+	// paper's Figure 5 search tree).
+	RecordLeaves bool
+
+	// Ablation switches (all default off, i.e. the paper's design):
+
+	// NoPruning disables the DPOR-style equivalent-state pruning.
+	NoPruning bool
+	// NoLeastFirst disables the least-interleaving-first iterative
+	// deepening and searches directly at MaxInterleavings.
+	NoLeastFirst bool
+	// NoPhantom drops races whose second access never executed in the
+	// failing run from the test set (e.g. the paper's B17 => A12).
+	NoPhantom bool
+}
+
+// Default search limits.
+const (
+	DefaultMaxInterleavings = 3
+	DefaultMaxSchedules     = 200000
+)
+
+// SearchStats summarize a LIFS search.
+type SearchStats struct {
+	Schedules     int           // complete runs executed
+	Interleavings int           // preemption count at which the failure reproduced
+	Pruned        int           // branches pruned as equivalent states
+	Elapsed       time.Duration // wall-clock search time
+}
+
+// LeafTrace records one complete run of the search for introspection.
+type LeafTrace struct {
+	Labels      []string // labelled instructions in execution order
+	Preemptions int      // budget consumed on this path
+	Failed      bool
+}
+
+// Reproduction is the output of LIFS: the failure-causing instruction
+// sequence (as a run result), a schedule that deterministically replays
+// it, all data races found in it, and the accumulated access knowledge.
+type Reproduction struct {
+	Run      *sched.RunResult
+	Schedule sched.Schedule
+	Races    []sched.Race
+	Accesses *sched.AccessMap
+	Stats    SearchStats
+	Leaves   []LeafTrace // only when LIFSOptions.RecordLeaves
+}
+
+// ErrNotReproduced is returned (wrapped) when the search space is
+// exhausted without reproducing an accepted failure.
+var ErrNotReproduced = fmt.Errorf("core: failure not reproduced")
+
+// IsNotReproduced reports whether err means the search space was
+// exhausted without reproducing the failure (the caller should try the
+// next slice, §4.2).
+func IsNotReproduced(err error) bool { return errors.Is(err, ErrNotReproduced) }
+
+// Reproduce runs LIFS on the machine's declared threads. The machine is
+// left in the failing state of the reproduced run.
+func Reproduce(m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
+	if opts.MaxInterleavings <= 0 {
+		opts.MaxInterleavings = DefaultMaxInterleavings
+	}
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = DefaultMaxSchedules
+	}
+
+	s := &searcher{
+		m:    m,
+		am:   sched.NewAccessMap(),
+		opts: opts,
+	}
+	for _, td := range m.Prog().Threads {
+		s.fallback = append(s.fallback, td.Name)
+	}
+	s.init = m.Snapshot()
+	start := time.Now()
+
+	// Iterative deepening: interleaving count 0, 1, 2, ... The paper runs
+	// the search twice when new conflicting instructions were discovered
+	// late (race-steered control flows can hide conflicts from shallow
+	// phases); a second round with a warm AccessMap covers them.
+	for round := 0; round < 2 && !s.found; round++ {
+		sitesBefore := len(s.am.Sites())
+		if opts.NoLeastFirst {
+			// Ablation: a warm-up pass at count 0 discovers the initial
+			// conflict set (the search cannot branch without it), then
+			// the full-depth search runs directly.
+			s.phase(0)
+			if !s.found {
+				s.phase(opts.MaxInterleavings)
+			}
+		} else {
+			for k := 0; k <= opts.MaxInterleavings && !s.found; k++ {
+				s.phase(k)
+			}
+		}
+		if s.found || len(s.am.Sites()) == sitesBefore {
+			break
+		}
+	}
+	s.stats.Elapsed = time.Since(start)
+
+	if !s.found {
+		m.Restore(s.init)
+		return nil, fmt.Errorf("%w after %d schedules (max %d interleavings)",
+			ErrNotReproduced, s.stats.Schedules, opts.MaxInterleavings)
+	}
+
+	// Replay the found trace through the enforcement engine to obtain the
+	// canonical failure-causing run (and to validate that the schedule
+	// reconstruction is deterministic).
+	schedule := sched.FromSeq(s.foundTrace, s.fallback)
+	m.Restore(s.init)
+	enf := sched.NewEnforcer(m)
+	res, err := enf.Run(schedule, s.runOpts())
+	if err != nil {
+		return nil, err
+	}
+	if !res.Failed() || !s.accept(res.Failure) {
+		return nil, fmt.Errorf("core: replay of the found schedule did not reproduce the failure (got %v)", res.Failure)
+	}
+	s.am.RecordRun(res)
+
+	races := sched.ExtractRaces(res)
+	if !opts.NoPhantom {
+		races = append(races, sched.PhantomRaces(res, s.am)...)
+	}
+
+	return &Reproduction{
+		Run:      res,
+		Schedule: schedule,
+		Races:    races,
+		Accesses: s.am,
+		Stats:    s.stats,
+		Leaves:   s.leaves,
+	}, nil
+}
+
+// searcher carries the state of one LIFS search.
+type searcher struct {
+	m        *kvm.Machine
+	am       *sched.AccessMap
+	opts     LIFSOptions
+	fallback []string
+	init     *kvm.Snapshot
+	stats    SearchStats
+
+	visited     map[visKey]bool
+	trace       []sched.Exec
+	phaseBudget int
+
+	found      bool
+	foundTrace []sched.Exec
+	leaves     []LeafTrace
+	exhausted  bool // MaxSchedules hit
+}
+
+type visKey struct {
+	sig    uint64
+	cur    kvm.ThreadID
+	budget int
+}
+
+func (s *searcher) runOpts() sched.Options {
+	return sched.Options{StepBudget: s.opts.StepBudget, LeakCheck: s.opts.LeakCheck}
+}
+
+func (s *searcher) stepBudget() int {
+	if s.opts.StepBudget > 0 {
+		return s.opts.StepBudget
+	}
+	return sched.DefaultStepBudget
+}
+
+// accept decides whether a failure is the one we are reproducing: the
+// kind and failing instruction must match the crash report when they are
+// constrained. (WantInstr zero is treated as unconstrained alongside
+// NoInstr so the zero-value options accept any location.)
+func (s *searcher) accept(f *sanitizer.Failure) bool {
+	if f == nil {
+		return false
+	}
+	if s.opts.WantInstr != kir.NoInstr && s.opts.WantInstr != 0 && f.Instr != s.opts.WantInstr {
+		return false
+	}
+	if s.opts.WantKind == sanitizer.KindNone {
+		return f.Kind != sanitizer.KindWatchdog
+	}
+	return f.Kind == s.opts.WantKind
+}
+
+// phase explores all schedules with at most k preemptions.
+func (s *searcher) phase(k int) {
+	s.phaseBudget = k
+	s.visited = make(map[visKey]bool)
+	// The initial thread choice is itself a decision: branch over every
+	// declared thread (spawned threads cannot exist yet).
+	for i := range s.fallback {
+		if s.found || s.exhausted {
+			return
+		}
+		s.m.Restore(s.init)
+		s.trace = s.trace[:0]
+		t := s.m.ThreadByName(s.fallback[i])
+		if t == nil {
+			continue
+		}
+		s.explore(t.ID, k, nil)
+	}
+}
+
+// viableThreads lists threads that can progress, in deterministic order.
+func (s *searcher) viableThreads() []kvm.ThreadID {
+	return s.m.Runnable()
+}
+
+// explore runs the machine from its current state with the given current
+// thread and preemption budget, branching at decision points. It returns
+// true when the target failure was found (the machine and trace are left
+// at the failing leaf).
+func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.ThreadID) bool {
+	for {
+		if s.found || s.exhausted {
+			return s.found
+		}
+		if s.m.Failure() != nil {
+			return s.leaf(budget)
+		}
+		if s.m.AllDone() {
+			if s.opts.LeakCheck {
+				s.m.CheckLeaks()
+			}
+			return s.leaf(budget)
+		}
+		if s.m.Deadlocked() {
+			s.injectDeadlock()
+			return s.leaf(budget)
+		}
+
+		// Return from a lock diversion as soon as the diverted-from thread
+		// can run again (mirrors the enforcement engine).
+		if n := len(returnStack); n > 0 {
+			t := s.m.Thread(returnStack[n-1])
+			if s.viable(t) {
+				cur = t.ID
+				returnStack = returnStack[:n-1]
+			} else if t == nil || t.State == kvm.Done || t.State == kvm.Crashed {
+				returnStack = returnStack[:n-1]
+				continue
+			}
+		}
+
+		curT := s.m.Thread(cur)
+		if !s.viable(curT) {
+			if curT != nil && curT.State == kvm.Blocked {
+				if owner, held := s.m.LockOwner(curT.WaitLock); held {
+					returnStack = append(returnStack, cur)
+					cur = owner
+					continue
+				}
+			}
+			// Natural switch: branch over every viable thread (free — the
+			// paper's interleaving count only counts preemptions of a
+			// running thread). No visited-state check here: the chosen
+			// child would immediately re-encounter the same machine state
+			// at its first conflict point, and the check there performs
+			// the deduplication.
+			choices := s.viableThreads()
+			if len(choices) == 0 {
+				s.injectDeadlock()
+				return s.leaf(budget)
+			}
+			if len(choices) == 1 {
+				cur = choices[0]
+				continue
+			}
+			snap := s.m.Snapshot()
+			tlen := len(s.trace)
+			for _, choice := range choices {
+				if s.explore(choice, budget, cloneStack(returnStack)) {
+					return true
+				}
+				if s.exhausted {
+					return false
+				}
+				s.m.Restore(snap)
+				s.trace = s.trace[:tlen]
+			}
+			return false
+		}
+
+		// Conflicting instructions are the scheduling decision points:
+		// equivalent machine states are pruned here (the DPOR-style skip —
+		// a path reaching a state another path already explored with the
+		// same remaining budget produces only equivalent sequences), and
+		// remaining preemption budget branches to every other viable
+		// thread.
+		if s.isConflictPoint(cur) {
+			if s.pruned(cur, budget) {
+				return false
+			}
+			if budget > 0 {
+				others := s.othersViable(cur)
+				snap := s.m.Snapshot()
+				tlen := len(s.trace)
+				for _, u := range others {
+					if s.explore(u, budget-1, cloneStack(returnStack)) {
+						return true
+					}
+					if s.exhausted {
+						return false
+					}
+					s.m.Restore(snap)
+					s.trace = s.trace[:tlen]
+				}
+				// Fall through: continue the current thread without
+				// preempting (budget unchanged).
+			}
+		}
+
+		ev, err := s.m.Step(cur)
+		if err != nil {
+			// Driving bug; surface as exhaustion rather than panic.
+			s.exhausted = true
+			return false
+		}
+		if !ev.Executed {
+			owner, held := s.m.LockOwner(curT.WaitLock)
+			if !held {
+				continue
+			}
+			returnStack = append(returnStack, cur)
+			cur = owner
+			continue
+		}
+		s.record(cur, curT, ev)
+		if len(s.trace) > s.stepBudget() {
+			s.m.InjectFailure(&sanitizer.Failure{
+				Kind:   sanitizer.KindWatchdog,
+				Thread: curT.Name,
+				Instr:  ev.Instr.ID,
+				Msg:    "step budget exceeded during search",
+			})
+			return s.leaf(budget)
+		}
+	}
+}
+
+// record appends an executed step to the trace and the access map.
+func (s *searcher) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) {
+	exec := sched.Exec{
+		Step:   len(s.trace),
+		Thread: cur,
+		Name:   curT.Name,
+		Instr:  ev.Instr,
+	}
+	site := sched.Site{Thread: curT.Name, Instr: ev.Instr.ID}
+	for _, a := range ev.Accesses {
+		exec.Accesses = append(exec.Accesses, sched.AccessRec{Addr: a.Addr, Write: a.Write})
+		s.am.Record(site, a.Addr, a.Write)
+	}
+	if len(curT.Locks) > 0 {
+		exec.Lockset = append([]uint64(nil), curT.Locks...)
+	}
+	if ev.Spawned != kvm.NoThread {
+		exec.Spawned = s.m.Thread(ev.Spawned).Name
+	}
+	s.trace = append(s.trace, exec)
+}
+
+// leaf finishes one complete run.
+func (s *searcher) leaf(budgetLeft int) bool {
+	s.stats.Schedules++
+	if s.stats.Schedules >= s.opts.MaxSchedules {
+		s.exhausted = true
+	}
+	f := s.m.Failure()
+	if s.opts.RecordLeaves {
+		lt := LeafTrace{Failed: f != nil}
+		for _, e := range s.trace {
+			if e.Instr.Label != "" {
+				lt.Labels = append(lt.Labels, e.Instr.Label)
+			}
+		}
+		s.leaves = append(s.leaves, lt)
+	}
+	if s.accept(f) {
+		s.found = true
+		s.foundTrace = append([]sched.Exec(nil), s.trace...)
+		// The interleaving count is the preemption budget the search
+		// actually consumed on this path — exactly the paper's notion
+		// (natural switches at thread completion and involuntary lock
+		// diversions are free).
+		s.stats.Interleavings = s.phaseBudget - budgetLeft
+		return true
+	}
+	return false
+}
+
+func (s *searcher) viable(t *kvm.Thread) bool {
+	if t == nil {
+		return false
+	}
+	switch t.State {
+	case kvm.Runnable:
+		return true
+	case kvm.Blocked:
+		_, held := s.m.LockOwner(t.WaitLock)
+		return !held
+	default:
+		return false
+	}
+}
+
+func (s *searcher) othersViable(cur kvm.ThreadID) []kvm.ThreadID {
+	var out []kvm.ThreadID
+	for _, tid := range s.viableThreads() {
+		if tid != cur {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// isConflictPoint reports whether the thread's next instruction performs an
+// access known (from any previous run) to conflict with an access of a
+// different thread — the scheduling decision points of LIFS.
+func (s *searcher) isConflictPoint(cur kvm.ThreadID) bool {
+	accs := s.m.PeekAccesses(cur)
+	if len(accs) == 0 {
+		return false
+	}
+	name := s.m.Thread(cur).Name
+	for _, a := range accs {
+		if s.am.ConflictsAt(name, a.Addr, a.Write) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruned consults and updates the visited-state set.
+func (s *searcher) pruned(cur kvm.ThreadID, budget int) bool {
+	if s.opts.NoPruning {
+		return false
+	}
+	key := visKey{sig: s.m.StateSignature(), cur: cur, budget: budget}
+	if s.visited[key] {
+		s.stats.Pruned++
+		return true
+	}
+	s.visited[key] = true
+	return false
+}
+
+// injectDeadlock mirrors the enforcement engine's deadlock failure.
+func (s *searcher) injectDeadlock() {
+	for i := 0; i < s.m.NumThreads(); i++ {
+		t := s.m.Thread(kvm.ThreadID(i))
+		if t.State == kvm.Blocked {
+			in, _ := s.m.NextInstr(t.ID)
+			s.m.InjectFailure(&sanitizer.Failure{
+				Kind:   sanitizer.KindDeadlock,
+				Thread: t.Name,
+				Instr:  in.ID,
+				Addr:   t.WaitLock,
+				Msg:    "all unfinished threads are blocked",
+			})
+			return
+		}
+	}
+	s.m.InjectFailure(&sanitizer.Failure{Kind: sanitizer.KindDeadlock, Instr: kir.NoInstr, Msg: "no runnable thread"})
+}
+
+func cloneStack(st []kvm.ThreadID) []kvm.ThreadID {
+	if len(st) == 0 {
+		return nil
+	}
+	return append([]kvm.ThreadID(nil), st...)
+}

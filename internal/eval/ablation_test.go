@@ -1,0 +1,26 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblations asserts that every design-choice ablation demonstrates
+// its intended effect on the chosen scenario: pruning shrinks the search,
+// least-interleaving-first minimizes the reproduction, phantom races
+// extend the chain, and critical-section units keep flips realizable.
+func TestAblations(t *testing.T) {
+	rows, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablations = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Verdict, "UNEXPECTED") || strings.Contains(r.Verdict, "no observable difference") {
+			t.Errorf("%s on %s: %s (with: %s, without: %s)",
+				r.Mechanism, r.Scenario, r.Verdict, r.With, r.Without)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package finding serializes a bug finder's output — the program under
+// test, the timestamped execution trace and the crash information — into
+// a self-contained JSON file, and loads it back for diagnosis. This
+// decouples the fuzzing and diagnosis stages the way the real AITIA is
+// decoupled from Syzkaller: the finder runs somewhere, drops findings,
+// and diagnosers pick them up (§4.1).
+package finding
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"aitia/internal/fuzz"
+	"aitia/internal/history"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// File is the serialized form of one finding.
+type File struct {
+	// Program is the kasm source of the program under test; instruction
+	// identities in Crash refer to it.
+	Program string `json:"program"`
+	// Seed and Runs document the fuzzing campaign.
+	Seed int64 `json:"seed"`
+	Runs int   `json:"runs"`
+	// Crash is the failure information.
+	Crash Crash `json:"crash"`
+	// Events is the execution history (the ftrace analogue).
+	Events []Event `json:"events"`
+	// FDs maps syscall threads to file descriptors (for slicing closure).
+	FDs map[string]int `json:"fds,omitempty"`
+}
+
+// Crash is the serialized failure information.
+type Crash struct {
+	Kind   string `json:"kind"`
+	Thread string `json:"thread"`
+	Instr  int32  `json:"instr"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// Event is one serialized trace entry.
+type Event struct {
+	TS     uint64 `json:"ts"`
+	Kind   string `json:"kind"`
+	Thread string `json:"thread"`
+	Source string `json:"source,omitempty"`
+	FD     int    `json:"fd,omitempty"`
+}
+
+var eventKinds = map[string]history.EventKind{
+	history.SyscallEnter.String(): history.SyscallEnter,
+	history.SyscallExit.String():  history.SyscallExit,
+	history.ThreadInvoke.String(): history.ThreadInvoke,
+	history.CrashEvent.String():   history.CrashEvent,
+}
+
+// FromFinding builds the serializable form from a fuzzer finding.
+func FromFinding(prog *kir.Program, f *fuzz.Finding) *File {
+	out := &File{
+		Program: kasm.Disassemble(prog),
+		Seed:    f.Seed,
+		Runs:    f.Runs,
+		Crash: Crash{
+			Kind:   f.Failure.Kind.String(),
+			Thread: f.Failure.Thread,
+			Instr:  int32(f.Failure.Instr),
+			Addr:   f.Failure.Addr,
+			Msg:    f.Failure.Msg,
+		},
+		FDs: f.Trace.FDs,
+	}
+	for _, e := range f.Trace.Events {
+		out.Events = append(out.Events, Event{
+			TS: e.TS, Kind: e.Kind.String(), Thread: e.Thread, Source: e.Source, FD: e.FD,
+		})
+	}
+	return out
+}
+
+// Save writes the finding to path.
+func Save(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("finding: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a finding file and reconstructs the program and trace.
+func Load(path string) (*kir.Program, *history.Trace, *File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, nil, fmt.Errorf("finding: parse %s: %w", path, err)
+	}
+	prog, tr, err := f.Restore()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("finding: %s: %w", path, err)
+	}
+	return prog, tr, &f, nil
+}
+
+// Restore reconstructs the program and trace from the serialized form.
+func (f *File) Restore() (*kir.Program, *history.Trace, error) {
+	prog, err := kasm.Parse(f.Program)
+	if err != nil {
+		return nil, nil, fmt.Errorf("embedded program: %w", err)
+	}
+	kind, ok := sanitizer.KindByName(f.Crash.Kind)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown failure kind %q", f.Crash.Kind)
+	}
+	if f.Crash.Instr >= 0 {
+		if _, ok := prog.Instr(kir.InstrID(f.Crash.Instr)); !ok {
+			return nil, nil, fmt.Errorf("crash instruction %d not in program", f.Crash.Instr)
+		}
+	}
+	tr := &history.Trace{
+		Crash: &sanitizer.Failure{
+			Kind:   kind,
+			Thread: f.Crash.Thread,
+			Instr:  kir.InstrID(f.Crash.Instr),
+			Addr:   f.Crash.Addr,
+			Msg:    f.Crash.Msg,
+		},
+		FDs: f.FDs,
+	}
+	for i, e := range f.Events {
+		k, ok := eventKinds[e.Kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("event %d: unknown kind %q", i, e.Kind)
+		}
+		tr.Events = append(tr.Events, history.Event{
+			TS: e.TS, Kind: k, Thread: e.Thread, Source: e.Source, FD: e.FD,
+		})
+	}
+	return prog, tr, nil
+}

@@ -1,0 +1,80 @@
+package finding
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aitia/internal/fuzz"
+	"aitia/internal/manager"
+	"aitia/internal/scenarios"
+)
+
+// TestSaveLoadDiagnoseRoundTrip: fuzz a scenario, save the finding to
+// disk, load it back, and diagnose from the loaded artifact alone —
+// the decoupled bug-finder/diagnoser workflow.
+func TestSaveLoadDiagnoseRoundTrip(t *testing.T) {
+	sc, _ := scenarios.ByName("syz04-kvm-irqfd")
+	prog := sc.MustProgram()
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnd, err := fz.Campaign()
+	if err != nil || fnd == nil {
+		t.Fatalf("fuzzing: %v, %v", fnd, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "finding.json")
+	if err := Save(path, FromFinding(prog, fnd)); err != nil {
+		t.Fatal(err)
+	}
+
+	loadedProg, tr, file, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Crash.Kind != fnd.Failure.Kind.String() {
+		t.Errorf("crash kind = %q", file.Crash.Kind)
+	}
+	if tr.Crash == nil || tr.Crash.Kind != fnd.Failure.Kind {
+		t.Errorf("trace crash = %v", tr.Crash)
+	}
+	if len(tr.Events) != len(fnd.Trace.Events) {
+		t.Errorf("events = %d, want %d", len(tr.Events), len(fnd.Trace.Events))
+	}
+
+	// Diagnose purely from the loaded artifact.
+	mgr, err := manager.New(loadedProg, manager.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.DiagnoseTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "A1 => B1 → K1 => A2 → KASAN: use-after-free"
+	if got := res.Diagnosis.Chain.Format(loadedProg); got != want {
+		t.Errorf("chain from loaded finding = %q, want %q", got, want)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := File{Program: "not a program", Crash: Crash{Kind: "kernel BUG (BUG_ON)"}}
+	if _, _, err := bad.Restore(); err == nil {
+		t.Error("bad embedded program should fail")
+	}
+	bad2 := File{Program: "global g = 1\nthread T f\nfunc f\nret\nend\n", Crash: Crash{Kind: "nonsense"}}
+	if _, _, err := bad2.Restore(); err == nil {
+		t.Error("unknown failure kind should fail")
+	}
+	bad3 := File{
+		Program: "global g = 1\nthread T f\nfunc f\nret\nend\n",
+		Crash:   Crash{Kind: "kernel BUG (BUG_ON)", Instr: 999},
+	}
+	if _, _, err := bad3.Restore(); err == nil {
+		t.Error("out-of-range crash instruction should fail")
+	}
+}

@@ -1,0 +1,223 @@
+// Package fuzz implements the bug-finding side of the pipeline: a
+// Syzkaller/SKI-style randomized schedule fuzzer that executes a kernel
+// program under random thread interleavings until a failure manifests,
+// then emits exactly what AITIA consumes as input (§4.1): a timestamped
+// execution trace (the ftrace analogue) and the failure information (the
+// crash report).
+//
+// The fuzzer is deliberately unsophisticated — its role in the paper's
+// evaluation is to *find* failures, not to explain them; AITIA's LIFS and
+// Causality Analysis do the explaining.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aitia/internal/history"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/sched"
+)
+
+// Options configure a fuzzing campaign.
+type Options struct {
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// MaxRuns bounds the campaign (default DefaultMaxRuns).
+	MaxRuns int
+	// PreemptProb is the per-step probability of switching to a random
+	// runnable thread (default 0.15).
+	PreemptProb float64
+	// StepBudget is the per-run watchdog limit.
+	StepBudget int
+	// LeakCheck enables the end-of-run memory-leak oracle.
+	LeakCheck bool
+	// FDs assigns file descriptors to syscall threads for the trace.
+	FDs map[string]int
+	// WantKind restricts Campaign to failures of this kind (KindNone
+	// accepts any failure); WantInstr further restricts the failing
+	// instruction. Non-matching failing runs are skipped, not returned —
+	// used when comparing reproduction cost against LIFS for a specific
+	// crash report.
+	WantKind  sanitizer.Kind
+	WantInstr kir.InstrID
+}
+
+// DefaultMaxRuns bounds campaigns when Options.MaxRuns is zero.
+const DefaultMaxRuns = 10000
+
+// Finding is one discovered failure with everything AITIA needs.
+type Finding struct {
+	Failure *sanitizer.Failure
+	Trace   *history.Trace
+	Report  string // rendered crash report
+	Run     *sched.RunResult
+	Runs    int   // runs executed until the failure surfaced
+	Seed    int64 // seed that reproduces the campaign
+}
+
+// Fuzzer drives random-schedule campaigns over one program.
+type Fuzzer struct {
+	prog *kir.Program
+	opts Options
+	rng  *rand.Rand
+}
+
+// New creates a fuzzer for a finalized program.
+func New(prog *kir.Program, opts Options) (*Fuzzer, error) {
+	if !prog.Finalized() {
+		return nil, fmt.Errorf("fuzz: program not finalized")
+	}
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = DefaultMaxRuns
+	}
+	if opts.PreemptProb <= 0 || opts.PreemptProb >= 1 {
+		opts.PreemptProb = 0.15
+	}
+	if opts.StepBudget <= 0 {
+		opts.StepBudget = sched.DefaultStepBudget
+	}
+	return &Fuzzer{prog: prog, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}, nil
+}
+
+// Campaign runs random schedules until a failure is found or MaxRuns is
+// exhausted (in which case it returns nil, nil).
+func (f *Fuzzer) Campaign() (*Finding, error) {
+	m, err := kvm.New(f.prog)
+	if err != nil {
+		return nil, err
+	}
+	init := m.Snapshot()
+	for run := 1; run <= f.opts.MaxRuns; run++ {
+		m.Restore(init)
+		res, err := f.randomRun(m)
+		if err != nil {
+			return nil, err
+		}
+		if res.Failure != nil && !f.accepts(res.Failure) {
+			continue
+		}
+		if res.Failure != nil {
+			return &Finding{
+				Failure: res.Failure,
+				Trace:   history.FromRun(res, f.opts.FDs),
+				Report:  res.Failure.Report(f.prog),
+				Run:     res,
+				Runs:    run,
+				Seed:    f.opts.Seed,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// CollectRuns executes n random-schedule runs and returns all of them,
+// failing and passing alike — the execution corpus that statistical
+// baselines (cooperative bug localization, MUVI) learn from.
+func (f *Fuzzer) CollectRuns(n int) ([]*sched.RunResult, error) {
+	m, err := kvm.New(f.prog)
+	if err != nil {
+		return nil, err
+	}
+	init := m.Snapshot()
+	out := make([]*sched.RunResult, 0, n)
+	for i := 0; i < n; i++ {
+		m.Restore(init)
+		res, err := f.randomRun(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// accepts mirrors LIFS's crash-report matching.
+func (f *Fuzzer) accepts(fail *sanitizer.Failure) bool {
+	if f.opts.WantInstr != kir.NoInstr && f.opts.WantInstr != 0 && fail.Instr != f.opts.WantInstr {
+		return false
+	}
+	return f.opts.WantKind == sanitizer.KindNone || fail.Kind == f.opts.WantKind
+}
+
+// randomRun executes one run under a random schedule: at every step,
+// with probability PreemptProb, control moves to a uniformly random
+// runnable thread.
+func (f *Fuzzer) randomRun(m *kvm.Machine) (*sched.RunResult, error) {
+	res := &sched.RunResult{Threads: make(map[string]kvm.ThreadState)}
+	cur := kvm.NoThread
+	for steps := 0; ; steps++ {
+		if m.Failure() != nil {
+			break
+		}
+		if m.AllDone() {
+			if f.opts.LeakCheck {
+				m.CheckLeaks()
+			}
+			break
+		}
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			// Deadlock: surface it like the enforcement engine would.
+			m.InjectFailure(&sanitizer.Failure{
+				Kind: sanitizer.KindDeadlock, Instr: kir.NoInstr,
+				Msg: "no runnable thread under fuzzed schedule",
+			})
+			break
+		}
+		if steps > f.opts.StepBudget {
+			t := m.Thread(cur)
+			name := ""
+			if t != nil {
+				name = t.Name
+			}
+			m.InjectFailure(&sanitizer.Failure{
+				Kind: sanitizer.KindWatchdog, Thread: name, Instr: kir.NoInstr,
+				Msg: "step budget exceeded under fuzzed schedule",
+			})
+			break
+		}
+
+		if !contains(runnable, cur) || f.rng.Float64() < f.opts.PreemptProb {
+			cur = runnable[f.rng.Intn(len(runnable))]
+		}
+		ev, err := m.Step(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !ev.Executed {
+			// Blocked: try someone else next iteration.
+			cur = kvm.NoThread
+			continue
+		}
+		t := m.Thread(cur)
+		exec := sched.Exec{Step: len(res.Seq), Thread: cur, Name: t.Name, Instr: ev.Instr}
+		for _, a := range ev.Accesses {
+			exec.Accesses = append(exec.Accesses, sched.AccessRec{Addr: a.Addr, Write: a.Write})
+		}
+		if len(t.Locks) > 0 {
+			exec.Lockset = append([]uint64(nil), t.Locks...)
+		}
+		if ev.Spawned != kvm.NoThread {
+			exec.Spawned = m.Thread(ev.Spawned).Name
+		}
+		res.Seq = append(res.Seq, exec)
+	}
+	res.Failure = m.Failure()
+	for i := 0; i < m.NumThreads(); i++ {
+		t := m.Thread(kvm.ThreadID(i))
+		res.Threads[t.Name] = t.State
+	}
+	return res, nil
+}
+
+func contains(ids []kvm.ThreadID, id kvm.ThreadID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

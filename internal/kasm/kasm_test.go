@@ -1,0 +1,271 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aitia/internal/core"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+const sample = `
+; a small racy program
+global flag = 1
+global buf[4] = 1, 2
+ptr    p -> buf
+heap   obj[2] = 7
+
+thread A main_a
+thread B helper arg=3
+
+func main_a
+@A1     load r1, [flag]
+        beq r1, 0, out
+@A2     store [buf+1], 5
+        call helper
+        lock [flag]
+        unlock [flag]
+        ref_get r2, [flag]
+        ref_put r2, [flag]
+        alloc r3, 2
+        store [r3+1], 9
+        free r3
+        queue_work helper, r3
+        call_rcu helper
+        yield
+        nop
+out:
+        ret
+end
+
+func helper
+@H1     list_add [buf], 9
+        list_has r4, [buf], 9
+        bug_on 0
+        list_del [buf], 9
+        mov r5, -2
+        add r5, 1
+        sub r5, r5
+        and r5, 0xf
+        or r5, 2
+        xor r5, 1
+        bge r5, 100, done
+        blt r5, -100, done
+        jmp done
+done:
+        exit
+end
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Funcs) != 2 || len(prog.Threads) != 2 {
+		t.Fatalf("funcs=%d threads=%d", len(prog.Funcs), len(prog.Threads))
+	}
+	if prog.Threads[1].Arg != 3 {
+		t.Errorf("thread B arg = %d", prog.Threads[1].Arg)
+	}
+	a1, ok := prog.ByLabel("A1")
+	if !ok || a1.Op != kir.OpLoad {
+		t.Errorf("A1 = %v, %v", a1.Op, ok)
+	}
+	g, ok := prog.Global("buf")
+	if !ok || g.Size != 4 || len(g.Init) != 2 {
+		t.Errorf("buf = %+v", g)
+	}
+	h, _ := prog.Global("obj")
+	if h.HeapSize != 2 {
+		t.Errorf("obj heap size = %d", h.HeapSize)
+	}
+	p, _ := prog.Global("p")
+	if p.AddrOf[0] != "buf" {
+		t.Errorf("p addrof = %v", p.AddrOf)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bogus", `unexpected "bogus"`},
+		{"func f\nwat r1\nend", "unknown mnemonic"},
+		{"func f\nload r1\nend", "wants 2 operand"},
+		{"func f\nload 5, [g]\nend", "want register"},
+		{"func f\nload r1, [g\nend", "malformed address"},
+		{"func f\nret", "unterminated func"},
+		{"thread a", "thread wants"},
+		{"ptr a b", "ptr wants"},
+		{"global = 3", "missing variable name"},
+		{"func f\n@X\nend", "no instruction"},
+		{"global x[z]", "bad size"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+	// Errors carry line numbers.
+	_, err := Parse("global g = 1\n\nfunc f\nbroken here\nend")
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 4 {
+		t.Errorf("err = %v, want ParseError at line 4", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	prog, err := Parse("; leading comment\nglobal g = 1 ; trailing\n\nfunc f\n  ret ; done\nend\nthread T f\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Funcs["f"].Instrs) != 1 {
+		t.Errorf("instrs = %d", len(prog.Funcs["f"].Instrs))
+	}
+}
+
+// TestRoundTrip: Disassemble(Parse(src)) parses back into a program with
+// identical instruction streams, globals and threads.
+func TestRoundTrip(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := Disassemble(prog)
+	prog2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, src2)
+	}
+	assertSameProgram(t, prog, prog2)
+}
+
+// TestScenarioRoundTrip: every corpus scenario survives a
+// disassemble/parse round trip — a strong property over real content.
+func TestScenarioRoundTrip(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			prog := sc.MustProgram()
+			src := Disassemble(prog)
+			prog2, err := Parse(src)
+			if err != nil {
+				t.Fatalf("reparse: %v\nsource:\n%s", err, src)
+			}
+			assertSameProgram(t, prog, prog2)
+		})
+	}
+}
+
+// TestRoundTripDiagnosis: a disassembled-and-reparsed scenario diagnoses
+// to the identical causality chain (regression test for the exported
+// corpus workflow).
+func TestRoundTripDiagnosis(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	prog2, err := Parse(Disassemble(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diagnose := func(p *kir.Program) string {
+		m, err := kvm.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Chain.Format(p)
+	}
+	if c1, c2 := diagnose(prog), diagnose(prog2); c1 != c2 {
+		t.Errorf("chains differ after round trip:\n%q\n%q", c1, c2)
+	}
+}
+
+func assertSameProgram(t *testing.T, a, b *kir.Program) {
+	t.Helper()
+	if a.NumInstrs() != b.NumInstrs() {
+		t.Fatalf("instr count %d vs %d", a.NumInstrs(), b.NumInstrs())
+	}
+	for id := kir.InstrID(0); int(id) < a.NumInstrs(); id++ {
+		ia := a.MustInstr(id)
+		ib := b.MustInstr(id)
+		if ia.String() != ib.String() || ia.Label != ib.Label || ia.Fn != ib.Fn {
+			t.Fatalf("instr %d: %q(%s) vs %q(%s)", id, ia.String(), ia.Label, ib.String(), ib.Label)
+		}
+	}
+	if len(a.Globals) != len(b.Globals) {
+		t.Fatalf("globals %d vs %d", len(a.Globals), len(b.Globals))
+	}
+	for i := range a.Globals {
+		ga, gb := a.Globals[i], b.Globals[i]
+		if ga.Name != gb.Name || ga.Size != gb.Size || ga.HeapSize != gb.HeapSize {
+			t.Fatalf("global %d: %+v vs %+v", i, ga, gb)
+		}
+	}
+	if len(a.Threads) != len(b.Threads) {
+		t.Fatalf("threads %d vs %d", len(a.Threads), len(b.Threads))
+	}
+	for i := range a.Threads {
+		if a.Threads[i] != b.Threads[i] {
+			t.Fatalf("thread %d: %+v vs %+v", i, a.Threads[i], b.Threads[i])
+		}
+	}
+}
+
+// TestRoundTripBehaviour: the reparsed program behaves identically — same
+// state signature after the same schedule (property over random operand
+// values).
+func TestRoundTripBehaviour(t *testing.T) {
+	f := func(x, y int8) bool {
+		src := "global g = " + itoa(int64(x)) + "\nthread T f\nfunc f\nload r1, [g]\nadd r1, " +
+			itoa(int64(y)) + "\nstore [g], r1\nret\nend\n"
+		p1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		p2, err := Parse(Disassemble(p1))
+		if err != nil {
+			return false
+		}
+		m1, err := kvm.New(p1)
+		if err != nil {
+			return false
+		}
+		m2, err := kvm.New(p2)
+		if err != nil {
+			return false
+		}
+		for m1.Failure() == nil && !m1.AllDone() {
+			if _, err := m1.Step(0); err != nil {
+				return false
+			}
+			if _, err := m2.Step(0); err != nil {
+				return false
+			}
+		}
+		return m1.StateSignature() == m2.StateSignature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}

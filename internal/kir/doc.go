@@ -1,0 +1,22 @@
+// Package kir defines the kernel intermediate representation (IR) used by
+// the AITIA reproduction as a stand-in for kernel machine code.
+//
+// The IR is a small, word-addressed, register-based instruction set that is
+// just expressive enough to model the shared-memory behaviour of kernel
+// concurrency bugs: plain loads and stores to global and heap memory,
+// race-steerable control flow (branches on loaded values), function calls,
+// mutex-protected critical sections, heap allocation and freeing (for
+// use-after-free and out-of-bounds failures), linked-list intrinsics,
+// reference-count operations, BUG_ON assertions, and asynchronous kernel
+// thread invocation (queue_work and call_rcu).
+//
+// A Program is a set of functions plus global variable definitions and
+// thread definitions (system calls and kernel background threads). Every
+// instruction has a stable static identity (InstrID) assigned when the
+// program is finalized; schedules, data races and causality chains are all
+// expressed over static instruction identities, mirroring how the real
+// AITIA uses kernel instruction addresses for breakpoints and watchpoints.
+//
+// Programs are constructed either with the fluent Builder in this package
+// or assembled from text with package kasm.
+package kir

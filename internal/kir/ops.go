@@ -1,0 +1,169 @@
+package kir
+
+import "fmt"
+
+// Op identifies an IR operation.
+type Op uint8
+
+// The complete instruction set. See the package documentation for the role
+// of each group.
+const (
+	// OpNop does nothing. It still has a static identity and can carry a
+	// label, which makes it useful as an observable program point.
+	OpNop Op = iota
+
+	// Data movement and arithmetic (registers and immediates only; these
+	// never touch shared memory).
+	OpMov // Dst <- A
+	OpAdd // Dst <- Dst + A
+	OpSub // Dst <- Dst - A
+	OpAnd // Dst <- Dst & A
+	OpOr  // Dst <- Dst | A
+	OpXor // Dst <- Dst ^ A
+
+	// Shared-memory accesses.
+	OpLoad  // Dst <- mem[addr(A)]
+	OpStore // mem[addr(A)] <- value(B)
+
+	// Control flow. Branches compare value(A) with value(B) and jump to
+	// Target on success.
+	OpBeq // branch if A == B
+	OpBne // branch if A != B
+	OpBlt // branch if A < B (signed)
+	OpBge // branch if A >= B (signed)
+	OpJmp // unconditional branch to Target
+
+	OpCall // call function Target (shared register file, like a kernel stack)
+	OpRet  // return from current function; returning from the entry ends the thread
+
+	// Synchronization. The lock identity is the address of operand A.
+	OpLock   // acquire; blocks while another thread holds it
+	OpUnlock // release
+
+	// Heap management (KASAN-style checking lives in package mem).
+	OpAlloc // Dst <- address of a new object of Size words
+	OpFree  // free the object whose base address is value(A)
+
+	// Assertion: fail the kernel with a BUG if value(A) != 0.
+	OpBugOn
+
+	// Linked-list intrinsics. The list identity is the address of operand
+	// A; each intrinsic performs exactly one shared-memory access to that
+	// address (adds and deletes are writes, membership tests are reads).
+	OpListAdd // add value(B) to list at addr(A)
+	OpListDel // delete value(B) from list at addr(A); no-op if absent
+	OpListHas // Dst <- 1 if value(B) is in list at addr(A), else 0
+
+	// Atomic reference counting: a single read-modify-write access.
+	OpRefGet // mem[addr(A)] += 1; Dst <- new value
+	OpRefPut // mem[addr(A)] -= 1; Dst <- new value
+
+	// Asynchronous kernel threads. Both spawn a new thread running
+	// function Target with register r0 set to value(A) (pass Imm(0) when
+	// no argument is needed). OpQueueWork models queue_work() creating a
+	// kworker; OpCallRCU models call_rcu() registering a softirq callback.
+	OpQueueWork
+	OpCallRCU
+
+	// OpYield models cond_resched(): an explicit scheduling point with no
+	// memory effect.
+	OpYield
+
+	// OpExit ends the thread immediately.
+	OpExit
+
+	opCount // sentinel; keep last
+)
+
+// opInfo describes static properties of an opcode.
+type opInfo struct {
+	name     string
+	memRead  bool // performs a shared-memory read
+	memWrite bool // performs a shared-memory write
+	branch   bool // uses Target as a branch label
+	call     bool // uses Target as a function name
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:       {name: "nop"},
+	OpMov:       {name: "mov"},
+	OpAdd:       {name: "add"},
+	OpSub:       {name: "sub"},
+	OpAnd:       {name: "and"},
+	OpOr:        {name: "or"},
+	OpXor:       {name: "xor"},
+	OpLoad:      {name: "load", memRead: true},
+	OpStore:     {name: "store", memWrite: true},
+	OpBeq:       {name: "beq", branch: true},
+	OpBne:       {name: "bne", branch: true},
+	OpBlt:       {name: "blt", branch: true},
+	OpBge:       {name: "bge", branch: true},
+	OpJmp:       {name: "jmp", branch: true},
+	OpCall:      {name: "call", call: true},
+	OpRet:       {name: "ret"},
+	OpLock:      {name: "lock"},
+	OpUnlock:    {name: "unlock"},
+	OpAlloc:     {name: "alloc"},
+	OpFree:      {name: "free", memWrite: true},
+	OpBugOn:     {name: "bug_on"},
+	OpListAdd:   {name: "list_add", memWrite: true},
+	OpListDel:   {name: "list_del", memWrite: true},
+	OpListHas:   {name: "list_has", memRead: true},
+	OpRefGet:    {name: "ref_get", memRead: true, memWrite: true},
+	OpRefPut:    {name: "ref_put", memRead: true, memWrite: true},
+	OpQueueWork: {name: "queue_work", call: true},
+	OpCallRCU:   {name: "call_rcu", call: true},
+	OpYield:     {name: "yield"},
+	OpExit:      {name: "exit"},
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount && opTable[o].name != "" }
+
+// AccessesMemory reports whether the opcode performs a shared-memory access
+// that participates in data-race detection. OpAlloc initializes fresh,
+// thread-private memory and is excluded; OpFree is a write (it conflicts
+// with every access to the object, which is how use-after-free races are
+// detected).
+func (o Op) AccessesMemory() bool {
+	return o.Valid() && (opTable[o].memRead || opTable[o].memWrite)
+}
+
+// WritesMemory reports whether the opcode's shared-memory access is a store
+// (or read-modify-write).
+func (o Op) WritesMemory() bool { return o.Valid() && opTable[o].memWrite }
+
+// ReadsMemory reports whether the opcode's shared-memory access includes a
+// read.
+func (o Op) ReadsMemory() bool { return o.Valid() && opTable[o].memRead }
+
+// IsBranch reports whether the opcode uses Target as a branch label.
+func (o Op) IsBranch() bool { return o.Valid() && opTable[o].branch }
+
+// UsesFunc reports whether the opcode uses Target as a function name.
+func (o Op) UsesFunc() bool { return o.Valid() && opTable[o].call }
+
+// opByName maps assembler mnemonics back to opcodes (used by kasm).
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op := Op(0); op < opCount; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()
+
+// OpByName returns the opcode for an assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

@@ -1,0 +1,131 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstrValidationMatrix exercises the operand-shape rules of every
+// opcode: each malformed instruction must be rejected at Finalize with a
+// message naming the problem.
+func TestInstrValidationMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instr
+		want string // "" means valid
+	}{
+		{"nop ok", Instr{Op: OpNop}, ""},
+		{"yield ok", Instr{Op: OpYield}, ""},
+		{"ret ok", Instr{Op: OpRet}, ""},
+		{"exit ok", Instr{Op: OpExit}, ""},
+
+		{"mov ok", Instr{Op: OpMov, Dst: R1, A: Imm(5)}, ""},
+		{"mov addr operand", Instr{Op: OpMov, Dst: R1, A: G("g")}, "must be a value"},
+		{"add reg ok", Instr{Op: OpAdd, Dst: R1, A: R(R2)}, ""},
+		{"xor no operand", Instr{Op: OpXor, Dst: R1}, "must be a value"},
+
+		{"load ok", Instr{Op: OpLoad, Dst: R1, A: G("g")}, ""},
+		{"load imm", Instr{Op: OpLoad, Dst: R1, A: Imm(1)}, "must be an address"},
+		{"store ok", Instr{Op: OpStore, A: Ind(R1, 2), B: Imm(1)}, ""},
+		{"store no value", Instr{Op: OpStore, A: G("g")}, "must be a value"},
+		{"store addr value", Instr{Op: OpStore, A: G("g"), B: G("g")}, "must be a value"},
+
+		{"beq ok", Instr{Op: OpBeq, A: R(R1), B: Imm(0), Target: "l"}, ""},
+		{"beq no target", Instr{Op: OpBeq, A: R(R1), B: Imm(0)}, "needs a target"},
+		{"bne addr operand", Instr{Op: OpBne, A: G("g"), B: Imm(0), Target: "l"}, "must be values"},
+		{"jmp ok", Instr{Op: OpJmp, Target: "l"}, ""},
+		{"jmp no target", Instr{Op: OpJmp}, "needs a target"},
+
+		{"call ok", Instr{Op: OpCall, Target: "f"}, ""},
+		{"call no target", Instr{Op: OpCall}, "needs a function"},
+		{"queue_work ok", Instr{Op: OpQueueWork, Target: "f", A: Imm(0)}, ""},
+		{"queue_work addr arg", Instr{Op: OpQueueWork, Target: "f", A: G("g")}, "must be a value"},
+		{"call_rcu ok no arg", Instr{Op: OpCallRCU, Target: "f"}, ""},
+
+		{"lock ok", Instr{Op: OpLock, A: G("g")}, ""},
+		{"lock value", Instr{Op: OpLock, A: Imm(1)}, "must be an address"},
+		{"unlock ok", Instr{Op: OpUnlock, A: G("g")}, ""},
+		{"ref_get imm", Instr{Op: OpRefGet, Dst: R1, A: Imm(7)}, "must be an address"},
+		{"ref_put ok", Instr{Op: OpRefPut, Dst: R1, A: GOff("g", 0)}, ""},
+
+		{"alloc ok", Instr{Op: OpAlloc, Dst: R1, Size: 2}, ""},
+		{"alloc zero", Instr{Op: OpAlloc, Dst: R1}, "must be positive"},
+		{"alloc negative", Instr{Op: OpAlloc, Dst: R1, Size: -1}, "must be positive"},
+		{"free ok", Instr{Op: OpFree, A: R(R1)}, ""},
+		{"free addr", Instr{Op: OpFree, A: G("g")}, "must be a value"},
+		{"bug_on ok", Instr{Op: OpBugOn, A: Imm(0)}, ""},
+		{"bug_on addr", Instr{Op: OpBugOn, A: G("g")}, "must be a value"},
+
+		{"list_add ok", Instr{Op: OpListAdd, A: G("g"), B: Imm(1)}, ""},
+		{"list_add value addr", Instr{Op: OpListAdd, A: Imm(0), B: Imm(1)}, "must be the list address"},
+		{"list_del no value", Instr{Op: OpListDel, A: G("g")}, "must be a value"},
+		{"list_has ok", Instr{Op: OpListHas, Dst: R1, A: G("g"), B: R(R2)}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			b.Var("g", 0)
+			f := b.Func("f")
+			f.At("l")
+			fn := b.prog.Funcs["f"]
+			fn.Instrs = append(fn.Instrs, tc.in)
+			f.Ret()
+			b.Thread("t", "f")
+			_, err := b.Build()
+			if tc.want == "" {
+				if err != nil {
+					t.Errorf("valid instruction rejected: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestInstrStringCoversEveryOpcode: every opcode renders something
+// assembler-shaped (and thereby keeps the disassembler total).
+func TestInstrStringCoversEveryOpcode(t *testing.T) {
+	samples := []Instr{
+		{Op: OpNop}, {Op: OpYield}, {Op: OpRet}, {Op: OpExit},
+		{Op: OpMov, Dst: R1, A: Imm(5)},
+		{Op: OpAdd, Dst: R1, A: R(R2)},
+		{Op: OpSub, Dst: R1, A: Imm(1)},
+		{Op: OpAnd, Dst: R1, A: Imm(1)},
+		{Op: OpOr, Dst: R1, A: Imm(1)},
+		{Op: OpXor, Dst: R1, A: Imm(1)},
+		{Op: OpLoad, Dst: R1, A: G("g")},
+		{Op: OpStore, A: GOff("g", 1), B: Imm(2)},
+		{Op: OpBeq, A: R(R1), B: Imm(0), Target: "l"},
+		{Op: OpBne, A: R(R1), B: Imm(0), Target: "l"},
+		{Op: OpBlt, A: R(R1), B: Imm(0), Target: "l"},
+		{Op: OpBge, A: R(R1), B: Imm(0), Target: "l"},
+		{Op: OpJmp, Target: "l"},
+		{Op: OpCall, Target: "f"},
+		{Op: OpLock, A: G("g")},
+		{Op: OpUnlock, A: G("g")},
+		{Op: OpAlloc, Dst: R1, Size: 4},
+		{Op: OpFree, A: R(R1)},
+		{Op: OpBugOn, A: R(R1)},
+		{Op: OpListAdd, A: G("g"), B: Imm(1)},
+		{Op: OpListDel, A: G("g"), B: Imm(1)},
+		{Op: OpListHas, Dst: R1, A: G("g"), B: Imm(1)},
+		{Op: OpRefGet, Dst: R1, A: G("g")},
+		{Op: OpRefPut, Dst: R1, A: G("g")},
+		{Op: OpQueueWork, Target: "f", A: Imm(0)},
+		{Op: OpCallRCU, Target: "f", A: R(R1)},
+	}
+	seen := map[Op]bool{}
+	for _, in := range samples {
+		s := in.String()
+		if !strings.HasPrefix(s, in.Op.String()) {
+			t.Errorf("String(%v) = %q does not start with the mnemonic", in.Op, s)
+		}
+		seen[in.Op] = true
+	}
+	for op := Op(0); op < opCount; op++ {
+		if !seen[op] {
+			t.Errorf("opcode %v missing from the String sample set", op)
+		}
+	}
+}

@@ -1,0 +1,617 @@
+// Package kvm implements the simulated kernel virtual machine: threads
+// (system calls, kworkers, RCU softirq callbacks) executing kir programs
+// over a mem.Space, one instruction per Step, under full control of the
+// caller — the role the KVM/QEMU-based AITIA hypervisor plays for the real
+// kernel.
+//
+// The machine is deterministic: given the same program and the same
+// sequence of Step(thread) calls, it produces the same execution. It is
+// sequentially consistent by construction, matching the paper's memory
+// model assumption (§3.2). Snapshot/Restore provide the VM-revert
+// operation used between search and diagnosis runs.
+package kvm
+
+import (
+	"fmt"
+
+	"aitia/internal/kir"
+	"aitia/internal/mem"
+	"aitia/internal/sanitizer"
+)
+
+// ThreadID identifies a thread within one machine (its index in spawn
+// order; statically declared threads come first).
+type ThreadID int
+
+// NoThread is the "no thread" sentinel.
+const NoThread ThreadID = -1
+
+// ThreadState is the scheduling state of a thread.
+type ThreadState uint8
+
+const (
+	// Runnable threads can execute their next instruction.
+	Runnable ThreadState = iota
+	// Blocked threads are waiting on a mutex held by another thread.
+	Blocked
+	// Done threads have finished.
+	Done
+	// Crashed threads triggered the machine's failure.
+	Crashed
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// frame is one call-stack entry.
+type frame struct {
+	fn *kir.Func
+	pc int
+}
+
+// Thread is an execution context.
+type Thread struct {
+	ID        ThreadID
+	Name      string
+	Kind      kir.ThreadKind
+	Regs      [kir.NumRegs]int64
+	State     ThreadState
+	WaitLock  uint64      // lock address while Blocked
+	Locks     []uint64    // held locks in acquisition order
+	SpawnedBy ThreadID    // NoThread for declared threads
+	SpawnSite kir.InstrID // instruction that spawned it (queue_work/call_rcu)
+	frames    []frame
+}
+
+// HoldsLock reports whether the thread currently holds the lock at addr.
+func (t *Thread) HoldsLock(addr uint64) bool {
+	for _, l := range t.Locks {
+		if l == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// clone deep-copies the thread.
+func (t *Thread) clone() *Thread {
+	cp := *t
+	cp.Locks = append([]uint64(nil), t.Locks...)
+	cp.frames = append([]frame(nil), t.frames...)
+	return &cp
+}
+
+// Access is one shared-memory access performed by a step.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// StepEvent reports what one Step did.
+type StepEvent struct {
+	Thread   ThreadID
+	Instr    kir.Instr
+	Executed bool     // false when the step blocked on a lock
+	Accesses []Access // shared-memory accesses performed
+	Spawned  ThreadID // thread created by queue_work/call_rcu, else NoThread
+	Failure  *sanitizer.Failure
+	Done     bool // thread finished with this step
+}
+
+// Machine is a simulated kernel instance.
+type Machine struct {
+	prog      *kir.Program
+	space     *mem.Space
+	threads   []*Thread
+	lockOwner map[uint64]ThreadID
+	failure   *sanitizer.Failure
+	steps     uint64
+	spawnSeq  map[kir.InstrID]int
+}
+
+// New creates a machine with the program's declared threads ready to run.
+func New(prog *kir.Program) (*Machine, error) {
+	if !prog.Finalized() {
+		return nil, fmt.Errorf("kvm: program not finalized")
+	}
+	space, err := mem.NewSpace(prog.Globals)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		prog:      prog,
+		space:     space,
+		lockOwner: make(map[uint64]ThreadID),
+		spawnSeq:  make(map[kir.InstrID]int),
+	}
+	for _, td := range prog.Threads {
+		t := &Thread{
+			ID:        ThreadID(len(m.threads)),
+			Name:      td.Name,
+			Kind:      td.Kind,
+			State:     Runnable,
+			SpawnedBy: NoThread,
+			SpawnSite: kir.NoInstr,
+			frames:    []frame{{fn: m.prog.Funcs[td.Entry]}},
+		}
+		t.Regs[0] = td.Arg
+		m.threads = append(m.threads, t)
+	}
+	return m, nil
+}
+
+// Prog returns the program the machine executes.
+func (m *Machine) Prog() *kir.Program { return m.prog }
+
+// Space returns the machine's address space (for reports and tests).
+func (m *Machine) Space() *mem.Space { return m.space }
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// NumThreads returns the number of threads spawned so far.
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Thread returns the thread with the given id, or nil.
+func (m *Machine) Thread(tid ThreadID) *Thread {
+	if tid < 0 || int(tid) >= len(m.threads) {
+		return nil
+	}
+	return m.threads[tid]
+}
+
+// ThreadByName returns the thread with the given name, or nil.
+func (m *Machine) ThreadByName(name string) *Thread {
+	for _, t := range m.threads {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Failure returns the machine's failure, or nil while it is healthy.
+func (m *Machine) Failure() *sanitizer.Failure { return m.failure }
+
+// Runnable lists the threads that could make progress right now: Runnable
+// threads plus Blocked threads whose awaited lock has been released.
+func (m *Machine) Runnable() []ThreadID {
+	var out []ThreadID
+	for _, t := range m.threads {
+		switch t.State {
+		case Runnable:
+			out = append(out, t.ID)
+		case Blocked:
+			if _, held := m.lockOwner[t.WaitLock]; !held {
+				out = append(out, t.ID)
+			}
+		}
+	}
+	return out
+}
+
+// AllDone reports whether every thread has finished.
+func (m *Machine) AllDone() bool {
+	for _, t := range m.threads {
+		if t.State != Done {
+			return false
+		}
+	}
+	return len(m.threads) > 0
+}
+
+// Deadlocked reports whether the machine is healthy but cannot make
+// progress: at least one unfinished thread and no runnable one.
+func (m *Machine) Deadlocked() bool {
+	if m.failure != nil || m.AllDone() {
+		return false
+	}
+	return len(m.Runnable()) == 0
+}
+
+// LockOwner returns the thread currently holding the lock at addr.
+func (m *Machine) LockOwner(addr uint64) (ThreadID, bool) {
+	o, ok := m.lockOwner[addr]
+	return o, ok
+}
+
+// NextInstr returns the instruction the thread would execute next. ok is
+// false for finished or crashed threads.
+func (m *Machine) NextInstr(tid ThreadID) (kir.Instr, bool) {
+	t := m.Thread(tid)
+	if t == nil || (t.State != Runnable && t.State != Blocked) {
+		return kir.Instr{}, false
+	}
+	fr := t.frames[len(t.frames)-1]
+	return fr.fn.Instrs[fr.pc], true
+}
+
+// CheckLeaks runs the end-of-execution memory-leak check and records a
+// failure if live heap objects remain. It should be called only when
+// AllDone reports true and no failure occurred.
+func (m *Machine) CheckLeaks() *sanitizer.Failure {
+	if m.failure != nil {
+		return m.failure
+	}
+	leaked := m.space.Leaked()
+	if len(leaked) == 0 {
+		return nil
+	}
+	o := leaked[0]
+	m.failure = &sanitizer.Failure{
+		Kind:  sanitizer.KindMemoryLeak,
+		Instr: o.AllocSite,
+		Addr:  o.Base,
+		Msg:   fmt.Sprintf("%d object(s) never freed; first allocated at %s", len(leaked), m.prog.InstrName(o.AllocSite)),
+	}
+	return m.failure
+}
+
+// InjectFailure records an externally detected failure (deadlock and
+// watchdog conditions are observed by the scheduler, not by any single
+// instruction). It is a no-op if the machine has already failed.
+func (m *Machine) InjectFailure(f *sanitizer.Failure) {
+	if m.failure == nil {
+		m.failure = f
+	}
+}
+
+// fail records the machine failure and crashes the thread.
+func (m *Machine) fail(t *Thread, in kir.Instr, kind sanitizer.Kind, addr uint64, msg string) *sanitizer.Failure {
+	f := &sanitizer.Failure{Kind: kind, Thread: t.Name, Instr: in.ID, Addr: addr, Msg: msg}
+	m.failure = f
+	t.State = Crashed
+	return f
+}
+
+// failFault records a memory-fault failure with object context.
+func (m *Machine) failFault(t *Thread, in kir.Instr, fault *mem.Fault) *sanitizer.Failure {
+	msg := ""
+	if fault.Object != nil {
+		msg = fmt.Sprintf("object %#x (size %d) allocated at %s",
+			fault.Object.Base, fault.Object.Size, m.prog.InstrName(fault.Object.AllocSite))
+		if fault.Object.FreeSite != kir.NoInstr {
+			msg += fmt.Sprintf(", freed at %s", m.prog.InstrName(fault.Object.FreeSite))
+		}
+	}
+	return m.fail(t, in, sanitizer.FromFault(fault), fault.Addr, msg)
+}
+
+// value evaluates a value operand against the thread's registers.
+func value(t *Thread, o kir.Operand) int64 {
+	switch o.Kind {
+	case kir.KindImm:
+		return o.Imm
+	case kir.KindReg:
+		return t.Regs[o.Reg]
+	case kir.KindNone:
+		return 0
+	default:
+		panic(fmt.Sprintf("kvm: operand %s is not a value", o))
+	}
+}
+
+// addr resolves an address operand. Global symbols were validated at
+// Finalize; indirect addresses may be anything (that is the point — wild
+// and NULL pointers fault at access time).
+func (m *Machine) addr(t *Thread, o kir.Operand) uint64 {
+	switch o.Kind {
+	case kir.KindGlobal:
+		base, ok := m.space.GlobalAddr(o.Sym)
+		if !ok {
+			panic(fmt.Sprintf("kvm: undeclared global %q", o.Sym))
+		}
+		return base + uint64(o.Off)
+	case kir.KindInd:
+		return uint64(t.Regs[o.Reg] + o.Off)
+	default:
+		panic(fmt.Sprintf("kvm: operand %s is not an address", o))
+	}
+}
+
+// normalize pops exhausted frames (implicit returns) and marks the thread
+// Done when its stack empties.
+func (t *Thread) normalize() {
+	for len(t.frames) > 0 {
+		fr := &t.frames[len(t.frames)-1]
+		if fr.pc < len(fr.fn.Instrs) {
+			return
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+	}
+	t.State = Done
+}
+
+// Step executes (or re-attempts) one instruction of the given thread.
+// Stepping a thread blocked on a held lock returns Executed=false without
+// advancing. Stepping after a machine failure, or stepping a finished
+// thread, is an error — callers drive scheduling and must consult
+// Runnable/Failure first.
+func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
+	if m.failure != nil {
+		return StepEvent{}, fmt.Errorf("kvm: machine has failed: %v", m.failure)
+	}
+	t := m.Thread(tid)
+	if t == nil {
+		return StepEvent{}, fmt.Errorf("kvm: no thread %d", tid)
+	}
+	if t.State != Runnable && t.State != Blocked {
+		return StepEvent{}, fmt.Errorf("kvm: thread %s is %s", t.Name, t.State)
+	}
+
+	fr := &t.frames[len(t.frames)-1]
+	in := fr.fn.Instrs[fr.pc]
+	ev := StepEvent{Thread: tid, Instr: in, Executed: true, Spawned: NoThread}
+
+	if t.State == Blocked {
+		// Only a Lock instruction can block; re-attempt it.
+		la := t.WaitLock
+		if _, held := m.lockOwner[la]; held {
+			ev.Executed = false
+			return ev, nil
+		}
+		m.lockOwner[la] = tid
+		t.Locks = append(t.Locks, la)
+		t.State = Runnable
+		t.WaitLock = 0
+		fr.pc++
+		m.steps++
+		t.normalize()
+		ev.Done = t.State == Done
+		return ev, nil
+	}
+
+	advance := true
+	switch in.Op {
+	case kir.OpNop, kir.OpYield:
+		// observable scheduling points only
+
+	case kir.OpMov:
+		t.Regs[in.Dst] = value(t, in.A)
+	case kir.OpAdd:
+		t.Regs[in.Dst] += value(t, in.A)
+	case kir.OpSub:
+		t.Regs[in.Dst] -= value(t, in.A)
+	case kir.OpAnd:
+		t.Regs[in.Dst] &= value(t, in.A)
+	case kir.OpOr:
+		t.Regs[in.Dst] |= value(t, in.A)
+	case kir.OpXor:
+		t.Regs[in.Dst] ^= value(t, in.A)
+
+	case kir.OpLoad:
+		a := m.addr(t, in.A)
+		v, fault := m.space.Load(a)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a})
+		if fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+		t.Regs[in.Dst] = v
+
+	case kir.OpStore:
+		a := m.addr(t, in.A)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a, Write: true})
+		if fault := m.space.Store(a, value(t, in.B)); fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+
+	case kir.OpBeq, kir.OpBne, kir.OpBlt, kir.OpBge:
+		a, bv := value(t, in.A), value(t, in.B)
+		var taken bool
+		switch in.Op {
+		case kir.OpBeq:
+			taken = a == bv
+		case kir.OpBne:
+			taken = a != bv
+		case kir.OpBlt:
+			taken = a < bv
+		case kir.OpBge:
+			taken = a >= bv
+		}
+		if taken {
+			fr.pc = m.prog.BranchTarget(in)
+			advance = false
+		}
+
+	case kir.OpJmp:
+		fr.pc = m.prog.BranchTarget(in)
+		advance = false
+
+	case kir.OpCall:
+		fr.pc++
+		advance = false
+		t.frames = append(t.frames, frame{fn: m.prog.Funcs[in.Target]})
+
+	case kir.OpRet:
+		t.frames = t.frames[:len(t.frames)-1]
+		advance = false
+
+	case kir.OpLock:
+		la := m.addr(t, in.A)
+		owner, held := m.lockOwner[la]
+		switch {
+		case !held:
+			m.lockOwner[la] = tid
+			t.Locks = append(t.Locks, la)
+		case owner == tid:
+			ev.Failure = m.fail(t, in, sanitizer.KindDeadlock, la, "recursive lock acquisition")
+			return ev, nil
+		default:
+			t.State = Blocked
+			t.WaitLock = la
+			ev.Executed = false
+			return ev, nil
+		}
+
+	case kir.OpUnlock:
+		la := m.addr(t, in.A)
+		if m.lockOwner[la] != tid || !t.HoldsLock(la) {
+			ev.Failure = m.fail(t, in, sanitizer.KindBadUnlock, la, "unlock of a lock not held by this thread")
+			return ev, nil
+		}
+		delete(m.lockOwner, la)
+		for i, l := range t.Locks {
+			if l == la {
+				t.Locks = append(t.Locks[:i], t.Locks[i+1:]...)
+				break
+			}
+		}
+
+	case kir.OpAlloc:
+		t.Regs[in.Dst] = int64(m.space.Alloc(in.Size, in.ID))
+
+	case kir.OpFree:
+		base := uint64(value(t, in.A))
+		if base == 0 {
+			break // kfree(NULL) is a no-op
+		}
+		// A free conflicts with every access to the object, so it emits a
+		// write access per payload word (this is what makes use-after-free
+		// *races* detectable, not just use-after-free *faults*).
+		if obj := m.space.ObjectAt(base); obj != nil && obj.Base == base {
+			for a := obj.Base; a < obj.Base+uint64(obj.Size); a++ {
+				ev.Accesses = append(ev.Accesses, Access{Addr: a, Write: true})
+			}
+		} else {
+			ev.Accesses = append(ev.Accesses, Access{Addr: base, Write: true})
+		}
+		if fault := m.space.Free(base, in.ID); fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+
+	case kir.OpBugOn:
+		if value(t, in.A) != 0 {
+			ev.Failure = m.fail(t, in, sanitizer.KindBugOn, 0, fmt.Sprintf("BUG_ON(%s != 0)", in.A))
+			return ev, nil
+		}
+
+	case kir.OpListAdd:
+		a := m.addr(t, in.A)
+		v := value(t, in.B)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a, Write: true})
+		// CONFIG_DEBUG_LIST semantics: inserting an entry that is already
+		// on the list corrupts its links; the kernel's list debugging
+		// catches it at the insertion point.
+		dup, fault := m.space.ListHas(a, v)
+		if fault == nil && dup {
+			ev.Failure = m.fail(t, in, sanitizer.KindBugOn, a,
+				fmt.Sprintf("list_add corruption: entry %d is already on the list", v))
+			return ev, nil
+		}
+		if fault == nil {
+			fault = m.space.ListAdd(a, v)
+		}
+		if fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+
+	case kir.OpListDel:
+		a := m.addr(t, in.A)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a, Write: true})
+		if fault := m.space.ListDel(a, value(t, in.B)); fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+
+	case kir.OpListHas:
+		a := m.addr(t, in.A)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a})
+		has, fault := m.space.ListHas(a, value(t, in.B))
+		if fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+		if has {
+			t.Regs[in.Dst] = 1
+		} else {
+			t.Regs[in.Dst] = 0
+		}
+
+	case kir.OpRefGet, kir.OpRefPut:
+		a := m.addr(t, in.A)
+		ev.Accesses = append(ev.Accesses, Access{Addr: a, Write: true})
+		v, fault := m.space.Load(a)
+		if fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+		var nv int64
+		if in.Op == kir.OpRefGet {
+			if v == 0 {
+				ev.Failure = m.fail(t, in, sanitizer.KindRefcount, a, "refcount increment from zero")
+				return ev, nil
+			}
+			nv = v + 1
+		} else {
+			nv = v - 1
+			if nv < 0 {
+				ev.Failure = m.fail(t, in, sanitizer.KindRefcount, a, "refcount underflow")
+				return ev, nil
+			}
+		}
+		if fault := m.space.Store(a, nv); fault != nil {
+			ev.Failure = m.failFault(t, in, fault)
+			return ev, nil
+		}
+		t.Regs[in.Dst] = nv
+
+	case kir.OpQueueWork, kir.OpCallRCU:
+		// Spawned threads are named by their spawn site so that the same
+		// logical thread has the same name in every run of the same
+		// program, regardless of interleaving — schedules and races refer
+		// to threads by name across runs.
+		kind, prefix := kir.KindKWorker, "kworker"
+		if in.Op == kir.OpCallRCU {
+			kind, prefix = kir.KindSoftirq, "rcu"
+		}
+		name := fmt.Sprintf("%s:%s", prefix, m.prog.InstrName(in.ID))
+		if n := m.spawnSeq[in.ID]; n > 0 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		m.spawnSeq[in.ID]++
+		nt := &Thread{
+			ID:        ThreadID(len(m.threads)),
+			Name:      name,
+			Kind:      kind,
+			State:     Runnable,
+			SpawnedBy: tid,
+			SpawnSite: in.ID,
+			frames:    []frame{{fn: m.prog.Funcs[in.Target]}},
+		}
+		nt.Regs[0] = value(t, in.A)
+		m.threads = append(m.threads, nt)
+		ev.Spawned = nt.ID
+
+	case kir.OpExit:
+		t.frames = t.frames[:0]
+		advance = false
+
+	default:
+		return StepEvent{}, fmt.Errorf("kvm: unknown opcode %v", in.Op)
+	}
+
+	if advance {
+		fr.pc++
+	}
+	m.steps++
+	t.normalize()
+	ev.Done = t.State == Done
+	return ev, nil
+}

@@ -1,0 +1,223 @@
+package kvm
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+func TestCallRCUSpawnsSoftirq(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.CallRCU("cb", kir.Imm(5)).L("R1")
+	f.Ret()
+	cb := b.Func("cb")
+	cb.Store(kir.G("g"), kir.R(kir.R0))
+	cb.Ret()
+	b.Thread("T", "main")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	run(t, m, 0)
+	if m.NumThreads() != 2 {
+		t.Fatalf("threads = %d", m.NumThreads())
+	}
+	th := m.Thread(1)
+	if th.Kind != kir.KindSoftirq || !strings.HasPrefix(th.Name, "rcu:") {
+		t.Errorf("spawned = %s (%v)", th.Name, th.Kind)
+	}
+	if th.SpawnedBy != 0 || th.SpawnSite == kir.NoInstr {
+		t.Errorf("spawn provenance: by=%d site=%d", th.SpawnedBy, th.SpawnSite)
+	}
+	run(t, m, 1)
+	addr, _ := m.Space().GlobalAddr("g")
+	if v, _ := m.Space().Load(addr); v != 5 {
+		t.Errorf("g = %d", v)
+	}
+}
+
+func TestExitEndsThreadImmediately(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Exit()
+		f.Store(kir.G("g"), kir.Imm(99)) // unreachable
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if !m.AllDone() {
+		t.Fatal("not done")
+	}
+	addr, _ := m.Space().GlobalAddr("g")
+	if v, _ := m.Space().Load(addr); v != 0 {
+		t.Error("instruction after exit executed")
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Store(kir.G("g"), kir.Imm(7))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	sig := m.StateSignature()
+	run(t, m, 0)
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if m.StateSignature() != sig {
+		t.Error("Reset did not restore the initial state")
+	}
+	if m.Thread(0).State != Runnable {
+		t.Errorf("thread state after reset: %v", m.Thread(0).State)
+	}
+}
+
+func TestCheckLeaks(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.Alloc(kir.R1, 1) // never stored anywhere: unreachable at exit
+	f.Ret()
+	b.Thread("T", "main")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.CheckLeaks(); f == nil || f.Kind != sanitizer.KindMemoryLeak {
+		t.Errorf("leak check = %v", f)
+	}
+
+	// Storing the pointer into a global keeps the object reachable.
+	b2 := kir.NewBuilder()
+	b2.Var("slot", 0)
+	f2 := b2.Func("main")
+	f2.Alloc(kir.R1, 1)
+	f2.Store(kir.G("slot"), kir.R(kir.R1))
+	f2.Ret()
+	b2.Thread("T", "main")
+	prog2, _ := b2.Build()
+	m2, _ := New(prog2)
+	run(t, m2, 0)
+	if f := m2.CheckLeaks(); f != nil {
+		t.Errorf("reachable object reported leaked: %v", f)
+	}
+}
+
+func TestDeadlockedPredicate(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("mu", 0)
+	fa := b.Func("holder")
+	fa.Lock(kir.G("mu"))
+	fa.Yield().L("Y1")
+	fa.Yield().L("Y2")
+	fa.Unlock(kir.G("mu"))
+	fa.Ret()
+	fb := b.Func("waiter")
+	fb.Lock(kir.G("mu"))
+	fb.Unlock(kir.G("mu"))
+	fb.Ret()
+	b.Thread("A", "holder")
+	b.Thread("B", "waiter")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	// A acquires; B blocks. Not a deadlock: A can still run.
+	m.Step(0)
+	m.Step(1)
+	if m.Deadlocked() {
+		t.Error("deadlocked with a runnable owner")
+	}
+	if _, ok := m.NextInstr(1); !ok {
+		t.Error("blocked thread should expose its pending instruction")
+	}
+	if m.Thread(0).HoldsLock(mustAddr(t, m, "mu")) != true {
+		t.Error("holder lockset wrong")
+	}
+	if m.ThreadByName("B") == nil || m.ThreadByName("ghost") != nil {
+		t.Error("ThreadByName lookup wrong")
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) { f.Ret() })
+	m, _ := New(prog)
+	if _, err := m.Step(99); err == nil {
+		t.Error("stepping a nonexistent thread should fail")
+	}
+	run(t, m, 0)
+	if _, err := m.Step(0); err == nil {
+		t.Error("stepping a finished thread should fail")
+	}
+	// After a failure, stepping anything fails.
+	prog2 := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.BugOn(kir.Imm(1))
+		f.Ret()
+	})
+	m2, _ := New(prog2)
+	m2.Step(0)
+	if _, err := m2.Step(0); err == nil {
+		t.Error("stepping a failed machine should error")
+	}
+}
+
+func TestInjectFailureIsFirstWins(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) { f.Ret() })
+	m, _ := New(prog)
+	f1 := &sanitizer.Failure{Kind: sanitizer.KindDeadlock}
+	f2 := &sanitizer.Failure{Kind: sanitizer.KindWatchdog}
+	m.InjectFailure(f1)
+	m.InjectFailure(f2)
+	if m.Failure() != f1 {
+		t.Error("second injection overwrote the first")
+	}
+}
+
+func TestFaultReportCarriesObjectProvenance(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.Alloc(kir.R1, 1).L("ALLOC")
+	f.Free(kir.R(kir.R1)).L("FREE")
+	f.Load(kir.R2, kir.Ind(kir.R1, 0)).L("USE")
+	f.Ret()
+	b.Thread("T", "main")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	run(t, m, 0)
+	fail := m.Failure()
+	if fail == nil || fail.Kind != sanitizer.KindUseAfterFree {
+		t.Fatalf("failure = %v", fail)
+	}
+	for _, want := range []string{"ALLOC", "FREE"} {
+		if !strings.Contains(fail.Msg, want) {
+			t.Errorf("failure context misses %q: %s", want, fail.Msg)
+		}
+	}
+}
+
+func TestIRQThreadIsSchedulable(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.Store(kir.G("g"), kir.Imm(1))
+	f.Ret()
+	h := b.Func("handler")
+	h.Load(kir.R1, kir.G("g"))
+	h.Ret()
+	b.Thread("T", "main")
+	b.ThreadIRQ("irq$x", "handler")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(prog)
+	th := m.ThreadByName("irq$x")
+	if th == nil || th.Kind != kir.KindHardIRQ {
+		t.Fatalf("irq thread = %+v", th)
+	}
+	if th.State != Runnable {
+		t.Error("irq handler should be schedulable from the start")
+	}
+	if kir.KindHardIRQ.String() != "hardirq" {
+		t.Errorf("kind name = %q", kir.KindHardIRQ.String())
+	}
+}

@@ -1,0 +1,389 @@
+package kvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// run steps one thread to completion (or failure, or a lock it cannot
+// acquire).
+func run(t *testing.T, m *Machine, tid ThreadID) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		th := m.Thread(tid)
+		if th == nil || th.State == Done || th.State == Crashed {
+			return
+		}
+		ev, err := m.Step(tid)
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if !ev.Executed || m.Failure() != nil {
+			return
+		}
+	}
+	t.Fatal("thread did not finish")
+}
+
+func simpleProg(t *testing.T, body func(*kir.FuncBuilder)) *kir.Program {
+	t.Helper()
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	b.Var("mu", 0)
+	f := b.Func("main")
+	body(f)
+	b.Thread("T", "main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Mov(kir.R1, kir.Imm(10))
+		f.Add(kir.R1, kir.Imm(5))
+		f.Sub(kir.R1, kir.Imm(3)) // 12
+		f.Mov(kir.R2, kir.R(kir.R1))
+		f.And(kir.R2, kir.Imm(8)) // 8
+		f.Or(kir.R2, kir.Imm(1))  // 9
+		f.Xor(kir.R2, kir.Imm(1)) // 8
+		f.Blt(kir.R(kir.R2), kir.Imm(9), "small")
+		f.Store(kir.G("g"), kir.Imm(-1))
+		f.Ret()
+		f.At("small")
+		f.Store(kir.G("g"), kir.R(kir.R2))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if !m.AllDone() {
+		t.Fatal("not done")
+	}
+	addr, _ := m.Space().GlobalAddr("g")
+	if v, _ := m.Space().Load(addr); v != 8 {
+		t.Errorf("g = %d, want 8", v)
+	}
+}
+
+func TestCallRetAndImplicitReturn(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.Call("leaf")
+	f.Store(kir.G("g"), kir.Imm(2))
+	// no explicit ret: falling off the end is an implicit return
+	l := b.Func("leaf")
+	l.Store(kir.G("g"), kir.Imm(1))
+	l.Ret()
+	b.Thread("T", "main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(prog)
+	run(t, m, 0)
+	if !m.AllDone() {
+		t.Fatal("not done")
+	}
+	addr, _ := m.Space().GlobalAddr("g")
+	if v, _ := m.Space().Load(addr); v != 2 {
+		t.Errorf("g = %d, want 2", v)
+	}
+}
+
+func TestLockBlockingAndHandoff(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("mu", 0)
+	b.Var("g", 0)
+	f := b.Func("worker")
+	f.Lock(kir.G("mu"))
+	f.Load(kir.R1, kir.G("g"))
+	f.Add(kir.R1, kir.Imm(1))
+	f.Store(kir.G("g"), kir.R(kir.R1))
+	f.Unlock(kir.G("mu"))
+	f.Ret()
+	b.Thread("A", "worker")
+	b.Thread("B", "worker")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(prog)
+
+	// A acquires the lock.
+	if _, err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if owner, held := m.LockOwner(mustAddr(t, m, "mu")); !held || owner != 0 {
+		t.Fatalf("owner = %v, %v", owner, held)
+	}
+	// B blocks on it.
+	ev, err := m.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Executed {
+		t.Fatal("B should have blocked")
+	}
+	if m.Thread(1).State != Blocked {
+		t.Fatalf("B state = %v", m.Thread(1).State)
+	}
+	// Runnable excludes B while the lock is held.
+	for _, tid := range m.Runnable() {
+		if tid == 1 {
+			t.Error("blocked thread is runnable")
+		}
+	}
+	// A finishes and releases; B becomes runnable and completes.
+	run(t, m, 0)
+	found := false
+	for _, tid := range m.Runnable() {
+		if tid == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("B should be runnable after unlock")
+	}
+	run(t, m, 1)
+	if !m.AllDone() {
+		t.Fatal("not all done")
+	}
+	if v, _ := m.Space().Load(mustAddr(t, m, "g")); v != 2 {
+		t.Errorf("g = %d, want 2", v)
+	}
+}
+
+func TestRecursiveLockIsDeadlock(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Lock(kir.G("mu"))
+		f.Lock(kir.G("mu"))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.Failure(); f == nil || f.Kind != sanitizer.KindDeadlock {
+		t.Errorf("failure = %v", f)
+	}
+}
+
+func TestBadUnlock(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Unlock(kir.G("mu"))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.Failure(); f == nil || f.Kind != sanitizer.KindBadUnlock {
+		t.Errorf("failure = %v", f)
+	}
+}
+
+func TestSpawnNamesAreStable(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.QueueWork("work", kir.Imm(1)).L("S1")
+	f.QueueWork("work", kir.Imm(2)).L("S2")
+	f.QueueWork("work", kir.Imm(3)).L("S1again") // same op, different site
+	f.Ret()
+	w := b.Func("work")
+	w.Store(kir.G("g"), kir.R(kir.R0))
+	w.Ret()
+	b.Thread("T", "main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(prog)
+	run(t, m, 0)
+	if m.NumThreads() != 4 {
+		t.Fatalf("threads = %d", m.NumThreads())
+	}
+	names := []string{m.Thread(1).Name, m.Thread(2).Name, m.Thread(3).Name}
+	want := []string{"kworker:S1", "kworker:S2", "kworker:S1again"}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Errorf("thread %d = %q, want %q", i+1, names[i], want[i])
+		}
+	}
+	// The spawned thread got its argument in r0.
+	if m.Thread(1).Regs[0] != 1 || m.Thread(3).Regs[0] != 3 {
+		t.Error("spawn arguments not delivered")
+	}
+}
+
+func TestRefcountSemantics(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("cnt", 1)
+	f := b.Func("main")
+	f.RefGet(kir.R1, kir.G("cnt")) // 2
+	f.RefPut(kir.R1, kir.G("cnt")) // 1
+	f.RefPut(kir.R1, kir.G("cnt")) // 0 (ok)
+	f.RefPut(kir.R1, kir.G("cnt")) // underflow
+	f.Ret()
+	b.Thread("T", "main")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.Failure(); f == nil || f.Kind != sanitizer.KindRefcount {
+		t.Errorf("failure = %v", f)
+	}
+
+	// Increment from zero is also a refcount bug.
+	b2 := kir.NewBuilder()
+	b2.Var("cnt", 0)
+	f2 := b2.Func("main")
+	f2.RefGet(kir.R1, kir.G("cnt"))
+	f2.Ret()
+	b2.Thread("T", "main")
+	prog2, _ := b2.Build()
+	m2, _ := New(prog2)
+	run(t, m2, 0)
+	if f := m2.Failure(); f == nil || f.Kind != sanitizer.KindRefcount {
+		t.Errorf("inc-from-zero failure = %v", f)
+	}
+}
+
+func TestListAddDuplicateIsCorruption(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.ListAdd(kir.G("g"), kir.Imm(7))
+		f.ListAdd(kir.G("g"), kir.Imm(7))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.Failure(); f == nil || f.Kind != sanitizer.KindBugOn {
+		t.Errorf("failure = %v", f)
+	}
+}
+
+func TestKfreeNullIsNoop(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Mov(kir.R1, kir.Imm(0))
+		f.Free(kir.R(kir.R1))
+		f.Ret()
+	})
+	m, _ := New(prog)
+	run(t, m, 0)
+	if f := m.Failure(); f != nil {
+		t.Errorf("kfree(NULL) failed: %v", f)
+	}
+}
+
+func TestPeekAccessesMatchesStep(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("main")
+	f.Alloc(kir.R1, 2)
+	f.Store(kir.Ind(kir.R1, 1), kir.Imm(5))
+	f.Load(kir.R2, kir.G("g"))
+	f.Free(kir.R(kir.R1))
+	f.Ret()
+	b.Thread("T", "main")
+	prog, _ := b.Build()
+	m, _ := New(prog)
+	for i := 0; i < 100; i++ {
+		th := m.Thread(0)
+		if th.State != Runnable {
+			break
+		}
+		peek := m.PeekAccesses(0)
+		ev, err := m.Step(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peek) != len(ev.Accesses) {
+			t.Fatalf("peek %v != actual %v at %s", peek, ev.Accesses, ev.Instr)
+		}
+		for j := range peek {
+			if peek[j] != ev.Accesses[j] {
+				t.Errorf("peek[%d] = %v, actual %v", j, peek[j], ev.Accesses[j])
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreDeterminism(t *testing.T) {
+	sc := figureProgram(t)
+	f := func(stepsBefore uint8) bool {
+		m, err := New(sc)
+		if err != nil {
+			return false
+		}
+		// Interleave deterministically for a few steps.
+		order := []ThreadID{0, 1, 0, 0, 1, 1, 0, 1}
+		n := int(stepsBefore) % len(order)
+		for _, tid := range order[:n] {
+			if th := m.Thread(tid); th != nil && th.State == Runnable && m.Failure() == nil {
+				m.Step(tid)
+			}
+		}
+		snap := m.Snapshot()
+		sig := m.StateSignature()
+		// Perturb.
+		for _, tid := range order {
+			if th := m.Thread(tid); th != nil && th.State == Runnable && m.Failure() == nil {
+				m.Step(tid)
+			}
+		}
+		m.Restore(snap)
+		return m.StateSignature() == sig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// figureProgram builds a small two-thread racy program for property tests.
+func figureProgram(t testing.TB) *kir.Program {
+	b := kir.NewBuilder()
+	b.Var("x", 0)
+	b.Var("y", 0)
+	fa := b.Func("fa")
+	fa.Store(kir.G("x"), kir.Imm(1))
+	fa.Load(kir.R1, kir.G("y"))
+	fa.Ret()
+	fb := b.Func("fb")
+	fb.Store(kir.G("y"), kir.Imm(1))
+	fb.Load(kir.R1, kir.G("x"))
+	fb.Ret()
+	b.Thread("A", "fa")
+	b.Thread("B", "fb")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestStateSignatureDistinguishesStates(t *testing.T) {
+	prog := figureProgram(t)
+	m1, _ := New(prog)
+	m2, _ := New(prog)
+	if m1.StateSignature() != m2.StateSignature() {
+		t.Fatal("fresh machines differ")
+	}
+	m1.Step(0)
+	if m1.StateSignature() == m2.StateSignature() {
+		t.Fatal("a step did not change the signature")
+	}
+	m2.Step(0)
+	if m1.StateSignature() != m2.StateSignature() {
+		t.Fatal("same steps, different signatures")
+	}
+}
+
+func mustAddr(t *testing.T, m *Machine, sym string) uint64 {
+	t.Helper()
+	a, ok := m.Space().GlobalAddr(sym)
+	if !ok {
+		t.Fatalf("no global %q", sym)
+	}
+	return a
+}

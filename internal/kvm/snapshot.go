@@ -1,0 +1,72 @@
+package kvm
+
+import (
+	"aitia/internal/kir"
+	"aitia/internal/mem"
+	"aitia/internal/sanitizer"
+)
+
+// Snapshot is a full machine checkpoint: memory, threads, lock ownership
+// and counters. It backs both the VM-revert between diagnosis runs and the
+// depth-first search of LIFS (which checkpoints at every scheduling
+// decision point).
+type Snapshot struct {
+	space     *mem.Snapshot
+	threads   []*Thread
+	lockOwner map[uint64]ThreadID
+	failure   *sanitizer.Failure
+	steps     uint64
+	spawnSeq  map[kir.InstrID]int
+}
+
+// Snapshot captures the machine state. The snapshot is immutable and can
+// be restored any number of times.
+func (m *Machine) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		space:     m.space.Snapshot(),
+		threads:   make([]*Thread, len(m.threads)),
+		lockOwner: make(map[uint64]ThreadID, len(m.lockOwner)),
+		failure:   m.failure,
+		steps:     m.steps,
+		spawnSeq:  make(map[kir.InstrID]int, len(m.spawnSeq)),
+	}
+	for i, t := range m.threads {
+		sn.threads[i] = t.clone()
+	}
+	for k, v := range m.lockOwner {
+		sn.lockOwner[k] = v
+	}
+	for k, v := range m.spawnSeq {
+		sn.spawnSeq[k] = v
+	}
+	return sn
+}
+
+// Restore rewinds the machine to a snapshot.
+func (m *Machine) Restore(sn *Snapshot) {
+	m.space.Restore(sn.space)
+	m.threads = make([]*Thread, len(sn.threads))
+	for i, t := range sn.threads {
+		m.threads[i] = t.clone()
+	}
+	m.lockOwner = make(map[uint64]ThreadID, len(sn.lockOwner))
+	for k, v := range sn.lockOwner {
+		m.lockOwner[k] = v
+	}
+	m.failure = sn.failure
+	m.steps = sn.steps
+	m.spawnSeq = make(map[kir.InstrID]int, len(sn.spawnSeq))
+	for k, v := range sn.spawnSeq {
+		m.spawnSeq[k] = v
+	}
+}
+
+// Reset rewinds the machine to its initial state (equivalent to New).
+func (m *Machine) Reset() error {
+	fresh, err := New(m.prog)
+	if err != nil {
+		return err
+	}
+	*m = *fresh
+	return nil
+}

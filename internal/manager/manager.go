@@ -1,0 +1,201 @@
+// Package manager orchestrates the AITIA pipeline end to end (paper §4.1):
+// it models the execution history into slices, launches reproducers (one
+// per slice, in parallel, each on its own kernel-VM instance) to run LIFS,
+// forwards the first failure-causing instruction sequence to the
+// diagnosing stage, and runs Causality Analysis with a fleet of parallel
+// diagnosers. The result is the causality chain plus all evidence.
+package manager
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aitia/internal/core"
+	"aitia/internal/history"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+)
+
+// Options configure a diagnosis pipeline.
+type Options struct {
+	// Workers is the number of parallel reproducer/diagnoser instances
+	// (the paper launches 32 VMs). Zero means GOMAXPROCS.
+	Workers int
+	// LIFS configures the reproducing stage. WantKind/WantInstr are
+	// overridden from the trace's crash information when present.
+	LIFS core.LIFSOptions
+	// Analysis configures the diagnosing stage (Workers is overridden
+	// from Options.Workers).
+	Analysis core.AnalysisOptions
+}
+
+// Result is a completed diagnosis.
+type Result struct {
+	// Slice is the thread group that reproduced the failure.
+	Slice history.Slice
+	// SlicesTried counts reproducer launches until the failure reproduced.
+	SlicesTried int
+	// Reproduction is the LIFS output.
+	Reproduction *core.Reproduction
+	// Diagnosis is the Causality Analysis output (chain, verdicts).
+	Diagnosis *core.Diagnosis
+	// Stage wall-clock times.
+	ReproduceTime time.Duration
+	DiagnoseTime  time.Duration
+}
+
+// Manager runs diagnoses for one program.
+type Manager struct {
+	prog *kir.Program
+	opts Options
+}
+
+// New creates a manager.
+func New(prog *kir.Program, opts Options) (*Manager, error) {
+	if !prog.Finalized() {
+		return nil, fmt.Errorf("manager: program not finalized")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{prog: prog, opts: opts}, nil
+}
+
+// DiagnoseTrace runs the full pipeline on a bug-finder trace: modeling,
+// slicing, parallel reproduction, diagnosis.
+func (m *Manager) DiagnoseTrace(tr *history.Trace) (*Result, error) {
+	lifs := m.opts.LIFS
+	if tr.Crash != nil {
+		lifs.WantKind = tr.Crash.Kind
+		lifs.WantInstr = tr.Crash.Instr
+		if tr.Crash.Kind == sanitizer.KindMemoryLeak {
+			lifs.LeakCheck = true
+		}
+	}
+	slices := history.Model(tr)
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("manager: trace yields no slices")
+	}
+	return m.diagnoseSlices(slices, lifs)
+}
+
+// Diagnose runs the pipeline on the program's full declared thread set
+// (a single slice), for callers that already know the concurrency group.
+func (m *Manager) Diagnose() (*Result, error) {
+	var names []string
+	for _, t := range m.prog.Threads {
+		names = append(names, t.Name)
+	}
+	sl := history.Slice{Threads: names}
+	return m.diagnoseSlices([]history.Slice{sl}, m.opts.LIFS)
+}
+
+// diagnoseSlices launches reproducers over the candidate slices, in
+// parallel, and diagnoses the first (in slice order) that reproduces.
+func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
+	type repOut struct {
+		idx int
+		rep *core.Reproduction
+		err error
+	}
+	start := time.Now()
+
+	workers := m.opts.Workers
+	if workers > len(slices) {
+		workers = len(slices)
+	}
+	jobs := make(chan int)
+	outs := make(chan repOut, len(slices))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rep, err := m.reproduce(slices[idx], lifs)
+				outs <- repOut{idx: idx, rep: rep, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range slices {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+
+	best := -1
+	var bestRep *core.Reproduction
+	tried := 0
+	var lastErr error
+	for out := range outs {
+		tried++
+		if out.err != nil {
+			lastErr = out.err
+			continue
+		}
+		if out.rep != nil && (best < 0 || out.idx < best) {
+			best, bestRep = out.idx, out.rep
+		}
+	}
+	if best < 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("manager: no slice reproduced the failure (last error: %w)", lastErr)
+		}
+		return nil, fmt.Errorf("manager: no slice reproduced the failure")
+	}
+	reproTime := time.Since(start)
+
+	// Diagnosing stage on the winning slice.
+	sliceProg, err := m.prog.Restrict(slices[best].Threads)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := kvm.New(sliceProg)
+	if err != nil {
+		return nil, err
+	}
+	aopts := m.opts.Analysis
+	aopts.Workers = m.opts.Workers
+	aopts.LeakCheck = aopts.LeakCheck || lifs.LeakCheck
+	diagStart := time.Now()
+	diag, err := core.Analyze(dm, bestRep, aopts)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Slice:         slices[best],
+		SlicesTried:   tried,
+		Reproduction:  bestRep,
+		Diagnosis:     diag,
+		ReproduceTime: reproTime,
+		DiagnoseTime:  time.Since(diagStart),
+	}, nil
+}
+
+// reproduce runs LIFS on one slice; a nil Reproduction with nil error
+// means the slice did not reproduce the failure (try the next one).
+func (m *Manager) reproduce(sl history.Slice, lifs core.LIFSOptions) (*core.Reproduction, error) {
+	sliceProg, err := m.prog.Restrict(sl.Threads)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := kvm.New(sliceProg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Reproduce(vm, lifs)
+	if err != nil {
+		if core.IsNotReproduced(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,109 @@
+package manager
+
+import (
+	"testing"
+
+	"aitia/internal/fuzz"
+	"aitia/internal/history"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+func TestDiagnoseDirect(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	mgr, err := New(prog, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.opts.LIFS.WantKind = sc.WantKind
+	mgr.opts.LIFS.WantInstr = sc.WantInstr()
+	res, err := mgr.Diagnose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnosis.Chain.Len() != 4 {
+		t.Errorf("chain = %s", res.Diagnosis.Chain.Format(prog))
+	}
+	if res.SlicesTried != 1 {
+		t.Errorf("slices tried = %d", res.SlicesTried)
+	}
+}
+
+// TestFullPipelineFromFuzzerTrace: fuzz -> trace -> slices -> parallel
+// reproducers -> parallel diagnosers, on the Figure 9 bug.
+func TestFullPipelineFromFuzzerTrace(t *testing.T) {
+	sc, _ := scenarios.ByName("syz04-kvm-irqfd")
+	prog := sc.MustProgram()
+	fz, err := fuzz.New(prog, fuzz.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finding, err := fz.Campaign()
+	if err != nil || finding == nil {
+		t.Fatalf("fuzzing: %v, %v", finding, err)
+	}
+	if finding.Failure.Kind != sanitizer.KindUseAfterFree {
+		t.Fatalf("found %v", finding.Failure.Kind)
+	}
+
+	mgr, err := New(prog, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.DiagnoseTrace(finding.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "A1 => B1 → K1 => A2 → KASAN: use-after-free"
+	if got := res.Diagnosis.Chain.Format(prog); got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if len(res.Slice.Threads) == 0 {
+		t.Error("empty winning slice")
+	}
+	if res.ReproduceTime <= 0 || res.DiagnoseTime <= 0 {
+		t.Error("missing stage timings")
+	}
+}
+
+// TestSlicePruning: with a third, irrelevant thread in the program, the
+// pipeline still reproduces from a slice and diagnoses the same chain.
+func TestDiagnoseTraceWithIrrelevantThread(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	ext, err := prog.ExtendReaders(map[string][]string{"bystander": {"ptr_valid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := fuzz.New(ext, fuzz.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finding, err := fz.Campaign()
+	if err != nil || finding == nil {
+		t.Fatalf("fuzzing: %v, %v", finding, err)
+	}
+	mgr, err := New(ext, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.DiagnoseTrace(finding.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Diagnosis.Chain.Format(ext); got != sc.WantChain {
+		t.Errorf("chain = %q, want %q", got, sc.WantChain)
+	}
+}
+
+func TestDiagnoseTraceNoSlices(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	mgr, err := New(sc.MustProgram(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.DiagnoseTrace(&history.Trace{}); err == nil {
+		t.Error("empty trace should fail")
+	}
+}

@@ -1,0 +1,468 @@
+// Package mem implements the simulated kernel address space used by the
+// kernel VM: a word-addressed memory with named globals, a heap allocator
+// with KASAN-style object tracking (redzones, quarantined freed objects,
+// use-after-free / out-of-bounds / double-free detection), and linked-list
+// storage for the IR's list intrinsics.
+//
+// Addresses are word indices, not bytes. The layout is:
+//
+//	[0, NullTop)          the NULL page: any access is a NULL dereference
+//	[GlobalBase, ...)     globals, assigned in declaration order
+//	[HeapBase, ...)       heap objects, each surrounded by redzones
+//
+// Freed objects are never reused (an unbounded quarantine), so a dangling
+// pointer always identifies its original object — mirroring how KASAN's
+// quarantine keeps use-after-free detectable.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"aitia/internal/kir"
+)
+
+// Address-space layout constants (word addresses).
+const (
+	// NullTop bounds the NULL page; accesses below it fault as NULL
+	// dereferences.
+	NullTop = 0x40
+	// GlobalBase is the address of the first global.
+	GlobalBase = 0x100
+	// HeapBase is the address of the first heap word.
+	HeapBase = 0x10000
+	// Redzone is the number of guard words on each side of a heap object.
+	Redzone = 2
+	// heapGap separates consecutive heap objects beyond their redzones.
+	heapGap = 4
+)
+
+// FaultKind classifies invalid memory operations.
+type FaultKind uint8
+
+const (
+	// FaultNone means no fault.
+	FaultNone FaultKind = iota
+	// FaultNullDeref is an access inside the NULL page.
+	FaultNullDeref
+	// FaultUseAfterFree is an access to a freed heap object.
+	FaultUseAfterFree
+	// FaultOutOfBounds is an access to a heap redzone.
+	FaultOutOfBounds
+	// FaultWild is an access to unmapped memory (a general protection
+	// fault in the crash report).
+	FaultWild
+	// FaultDoubleFree is a free of an already-freed object.
+	FaultDoubleFree
+	// FaultBadFree is a free of a non-object address.
+	FaultBadFree
+)
+
+// String returns the KASAN-flavoured name of the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNullDeref:
+		return "null-ptr-deref"
+	case FaultUseAfterFree:
+		return "use-after-free"
+	case FaultOutOfBounds:
+		return "slab-out-of-bounds"
+	case FaultWild:
+		return "general protection fault"
+	case FaultDoubleFree:
+		return "double-free"
+	case FaultBadFree:
+		return "invalid-free"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// Fault describes an invalid memory operation.
+type Fault struct {
+	Kind  FaultKind
+	Addr  uint64
+	Write bool
+	// Object is the heap object involved, when the fault concerns one.
+	Object *Object
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	rw := "read"
+	if f.Write {
+		rw = "write"
+	}
+	return fmt.Sprintf("%s: %s at %#x", f.Kind, rw, f.Addr)
+}
+
+// ObjState is the lifecycle state of a heap object.
+type ObjState uint8
+
+const (
+	// Allocated objects are live.
+	Allocated ObjState = iota
+	// Freed objects are in quarantine; any access is a use-after-free.
+	Freed
+)
+
+// Object is a heap allocation. AllocSite and FreeSite record the static
+// instructions that allocated and freed it, for crash reports.
+type Object struct {
+	Base      uint64
+	Size      int64
+	State     ObjState
+	AllocSite kir.InstrID
+	FreeSite  kir.InstrID
+	// Static objects were pre-allocated at space creation (kir heap
+	// globals) and are exempt from leak checking.
+	Static bool
+}
+
+// Contains reports whether addr is inside the object's payload.
+func (o *Object) Contains(addr uint64) bool {
+	return addr >= o.Base && addr < o.Base+uint64(o.Size)
+}
+
+// inRedzone reports whether addr falls in the object's guard words.
+func (o *Object) inRedzone(addr uint64) bool {
+	return (addr >= o.Base-Redzone && addr < o.Base) ||
+		(addr >= o.Base+uint64(o.Size) && addr < o.Base+uint64(o.Size)+Redzone)
+}
+
+// Space is a simulated kernel address space.
+type Space struct {
+	words   map[uint64]int64
+	lists   map[uint64][]int64
+	globals map[string]uint64
+	gnames  []string // declaration order, for deterministic iteration
+	gend    uint64
+	objects []*Object // sorted by Base
+	next    uint64
+}
+
+// NewSpace builds an address space with the given globals laid out from
+// GlobalBase in declaration order and initialized per their Init values.
+func NewSpace(globals []kir.GlobalDef) (*Space, error) {
+	s := &Space{
+		words:   make(map[uint64]int64),
+		lists:   make(map[uint64][]int64),
+		globals: make(map[string]uint64, len(globals)),
+		next:    HeapBase,
+	}
+	addr := uint64(GlobalBase)
+	for _, g := range globals {
+		if _, dup := s.globals[g.Name]; dup {
+			return nil, fmt.Errorf("mem: duplicate global %q", g.Name)
+		}
+		s.globals[g.Name] = addr
+		s.gnames = append(s.gnames, g.Name)
+		if g.HeapSize <= 0 { // heap globals' Init fills the object instead
+			for i, v := range g.Init {
+				if v != 0 {
+					s.words[addr+uint64(i)] = v
+				}
+			}
+		}
+		addr += uint64(g.Size)
+	}
+	s.gend = addr
+	// Second pass: address-of initializers (every global now has a base)
+	// and pre-allocated heap objects.
+	for _, g := range globals {
+		base := s.globals[g.Name]
+		for off, sym := range g.AddrOf {
+			target, ok := s.globals[sym]
+			if !ok {
+				return nil, fmt.Errorf("mem: global %q AddrOf unknown symbol %q", g.Name, sym)
+			}
+			s.words[base+uint64(off)] = int64(target)
+		}
+		if g.HeapSize > 0 {
+			objBase := s.Alloc(g.HeapSize, kir.NoInstr)
+			s.objects[len(s.objects)-1].Static = true
+			for i, v := range g.Init {
+				if v != 0 {
+					s.words[objBase+uint64(i)] = v
+				}
+			}
+			s.words[base] = int64(objBase)
+		}
+	}
+	return s, nil
+}
+
+// GlobalAddr resolves a global symbol to its base address.
+func (s *Space) GlobalAddr(sym string) (uint64, bool) {
+	a, ok := s.globals[sym]
+	return a, ok
+}
+
+// SymbolAt returns the name of the global containing addr, with its word
+// offset, for human-readable reports. ok is false for non-global addresses.
+func (s *Space) SymbolAt(addr uint64) (sym string, off uint64, ok bool) {
+	if addr < GlobalBase || addr >= s.gend {
+		return "", 0, false
+	}
+	// Globals are laid out in declaration order; find the last one at or
+	// below addr.
+	best := ""
+	var base uint64
+	for _, name := range s.gnames {
+		a := s.globals[name]
+		if a <= addr && a >= base {
+			best, base = name, a
+		}
+	}
+	return best, addr - base, best != ""
+}
+
+// check classifies an access to addr without performing it.
+func (s *Space) check(addr uint64, write bool) *Fault {
+	switch {
+	case addr < NullTop:
+		return &Fault{Kind: FaultNullDeref, Addr: addr, Write: write}
+	case addr >= GlobalBase && addr < s.gend:
+		return nil
+	case addr >= HeapBase && addr < s.next:
+		obj := s.objectCovering(addr)
+		if obj == nil {
+			return &Fault{Kind: FaultWild, Addr: addr, Write: write}
+		}
+		if obj.inRedzone(addr) {
+			return &Fault{Kind: FaultOutOfBounds, Addr: addr, Write: write, Object: obj}
+		}
+		if obj.State == Freed {
+			return &Fault{Kind: FaultUseAfterFree, Addr: addr, Write: write, Object: obj}
+		}
+		return nil
+	default:
+		return &Fault{Kind: FaultWild, Addr: addr, Write: write}
+	}
+}
+
+// objectCovering finds the heap object whose payload-plus-redzone region
+// covers addr.
+func (s *Space) objectCovering(addr uint64) *Object {
+	i := sort.Search(len(s.objects), func(i int) bool {
+		o := s.objects[i]
+		return o.Base+uint64(o.Size)+Redzone > addr
+	})
+	if i >= len(s.objects) {
+		return nil
+	}
+	o := s.objects[i]
+	if addr >= o.Base-Redzone {
+		return o
+	}
+	return nil
+}
+
+// Load reads the word at addr.
+func (s *Space) Load(addr uint64) (int64, *Fault) {
+	if f := s.check(addr, false); f != nil {
+		return 0, f
+	}
+	return s.words[addr], nil
+}
+
+// Store writes the word at addr.
+func (s *Space) Store(addr uint64, v int64) *Fault {
+	if f := s.check(addr, true); f != nil {
+		return f
+	}
+	if v == 0 {
+		delete(s.words, addr)
+	} else {
+		s.words[addr] = v
+	}
+	return nil
+}
+
+// Alloc creates a heap object of size words and returns its base address.
+// The payload is zeroed (fresh allocations read as zero).
+func (s *Space) Alloc(size int64, site kir.InstrID) uint64 {
+	base := s.next + Redzone
+	s.next = base + uint64(size) + Redzone + heapGap
+	obj := &Object{Base: base, Size: size, State: Allocated, AllocSite: site, FreeSite: kir.NoInstr}
+	s.objects = append(s.objects, obj) // bases are monotone, stays sorted
+	for a := base; a < base+uint64(size); a++ {
+		delete(s.words, a)
+	}
+	return base
+}
+
+// Free releases the object with the given base address.
+func (s *Space) Free(base uint64, site kir.InstrID) *Fault {
+	obj := s.objectCovering(base)
+	if obj == nil || obj.Base != base {
+		return &Fault{Kind: FaultBadFree, Addr: base, Write: true, Object: obj}
+	}
+	if obj.State == Freed {
+		return &Fault{Kind: FaultDoubleFree, Addr: base, Write: true, Object: obj}
+	}
+	obj.State = Freed
+	obj.FreeSite = site
+	return nil
+}
+
+// ObjectAt returns the heap object covering addr, if any.
+func (s *Space) ObjectAt(addr uint64) *Object { return s.objectCovering(addr) }
+
+// ListAdd appends v to the list at addr (one shared-memory write).
+func (s *Space) ListAdd(addr uint64, v int64) *Fault {
+	if f := s.check(addr, true); f != nil {
+		return f
+	}
+	s.lists[addr] = append(s.lists[addr], v)
+	return nil
+}
+
+// ListDel removes the first occurrence of v from the list at addr (one
+// shared-memory write). Removing an absent value is a no-op, matching
+// list_del-style helpers guarded by emptiness checks.
+func (s *Space) ListDel(addr uint64, v int64) *Fault {
+	if f := s.check(addr, true); f != nil {
+		return f
+	}
+	l := s.lists[addr]
+	for i, x := range l {
+		if x == v {
+			s.lists[addr] = append(append([]int64(nil), l[:i]...), l[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// ListHas reports whether v is in the list at addr (one shared-memory
+// read).
+func (s *Space) ListHas(addr uint64, v int64) (bool, *Fault) {
+	if f := s.check(addr, false); f != nil {
+		return false, f
+	}
+	for _, x := range s.lists[addr] {
+		if x == v {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ListLen returns the length of the list at addr (no access check; used by
+// tests and reports).
+func (s *Space) ListLen(addr uint64) int { return len(s.lists[addr]) }
+
+// Leaked returns the heap objects that are still allocated but no longer
+// reachable — the kmemleak model. Reachability roots are the global words
+// and list contents; any word inside a reachable allocated object that
+// holds another object's base address keeps that object alive
+// transitively. Pre-allocated (static) objects are never reported.
+func (s *Space) Leaked() []*Object {
+	reachable := make(map[uint64]bool)
+	var mark func(v int64)
+	mark = func(v int64) {
+		if v <= 0 {
+			return
+		}
+		obj := s.objectCovering(uint64(v))
+		if obj == nil || obj.Base != uint64(v) || reachable[obj.Base] {
+			return
+		}
+		reachable[obj.Base] = true
+		if obj.State != Allocated {
+			return
+		}
+		for a := obj.Base; a < obj.Base+uint64(obj.Size); a++ {
+			if w, ok := s.words[a]; ok {
+				mark(w)
+			}
+		}
+	}
+	for a := uint64(GlobalBase); a < s.gend; a++ {
+		if w, ok := s.words[a]; ok {
+			mark(w)
+		}
+	}
+	for _, l := range s.lists {
+		for _, v := range l {
+			mark(v)
+		}
+	}
+	var out []*Object
+	for _, o := range s.objects {
+		if o.State == Allocated && !o.Static && !reachable[o.Base] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// FoldState feeds the space's mutable state to fold as numeric tuples, one
+// call per logical entry, in unspecified order. Callers combine the tuples
+// order-independently to build state signatures.
+func (s *Space) FoldState(fold func(parts ...uint64)) {
+	for addr, v := range s.words {
+		fold(0x77, addr, uint64(v))
+	}
+	for addr, l := range s.lists {
+		for i, v := range l {
+			fold(0x11, addr, uint64(i), uint64(v))
+		}
+		fold(0x12, addr, uint64(len(l)))
+	}
+	for _, o := range s.objects {
+		fold(0x0b, o.Base, uint64(o.Size), uint64(o.State))
+	}
+	fold(0xa1, s.next)
+}
+
+// Snapshot is a deep copy of a Space's mutable state.
+type Snapshot struct {
+	words   map[uint64]int64
+	lists   map[uint64][]int64
+	objects []*Object
+	next    uint64
+}
+
+// Snapshot captures the current state for later Restore.
+func (s *Space) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		words:   make(map[uint64]int64, len(s.words)),
+		lists:   make(map[uint64][]int64, len(s.lists)),
+		objects: make([]*Object, len(s.objects)),
+		next:    s.next,
+	}
+	for k, v := range s.words {
+		sn.words[k] = v
+	}
+	for k, v := range s.lists {
+		sn.lists[k] = append([]int64(nil), v...)
+	}
+	for i, o := range s.objects {
+		cp := *o
+		sn.objects[i] = &cp
+	}
+	return sn
+}
+
+// Restore rewinds the space to a snapshot (the VM-revert operation the
+// AITIA hypervisor performs between runs). The snapshot remains usable.
+func (s *Space) Restore(sn *Snapshot) {
+	s.words = make(map[uint64]int64, len(sn.words))
+	for k, v := range sn.words {
+		s.words[k] = v
+	}
+	s.lists = make(map[uint64][]int64, len(sn.lists))
+	for k, v := range sn.lists {
+		s.lists[k] = append([]int64(nil), v...)
+	}
+	s.objects = make([]*Object, len(sn.objects))
+	for i, o := range sn.objects {
+		cp := *o
+		s.objects[i] = &cp
+	}
+	s.next = sn.next
+}

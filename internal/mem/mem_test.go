@@ -1,0 +1,249 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aitia/internal/kir"
+)
+
+func newSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace([]kir.GlobalDef{
+		{Name: "a", Size: 1, Init: []int64{7}},
+		{Name: "b", Size: 4, Init: []int64{1, 2}},
+		{Name: "p", Size: 1, AddrOf: map[int64]string{0: "b"}},
+		{Name: "h", Size: 1, HeapSize: 2, Init: []int64{9}},
+	})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	return s
+}
+
+func TestGlobalLayoutAndInit(t *testing.T) {
+	s := newSpace(t)
+	a, ok := s.GlobalAddr("a")
+	if !ok || a != GlobalBase {
+		t.Fatalf("a at %#x", a)
+	}
+	if v, f := s.Load(a); f != nil || v != 7 {
+		t.Errorf("a = %d, %v", v, f)
+	}
+	bAddr, _ := s.GlobalAddr("b")
+	if v, _ := s.Load(bAddr + 1); v != 2 {
+		t.Errorf("b[1] = %d", v)
+	}
+	if v, _ := s.Load(bAddr + 3); v != 0 {
+		t.Errorf("b[3] = %d, want 0", v)
+	}
+	// AddrOf: p holds b's address.
+	pAddr, _ := s.GlobalAddr("p")
+	if v, _ := s.Load(pAddr); uint64(v) != bAddr {
+		t.Errorf("p = %#x, want %#x", v, bAddr)
+	}
+	// Heap global: h holds a pointer to an initialized static object.
+	hAddr, _ := s.GlobalAddr("h")
+	hv, _ := s.Load(hAddr)
+	if uint64(hv) < HeapBase {
+		t.Fatalf("h does not point into the heap: %#x", hv)
+	}
+	if v, f := s.Load(uint64(hv)); f != nil || v != 9 {
+		t.Errorf("*h = %d, %v", v, f)
+	}
+	obj := s.ObjectAt(uint64(hv))
+	if obj == nil || !obj.Static {
+		t.Errorf("heap-global object not static: %+v", obj)
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	s := newSpace(t)
+	bAddr, _ := s.GlobalAddr("b")
+	sym, off, ok := s.SymbolAt(bAddr + 2)
+	if !ok || sym != "b" || off != 2 {
+		t.Errorf("SymbolAt = %q+%d, %v", sym, off, ok)
+	}
+	if _, _, ok := s.SymbolAt(HeapBase); ok {
+		t.Error("heap address should not symbolize")
+	}
+}
+
+func TestFaultClassification(t *testing.T) {
+	s := newSpace(t)
+	if _, f := s.Load(0); f == nil || f.Kind != FaultNullDeref {
+		t.Errorf("null load fault = %v", f)
+	}
+	if f := s.Store(NullTop-1, 1); f == nil || f.Kind != FaultNullDeref {
+		t.Errorf("null store fault = %v", f)
+	}
+	if _, f := s.Load(0xdead0000); f == nil || f.Kind != FaultWild {
+		t.Errorf("wild fault = %v", f)
+	}
+
+	base := s.Alloc(2, kir.NoInstr)
+	if f := s.Store(base+1, 5); f != nil {
+		t.Errorf("in-bounds store fault: %v", f)
+	}
+	if _, f := s.Load(base + 2); f == nil || f.Kind != FaultOutOfBounds {
+		t.Errorf("redzone fault = %v", f)
+	}
+	if _, f := s.Load(base - 1); f == nil || f.Kind != FaultOutOfBounds {
+		t.Errorf("left redzone fault = %v", f)
+	}
+
+	if f := s.Free(base, kir.NoInstr); f != nil {
+		t.Fatalf("free fault: %v", f)
+	}
+	if _, f := s.Load(base); f == nil || f.Kind != FaultUseAfterFree {
+		t.Errorf("UAF fault = %v", f)
+	}
+	if f := s.Free(base, kir.NoInstr); f == nil || f.Kind != FaultDoubleFree {
+		t.Errorf("double-free fault = %v", f)
+	}
+	if f := s.Free(base+1, kir.NoInstr); f == nil || f.Kind != FaultBadFree {
+		t.Errorf("bad-free fault = %v", f)
+	}
+}
+
+func TestListOps(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.GlobalAddr("a")
+	if f := s.ListAdd(a, 5); f != nil {
+		t.Fatalf("ListAdd: %v", f)
+	}
+	s.ListAdd(a, 6)
+	if has, _ := s.ListHas(a, 5); !has {
+		t.Error("5 should be in the list")
+	}
+	if s.ListLen(a) != 2 {
+		t.Errorf("len = %d", s.ListLen(a))
+	}
+	s.ListDel(a, 5)
+	if has, _ := s.ListHas(a, 5); has {
+		t.Error("5 should be gone")
+	}
+	s.ListDel(a, 999) // absent: no-op
+	if s.ListLen(a) != 1 {
+		t.Errorf("len = %d", s.ListLen(a))
+	}
+}
+
+func TestLeakedReachability(t *testing.T) {
+	s := newSpace(t)
+	aAddr, _ := s.GlobalAddr("a")
+
+	leaked := s.Alloc(1, kir.NoInstr)
+	kept := s.Alloc(2, kir.NoInstr)
+	inner := s.Alloc(1, kir.NoInstr)
+
+	// kept is referenced from a global; inner from inside kept.
+	s.Store(aAddr, int64(kept))
+	s.Store(kept, int64(inner))
+
+	objs := s.Leaked()
+	if len(objs) != 1 || objs[0].Base != leaked {
+		bases := []uint64{}
+		for _, o := range objs {
+			bases = append(bases, o.Base)
+		}
+		t.Errorf("leaked = %#v, want [%#x]", bases, leaked)
+	}
+
+	// A list reference also keeps an object alive.
+	s2 := newSpace(t)
+	a2, _ := s2.GlobalAddr("a")
+	o := s2.Alloc(1, kir.NoInstr)
+	s2.ListAdd(a2, int64(o))
+	if got := s2.Leaked(); len(got) != 0 {
+		t.Errorf("list-referenced object reported leaked: %v", got)
+	}
+}
+
+// TestSnapshotRoundTrip is a property test: any sequence of operations,
+// snapshot, more operations, restore — the observable state equals the
+// snapshot point's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewSpace([]kir.GlobalDef{{Name: "g", Size: 8}})
+		if err != nil {
+			return false
+		}
+		gAddr, _ := s.GlobalAddr("g")
+		var bases []uint64
+		apply := func(op uint8) {
+			switch op % 5 {
+			case 0:
+				s.Store(gAddr+uint64(rng.Intn(8)), rng.Int63n(100))
+			case 1:
+				bases = append(bases, s.Alloc(int64(1+rng.Intn(3)), kir.NoInstr))
+			case 2:
+				if len(bases) > 0 {
+					s.Free(bases[rng.Intn(len(bases))], kir.NoInstr)
+				}
+			case 3:
+				s.ListAdd(gAddr, rng.Int63n(10))
+			case 4:
+				s.ListDel(gAddr, rng.Int63n(10))
+			}
+		}
+		half := len(ops) / 2
+		for _, op := range ops[:half] {
+			apply(op)
+		}
+		snap := s.Snapshot()
+		want := fingerprint(s)
+		for _, op := range ops[half:] {
+			apply(op)
+		}
+		s.Restore(snap)
+		return fingerprint(s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fingerprint folds the observable space state into a comparable value.
+func fingerprint(s *Space) uint64 {
+	var acc uint64
+	s.FoldState(func(parts ...uint64) {
+		h := uint64(1469598103934665603)
+		for _, p := range parts {
+			h = (h ^ p) * 1099511628211
+		}
+		acc += h
+	})
+	return acc
+}
+
+// TestAllocNeverReusesAddresses is the quarantine property: freed objects
+// keep their addresses, so any dangling pointer stays diagnosable.
+func TestAllocNeverReusesAddresses(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s, err := NewSpace(nil)
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool)
+		for _, raw := range sizes {
+			size := int64(raw%7) + 1
+			base := s.Alloc(size, kir.NoInstr)
+			for a := base; a < base+uint64(size); a++ {
+				if seen[a] {
+					return false
+				}
+				seen[a] = true
+			}
+			if raw%2 == 0 {
+				s.Free(base, kir.NoInstr)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

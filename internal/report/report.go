@@ -1,0 +1,184 @@
+// Package report renders diagnosis results and evaluation tables as text:
+// the human-facing output of the pipeline (crash report, failure-causing
+// sequence, test-set verdicts, causality chain, statistics) in the style
+// of the paper's figures, plus aligned-column tables for the evaluation
+// harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aitia/internal/core"
+	"aitia/internal/kir"
+	"aitia/internal/sched"
+)
+
+// WriteDiagnosis renders a complete diagnosis report.
+func WriteDiagnosis(w io.Writer, prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) {
+	fmt.Fprintf(w, "=== Crash report ===\n%s\n", d.Failure.Report(prog))
+
+	fmt.Fprintf(w, "=== Failure-causing instruction sequence (LIFS) ===\n")
+	fmt.Fprintf(w, "%s\n\n", rep.Run.FormatSeq(prog, false))
+	WriteSwimlanes(w, prog, rep.Run.Seq)
+	fmt.Fprintf(w, "schedules: %d   interleavings: %d   pruned: %d   elapsed: %v\n\n",
+		rep.Stats.Schedules, rep.Stats.Interleavings, rep.Stats.Pruned, rep.Stats.Elapsed)
+
+	fmt.Fprintf(w, "=== Causality Analysis ===\n")
+	fmt.Fprintf(w, "test set: %d data race(s); %d memory-accessing instruction(s) in the failing run\n",
+		d.Stats.TestSet, d.Stats.MemAccesses)
+	for _, tr := range d.Tested {
+		mark := " "
+		switch tr.Verdict {
+		case core.VerdictRootCause:
+			mark = "*"
+		case core.VerdictAmbiguous:
+			mark = "?"
+		}
+		fmt.Fprintf(w, "  %s %-40s %s", mark, tr.Race.FormatLong(prog), tr.Verdict)
+		if gone := Disappeared(rep.Run, tr.FlipRun); len(gone) > 0 && tr.Verdict != core.VerdictBenign {
+			fmt.Fprintf(w, "   [disappeared: %s]", strings.Join(gone, " "))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "schedules: %d   elapsed: %v\n\n", d.Stats.Schedules, d.Stats.Elapsed)
+
+	fmt.Fprintf(w, "=== Causality chain (root cause) ===\n")
+	fmt.Fprintf(w, "%s\n", d.Chain.Format(prog))
+	if d.Chain.HasAmbiguity() {
+		fmt.Fprintf(w, "note: the chain contains an ambiguous surrounding race (see §3.4 of the paper)\n")
+	}
+	fmt.Fprintf(w, "\nHow to fix: a patch that makes any one of the chain's interleaving\norders impossible prevents the failure.\n")
+}
+
+// WriteSwimlanes renders an executed sequence as per-thread swimlanes,
+// one column per execution context, like the paper's Figure 2: reading
+// top to bottom gives the total order, and the column shows which context
+// executed each (labelled) instruction.
+func WriteSwimlanes(w io.Writer, prog *kir.Program, seq []sched.Exec) {
+	var threads []string
+	seen := make(map[string]int)
+	for _, e := range seq {
+		if _, ok := seen[e.Name]; !ok {
+			seen[e.Name] = len(threads)
+			threads = append(threads, e.Name)
+		}
+	}
+	if len(threads) == 0 {
+		return
+	}
+	width := 0
+	for _, th := range threads {
+		if len(th) > width {
+			width = len(th)
+		}
+	}
+	for _, e := range seq {
+		if len(e.Instr.Name()) > width {
+			width = len(e.Instr.Name())
+		}
+	}
+	width += 2
+
+	cell := func(col int, s string) string {
+		var b strings.Builder
+		for i := 0; i < len(threads); i++ {
+			if i == col {
+				b.WriteString(pad(s, width))
+			} else {
+				b.WriteString(pad("", width))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	for i, th := range threads {
+		fmt.Fprintf(w, "  %s\n", cell(i, th))
+	}
+	var header strings.Builder
+	for range threads {
+		header.WriteString(pad(strings.Repeat("-", width-2), width))
+	}
+	fmt.Fprintf(w, "  %s\n", strings.TrimRight(header.String(), " "))
+	for _, e := range seq {
+		if e.Instr.Label == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %s\n", cell(seen[e.Name], e.Instr.Name()))
+	}
+	fmt.Fprintln(w)
+}
+
+// Disappeared lists the labelled instructions of the original failing run
+// that no longer execute in a perturbed run — the paper's Figure 6(a)
+// "Disappeared" column, the visible footprint of a race-steered control
+// flow.
+func Disappeared(original, perturbed *sched.RunResult) []string {
+	var out []string
+	seenOut := make(map[string]bool)
+	for _, e := range original.Seq {
+		if e.Instr.Label == "" || seenOut[e.Instr.Label] {
+			continue
+		}
+		if !perturbed.Executed(e.Site()) {
+			seenOut[e.Instr.Label] = true
+			out = append(out, e.Instr.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table renders rows with aligned columns; the first row is the header.
+type Table struct {
+	Title string
+	Rows  [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	if len(t.Rows) == 0 {
+		return
+	}
+	widths := make([]int, 0, 8)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(row []string) {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Rows[0])
+	sep := make([]string, len(t.Rows[0]))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows[1:] {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

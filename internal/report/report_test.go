@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+func TestWriteDiagnosis(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteDiagnosis(&b, prog, rep, d)
+	out := b.String()
+	for _, want := range []string{
+		"Crash report",
+		"kernel BUG",
+		"Failure-causing instruction sequence",
+		"Causality Analysis",
+		"benign",
+		"root-cause",
+		"Causality chain",
+		"(A2 => B11 ∧ B2 => A6)",
+		"How to fix",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{Title: "T"}
+	tb.Add("a", "bb", "c")
+	tb.Add("long-cell", "x", "y")
+	var b strings.Builder
+	tb.Write(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, row
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[2], "---------") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "x" starts where "bb" starts.
+	if strings.Index(lines[1], "bb") != strings.Index(lines[3], "x") {
+		t.Errorf("misaligned:\n%s", b.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var b strings.Builder
+	(&Table{Title: "empty"}).Write(&b)
+	if !strings.Contains(b.String(), "empty") {
+		t.Error("title missing")
+	}
+}

@@ -1,0 +1,174 @@
+// Package sanitizer defines the failure model of the simulated kernel: the
+// failure kinds a run can end with (the union of KASAN report types,
+// BUG_ON/WARN assertions, refcount warnings, memory leaks and watchdog
+// events seen in the paper's Tables 2–3) and the crash-report rendering
+// that serves as AITIA's "failure information" input.
+package sanitizer
+
+import (
+	"fmt"
+	"strings"
+
+	"aitia/internal/kir"
+	"aitia/internal/mem"
+)
+
+// Kind classifies a kernel failure.
+type Kind uint8
+
+const (
+	// KindNone means the run did not fail.
+	KindNone Kind = iota
+	// KindNullDeref is a NULL pointer dereference.
+	KindNullDeref
+	// KindUseAfterFree is a KASAN use-after-free report.
+	KindUseAfterFree
+	// KindOutOfBounds is a KASAN slab-out-of-bounds report.
+	KindOutOfBounds
+	// KindGPF is a general protection fault (wild access).
+	KindGPF
+	// KindDoubleFree is a KASAN double-free report.
+	KindDoubleFree
+	// KindBadFree is a KASAN invalid-free report.
+	KindBadFree
+	// KindBugOn is a BUG_ON assertion violation.
+	KindBugOn
+	// KindRefcount is a refcount_t warning (saturation/underflow).
+	KindRefcount
+	// KindMemoryLeak is a kmemleak-style report at thread completion.
+	KindMemoryLeak
+	// KindBadUnlock is a release of a lock the thread does not hold.
+	KindBadUnlock
+	// KindDeadlock means every unfinished thread is blocked on a lock.
+	KindDeadlock
+	// KindWatchdog means the run exceeded its step budget (soft lockup).
+	KindWatchdog
+)
+
+// String returns the crash-report name of the failure kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "no failure"
+	case KindNullDeref:
+		return "NULL pointer dereference"
+	case KindUseAfterFree:
+		return "KASAN: use-after-free"
+	case KindOutOfBounds:
+		return "KASAN: slab-out-of-bounds"
+	case KindGPF:
+		return "general protection fault"
+	case KindDoubleFree:
+		return "KASAN: double-free"
+	case KindBadFree:
+		return "KASAN: invalid-free"
+	case KindBugOn:
+		return "kernel BUG (BUG_ON)"
+	case KindRefcount:
+		return "WARNING: refcount bug"
+	case KindMemoryLeak:
+		return "memory leak"
+	case KindBadUnlock:
+		return "WARNING: bad unlock balance"
+	case KindDeadlock:
+		return "INFO: task hung (deadlock)"
+	case KindWatchdog:
+		return "watchdog: soft lockup"
+	default:
+		return fmt.Sprintf("failure(%d)", uint8(k))
+	}
+}
+
+// AllKinds lists every failure kind (excluding KindNone).
+func AllKinds() []Kind {
+	return []Kind{
+		KindNullDeref, KindUseAfterFree, KindOutOfBounds, KindGPF,
+		KindDoubleFree, KindBadFree, KindBugOn, KindRefcount,
+		KindMemoryLeak, KindBadUnlock, KindDeadlock, KindWatchdog,
+	}
+}
+
+// KindByName resolves a failure kind from its String form.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return KindNone, false
+}
+
+// FromFault maps a memory fault to the corresponding failure kind.
+func FromFault(f *mem.Fault) Kind {
+	switch f.Kind {
+	case mem.FaultNullDeref:
+		return KindNullDeref
+	case mem.FaultUseAfterFree:
+		return KindUseAfterFree
+	case mem.FaultOutOfBounds:
+		return KindOutOfBounds
+	case mem.FaultWild:
+		return KindGPF
+	case mem.FaultDoubleFree:
+		return KindDoubleFree
+	case mem.FaultBadFree:
+		return KindBadFree
+	default:
+		return KindNone
+	}
+}
+
+// Failure describes a manifested kernel failure: the symptom and its
+// location, which together form the "failure information" AITIA consumes
+// (§4.2 of the paper).
+type Failure struct {
+	Kind   Kind
+	Thread string      // failing thread name
+	Instr  kir.InstrID // failing instruction
+	Addr   uint64      // faulting address, when applicable
+	Msg    string      // extra context (alloc/free sites, lock, ...)
+}
+
+// Error implements the error interface.
+func (f *Failure) Error() string {
+	if f == nil {
+		return "no failure"
+	}
+	s := fmt.Sprintf("%s in %s", f.Kind, f.Thread)
+	if f.Msg != "" {
+		s += ": " + f.Msg
+	}
+	return s
+}
+
+// SameSymptom reports whether two failures present the same symptom: the
+// same kind at the same failing instruction. Causality Analysis uses this
+// to decide whether a perturbed run reproduces "the" failure rather than
+// some other one.
+func (f *Failure) SameSymptom(other *Failure) bool {
+	if f == nil || other == nil {
+		return f == other
+	}
+	return f.Kind == other.Kind && f.Instr == other.Instr
+}
+
+// Report renders a crash report in the spirit of a Linux oops: symptom
+// line, failing location, and context. prog supplies instruction names.
+func (f *Failure) Report(prog *kir.Program) string {
+	if f == nil {
+		return "no failure\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Kind)
+	if in, ok := prog.Instr(f.Instr); ok {
+		fmt.Fprintf(&b, "RIP: %s (%s) in %s\n", in.Name(), in.String(), in.Fn)
+	}
+	fmt.Fprintf(&b, "CPU: thread %s\n", f.Thread)
+	if f.Addr != 0 {
+		fmt.Fprintf(&b, "Access address: %#x\n", f.Addr)
+	}
+	if f.Msg != "" {
+		fmt.Fprintf(&b, "Context: %s\n", f.Msg)
+	}
+	return b.String()
+}

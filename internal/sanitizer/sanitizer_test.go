@@ -1,0 +1,80 @@
+package sanitizer
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/kir"
+	"aitia/internal/mem"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("nonsense"); ok {
+		t.Error("KindByName(nonsense) should fail")
+	}
+}
+
+func TestFromFault(t *testing.T) {
+	cases := map[mem.FaultKind]Kind{
+		mem.FaultNullDeref:    KindNullDeref,
+		mem.FaultUseAfterFree: KindUseAfterFree,
+		mem.FaultOutOfBounds:  KindOutOfBounds,
+		mem.FaultWild:         KindGPF,
+		mem.FaultDoubleFree:   KindDoubleFree,
+		mem.FaultBadFree:      KindBadFree,
+	}
+	for fk, want := range cases {
+		if got := FromFault(&mem.Fault{Kind: fk}); got != want {
+			t.Errorf("FromFault(%v) = %v, want %v", fk, got, want)
+		}
+	}
+}
+
+func TestSameSymptom(t *testing.T) {
+	a := &Failure{Kind: KindBugOn, Instr: 5}
+	b := &Failure{Kind: KindBugOn, Instr: 5, Thread: "other"}
+	c := &Failure{Kind: KindBugOn, Instr: 6}
+	d := &Failure{Kind: KindUseAfterFree, Instr: 5}
+	if !a.SameSymptom(b) {
+		t.Error("same kind+instr should match regardless of thread")
+	}
+	if a.SameSymptom(c) || a.SameSymptom(d) {
+		t.Error("different instr or kind must not match")
+	}
+	var nilF *Failure
+	if nilF.SameSymptom(a) || a.SameSymptom(nil) {
+		t.Error("nil mismatch")
+	}
+	if !nilF.SameSymptom(nil) {
+		t.Error("nil == nil")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	b := kir.NewBuilder()
+	b.Var("g", 0)
+	f := b.Func("f")
+	f.BugOn(kir.Imm(1)).L("X1")
+	b.Thread("T", "f")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := prog.ByLabel("X1")
+	fail := &Failure{Kind: KindBugOn, Thread: "T", Instr: in.ID, Msg: "boom"}
+	rep := fail.Report(prog)
+	for _, want := range []string{"kernel BUG", "X1", "thread T", "boom"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if got := fail.Error(); !strings.Contains(got, "BUG") || !strings.Contains(got, "boom") {
+		t.Errorf("Error() = %q", got)
+	}
+}

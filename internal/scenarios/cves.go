@@ -1,0 +1,489 @@
+package scenarios
+
+import (
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// cve201715649 models CVE-2017-15649 (packet socket fanout), the paper's
+// running example (Figure 2): a multi-variable atomicity violation on
+// po->running and po->fanout between setsockopt(PACKET_FANOUT) and bind().
+// The race-steered control flow A6 => B12 lets unregister_hook() call
+// fanout_unlink() for a socket that was never linked, tripping BUG_ON.
+//
+// Expected causality chain (Figure 3):
+//
+//	(A2 => B11 ∧ B2 => A6) → A6 => B12 → B17 => A12 → BUG_ON()
+//
+// A benign statistics-counter race (SA/SB) is planted; it must not appear
+// in the chain.
+var cve201715649 = register(&Scenario{
+	Name:      "cve-2017-15649",
+	Title:     "CVE-2017-15649",
+	Group:     GroupCVE,
+	Subsystem: "Packet socket",
+	BugType:   "assertion violation",
+
+	MultiVariable: true,
+	Threads:       2,
+	WantKind:      sanitizer.KindBugOn,
+	WantLabel:     "B17bug",
+	WantChainLen:  4,
+	WantChain: "(A2 => B11 ∧ B2 => A6) → A6 => B12 → B17 => A12 → " +
+		"kernel BUG (BUG_ON)",
+	WantInterleavings: 2,
+	BenignRaces:       1,
+
+	Notes: "setsockopt=fanout_add, bind=packet_do_bind. sk is modelled as " +
+		"the constant 7 inserted into global_list. The pkt_stats counter is " +
+		"the planted benign race.",
+
+	build: func() (*kir.Program, error) {
+		const sk = 7
+		b := kir.NewBuilder()
+		b.Var("po_running", 1)
+		b.Var("po_fanout", 0)
+		b.Var("global_list", 0)
+		b.Var("pkt_stats", 1)
+
+		// Thread A: setsockopt -> fanout_add().
+		a := b.Func("fanout_add")
+		a.RefGet(kir.R9, kir.G("pkt_stats")).L("SA") // benign stats bump
+		a.Load(kir.R1, kir.G("po_running")).L("A2")
+		a.Bne(kir.R(kir.R1), kir.Imm(0), "run")
+		a.Ret() // -EINVAL
+		a.At("run")
+		a.Alloc(kir.R2, 1).L("A5") // match = kmalloc()
+		// Invariant (violated by the race): po->running != 0 here.
+		a.Store(kir.G("po_fanout"), kir.R(kir.R2)).L("A6")
+		a.Call("fanout_link").L("A8")
+		a.Ret()
+
+		link := b.Func("fanout_link")
+		link.ListAdd(kir.G("global_list"), kir.Imm(sk)).L("A12")
+		link.Ret()
+
+		// Thread B: bind -> packet_do_bind().
+		pb := b.Func("packet_do_bind")
+		pb.RefGet(kir.R9, kir.G("pkt_stats")).L("SB") // benign stats bump
+		pb.Load(kir.R1, kir.G("po_fanout")).L("B2")
+		pb.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		// Invariant (violated by the race): po->fanout == 0 here.
+		pb.Call("unregister_hook").L("B5")
+		pb.Call("fanout_link").L("B7")
+		pb.At("out").Ret()
+
+		hook := b.Func("unregister_hook")
+		hook.Store(kir.G("po_running"), kir.Imm(0)).L("B11")
+		hook.Load(kir.R2, kir.G("po_fanout")).L("B12")
+		hook.Beq(kir.R(kir.R2), kir.Imm(0), "done")
+		hook.Call("fanout_unlink").L("B13")
+		hook.At("done").Ret()
+
+		unlink := b.Func("fanout_unlink")
+		unlink.ListHas(kir.R3, kir.G("global_list"), kir.Imm(sk)).L("B17")
+		unlink.Xor(kir.R3, kir.Imm(1))
+		// BUG_ON(!list_contains(sk, global_list))
+		unlink.BugOn(kir.R(kir.R3)).L("B17bug")
+		unlink.ListDel(kir.G("global_list"), kir.Imm(sk))
+		unlink.Ret()
+
+		b.Thread("setsockopt", "fanout_add")
+		b.Thread("bind", "packet_do_bind")
+		return b.Build()
+	},
+})
+
+// cve201911486 models CVE-2019-11486 (Siemens R3964 TTY line discipline):
+// a classic pointer/lifetime race — one path snapshots the ldisc pointer
+// and keeps using the object while a concurrent hangup retracts the
+// pointer and frees the object.
+var cve201911486 = register(&Scenario{
+	Name:      "cve-2019-11486",
+	Title:     "CVE-2019-11486",
+	Group:     GroupCVE,
+	Subsystem: "TTY",
+	BugType:   "use-after-free access",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantChainLen:      3,
+	WantChain:         "(A1 => B2 ∧ B1 => A1) → B3 => A2 → KASAN: use-after-free",
+	WantInterleavings: 2,
+	BenignRaces:       1,
+	Notes: "ioctl(TIOCSETD) vs. vhangup(): the ldisc object outlives its " +
+		"pointer snapshot. The ioctl must catch the pointer inside the " +
+		"install/retract window (the conjunction), after which the free " +
+		"races with the snapshot's use.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("tty_ldisc", 0)
+		b.Var("tty_stats", 1)
+
+		// Setup thread-free initialization: the ldisc object is created by
+		// the hangup path itself before the race window, modelled by B
+		// allocating and publishing before the racy region.
+		a := b.Func("r3964_ioctl")
+		a.RefGet(kir.R9, kir.G("tty_stats")).L("SA")
+		a.Load(kir.R1, kir.G("tty_ldisc")).L("A1")
+		a.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		a.Store(kir.Ind(kir.R1, 0), kir.Imm(3)).L("A2") // use the snapshot
+		a.At("out").Ret()
+
+		h := b.Func("tty_hangup")
+		h.RefGet(kir.R9, kir.G("tty_stats")).L("SB")
+		h.Alloc(kir.R1, 1)
+		h.Store(kir.G("tty_ldisc"), kir.R(kir.R1)).L("B1") // install ldisc
+		h.Load(kir.R2, kir.G("tty_ldisc"))
+		h.Store(kir.G("tty_ldisc"), kir.Imm(0)).L("B2") // retract
+		h.Free(kir.R(kir.R2)).L("B3")                   // destroy
+		h.Ret()
+
+		b.Thread("ioctl$TIOCSETD", "r3964_ioctl")
+		b.Thread("vhangup", "tty_hangup")
+		return b.Build()
+	},
+})
+
+// cve20196974 models CVE-2019-6974 (KVM kvm_ioctl_create_device): the
+// device is published through the fd table before its initialization
+// finishes; a concurrent close() frees it under the creator's feet. The
+// fd-table slot (VFS) and the device object (KVM) are the paper's
+// loosely-correlated object pair (§2.2).
+var cve20196974 = register(&Scenario{
+	Name:      "cve-2019-6974",
+	Title:     "CVE-2019-6974",
+	Group:     GroupCVE,
+	Subsystem: "KVM",
+	BugType:   "use-after-free access",
+
+	MultiVariable:     true,
+	LooselyCorrelated: true,
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantChainLen:      2,
+	WantChain:         "A1 => B1 → B3 => A2 → KASAN: use-after-free",
+	WantInterleavings: 1,
+	Notes:             "fd_install before kvm_get_kvm; close() wins the race and kfree()s the half-initialized device.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("fdtable", 0)
+
+		a := b.Func("kvm_ioctl_create_device")
+		a.Alloc(kir.R1, 2)
+		a.Store(kir.G("fdtable"), kir.R(kir.R1)).L("A1") // fd_install (too early)
+		a.Store(kir.Ind(kir.R1, 1), kir.Imm(1)).L("A2")  // kvm_get_kvm: finish init
+		a.Ret()
+
+		c := b.Func("sys_close")
+		c.Load(kir.R2, kir.G("fdtable")).L("B1")
+		c.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		c.Store(kir.G("fdtable"), kir.Imm(0)).L("B2")
+		c.Free(kir.R(kir.R2)).L("B3") // kvm_device release
+		c.At("out").Ret()
+
+		b.Thread("ioctl$KVM_CREATE_DEVICE", "kvm_ioctl_create_device")
+		b.Thread("close", "sys_close")
+		return b.Build()
+	},
+})
+
+// cve201812232 models CVE-2018-12232 (SockFS): fchownat() checks
+// sock->sk, a concurrent close() nulls it, and the attribute write
+// dereferences NULL — a time-of-check-to-time-of-use on one pointer.
+var cve201812232 = register(&Scenario{
+	Name:      "cve-2018-12232",
+	Title:     "CVE-2018-12232",
+	Group:     GroupCVE,
+	Subsystem: "SockFS",
+	BugType:   "null-pointer dereference",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindNullDeref,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	BenignRaces:       1,
+	Notes:             "sock->sk TOCTOU between sock_setattr and sock_close.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.VarAddrOf("sock_sk", "sk_obj")
+		b.Global("sk_obj", 2, 0, 0)
+		b.Var("sock_stats", 1)
+
+		a := b.Func("sock_setattr")
+		a.RefGet(kir.R9, kir.G("sock_stats")).L("SA")
+		a.Load(kir.R1, kir.G("sock_sk")).L("A1") // check
+		a.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		a.Load(kir.R2, kir.G("sock_sk")).L("A2") // use (re-read)
+		a.Store(kir.Ind(kir.R2, 0), kir.Imm(1000)).L("A2d")
+		a.At("out").Ret()
+
+		c := b.Func("sock_close")
+		c.RefGet(kir.R9, kir.G("sock_stats")).L("SB")
+		c.Store(kir.G("sock_sk"), kir.Imm(0)).L("B1")
+		c.Ret()
+
+		b.Thread("fchownat", "sock_setattr")
+		b.Thread("close", "sock_close")
+		return b.Build()
+	},
+})
+
+// cve201710661 models CVE-2017-10661 (timerfd): two concurrent
+// timerfd_settime() calls race on the might_cancel flag; both conclude the
+// timer is not yet on the cancel list and both insert it, tripping the
+// list-corruption assertion. The flag and the list are a correlated
+// multi-variable pair; the flag's write-write race is benign on its own.
+var cve201710661 = register(&Scenario{
+	Name:      "cve-2017-10661",
+	Title:     "CVE-2017-10661",
+	Group:     GroupCVE,
+	Subsystem: "Timer fd",
+	BugType:   "assertion violation",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindBugOn,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	BenignRaces:       1,
+	Notes:             "timerfd_setup_cancel's might_cancel check/set is not atomic; double list_add corrupts cancel_list.",
+
+	build: func() (*kir.Program, error) {
+		const timer = 9
+		b := kir.NewBuilder()
+		b.Var("might_cancel", 0)
+		b.Var("cancel_list", 0)
+
+		f := b.Func("timerfd_setup_cancel")
+		f.Load(kir.R1, kir.G("might_cancel")).L("C1")
+		f.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		f.Store(kir.G("might_cancel"), kir.Imm(1)).L("C2")
+		f.ListAdd(kir.G("cancel_list"), kir.Imm(timer)).L("C4") // CONFIG_DEBUG_LIST trips on the double add
+		f.At("out").Ret()
+
+		b.Thread("timerfd_settime$1", "timerfd_setup_cancel")
+		b.Thread("timerfd_settime$2", "timerfd_setup_cancel")
+		return b.Build()
+	},
+})
+
+// cve20177533 models CVE-2017-7533 (inotify vs. rename): rename updates
+// the dentry name length before swapping in the enlarged name buffer;
+// fsnotify reads the new length against the old, smaller buffer —
+// a slab-out-of-bounds read on the correlated (buffer, length) pair.
+var cve20177533 = register(&Scenario{
+	Name:      "cve-2017-7533",
+	Title:     "CVE-2017-7533",
+	Group:     GroupCVE,
+	Subsystem: "Inotify",
+	BugType:   "slab-out-of-bound access",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindOutOfBounds,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	Notes:             "d_name.len and d_name.name must change atomically; fsnotify sees len=4 with the 2-word buffer.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("name_len", 2)
+		b.HeapObj("name_ptr", 2, 100, 101) // the old, 2-word name buffer
+
+		fs := b.Func("fsnotify_event")
+		fs.Load(kir.R1, kir.G("name_len")).L("A1")
+		fs.Load(kir.R2, kir.G("name_ptr")).L("A2")
+		fs.Add(kir.R2, kir.R(kir.R1))
+		fs.Sub(kir.R2, kir.Imm(1))
+		fs.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A3") // read name[len-1]
+		fs.Ret()
+
+		rn := b.Func("vfs_rename")
+		rn.Store(kir.G("name_len"), kir.Imm(4)).L("B1") // len first (the bug)
+		rn.Alloc(kir.R1, 4)
+		rn.Store(kir.G("name_ptr"), kir.R(kir.R1)).L("B2") // buffer second
+		rn.Ret()
+
+		b.Thread("read$inotify", "fsnotify_event")
+		b.Thread("rename", "vfs_rename")
+		return b.Build()
+	},
+})
+
+// cve20172671 models CVE-2017-2671 (IPv4 ping sockets): ping_unhash()
+// clears the socket's hash slot while a concurrent connect() path looks
+// the socket up and dereferences the cleared slot.
+var cve20172671 = register(&Scenario{
+	Name:      "cve-2017-2671",
+	Title:     "CVE-2017-2671",
+	Group:     GroupCVE,
+	Subsystem: "IPV4",
+	BugType:   "null-pointer dereference",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindNullDeref,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	BenignRaces:       1,
+	Notes:             "ping_lookup vs. ping_unhash on the hash-table slot.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.VarAddrOf("ping_slot", "ping_sk")
+		b.Global("ping_sk", 2, 0, 0)
+		b.Var("ping_stats", 1)
+
+		lk := b.Func("ping_lookup")
+		lk.RefGet(kir.R9, kir.G("ping_stats")).L("SA")
+		lk.Load(kir.R1, kir.G("ping_slot")).L("A1") // check
+		lk.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		lk.Load(kir.R2, kir.G("ping_slot")).L("A2") // use (re-read)
+		lk.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A2d")
+		lk.At("out").Ret()
+
+		uh := b.Func("ping_unhash")
+		uh.RefGet(kir.R9, kir.G("ping_stats")).L("SB")
+		uh.Store(kir.G("ping_slot"), kir.Imm(0)).L("B1")
+		uh.Ret()
+
+		b.Thread("connect", "ping_lookup")
+		b.Thread("disconnect", "ping_unhash")
+		return b.Build()
+	},
+})
+
+// cve20172636 models CVE-2017-2636 (n_hdlc TTY line discipline): two
+// flush paths both observe the same tx buffer on the list and both free
+// it — the double free that made this CVE exploitable. Both threads run
+// the identical function, as in the kernel.
+var cve20172636 = register(&Scenario{
+	Name:      "cve-2017-2636",
+	Title:     "CVE-2017-2636",
+	Group:     GroupCVE,
+	Subsystem: "TTY",
+	BugType:   "double free",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindDoubleFree,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	BenignRaces:       2,
+	Notes: "n_hdlc.tbuf harvested twice: the load/clear of first_buf is " +
+		"not atomic, so both flushers free the same buffer. The symmetric " +
+		"read->clear races form one conjunction; the clear/clear and " +
+		"free/free races are benign (the failure manifests either way).",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.HeapObj("first_buf", 1, 42) // tbuf pre-queued before the race
+
+		fl := b.Func("flush_tx_queue")
+		fl.Load(kir.R1, kir.G("first_buf")).L("C1")
+		fl.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		fl.Store(kir.G("first_buf"), kir.Imm(0)).L("C2")
+		fl.Free(kir.R(kir.R1)).L("C3")
+		fl.At("out").Ret()
+
+		b.Thread("ioctl$TCFLSH", "flush_tx_queue")
+		b.Thread("ioctl$TCFLSH2", "flush_tx_queue")
+		return b.Build()
+	},
+})
+
+// cve201610200 models CVE-2016-10200 (L2TP): the bind/lookup race whose
+// diagnosis hits the paper's single ambiguity case (§5.1): the surrounding
+// race l2tp bind-publish => lookup-use cannot be flipped while preserving
+// the nested race, and the nested race is itself a root cause.
+var cve201610200 = register(&Scenario{
+	Name:      "cve-2016-10200",
+	Title:     "CVE-2016-10200",
+	Group:     GroupCVE,
+	Subsystem: "L2TP",
+	BugType:   "assertion violation",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindBugOn,
+	WantChainLen:      3,
+	WantAmbiguous:     true,
+	WantInterleavings: 1,
+	Notes: "l2tp_ip_bind transiently marks the socket busy around the hash " +
+		"publication; the checker's two loads surround the marked window, " +
+		"and flipping the surrounding race necessarily flips the nested " +
+		"one — the paper's single ambiguity case.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("sk_busy", 0)
+		b.Var("hash_entry", 0)
+
+		bind := b.Func("l2tp_ip_bind")
+		bind.Store(kir.G("sk_busy"), kir.Imm(1)).L("A1") // enter the bind window
+		bind.Store(kir.G("hash_entry"), kir.Imm(1)).L("A2")
+		bind.Store(kir.G("sk_busy"), kir.Imm(0)).L("A3") // leave the window
+		bind.Ret()
+
+		lk := b.Func("l2tp_ip_lookup")
+		lk.Load(kir.R1, kir.G("hash_entry")).L("B1")
+		lk.Load(kir.R2, kir.G("sk_busy")).L("B2")
+		lk.And(kir.R1, kir.R(kir.R2))
+		lk.BugOn(kir.R(kir.R1)) // hashed socket observed mid-bind
+		lk.Ret()
+
+		b.Thread("bind", "l2tp_ip_bind")
+		b.Thread("connect", "l2tp_ip_lookup")
+		return b.Build()
+	},
+})
+
+// cve20168655 models CVE-2016-8655 (AF_PACKET): setsockopt(PACKET_VERSION)
+// may only change the ring format while no ring exists, but the check and
+// the ring creation interleave; packet_set_ring then indexes the ring with
+// a version it was not sized for — an out-of-bounds access standing in for
+// the original use-after-free of the version-dependent closure.
+var cve20168655 = register(&Scenario{
+	Name:      "cve-2016-8655",
+	Title:     "CVE-2016-8655",
+	Group:     GroupCVE,
+	Subsystem: "Packet socket",
+	BugType:   "slab-out-of-bound access",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindOutOfBounds,
+	WantInterleavings: 1,
+	WantChainLen:      3,
+	Notes:             "po->tp_version vs. po->rx_ring: the ring is sized under the old version and indexed under the new one.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("po_version", 1)
+		b.Var("po_ring", 0)
+
+		sr := b.Func("packet_set_ring")
+		sr.Load(kir.R1, kir.G("po_version")).L("A1") // size ring for this version
+		sr.Alloc(kir.R2, 2)
+		sr.Store(kir.G("po_ring"), kir.R(kir.R2)).L("A3")
+		sr.Load(kir.R3, kir.G("po_version")).L("A4") // index ring per current version
+		sr.Mov(kir.R4, kir.R(kir.R2))
+		sr.Add(kir.R4, kir.R(kir.R3))
+		sr.Sub(kir.R4, kir.R(kir.R1))
+		sr.Add(kir.R4, kir.Imm(1))
+		sr.Store(kir.Ind(kir.R4, 0), kir.Imm(5)).L("A5") // ring[1 + (v'-v)]
+		sr.Ret()
+
+		sv := b.Func("packet_setsockopt_version")
+		sv.Load(kir.R1, kir.G("po_ring")).L("B1") // forbidden while ring exists
+		sv.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		sv.Store(kir.G("po_version"), kir.Imm(2)).L("B2")
+		sv.At("out").Ret()
+
+		b.Thread("setsockopt$PACKET_RX_RING", "packet_set_ring")
+		b.Thread("setsockopt$PACKET_VERSION", "packet_setsockopt_version")
+		return b.Build()
+	},
+})

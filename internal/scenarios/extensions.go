@@ -1,0 +1,119 @@
+package scenarios
+
+import (
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// extIRQTimer implements the paper's §4.6 future work: diagnosing a
+// concurrency bug between a system call and a *hardware interrupt
+// handler*. The paper excludes this class from its evaluation ("we
+// believe AITIA is able to diagnose such bugs if the hypervisor injects
+// an IRQ through the VT-x mechanism as is done for system calls"); this
+// reproduction implements exactly that — the IRQ handler is a schedulable
+// context the search injects at conflicting instructions.
+//
+// The bug is the classic del_timer race: the teardown path disarms the
+// timer and frees its context, but an interrupt that already passed the
+// armed check still runs the handler against the freed context.
+var extIRQTimer = register(&Scenario{
+	Name:      "ext-irq-timer",
+	Title:     "extension: del_timer vs. timer IRQ (paper §4.6 future work)",
+	Group:     GroupExtension,
+	Subsystem: "Timer",
+	BugType:   "use-after-free access",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantChainLen:      3,
+	WantChain:         "I1 => B1 → I2 => B2 → B3 => I3 → KASAN: use-after-free",
+	WantInterleavings: 1,
+	BenignRaces:       1,
+
+	Notes: "The IRQ context is declared with ThreadIRQ; LIFS injects it " +
+		"at conflicting instructions, the scheduling analogue of the " +
+		"paper's proposed VT-x interrupt injection.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("timer_armed", 1)
+		b.HeapObj("timer_ctx", 2, 0, 0)
+		b.Var("irq_stats", 1)
+
+		del := b.Func("del_timer")
+		del.RefGet(kir.R9, kir.G("irq_stats")).L("SB")
+		del.Store(kir.G("timer_armed"), kir.Imm(0)).L("B1") // disarm
+		del.Load(kir.R1, kir.G("timer_ctx"))
+		del.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		del.Store(kir.G("timer_ctx"), kir.Imm(0)).L("B2")
+		del.Free(kir.R(kir.R1)).L("B3")
+		del.At("out").Ret()
+
+		irq := b.Func("timer_interrupt")
+		irq.RefGet(kir.R9, kir.G("irq_stats")).L("SI")
+		irq.Load(kir.R1, kir.G("timer_armed")).L("I1") // armed check
+		irq.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		irq.Load(kir.R2, kir.G("timer_ctx")).L("I2")
+		irq.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		irq.Store(kir.Ind(kir.R2, 1), kir.Imm(1)).L("I3") // handler touches ctx
+		irq.At("out").Ret()
+
+		b.Thread("ioctl$DEL_TIMER", "del_timer")
+		b.ThreadIRQ("irq$timer", "timer_interrupt")
+		return b.Build()
+	},
+})
+
+// extCSOrder models the Dirty-COW class of bugs the paper's related work
+// highlights ([18]: "the unintended execution order of critical sections
+// may cause a concurrency failure"): each thread's accesses are
+// individually lock-protected — there is no unsynchronized data race
+// inside the critical sections — yet the *order* of the two critical
+// sections relative to the unprotected page write breaks the kernel.
+// Causality Analysis must treat the critical sections as flip units
+// (§3.4) to diagnose it.
+var extCSOrder = register(&Scenario{
+	Name:      "ext-cs-order",
+	Title:     "extension: critical-section order (Dirty-COW class)",
+	Group:     GroupExtension,
+	Subsystem: "MM",
+	BugType:   "use-after-free access",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+
+	Notes: "The write-fault path snapshots the page under mmap_lock and " +
+		"performs the user write after dropping it; madvise(DONTNEED) drops " +
+		"the page under the same lock. The snapshot race is a " +
+		"critical-section-level race (both sides hold mmap_lock) and is " +
+		"flipped as a unit.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("mmap_lock", 0)
+		b.HeapObj("page", 2, 0, 0)
+
+		wf := b.Func("handle_write_fault")
+		wf.Lock(kir.G("mmap_lock"))
+		wf.Load(kir.R1, kir.G("page")).L("A1") // snapshot under the lock
+		wf.Unlock(kir.G("mmap_lock"))
+		wf.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		wf.Store(kir.Ind(kir.R1, 0), kir.Imm(0x57)).L("A2") // the user write
+		wf.At("out").Ret()
+
+		mv := b.Func("madvise_dontneed")
+		mv.Lock(kir.G("mmap_lock"))
+		mv.Load(kir.R1, kir.G("page")).L("B1")
+		mv.Store(kir.G("page"), kir.Imm(0)).L("B2")
+		mv.Unlock(kir.G("mmap_lock"))
+		mv.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		mv.Free(kir.R(kir.R1)).L("B3")
+		mv.At("out").Ret()
+
+		b.Thread("write", "handle_write_fault")
+		b.Thread("madvise$DONTNEED", "madvise_dontneed")
+		return b.Build()
+	},
+})

@@ -1,0 +1,285 @@
+package scenarios
+
+import (
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// fig1 is the abstract example of Figure 1: two semantically correlated
+// variables (ptr_valid, ptr) and a race-steered control flow. The NULL
+// dereference at A2d needs A1 => B1 (so B2 executes at all) and B2 => A2.
+var fig1 = register(&Scenario{
+	Name:      "fig1",
+	Title:     "Figure 1 (abstract multi-variable race)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "null-pointer dereference",
+
+	MultiVariable: true,
+	Threads:       2,
+	WantKind:      sanitizer.KindNullDeref,
+	WantChainLen:  2,
+	WantChain:     "A1 => B1 → B2 => A2 → NULL pointer dereference",
+
+	WantInterleavings: 1,
+	Notes: "ptr initially points at a valid object; ptr_valid=0. " +
+		"A1 publishes validity before B1 checks it; B2 then nulls the pointer " +
+		"under A's feet before A dereferences it at A2/A2d.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("ptr_valid", 0)
+		b.VarAddrOf("ptr", "obj")
+		b.Global("obj", 1, 42)
+
+		a := b.Func("thread_a")
+		a.Store(kir.G("ptr_valid"), kir.Imm(1)).L("A1")
+		a.Load(kir.R1, kir.G("ptr")).L("A2")
+		a.Load(kir.R2, kir.Ind(kir.R1, 0)).L("A2d")
+		a.Ret()
+
+		tb := b.Func("thread_b")
+		tb.Load(kir.R1, kir.G("ptr_valid")).L("B1")
+		tb.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		tb.Store(kir.G("ptr"), kir.Imm(0)).L("B2")
+		tb.At("out").Ret()
+
+		b.Thread("A", "thread_a")
+		b.Thread("B", "thread_b")
+		return b.Build()
+	},
+})
+
+// fig4a is the first complex pattern of Figure 4: two system calls and a
+// kworker daemon. Syscall B publishes a flag (M2) and queues the worker;
+// syscall A only dereferences the shared pointer (M1) when it sees the
+// flag, but the worker nulls the pointer first.
+var fig4a = register(&Scenario{
+	Name:      "fig4a",
+	Title:     "Figure 4(a) (two syscalls + kworker)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "null-pointer dereference",
+
+	MultiVariable:       true,
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindNullDeref,
+	WantChainLen:        3,
+	WantInterleavings:   1,
+	Notes: "dotted invocation arrow: queue_work from syscall B; syscall A " +
+		"checks the published slot (M1) and re-reads it for the dereference " +
+		"after the worker already cleared it (M2 = the slot's second access).",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("slot", 0)
+
+		a := b.Func("syscall_a")
+		a.Load(kir.R1, kir.G("slot")).L("A1") // check
+		a.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		a.Load(kir.R2, kir.G("slot")).L("A2") // re-read (TOCTOU)
+		a.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A2d")
+		a.At("out").Ret()
+
+		sb := b.Func("syscall_b")
+		sb.Alloc(kir.R1, 1)
+		sb.Store(kir.Ind(kir.R1, 0), kir.Imm(7))
+		sb.Store(kir.G("slot"), kir.R(kir.R1)).L("B1") // publish
+		sb.QueueWork("worker", kir.Imm(0)).L("B2")
+		sb.Ret()
+
+		w := b.Func("worker")
+		w.Store(kir.G("slot"), kir.Imm(0)).L("K1") // retract
+		w.Ret()
+
+		b.Thread("A", "syscall_a")
+		b.Thread("B", "syscall_b")
+		return b.Build()
+	},
+})
+
+// fig4b is the second pattern of Figure 4: a single system call racing
+// with the asynchronous chain it started itself — queue_work hands an
+// object to a worker, the worker registers an RCU callback that frees it,
+// and the syscall's own late access hits the freed object.
+var fig4b = register(&Scenario{
+	Name:      "fig4b",
+	Title:     "Figure 4(b) (one syscall + kworker + RCU callback)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "use-after-free",
+
+	Threads:             1,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindUseAfterFree,
+	WantChainLen:        1,
+	WantInterleavings:   1,
+	Notes:               "call_rcu chain: syscall -> kworker -> softirq; the RCU callback frees M1 while the syscall still uses it.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("m1_slot", 0)
+
+		a := b.Func("syscall_a")
+		a.Alloc(kir.R1, 2)
+		a.Store(kir.G("m1_slot"), kir.R(kir.R1)).L("A1")
+		a.QueueWork("worker", kir.R(kir.R1)).L("A2")
+		a.Store(kir.Ind(kir.R1, 1), kir.Imm(9)).L("A3") // late init of M1
+		a.Ret()
+
+		w := b.Func("worker")
+		w.CallRCU("rcu_free", kir.R(kir.R0)).L("K1")
+		w.Ret()
+
+		rf := b.Func("rcu_free")
+		rf.Store(kir.G("m1_slot"), kir.Imm(0)).L("R1")
+		rf.Free(kir.R(kir.R0)).L("R2")
+		rf.Ret()
+
+		b.Thread("A", "syscall_a")
+		return b.Build()
+	},
+})
+
+// fig4c is the third pattern of Figure 4: two system calls racing over
+// three memory objects (M1, M2, M3) with two race-steered control flows
+// chained back to back.
+var fig4c = register(&Scenario{
+	Name:      "fig4c",
+	Title:     "Figure 4(c) (two syscalls, three objects)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "null-pointer dereference",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindNullDeref,
+	WantChainLen:      3,
+	WantInterleavings: 1,
+	Notes:             "A1 => B1 steers B into writing M2; B2 => A2 steers A into the M3 dereference; B3 => A3 nulls M3 first.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("m1", 0)
+		b.Var("m2", 0)
+		b.VarAddrOf("m3", "obj")
+		b.Global("obj", 1, 3)
+
+		a := b.Func("syscall_a")
+		a.Store(kir.G("m1"), kir.Imm(1)).L("A1")
+		a.Load(kir.R1, kir.G("m2")).L("A2")
+		a.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		a.Load(kir.R2, kir.G("m3")).L("A3")
+		a.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A3d")
+		a.At("out").Ret()
+
+		sb := b.Func("syscall_b")
+		sb.Load(kir.R1, kir.G("m1")).L("B1")
+		sb.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		sb.Store(kir.G("m2"), kir.Imm(1)).L("B2")
+		sb.Store(kir.G("m3"), kir.Imm(0)).L("B3")
+		sb.At("out").Ret()
+
+		b.Thread("A", "syscall_a")
+		b.Thread("B", "syscall_b")
+		return b.Build()
+	},
+})
+
+// fig5 is the LIFS search-tree example of Figure 5: threads A and B plus a
+// kernel thread K that only exists when the race-steered control flow
+// A1 => B1 occurs; the failure needs K1 => A3. The scenario also carries
+// an implicit benign race on M2 (B2 vs A2), which the paper's tree
+// explores but which never contributes to the failure.
+var fig5 = register(&Scenario{
+	Name:      "fig5",
+	Title:     "Figure 5 (LIFS search example)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "null-pointer dereference",
+
+	MultiVariable:       true,
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindNullDeref,
+	WantChainLen:        2,
+	WantInterleavings:   1,
+	BenignRaces:         1,
+	Notes:               "If A1 => B1 then B3 (queue_work) executes; if K1 => A3 then A3 fails.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("m1", 0)
+		b.Var("m2", 0)
+		b.VarAddrOf("m3", "obj")
+		b.Global("obj", 1, 5)
+
+		a := b.Func("thread_a")
+		a.Store(kir.G("m1"), kir.Imm(1)).L("A1")
+		a.Load(kir.R1, kir.G("m2")).L("A2")
+		a.Load(kir.R2, kir.G("m3")).L("A3")
+		a.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A3d")
+		a.Ret()
+
+		tb := b.Func("thread_b")
+		tb.Load(kir.R1, kir.G("m1")).L("B1")
+		tb.Store(kir.G("m2"), kir.Imm(1)).L("B2")
+		tb.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		tb.QueueWork("thread_k", kir.Imm(0)).L("B3")
+		tb.At("out").Ret()
+
+		k := b.Func("thread_k")
+		k.Store(kir.G("m3"), kir.Imm(0)).L("K1")
+		k.Ret()
+
+		b.Thread("A", "thread_a")
+		b.Thread("B", "thread_b")
+		return b.Build()
+	},
+})
+
+// fig7 is the nested-race ambiguity example of Figure 7: A1 => B2
+// surrounds A2 => B1, both flips avoid the failure, and the nested race is
+// itself a root cause — so the surrounding race must be reported
+// ambiguous (§3.4). Thread A opens an inconsistency window — it raises
+// m1, publishes m2, then lowers m1 again — and thread B's assertion only
+// fires when both of its reads land inside the window, which requires B
+// to interleave into A.
+var fig7 = register(&Scenario{
+	Name:      "fig7",
+	Title:     "Figure 7 (nested race ambiguity)",
+	Group:     GroupFigure,
+	Subsystem: "example",
+	BugType:   "assertion violation",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindBugOn,
+	WantChainLen:      3, // nested root cause, ambiguous surrounding race, window close
+	WantAmbiguous:     true,
+	WantInterleavings: 1,
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("m1", 0)
+		b.Var("m2", 0)
+
+		a := b.Func("thread_a")
+		a.Store(kir.G("m1"), kir.Imm(1)).L("A1") // open the window
+		a.Store(kir.G("m2"), kir.Imm(1)).L("A2") // publish
+		a.Store(kir.G("m1"), kir.Imm(0)).L("A3") // close the window
+		a.Ret()
+
+		tb := b.Func("thread_b")
+		tb.Load(kir.R1, kir.G("m2")).L("B1")
+		tb.Load(kir.R2, kir.G("m1")).L("B2")
+		tb.And(kir.R1, kir.R(kir.R2))
+		tb.BugOn(kir.R(kir.R1)) // fails iff B observes the open window
+		tb.Ret()
+
+		b.Thread("A", "thread_a")
+		b.Thread("B", "thread_b")
+		return b.Build()
+	},
+})

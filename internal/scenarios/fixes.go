@@ -1,0 +1,163 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"aitia/internal/kir"
+)
+
+// Fixed programs model the developers' patches, letting the evaluation
+// verify the paper's correctness criterion (§5.1, §5.2): every fix makes
+// the causality chain "cut" — at least one interleaving order in the
+// chain becomes impossible — and the failure no longer reproduces.
+//
+// Most kernel fixes for these bugs serialize the racing regions (a lock
+// around the multi-variable accesses); those are modelled with
+// kir.FixSerialize over the racing entry functions. Reordering fixes
+// (publish-after-init) get custom patched programs below.
+
+// fixEntries lists, per scenario, the entry functions the modelled patch
+// makes mutually exclusive.
+var fixEntries = map[string][]string{
+	"fig1":  {"thread_a", "thread_b"},
+	"fig4a": {"syscall_a", "syscall_b", "worker"},
+	"fig4b": {"syscall_a", "rcu_free"},
+	"fig4c": {"syscall_a", "syscall_b"},
+	"fig5":  {"thread_a", "thread_b", "thread_k"},
+	"fig7":  {"thread_a", "thread_b"},
+
+	"cve-2019-11486": {"r3964_ioctl", "tty_hangup"},
+	"cve-2018-12232": {"sock_setattr", "sock_close"},
+	"cve-2017-15649": {"fanout_add", "packet_do_bind"},
+	"cve-2017-10661": {"timerfd_setup_cancel"},
+	"cve-2017-7533":  {"fsnotify_event", "vfs_rename"},
+	"cve-2017-2671":  {"ping_lookup", "ping_unhash"},
+	"cve-2017-2636":  {"flush_tx_queue"},
+	"cve-2016-10200": {"l2tp_ip_bind", "l2tp_ip_lookup"},
+	"cve-2016-8655":  {"packet_set_ring", "packet_setsockopt_version"},
+
+	"syz01-l2tp-oob":         {"pppol2tp_connect", "l2tp_session_set_header"},
+	"syz02-packet-frame":     {"packet_snd_frame", "packet_lookup_frame"},
+	"syz03-l2tp-uaf":         {"pppol2tp_connect", "l2tp_session_delete"},
+	"syz06-bpf-devmap":       {"dev_map_hash_update_elem", "dev_map_free"},
+	"syz07-delete-partition": {"blkdev_open", "delete_partition"},
+	"syz08-j1939-refcount":   {"j1939_netdev_start", "j1939_netdev_stop", "j1939_priv_destroy"},
+	"syz09-seccomp-leak":     {"do_seccomp_install"},
+	"syz10-md-ioctl":         {"md_ioctl"},
+	"syz11-floppy-bh":        {"schedule_bh"},
+	"syz12-sco-timeout":      {"sco_send_frame", "sco_conn_del", "sco_sock_timeout"},
+
+	"ext-irq-timer": {"del_timer", "timer_interrupt"},
+	"ext-cs-order":  {"handle_write_fault", "madvise_dontneed"},
+}
+
+// fixBuilders holds custom patched programs for bugs whose real fix is a
+// reordering rather than a lock.
+var fixBuilders = map[string]func() (*kir.Program, error){
+	// CVE-2019-6974's fix: grab the kvm reference *before* installing the
+	// fd ("fd_install after the device is fully initialized").
+	"cve-2019-6974": func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("fdtable", 0)
+
+		a := b.Func("kvm_ioctl_create_device")
+		a.Alloc(kir.R1, 2)
+		a.Store(kir.Ind(kir.R1, 1), kir.Imm(1)).L("A2")  // kvm_get_kvm first
+		a.Store(kir.G("fdtable"), kir.R(kir.R1)).L("A1") // fd_install last
+		a.Ret()
+
+		c := b.Func("sys_close")
+		c.Load(kir.R2, kir.G("fdtable")).L("B1")
+		c.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		c.Store(kir.G("fdtable"), kir.Imm(0)).L("B2")
+		c.Free(kir.R(kir.R2)).L("B3")
+		c.At("out").Ret()
+
+		b.Thread("ioctl$KVM_CREATE_DEVICE", "kvm_ioctl_create_device")
+		b.Thread("close", "sys_close")
+		return b.Build()
+	},
+
+	// Bug #4's fix mirrors CVE-2019-6974: finish the irqfd initialization
+	// before publishing it to the list.
+	"syz04-kvm-irqfd": func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("irqfd_list", 0)
+
+		a := b.Func("kvm_irqfd_assign")
+		a.Alloc(kir.R1, 2)
+		a.Store(kir.Ind(kir.R1, 1), kir.Imm(11)).L("A2")    // init first
+		a.Store(kir.G("irqfd_list"), kir.R(kir.R1)).L("A1") // publish last
+		a.Ret()
+
+		sb := b.Func("kvm_irqfd_deassign")
+		sb.Load(kir.R2, kir.G("irqfd_list")).L("B1")
+		sb.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		sb.Store(kir.G("irqfd_list"), kir.Imm(0))
+		sb.QueueWork("irqfd_shutdown", kir.R(kir.R2)).L("B2")
+		sb.At("out").Ret()
+
+		w := b.Func("irqfd_shutdown")
+		w.Free(kir.R(kir.R0)).L("K1")
+		w.Ret()
+
+		b.Thread("ioctl$IRQFD", "kvm_irqfd_assign")
+		b.Thread("ioctl$IRQFD_DEASSIGN", "kvm_irqfd_deassign")
+		return b.Build()
+	},
+
+	// Bug #5's fix: stop queueing onto the endpoint after it has been
+	// handed to the destroyer — the last use moves before the hand-off.
+	"syz05-rxrpc-local": func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.HeapObj("rxrpc_local", 2, 1, 0)
+
+		cl := b.Func("rxrpc_release")
+		cl.Load(kir.R1, kir.G("rxrpc_local"))
+		cl.Store(kir.Ind(kir.R1, 1), kir.Imm(1)).L("A2") // final queue first
+		cl.QueueWork("rxrpc_local_destroyer", kir.R(kir.R1)).L("A1")
+		cl.Ret()
+
+		ds := b.Func("rxrpc_local_destroyer")
+		ds.Free(kir.R(kir.R0)).L("K1")
+		ds.Ret()
+
+		b.Thread("close", "rxrpc_release")
+		return b.Build()
+	},
+}
+
+// HasFix reports whether the scenario models its developer fix.
+func (s *Scenario) HasFix() bool {
+	_, a := fixEntries[s.Name]
+	_, b := fixBuilders[s.Name]
+	return a || b
+}
+
+// Fixed returns the patched program: the original with its documented fix
+// applied (and the same prologue padding as Program). Diagnosing the
+// fixed program must fail to reproduce the failure — the paper's
+// verification that the chain explains the fix.
+func (s *Scenario) Fixed() (*kir.Program, error) {
+	var (
+		prog *kir.Program
+		err  error
+	)
+	if build, ok := fixBuilders[s.Name]; ok {
+		prog, err = build()
+	} else {
+		entries, ok := fixEntries[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("scenarios: %s has no modelled fix", s.Name)
+		}
+		prog, err = s.RawProgram()
+		if err != nil {
+			return nil, err
+		}
+		prog, err = prog.FixSerialize(entries...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return prog.WithPrologues(s.PadAccesses())
+}

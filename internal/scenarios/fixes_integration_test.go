@@ -1,0 +1,98 @@
+package scenarios_test
+
+import (
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// TestIncompleteFixIsRejected: a patch that serializes only ONE of the
+// racing paths (the classic incomplete-fix mistake, cf. the paper's
+// discussion of incorrect kernel fixes [76, 109]) does not prevent the
+// failure — the verification methodology catches it.
+func TestIncompleteFixIsRejected(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	raw, err := sc.RawProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lock only fanout_add; packet_do_bind still races against it freely.
+	broken, err := raw.FixSerialize("fanout_add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kvm.New(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstr := kir.NoInstr
+	if in, ok := broken.ByLabel(sc.WantLabel); ok {
+		wantInstr = in.ID
+	}
+	_, err = core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: wantInstr})
+	if err != nil {
+		t.Fatalf("the incomplete fix should still reproduce, got %v", err)
+	}
+}
+
+// TestFixesPreventEveryFailure reproduces the paper's §5.1/§5.2
+// verification methodology: for every bug, applying the (modelled)
+// developer fix removes an interleaving order from the causality chain,
+// and the failure no longer reproduces — LIFS exhausts its search on the
+// patched program. The patched program must also still be functional
+// (it runs to completion without failures under a plain serial schedule).
+func TestFixesPreventEveryFailure(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			if !sc.HasFix() {
+				t.Fatalf("scenario %s models no fix", sc.Name)
+			}
+			fixed, err := sc.Fixed()
+			if err != nil {
+				t.Fatalf("Fixed: %v", err)
+			}
+
+			// The patched kernel still works: serial runs complete.
+			m, err := kvm.New(fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var order []string
+			for _, td := range fixed.Threads {
+				order = append(order, td.Name)
+			}
+			res, err := sched.NewEnforcer(m).Run(sched.Serial(order...), sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("patched program fails serially: %v", res.Failure)
+			}
+
+			// The failure no longer reproduces: the fix cut the chain.
+			if err := m.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			wantInstr := kir.NoInstr
+			if sc.WantLabel != "" {
+				if in, ok := fixed.ByLabel(sc.WantLabel); ok {
+					wantInstr = in.ID
+				}
+			}
+			_, err = core.Reproduce(m, core.LIFSOptions{
+				WantKind:  sc.WantKind,
+				WantInstr: wantInstr,
+				LeakCheck: sc.NeedsLeakCheck(),
+			})
+			if !core.IsNotReproduced(err) {
+				t.Errorf("patched program still reproduces (%v)", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+// Package scenarios is the bug corpus of the reproduction: one kir program
+// per concurrency failure studied in the paper — the 10 CVEs of Table 2,
+// the 12 Syzkaller-reported bugs of Table 3, and the didactic examples of
+// Figures 1, 4, 5 and 7 — each modelling the documented race structure
+// (variables, data races, race-steered control flows, background threads,
+// failure mode) together with its ground-truth causality chain.
+//
+// The scenarios substitute for the Linux kernel code the paper runs under
+// its hypervisor: the diagnosis algorithms only observe shared-memory
+// accesses, control flow and failures, all of which the scenarios
+// reproduce structurally.
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// Group classifies where a scenario appears in the paper's evaluation.
+type Group string
+
+const (
+	// GroupCVE scenarios reproduce Table 2 (CVE database failures).
+	GroupCVE Group = "cve"
+	// GroupSyzkaller scenarios reproduce Table 3 (Syzkaller failures).
+	GroupSyzkaller Group = "syzkaller"
+	// GroupFigure scenarios reproduce the paper's inline figures.
+	GroupFigure Group = "figure"
+	// GroupExtension scenarios implement the paper's stated future work
+	// (hardware-IRQ contexts, §4.6).
+	GroupExtension Group = "extension"
+)
+
+// Scenario is one concurrency failure with its ground truth.
+type Scenario struct {
+	// Name is the registry key, e.g. "cve-2017-15649".
+	Name string
+	// Title is the paper's identifier (CVE id or syzkaller bug title).
+	Title string
+	// Group places the scenario in the evaluation.
+	Group Group
+	// Subsystem matches the paper's Subsystem column.
+	Subsystem string
+	// BugType matches Table 3's bug-type column.
+	BugType string
+	// MultiVariable and LooselyCorrelated match Table 3's classification.
+	MultiVariable     bool
+	LooselyCorrelated bool
+	// Threads is the number of statically declared threads (system calls);
+	// background threads spawn dynamically.
+	Threads int
+	// HasBackgroundThread marks scenarios whose failure involves a
+	// kworker or RCU callback.
+	HasBackgroundThread bool
+
+	// WantKind is the failure the scenario must reproduce.
+	WantKind sanitizer.Kind
+	// WantLabel, when set, is the label of the instruction at which the
+	// failure must manifest — the failing location from the crash report.
+	// It disambiguates programs that harbour more than one failure (e.g.
+	// CVE-2017-15649, where the global_list double insertion is a second,
+	// easier-to-hit bug in the same code).
+	WantLabel string
+	// WantChainLen is the expected number of races in the causality chain
+	// (Table 3's "# of races in chain").
+	WantChainLen int
+	// WantChain, when set, is the expected chain rendering (paper
+	// notation via Chain.Format).
+	WantChain string
+	// WantAmbiguous marks scenarios that hit the §3.4 ambiguity case
+	// (CVE-2016-10200 and Figure 7).
+	WantAmbiguous bool
+	// WantInterleavings is the expected LIFS interleaving count (0 =
+	// unspecified; Table 2/3 report 1 or 2).
+	WantInterleavings int
+	// BenignRaces is the number of benign races the scenario plants; the
+	// chain must exclude all of them.
+	BenignRaces int
+
+	// Notes documents how the scenario maps to the real bug.
+	Notes string
+
+	// Noise declares background-workload reader threads (thread name ->
+	// access specs, see kir.ExtendReaders) added by CorpusProgram for the
+	// statistical baselines. It models the access population around the
+	// bug: loosely correlated object pairs get threads touching one
+	// object without the other (defeating MUVI's assumption, §2.2), while
+	// tightly correlated pairs get threads touching them together.
+	Noise map[string][]string
+
+	build func() (*kir.Program, error)
+
+	once sync.Once
+	prog *kir.Program
+	err  error
+}
+
+// WantInstr resolves WantLabel to the static instruction identity the
+// failure must manifest at (kir.NoInstr when unconstrained).
+func (s *Scenario) WantInstr() kir.InstrID {
+	if s.WantLabel == "" {
+		return kir.NoInstr
+	}
+	prog, err := s.Program()
+	if err != nil {
+		return kir.NoInstr
+	}
+	in, ok := prog.ByLabel(s.WantLabel)
+	if !ok {
+		panic(fmt.Sprintf("scenario %s: WantLabel %q not found", s.Name, s.WantLabel))
+	}
+	return in.ID
+}
+
+// CorpusProgram returns the program extended with the scenario's noise
+// workload — the view the statistical baselines mine. Diagnosis always
+// uses Program (the slice the bug finder reported).
+func (s *Scenario) CorpusProgram() (*kir.Program, error) {
+	prog, err := s.Program()
+	if err != nil {
+		return nil, err
+	}
+	return prog.ExtendReaders(s.Noise)
+}
+
+// NeedsLeakCheck reports whether the scenario's failure only manifests
+// through the end-of-run memory-leak oracle.
+func (s *Scenario) NeedsLeakCheck() bool {
+	return s.WantKind == sanitizer.KindMemoryLeak
+}
+
+// PadAccesses returns the number of non-racing prologue accesses each
+// declared thread performs before entering the racy region. Real-world
+// bug scenarios (the CVE and Syzkaller groups) get a deterministic,
+// scenario-specific volume modelling the non-racy kernel path of their
+// system calls; figure and extension scenarios stay unpadded so their
+// executions match the paper's diagrams instruction for instruction.
+func (s *Scenario) PadAccesses() int {
+	if s.Group != GroupCVE && s.Group != GroupSyzkaller {
+		return 0
+	}
+	h := 0
+	for _, c := range s.Name {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return 120 + h%100
+}
+
+// Program returns the scenario's finalized program (built once and
+// reused; programs are immutable after Finalize).
+func (s *Scenario) Program() (*kir.Program, error) {
+	s.once.Do(func() {
+		s.prog, s.err = s.build()
+		if s.err == nil {
+			s.prog, s.err = s.prog.WithPrologues(s.PadAccesses())
+		}
+	})
+	return s.prog, s.err
+}
+
+// RawProgram returns the scenario's program without prologue padding —
+// the bare racy region, used by fix construction (the fix wraps the real
+// entry functions, then padding is re-applied).
+func (s *Scenario) RawProgram() (*kir.Program, error) {
+	return s.build()
+}
+
+// MustProgram is Program for tests and examples; it panics on error.
+func (s *Scenario) MustProgram() *kir.Program {
+	p, err := s.Program()
+	if err != nil {
+		panic(fmt.Sprintf("scenario %s: %v", s.Name, err))
+	}
+	return p
+}
+
+var registry = map[string]*Scenario{}
+
+// register adds a scenario at init time.
+func register(s *Scenario) *Scenario {
+	if _, dup := registry[s.Name]; dup {
+		panic("scenarios: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// ByName returns a scenario by registry key.
+func ByName(name string) (*Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// All returns every scenario sorted by name.
+func All() []*Scenario {
+	out := make([]*Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByGroup returns the scenarios of one evaluation group, sorted by name.
+func ByGroup(g Group) []*Scenario {
+	var out []*Scenario
+	for _, s := range All() {
+		if s.Group == g {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table2 returns the CVE scenarios (paper Table 2).
+func Table2() []*Scenario { return ByGroup(GroupCVE) }
+
+// Table3 returns the Syzkaller scenarios (paper Table 3).
+func Table3() []*Scenario { return ByGroup(GroupSyzkaller) }

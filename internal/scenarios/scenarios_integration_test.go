@@ -1,0 +1,79 @@
+package scenarios_test
+
+import (
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+// TestAllScenarioGroundTruth runs the full LIFS + Causality Analysis
+// pipeline on every scenario in the corpus and checks it against the
+// scenario's recorded ground truth: failure kind, causality-chain size and
+// (when specified) exact chain rendering, interleaving count, ambiguity,
+// and benign-race exclusion.
+func TestAllScenarioGroundTruth(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := sc.Program()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			m, err := kvm.New(prog)
+			if err != nil {
+				t.Fatalf("machine: %v", err)
+			}
+
+			rep, err := core.Reproduce(m, core.LIFSOptions{
+				WantKind:  sc.WantKind,
+				WantInstr: sc.WantInstr(),
+				LeakCheck: sc.NeedsLeakCheck(),
+			})
+			if err != nil {
+				t.Fatalf("LIFS: %v", err)
+			}
+			if rep.Run.Failure.Kind != sc.WantKind {
+				t.Fatalf("failure kind = %v, want %v", rep.Run.Failure.Kind, sc.WantKind)
+			}
+			if sc.WantInterleavings > 0 && rep.Stats.Interleavings != sc.WantInterleavings {
+				t.Errorf("interleavings = %d, want %d (seq: %s)",
+					rep.Stats.Interleavings, sc.WantInterleavings, rep.Run.FormatSeq(prog, false))
+			}
+
+			d, err := core.Analyze(m, rep, core.AnalysisOptions{LeakCheck: sc.NeedsLeakCheck()})
+			if err != nil {
+				t.Fatalf("Causality Analysis: %v", err)
+			}
+			if got := d.Chain.Len(); got != sc.WantChainLen {
+				t.Errorf("chain has %d races, want %d\nchain: %s",
+					got, sc.WantChainLen, d.Chain.Format(prog))
+			}
+			if sc.WantChain != "" {
+				if got := d.Chain.Format(prog); got != sc.WantChain {
+					t.Errorf("chain = %q\nwant    %q", got, sc.WantChain)
+				}
+			}
+			if sc.WantAmbiguous != d.Chain.HasAmbiguity() {
+				t.Errorf("ambiguity = %v, want %v (chain: %s)",
+					d.Chain.HasAmbiguity(), sc.WantAmbiguous, d.Chain.Format(prog))
+			}
+			if sc.BenignRaces > 0 && len(d.Benign) < sc.BenignRaces {
+				t.Errorf("benign races classified = %d, want >= %d", len(d.Benign), sc.BenignRaces)
+			}
+			// Conciseness: every chain race must be a tested root cause or
+			// ambiguous; no benign race may appear in the chain.
+			benign := make(map[string]bool)
+			for _, r := range d.Benign {
+				benign[r.Format(prog)] = true
+			}
+			for _, r := range d.Chain.Races() {
+				if benign[r.Format(prog)] {
+					t.Errorf("benign race %s appears in the chain", r.Format(prog))
+				}
+			}
+		})
+	}
+}

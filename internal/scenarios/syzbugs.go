@@ -1,0 +1,646 @@
+package scenarios
+
+import (
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// syz04 models Table 3's bug #4 — "KASAN: use-after-free Write in
+// irq_bypass_register_consumer" (KVM irqfd), the paper's Figure 9 case
+// study. Syscall A initializes an irqfd object in two non-atomic steps
+// (publish to the list at A1, finish initialization at A2); syscall B
+// finds the published object (B1) and queues a kworker (B2) that frees it
+// (K1) before A's initialization finishes — a use-after-free whose
+// causality crosses the thread boundary through the race-steered
+// invocation of the worker.
+//
+// Expected chain (Figure 9(b)): A1 => B1 → K1 => A2 → use-after-free.
+var syz04 = register(&Scenario{
+	Name:      "syz04-kvm-irqfd",
+	Title:     "#4 KASAN: use-after-free Write in irq_bypass_register_consumer",
+	Group:     GroupSyzkaller,
+	Subsystem: "KVM",
+	BugType:   "use-after-free access",
+
+	MultiVariable:       true,
+	LooselyCorrelated:   true,
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindUseAfterFree,
+	WantChainLen:        2,
+	WantChain:           "A1 => B1 → K1 => A2 → KASAN: use-after-free",
+	WantInterleavings:   1,
+
+	Notes: "The irqfd list lives in the VFS/irqbypass layer while the " +
+		"object payload belongs to KVM — the loosely correlated pair of " +
+		"§2.2: many syscalls change the virtual device's attributes " +
+		"through its file descriptor without touching the kvm object.",
+	Noise: map[string][]string{
+		"fcntl$irqfd":   {"irqfd_list"},
+		"fstat$irqfd":   {"irqfd_list"},
+		"ioctl$KVM_RUN": {"!heap"},
+	},
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("irqfd_list", 0)
+
+		a := b.Func("kvm_irqfd_assign")
+		a.Alloc(kir.R1, 2)
+		a.Store(kir.G("irqfd_list"), kir.R(kir.R1)).L("A1") // list_add(irqfd, list)
+		a.Store(kir.Ind(kir.R1, 1), kir.Imm(11)).L("A2")    // irqfd->data = data
+		a.Ret()
+
+		sb := b.Func("kvm_irqfd_deassign")
+		sb.Load(kir.R2, kir.G("irqfd_list")).L("B1") // irqfd = list_find(list)
+		sb.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		sb.Store(kir.G("irqfd_list"), kir.Imm(0))
+		sb.QueueWork("irqfd_shutdown", kir.R(kir.R2)).L("B2")
+		sb.At("out").Ret()
+
+		w := b.Func("irqfd_shutdown")
+		w.Free(kir.R(kir.R0)).L("K1") // kfree(irqfd)
+		w.Ret()
+
+		b.Thread("ioctl$IRQFD", "kvm_irqfd_assign")
+		b.Thread("ioctl$IRQFD_DEASSIGN", "kvm_irqfd_deassign")
+		return b.Build()
+	},
+})
+
+// syz01 models Table 3's bug #1 — "KASAN: slab-out-of-bounds Read in
+// pppol2tp_connect" (L2TP). The session's header length and its buffer
+// live in different layers (PPP vs. L2TP core) and are updated
+// non-atomically: connect() reads the enlarged length against the old,
+// smaller buffer.
+var syz01 = register(&Scenario{
+	Name:      "syz01-l2tp-oob",
+	Title:     "#1 KASAN: slab-out-of-bounds Read in pppol2tp_connect",
+	Group:     GroupSyzkaller,
+	Subsystem: "L2TP",
+	BugType:   "slab-out-of-bound access",
+
+	MultiVariable:     true,
+	LooselyCorrelated: true,
+	Threads:           2,
+	WantKind:          sanitizer.KindOutOfBounds,
+	WantChainLen:      2,
+	WantInterleavings: 1,
+	BenignRaces:       1,
+
+	Notes: "hdr_len (PPP layer) and the header buffer (L2TP core) form the " +
+		"loosely correlated pair; most syscalls touch only one of the two.",
+	Noise: map[string][]string{
+		"getsockopt$PPP":     {"hdr_len"},
+		"ioctl$PPPIOCGMRU":   {"hdr_len"},
+		"ioctl$PPPIOCGFLAGS": {"hdr_len"},
+		"write$ppp":          {"!heap"},
+	},
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("hdr_len", 2)
+		b.HeapObj("hdr_buf", 2, 100, 101)
+		b.Var("l2tp_stats", 1)
+
+		cn := b.Func("pppol2tp_connect")
+		cn.RefGet(kir.R9, kir.G("l2tp_stats")).L("SA")
+		cn.Load(kir.R1, kir.G("hdr_len")).L("A1")
+		cn.Load(kir.R2, kir.G("hdr_buf")).L("A2")
+		cn.Add(kir.R2, kir.R(kir.R1))
+		cn.Sub(kir.R2, kir.Imm(1))
+		cn.Load(kir.R3, kir.Ind(kir.R2, 0)).L("A3") // read buf[len-1]
+		cn.Ret()
+
+		st := b.Func("l2tp_session_set_header")
+		st.RefGet(kir.R9, kir.G("l2tp_stats")).L("SB")
+		st.Store(kir.G("hdr_len"), kir.Imm(4)).L("B1") // length first (the bug)
+		st.Alloc(kir.R1, 4)
+		st.Store(kir.G("hdr_buf"), kir.R(kir.R1)).L("B2") // buffer second
+		st.Ret()
+
+		b.Thread("connect", "pppol2tp_connect")
+		b.Thread("setsockopt$L2TP", "l2tp_session_set_header")
+		return b.Build()
+	},
+})
+
+// syz02 models Table 3's bug #2 — "general protection fault in
+// packet_lookup_frame" (packet socket), classified as an assertion
+// violation with four races in its chain: both ioctl paths pass the same
+// single-variable state check before either commits its state transition,
+// and the loser's sanity assertion fires.
+var syz02 = register(&Scenario{
+	Name:      "syz02-packet-frame",
+	Title:     "#2 assertion violation in packet_lookup_frame",
+	Group:     GroupSyzkaller,
+	Subsystem: "Packet socket",
+	BugType:   "assertion violation",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindBugOn,
+	WantLabel:         "B4",
+	WantChainLen:      4,
+	WantInterleavings: 2,
+
+	Notes: "tp_status is the single racing variable: both the send and the " +
+		"receive path check it for 0, claim it with their own tag, re-read " +
+		"and assert ownership. The claims overlap and the assertion fires.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("tp_status", 0)
+
+		snd := b.Func("packet_snd_frame")
+		snd.Load(kir.R1, kir.G("tp_status")).L("A1")
+		snd.Bne(kir.R(kir.R1), kir.Imm(0), "out") // frame busy: give up
+		snd.Store(kir.G("tp_status"), kir.Imm(1)).L("A2")
+		snd.Load(kir.R2, kir.G("tp_status")).L("A3")
+		snd.Xor(kir.R2, kir.Imm(1))
+		snd.BugOn(kir.R(kir.R2)).L("A4") // BUG_ON(tp_status != TP_STATUS_SEND)
+		snd.At("out").Ret()
+
+		rcv := b.Func("packet_lookup_frame")
+		rcv.Load(kir.R1, kir.G("tp_status")).L("B1")
+		rcv.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		rcv.Store(kir.G("tp_status"), kir.Imm(2)).L("B2")
+		rcv.Load(kir.R2, kir.G("tp_status")).L("B3")
+		rcv.Xor(kir.R2, kir.Imm(2))
+		rcv.BugOn(kir.R(kir.R2)).L("B4") // BUG_ON(tp_status != TP_STATUS_USER)
+		rcv.At("out").Ret()
+
+		b.Thread("sendmsg$packet", "packet_snd_frame")
+		b.Thread("recvmsg$packet", "packet_lookup_frame")
+		return b.Build()
+	},
+})
+
+// syz03 models Table 3's bug #3 — "KASAN: use-after-free Read in
+// pppol2tp_connect" (L2TP): connect() snapshots the session pointer, a
+// concurrent release clears it and frees the session, and the snapshot is
+// dereferenced afterwards.
+var syz03 = register(&Scenario{
+	Name:      "syz03-l2tp-uaf",
+	Title:     "#3 KASAN: use-after-free Read in pppol2tp_connect",
+	Group:     GroupSyzkaller,
+	Subsystem: "L2TP",
+	BugType:   "use-after-free access",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantChainLen:      2,
+	WantChain:         "A1 => B1 → B2 => A2 → KASAN: use-after-free",
+	WantInterleavings: 1,
+	BenignRaces:       1,
+
+	Notes: "session pointer and session object: the paper counts the pair " +
+		"as a (tightly correlated) multi-variable race — every session " +
+		"operation touches both, which MUVI's mining picks up.",
+	Noise: map[string][]string{
+		"ioctl$PPPIOCGL2TPSTATS": {"session", "!heap"},
+		"sendmsg$l2tp":           {"session", "!heap"},
+		"recvmsg$l2tp":           {"session", "!heap"},
+		"getsockname$l2tp":       {"session", "!heap"},
+	},
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.HeapObj("session", 2, 0, 0)
+		b.Var("tunnel_stats", 1)
+
+		cn := b.Func("pppol2tp_connect")
+		cn.RefGet(kir.R9, kir.G("tunnel_stats")).L("SA")
+		cn.Load(kir.R1, kir.G("session")).L("A1") // snapshot
+		cn.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		cn.Load(kir.R2, kir.Ind(kir.R1, 1)).L("A2") // use snapshot
+		cn.At("out").Ret()
+
+		rl := b.Func("l2tp_session_delete")
+		rl.RefGet(kir.R9, kir.G("tunnel_stats")).L("SB")
+		rl.Load(kir.R1, kir.G("session"))
+		rl.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		rl.Store(kir.G("session"), kir.Imm(0)).L("B1")
+		rl.Free(kir.R(kir.R1)).L("B2")
+		rl.At("out").Ret()
+
+		b.Thread("connect", "pppol2tp_connect")
+		b.Thread("close", "l2tp_session_delete")
+		return b.Build()
+	},
+})
+
+// syz05 models Table 3's bug #5 — "KASAN: use-after-free Read in
+// rxrpc_queue_local": the shortest chain in the study (a single race).
+// The endpoint destructor runs as deferred work and frees the local
+// endpoint while a syscall unconditionally queues onto it.
+var syz05 = register(&Scenario{
+	Name:      "syz05-rxrpc-local",
+	Title:     "#5 KASAN: use-after-free Read in rxrpc_queue_local",
+	Group:     GroupSyzkaller,
+	Subsystem: "RxRPC",
+	BugType:   "use-after-free access",
+
+	Threads:             1,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindUseAfterFree,
+	WantChainLen:        1,
+	WantInterleavings:   1,
+
+	Notes: "No race-steered control flow: the chain is the single race " +
+		"K1 => A2 between the deferred destructor and the endpoint's own " +
+		"release path, which still queues onto the local after handing it " +
+		"to the destroyer (the Figure 4(b) single-syscall pattern).",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.HeapObj("rxrpc_local", 2, 1, 0)
+
+		cl := b.Func("rxrpc_release")
+		cl.Load(kir.R1, kir.G("rxrpc_local"))
+		cl.QueueWork("rxrpc_local_destroyer", kir.R(kir.R1)).L("A1")
+		cl.Store(kir.Ind(kir.R1, 1), kir.Imm(1)).L("A2") // rxrpc_queue_local
+		cl.Ret()
+
+		ds := b.Func("rxrpc_local_destroyer")
+		ds.Free(kir.R(kir.R0)).L("K1")
+		ds.Ret()
+
+		b.Thread("close", "rxrpc_release")
+		return b.Build()
+	},
+})
+
+// syz06 models Table 3's bug #6 — "general protection fault in
+// dev_map_hash_update_elem" (BPF): two race-steered control flows chained
+// across the map's state flags plus a wild pointer write, with a fourth
+// race visible only as the truncated thread's unexecuted access (the
+// phantom pattern of Figure 6's step 1).
+var syz06 = register(&Scenario{
+	Name:      "syz06-bpf-devmap",
+	Title:     "#6 general protection fault in dev_map_hash_update_elem",
+	Group:     GroupSyzkaller,
+	Subsystem: "BPF",
+	BugType:   "general protection fault",
+
+	MultiVariable:     true,
+	Threads:           2,
+	WantKind:          sanitizer.KindGPF,
+	WantInterleavings: 1,
+	WantChainLen:      4,
+
+	Notes: "map_busy steers the teardown path and map_freeing steers the " +
+		"updater; the bucket pointer is poisoned under the updater's feet. " +
+		"The fourth chain race is the phantom B0 => A5 — the updater's " +
+		"user-count bump never executes in the failing run (cf. Fig. 6 " +
+		"step 1). The map's state words live together and are accessed " +
+		"together (tight correlation).",
+	Noise: map[string][]string{
+		"bpf$MAP_LOOKUP":  {"map_busy", "map_freeing", "bucket", "map_users"},
+		"bpf$MAP_GET_FD":  {"map_busy", "map_freeing", "bucket", "map_users"},
+		"bpf$MAP_GETINFO": {"map_busy", "map_freeing", "bucket", "map_users"},
+		"bpf$MAP_WALK":    {"map_busy", "map_freeing", "bucket", "map_users"},
+	},
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("map_busy", 0)
+		b.Var("map_freeing", 0)
+		b.HeapObj("bucket", 2, 0, 0)
+		b.Var("map_users", 1)
+
+		up := b.Func("dev_map_hash_update_elem")
+		up.Store(kir.G("map_busy"), kir.Imm(1)).L("A1")
+		up.Load(kir.R1, kir.G("map_freeing")).L("A2")
+		up.Bne(kir.R(kir.R1), kir.Imm(0), "out") // map being torn down: bail
+		up.Load(kir.R2, kir.G("bucket")).L("A3")
+		up.Store(kir.Ind(kir.R2, 0), kir.Imm(5)).L("A4")
+		up.RefGet(kir.R9, kir.G("map_users")).L("A5") // never reached in the failing run
+		up.At("out").Ret()
+
+		fr := b.Func("dev_map_free")
+		fr.Load(kir.R9, kir.G("map_users")).L("B0")
+		fr.Load(kir.R1, kir.G("map_busy")).L("B1")
+		fr.Beq(kir.R(kir.R1), kir.Imm(0), "out") // nobody racing: plain teardown
+		fr.Store(kir.G("map_freeing"), kir.Imm(1)).L("B2")
+		fr.Store(kir.G("bucket"), kir.Imm(0x7fff0000)).L("B3") // poison
+		fr.At("out").Ret()
+
+		b.Thread("bpf$MAP_UPDATE", "dev_map_hash_update_elem")
+		b.Thread("bpf$MAP_FREE", "dev_map_free")
+		return b.Build()
+	},
+})
+
+// syz07 models Table 3's bug #7 — "KASAN: use-after-free Read in
+// delete_partition" (block device): an openers-count atomicity violation
+// lets delete_partition() destroy the partition while open() is still
+// using it.
+var syz07 = register(&Scenario{
+	Name:      "syz07-delete-partition",
+	Title:     "#7 KASAN: use-after-free Read in delete_partition",
+	Group:     GroupSyzkaller,
+	Subsystem: "Block device",
+	BugType:   "use-after-free access",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindUseAfterFree,
+	WantInterleavings: 1,
+	WantChainLen:      4,
+
+	Notes: "open() snapshots the partition before raising bd_openers; " +
+		"delete_partition() only proceeds when it reads openers == 0, so " +
+		"the window between the snapshot and the increment lets the " +
+		"deletion slip in and free the snapshot. The fourth chain race is " +
+		"the phantom B1 => A5 (the reset that never runs).",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("bd_openers", 0)
+		b.HeapObj("part", 2, 0, 0)
+
+		op := b.Func("blkdev_open")
+		op.Load(kir.R1, kir.G("part")).L("A1") // snapshot the partition
+		op.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		op.Load(kir.R2, kir.G("bd_openers")).L("A2")
+		op.Bne(kir.R(kir.R2), kir.Imm(0), "out")
+		op.Store(kir.G("bd_openers"), kir.Imm(1)).L("A3")
+		op.Store(kir.Ind(kir.R1, 1), kir.Imm(1)).L("A4") // use the snapshot
+		op.Store(kir.G("bd_openers"), kir.Imm(0)).L("A5")
+		op.At("out").Ret()
+
+		dp := b.Func("delete_partition")
+		dp.Load(kir.R1, kir.G("bd_openers")).L("B1")
+		dp.Bne(kir.R(kir.R1), kir.Imm(0), "out") // busy: refuse
+		dp.Load(kir.R2, kir.G("part"))
+		dp.Store(kir.G("part"), kir.Imm(0)).L("B2")
+		dp.Free(kir.R(kir.R2)).L("B3")
+		dp.At("out").Ret()
+
+		b.Thread("open", "blkdev_open")
+		b.Thread("ioctl$BLKPG_DEL", "delete_partition")
+		return b.Build()
+	},
+})
+
+// syz08 models Table 3's bug #8 — "WARNING: refcount bug in
+// j1939_netdev_start" (CAN): the longest chain in the study (five races,
+// two interleavings). The priv pointer is published between the release
+// path's check and its re-check; the release then queues deferred
+// destruction which frees the object under the still-initializing bind.
+var syz08 = register(&Scenario{
+	Name:      "syz08-j1939-refcount",
+	Title:     "#8 WARNING: refcount bug in j1939_netdev_start",
+	Group:     GroupSyzkaller,
+	Subsystem: "CAN",
+	BugType:   "use-after-free access",
+
+	MultiVariable:       true,
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindUseAfterFree,
+	WantInterleavings:   2,
+	WantChainLen:        5,
+
+	Notes: "bind_pending/ndev_active are the multi-variable pair: the stop " +
+		"path must not tear down while a bind is in flight, and the bind " +
+		"must not proceed on an inactive device — but neither check is " +
+		"atomic with its partner's update. The kworker models the deferred " +
+		"j1939_priv_put destruction; the fifth race is the phantom " +
+		"B5 => A5 on the rx list. Every j1939 path touches the whole " +
+		"priv state together (tight correlation).",
+	Noise: map[string][]string{
+		"sendmsg$j1939":      {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+		"recvmsg$j1939":      {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+		"getsockopt$j1939":   {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+		"ioctl$SIOCGIFINDEX": {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+		"sendto$j1939":       {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+		"recvfrom$j1939":     {"bind_pending", "ndev_active", "j1939_priv", "rx_list", "!heap"},
+	},
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("bind_pending", 0)
+		b.Var("ndev_active", 1)
+		b.Var("j1939_priv", 0)
+		b.Var("rx_list", 0)
+
+		bind := b.Func("j1939_netdev_start")
+		bind.Store(kir.G("bind_pending"), kir.Imm(1)).L("A1")
+		bind.Load(kir.R1, kir.G("ndev_active")).L("A2")
+		bind.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		bind.Alloc(kir.R2, 2)
+		bind.Store(kir.G("j1939_priv"), kir.R(kir.R2)).L("A3")
+		bind.Store(kir.Ind(kir.R2, 1), kir.Imm(1)).L("A4") // finish init (rx_kref)
+		bind.ListAdd(kir.G("rx_list"), kir.Imm(7)).L("A5")
+		bind.At("out").Ret()
+
+		rel := b.Func("j1939_netdev_stop")
+		rel.Load(kir.R1, kir.G("bind_pending")).L("B1")
+		rel.Bne(kir.R(kir.R1), kir.Imm(0), "out") // a bind is in flight: bail
+		rel.Store(kir.G("ndev_active"), kir.Imm(0)).L("B2")
+		rel.Load(kir.R2, kir.G("j1939_priv")).L("B3")
+		rel.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		rel.Store(kir.G("j1939_priv"), kir.Imm(0))
+		rel.QueueWork("j1939_priv_destroy", kir.R(kir.R2)).L("B4")
+		rel.ListDel(kir.G("rx_list"), kir.Imm(7)).L("B5")
+		rel.At("out").Ret()
+
+		w := b.Func("j1939_priv_destroy")
+		w.Free(kir.R(kir.R0)).L("K1")
+		w.Ret()
+
+		b.Thread("bind$can_j1939", "j1939_netdev_start")
+		b.Thread("close", "j1939_netdev_stop")
+		return b.Build()
+	},
+})
+
+// syz09 models Table 3's bug #9 — "memory leak in do_seccomp": two
+// concurrent filter installers both observe the empty slot; the loser's
+// filter is overwritten and becomes unreachable. The task's filter slot
+// and the filter objects live in different subsystems (task struct vs.
+// seccomp), the loosely correlated pair.
+var syz09 = register(&Scenario{
+	Name:      "syz09-seccomp-leak",
+	Title:     "#9 memory leak in do_seccomp",
+	Group:     GroupSyzkaller,
+	Subsystem: "Seccomp",
+	BugType:   "memory leak",
+
+	MultiVariable:     true,
+	LooselyCorrelated: true,
+	Threads:           2,
+	WantKind:          sanitizer.KindMemoryLeak,
+	WantInterleavings: 1,
+	WantChainLen:      2,
+
+	Notes: "Both installers run the identical function; the leak oracle is " +
+		"kmemleak-style reachability from globals at run completion.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("installed", 0)
+		b.Var("task_filter", 0)
+
+		f := b.Func("do_seccomp_install")
+		f.Alloc(kir.R1, 1) // prepare the new filter
+		f.Load(kir.R2, kir.G("installed")).L("C1")
+		f.Bne(kir.R(kir.R2), kir.Imm(0), "lose")
+		f.Store(kir.G("installed"), kir.Imm(1)).L("C2")
+		f.Store(kir.G("task_filter"), kir.R(kir.R1)).L("C3")
+		f.Ret()
+		f.At("lose")
+		f.Free(kir.R(kir.R1)) // somebody else won: discard ours
+		f.Ret()
+
+		b.Thread("seccomp$1", "do_seccomp_install")
+		b.Thread("seccomp$2", "do_seccomp_install")
+		return b.Build()
+	},
+})
+
+// syz10 models Table 3's bug #10 — "md: WARNING caused by a race between
+// concurrent md_ioctl()s" (software RAID): the ioctl's state check runs
+// under the reconfig mutex but the matching state update happens after
+// the mutex is dropped — the critical sections themselves race with the
+// unlocked update, exercising the §3.4 critical-section flip rule.
+var syz10 = register(&Scenario{
+	Name:      "syz10-md-ioctl",
+	Title:     "#10 WARNING: race between concurrent md_ioctl()s",
+	Group:     GroupSyzkaller,
+	Subsystem: "Software RAID",
+	BugType:   "assertion violation",
+
+	Threads:           2,
+	WantKind:          sanitizer.KindBugOn,
+	WantInterleavings: 1,
+	WantChainLen:      3,
+
+	Notes: "Both ioctls pass the mutex-protected 'not suspended' check " +
+		"before either sets mddev_suspended outside the lock; flipping " +
+		"the check/set race moves the whole critical section (§3.4).",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("reconfig_mutex", 0)
+		b.Var("suspended", 0)
+
+		f := b.Func("md_ioctl")
+		f.Lock(kir.G("reconfig_mutex"))
+		f.Load(kir.R1, kir.G("suspended")).L("C1")
+		f.Unlock(kir.G("reconfig_mutex"))
+		f.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		// The update happens after the mutex is dropped (the bug).
+		f.Load(kir.R2, kir.G("suspended")).L("C2")
+		f.BugOn(kir.R(kir.R2)).L("C3") // WARN_ON(mddev->suspended)
+		f.Store(kir.G("suspended"), kir.Imm(1)).L("C4")
+		f.At("out").Ret()
+
+		b.Thread("ioctl$MD1", "md_ioctl")
+		b.Thread("ioctl$MD2", "md_ioctl")
+		return b.Build()
+	},
+})
+
+// syz11 models Table 3's bug #11 — "WARNING in schedule_bh" (floppy):
+// the pending-work flag and the bottom-half queue are updated
+// non-atomically, so two ioctls both schedule the same bottom half; the
+// list-debug check catches the double insertion.
+var syz11 = register(&Scenario{
+	Name:      "syz11-floppy-bh",
+	Title:     "#11 WARNING in schedule_bh",
+	Group:     GroupSyzkaller,
+	Subsystem: "Floppy",
+	BugType:   "assertion violation",
+
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindBugOn,
+	WantInterleavings:   1,
+	WantChainLen:        2,
+
+	Notes: "pending check/set vs. bh_list insertion; the worker itself is " +
+		"harmless — the corruption is at queueing time.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.Var("bh_pending", 0)
+		b.Var("bh_list", 0)
+		b.Var("fdc_busy", 0)
+
+		f := b.Func("schedule_bh")
+		f.Load(kir.R1, kir.G("bh_pending")).L("C1")
+		f.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+		f.Store(kir.G("bh_pending"), kir.Imm(1)).L("C2")
+		f.ListAdd(kir.G("bh_list"), kir.Imm(1)).L("C3")
+		f.QueueWork("floppy_work", kir.Imm(0)).L("C4")
+		f.At("out").Ret()
+
+		w := b.Func("floppy_work")
+		// The bottom half itself is harmless: the benign fdc_busy
+		// write-write race between the two workers stays out of the chain.
+		w.Store(kir.G("fdc_busy"), kir.Imm(1)).L("K1")
+		w.Store(kir.G("fdc_busy"), kir.Imm(0)).L("K2")
+		w.Ret()
+
+		b.Thread("ioctl$FDRAWCMD1", "schedule_bh")
+		b.Thread("ioctl$FDRAWCMD2", "schedule_bh")
+		return b.Build()
+	},
+})
+
+// syz12 models Table 3's bug #12 — "Bluetooth: use-after-free in
+// sco_sock_timeout": sco_conn_del() frees the connection while the
+// timeout worker queued by a concurrent sender still holds it.
+var syz12 = register(&Scenario{
+	Name:      "syz12-sco-timeout",
+	Title:     "#12 use-after-free in sco_sock_timeout",
+	Group:     GroupSyzkaller,
+	Subsystem: "Bluetooth",
+	BugType:   "use-after-free access",
+
+	Threads:             2,
+	HasBackgroundThread: true,
+	WantKind:            sanitizer.KindUseAfterFree,
+	WantInterleavings:   1,
+	WantChainLen:        4,
+
+	Notes: "send path snapshots sco_conn and arms the timeout worker; " +
+		"sco_conn_del disarms the timer and frees the object — but the " +
+		"already-running worker passed its armed check before the disarm " +
+		"and touches the freed connection.",
+
+	build: func() (*kir.Program, error) {
+		b := kir.NewBuilder()
+		b.HeapObj("sco_conn", 2, 0, 0)
+		b.Var("timer_armed", 0)
+
+		snd := b.Func("sco_send_frame")
+		snd.Load(kir.R1, kir.G("sco_conn")).L("A1") // snapshot
+		snd.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		snd.Load(kir.R2, kir.G("sco_conn")).L("A2") // re-check before arming
+		snd.Beq(kir.R(kir.R2), kir.Imm(0), "out")
+		snd.Store(kir.G("timer_armed"), kir.Imm(1)).L("A3")
+		snd.QueueWork("sco_sock_timeout", kir.R(kir.R1)).L("A4")
+		snd.At("out").Ret()
+
+		del := b.Func("sco_conn_del")
+		del.Load(kir.R1, kir.G("sco_conn"))
+		del.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+		del.Store(kir.G("sco_conn"), kir.Imm(0)).L("B1")
+		del.Store(kir.G("timer_armed"), kir.Imm(0)).L("B2") // sco_sock_clear_timer
+		del.Free(kir.R(kir.R1)).L("B3")
+		del.At("out").Ret()
+
+		w := b.Func("sco_sock_timeout")
+		w.Load(kir.R1, kir.G("timer_armed")).L("K0")
+		w.Beq(kir.R(kir.R1), kir.Imm(0), "out")         // timer was cancelled
+		w.Store(kir.Ind(kir.R0, 1), kir.Imm(1)).L("K1") // touch the conn
+		w.At("out").Ret()
+
+		b.Thread("sendmsg$sco", "sco_send_frame")
+		b.Thread("close", "sco_conn_del")
+		return b.Build()
+	},
+})

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"fmt"
+
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+)
+
+// Options configure one enforced run.
+type Options struct {
+	// StepBudget bounds the number of executed instructions; exceeding it
+	// ends the run with a watchdog (soft lockup) failure. Zero means
+	// DefaultStepBudget.
+	StepBudget int
+	// LeakCheck runs the memory-leak check when all threads finish.
+	LeakCheck bool
+}
+
+// DefaultStepBudget is the watchdog limit used when Options.StepBudget is
+// zero. Scenario programs execute tens to hundreds of instructions; a run
+// that needs more than this is stuck.
+const DefaultStepBudget = 100000
+
+// Enforcer drives one machine under schedules. It owns the machine between
+// runs: Run resets nothing by itself — callers restore snapshots or Reset
+// the machine. A typical loop is:
+//
+//	snap := m.Snapshot()
+//	for _, sch := range schedules {
+//	    res, err := enf.Run(sch)
+//	    ...
+//	    m.Restore(snap)
+//	}
+type Enforcer struct {
+	m *kvm.Machine
+}
+
+// NewEnforcer wraps a machine.
+func NewEnforcer(m *kvm.Machine) *Enforcer { return &Enforcer{m: m} }
+
+// Machine returns the wrapped machine.
+func (e *Enforcer) Machine() *kvm.Machine { return e.m }
+
+// viable reports whether the thread can make progress right now.
+func (e *Enforcer) viable(t *kvm.Thread) bool {
+	if t == nil {
+		return false
+	}
+	switch t.State {
+	case kvm.Runnable:
+		return true
+	case kvm.Blocked:
+		_, held := e.m.LockOwner(t.WaitLock)
+		return !held
+	default:
+		return false
+	}
+}
+
+// pick chooses the next thread when the schedule does not dictate one:
+// first matching name in prefs, else the lowest-ID viable thread.
+func (e *Enforcer) pick(prefs []string) kvm.ThreadID {
+	for _, name := range prefs {
+		if t := e.m.ThreadByName(name); e.viable(t) {
+			return t.ID
+		}
+	}
+	for _, tid := range e.m.Runnable() {
+		return tid
+	}
+	return kvm.NoThread
+}
+
+// Run executes the machine under the schedule until failure, completion,
+// deadlock or watchdog. It returns the totally ordered executed sequence.
+func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
+	budget := opts.StepBudget
+	if budget <= 0 {
+		budget = DefaultStepBudget
+	}
+	res := &RunResult{Threads: make(map[string]kvm.ThreadState)}
+	pending := append([]Point(nil), sch.Points...) // Skip counters are consumed
+	var returnStack []kvm.ThreadID
+
+	cur := kvm.NoThread
+	if t := e.m.ThreadByName(sch.Initial); t != nil {
+		cur = t.ID
+	} else {
+		cur = e.pick(sch.Fallback)
+	}
+
+	finish := func() *RunResult {
+		res.Failure = e.m.Failure()
+		res.Missed += len(pending)
+		for i := 0; i < e.m.NumThreads(); i++ {
+			t := e.m.Thread(kvm.ThreadID(i))
+			res.Threads[t.Name] = t.State
+		}
+		return res
+	}
+
+	for {
+		if e.m.Failure() != nil {
+			return finish(), nil
+		}
+		if e.m.AllDone() {
+			if opts.LeakCheck {
+				e.m.CheckLeaks()
+			}
+			return finish(), nil
+		}
+		if e.m.Deadlocked() {
+			e.failDeadlock()
+			return finish(), nil
+		}
+
+		// Drop points whose Run thread can never hit them anymore; a
+		// missed breakpoint still performs its switch (the paper's
+		// race-steered control flow makes breakpoints unreachable — the
+		// schedule continues with the next thread regardless).
+		progressed := true
+		for progressed && len(pending) > 0 {
+			progressed = false
+			rt := e.m.ThreadByName(pending[0].Run)
+			if rt != nil && (rt.State == kvm.Done || rt.State == kvm.Crashed) {
+				to := e.m.ThreadByName(pending[0].To)
+				pending = pending[1:]
+				res.Missed++
+				if e.viable(to) {
+					cur = to.ID
+				}
+				progressed = true
+			}
+		}
+
+		// Return from a lock diversion as soon as the original thread can
+		// run again, so the intended schedule resumes.
+		if n := len(returnStack); n > 0 {
+			if t := e.m.Thread(returnStack[n-1]); e.viable(t) {
+				cur = t.ID
+				returnStack = returnStack[:n-1]
+			} else if t == nil || t.State == kvm.Done || t.State == kvm.Crashed {
+				returnStack = returnStack[:n-1]
+				continue
+			}
+		}
+
+		curT := e.m.Thread(cur)
+		if !e.viable(curT) {
+			if curT != nil && curT.State == kvm.Blocked {
+				// Liveness (paper §3.4): the suspended thread holds the
+				// lock; run the owner until it releases.
+				if owner, held := e.m.LockOwner(curT.WaitLock); held {
+					returnStack = append(returnStack, cur)
+					cur = owner
+					res.Switches++
+					continue
+				}
+			}
+			next := e.pick(sch.Fallback)
+			if next == kvm.NoThread {
+				e.failDeadlock()
+				return finish(), nil
+			}
+			if next != cur {
+				res.Switches++
+			}
+			cur = next
+			continue
+		}
+
+		// Pre-execution breakpoint.
+		if len(pending) > 0 && !pending[0].After && pending[0].Run == curT.Name {
+			if next, ok := e.m.NextInstr(cur); ok && next.ID == pending[0].At {
+				if pending[0].Skip > 0 {
+					pending[0].Skip--
+				} else {
+					to := e.m.ThreadByName(pending[0].To)
+					pending = pending[1:]
+					if to != nil && to.ID != cur && (e.viable(to) || to.State == kvm.Blocked) {
+						cur = to.ID
+						res.Switches++
+						continue
+					}
+					res.Missed++
+					continue
+				}
+			}
+		}
+
+		ev, err := e.m.Step(cur)
+		if err != nil {
+			return nil, fmt.Errorf("sched: step thread %d: %w", cur, err)
+		}
+		if !ev.Executed {
+			// Blocked on a held lock: divert to the owner (liveness).
+			owner, held := e.m.LockOwner(curT.WaitLock)
+			if !held {
+				continue // released in the meantime; retry
+			}
+			returnStack = append(returnStack, cur)
+			cur = owner
+			res.Switches++
+			continue
+		}
+
+		exec := Exec{
+			Step:   len(res.Seq),
+			Thread: cur,
+			Name:   curT.Name,
+			Instr:  ev.Instr,
+		}
+		if len(ev.Accesses) > 0 {
+			exec.Accesses = make([]AccessRec, len(ev.Accesses))
+			for i, a := range ev.Accesses {
+				exec.Accesses[i] = AccessRec{Addr: a.Addr, Write: a.Write}
+			}
+		}
+		if len(curT.Locks) > 0 {
+			exec.Lockset = append([]uint64(nil), curT.Locks...)
+		}
+		if ev.Spawned != kvm.NoThread {
+			exec.Spawned = e.m.Thread(ev.Spawned).Name
+		}
+		res.Seq = append(res.Seq, exec)
+
+		if len(res.Seq) > budget {
+			e.failWatchdog(curT, ev.Instr.ID)
+			return finish(), nil
+		}
+
+		// Post-execution breakpoint (used to run a thread *through* an
+		// instruction, e.g. "run B until it has executed Y, then resume").
+		if len(pending) > 0 && pending[0].After && pending[0].Run == curT.Name && ev.Instr.ID == pending[0].At {
+			if pending[0].Skip > 0 {
+				pending[0].Skip--
+			} else {
+				to := e.m.ThreadByName(pending[0].To)
+				pending = pending[1:]
+				if to != nil && to.ID != cur && (e.viable(to) || to.State == kvm.Blocked) {
+					cur = to.ID
+					res.Switches++
+				}
+			}
+		}
+	}
+}
+
+// failDeadlock records a synthetic deadlock failure on a blocked thread.
+func (e *Enforcer) failDeadlock() {
+	for i := 0; i < e.m.NumThreads(); i++ {
+		t := e.m.Thread(kvm.ThreadID(i))
+		if t.State == kvm.Blocked {
+			in, _ := e.m.NextInstr(t.ID)
+			e.m.InjectFailure(&sanitizer.Failure{
+				Kind:   sanitizer.KindDeadlock,
+				Thread: t.Name,
+				Instr:  in.ID,
+				Addr:   t.WaitLock,
+				Msg:    "all unfinished threads are blocked",
+			})
+			return
+		}
+	}
+	e.m.InjectFailure(&sanitizer.Failure{Kind: sanitizer.KindDeadlock, Instr: kir.NoInstr, Msg: "no runnable thread"})
+}
+
+// failWatchdog records a soft-lockup failure.
+func (e *Enforcer) failWatchdog(t *kvm.Thread, at kir.InstrID) {
+	e.m.InjectFailure(&sanitizer.Failure{
+		Kind:   sanitizer.KindWatchdog,
+		Thread: t.Name,
+		Instr:  at,
+		Msg:    "step budget exceeded",
+	})
+}

@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"aitia/internal/kir"
+)
+
+// seqEntry is the minimal projection of an executed step used for schedule
+// reconstruction.
+type seqEntry struct {
+	name  string
+	instr kir.InstrID
+}
+
+func project(seq []Exec) []seqEntry {
+	out := make([]seqEntry, len(seq))
+	for i, e := range seq {
+		out[i] = seqEntry{name: e.Name, instr: e.Instr.ID}
+	}
+	return out
+}
+
+// fromEntries builds the schedule that deterministically replays a desired
+// total order of executed instructions: one post-execution switch point per
+// thread-segment boundary. Occurrence counting (Point.Skip) handles
+// instructions that repeat within a segment.
+func fromEntries(entries []seqEntry, fallback []string) Schedule {
+	sch := Schedule{Fallback: fallback}
+	if len(entries) == 0 {
+		return sch
+	}
+	sch.Initial = entries[0].name
+	segStart := 0
+	for i := 1; i <= len(entries); i++ {
+		if i < len(entries) && entries[i].name == entries[segStart].name {
+			continue
+		}
+		// Segment [segStart, i) of one thread ends at i-1.
+		if i < len(entries) {
+			last := entries[i-1]
+			skip := 0
+			for j := segStart; j < i-1; j++ {
+				if entries[j].instr == last.instr {
+					skip++
+				}
+			}
+			sch.Points = append(sch.Points, Point{
+				Run:   last.name,
+				At:    last.instr,
+				After: true,
+				Skip:  skip,
+				To:    entries[i].name,
+			})
+		}
+		segStart = i
+	}
+	return sch
+}
+
+// FromSeq builds the schedule that replays the given executed sequence.
+// The fallback order takes over after the last switch point (and whenever
+// control flow diverges from the recorded sequence).
+func FromSeq(seq []Exec, fallback []string) Schedule {
+	return fromEntries(project(seq), fallback)
+}
+
+// FlipOptions tune flip-plan construction (ablation switches).
+type FlipOptions struct {
+	// NoCriticalSections disables the §3.4 liveness rule of flipping
+	// whole critical sections as units. With it set, a flip may suspend a
+	// thread inside a critical section; the enforcement engine then has
+	// to divert through the lock owner and the intended reversal is often
+	// not realized — the misclassification the rule exists to prevent.
+	NoCriticalSections bool
+}
+
+// FlipSeq returns the desired total order for testing race r with its
+// interleaving order flipped, per Causality Analysis (§3.4): the entries of
+// First's thread from the First access onward are delayed until just after
+// the Second access, preserving per-thread program order and every other
+// cross-thread ordering. When either access runs under locks, the
+// displaced region is widened to whole critical sections, flipping them as
+// units.
+//
+// FlipSeq panics if the race is phantom (its Second access has no position
+// in seq); phantom races are planned by PlanPhantomFlip.
+func FlipSeq(seq []Exec, r Race) []Exec { return FlipSeqOpt(seq, r, FlipOptions{}) }
+
+// FlipSeqOpt is FlipSeq with ablation switches.
+func FlipSeqOpt(seq []Exec, r Race, fo FlipOptions) []Exec {
+	if r.Phantom {
+		panic("sched: FlipSeq on a phantom race")
+	}
+	i, j := r.FirstStep, r.SecondStep
+	if !fo.NoCriticalSections {
+		i, j = widenCriticalSections(seq, r)
+	}
+	tX := r.First.Thread
+	out := make([]Exec, 0, len(seq))
+	out = append(out, seq[:i]...)
+	var moved []Exec
+	for _, e := range seq[i : j+1] {
+		if e.Name == tX {
+			moved = append(moved, e)
+		} else {
+			out = append(out, e)
+		}
+	}
+	out = append(out, moved...)
+	out = append(out, seq[j+1:]...)
+	return repairSpawnOrder(out)
+}
+
+// repairSpawnOrder restores spawn causality in a reordered sequence: a
+// dynamically spawned thread (kworker, RCU callback) cannot execute before
+// the step that spawned it, so any of its entries that drifted ahead of
+// the spawn point are pushed back to just after it. Flips that would
+// require breaking spawn causality (e.g. keeping a worker's step in place
+// while delaying the syscall that queues the work) are thereby resolved
+// the same way the hypervisor would resolve them: the worker simply runs
+// later. Repair iterates because spawn chains nest (syscall -> kworker ->
+// RCU callback).
+func repairSpawnOrder(seq []Exec) []Exec {
+	for pass := 0; pass < 8; pass++ {
+		spawnAt := make(map[string]int) // thread name -> spawn step position
+		for pos, e := range seq {
+			if e.Spawned != "" {
+				if _, dup := spawnAt[e.Spawned]; !dup {
+					spawnAt[e.Spawned] = pos
+				}
+			}
+		}
+		violated := false
+		out := make([]Exec, 0, len(seq))
+		var held []Exec // entries waiting for their spawner
+		heldOf := func(name string) bool {
+			for _, h := range held {
+				if h.Name == name {
+					return true
+				}
+			}
+			return false
+		}
+		for pos, e := range seq {
+			sp, spawned := spawnAt[e.Name]
+			if (spawned && sp > pos) || heldOf(e.Name) {
+				// Runs before its spawner (or behind an earlier held entry
+				// of the same thread): hold it back.
+				violated = true
+				held = append(held, e)
+				continue
+			}
+			out = append(out, e)
+			if e.Spawned != "" {
+				// Release held entries of the thread just spawned.
+				var rest []Exec
+				for _, h := range held {
+					if h.Name == e.Spawned {
+						out = append(out, h)
+					} else {
+						rest = append(rest, h)
+					}
+				}
+				held = rest
+			}
+		}
+		out = append(out, held...)
+		seq = out
+		if !violated {
+			break
+		}
+	}
+	return seq
+}
+
+// widenCriticalSections expands [FirstStep, SecondStep] to respect the
+// paper's liveness rule (§3.4): a flip must not suspend a thread inside a
+// critical section (the resumed thread could block on the held lock and
+// the enforcement would have to run the suspended thread anyway), so
+// critical sections are flipped as units. If the First access happens
+// while its thread holds locks, the displaced region starts at the
+// acquisition of the outermost held lock; if the Second access happens
+// under locks, the region runs through the release of all of them.
+func widenCriticalSections(seq []Exec, r Race) (int, int) {
+	i, j := r.FirstStep, r.SecondStep
+	if len(seq[i].Lockset) > 0 {
+		outer := seq[i].Lockset[0]
+		for k := r.FirstStep; k >= 0; k-- {
+			e := seq[k]
+			if e.Name != r.First.Thread {
+				continue
+			}
+			i = k
+			if e.Instr.Op == kir.OpLock && len(e.Lockset) > 0 && e.Lockset[len(e.Lockset)-1] == outer {
+				break
+			}
+		}
+	}
+	if len(seq[r.SecondStep].Lockset) > 0 {
+		for k := r.SecondStep; k < len(seq); k++ {
+			e := seq[k]
+			if e.Name != r.Second.Thread {
+				continue
+			}
+			j = k
+			if len(e.Lockset) == 0 {
+				break
+			}
+		}
+	}
+	return i, j
+}
+
+func holdsLock(lockset []uint64, l uint64) bool {
+	for _, x := range lockset {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanFlip builds the schedule that re-executes the failing run with race
+// r flipped and everything else preserved.
+func PlanFlip(seq []Exec, r Race, fallback []string) Schedule {
+	return PlanFlipOpt(seq, r, fallback, FlipOptions{})
+}
+
+// PlanFlipOpt is PlanFlip with ablation switches.
+func PlanFlipOpt(seq []Exec, r Race, fallback []string, fo FlipOptions) Schedule {
+	if r.Phantom {
+		return PlanPhantomFlip(seq, r, fallback)
+	}
+	return FromSeq(FlipSeqOpt(seq, r, fo), fallback)
+}
+
+// PlanPhantomFlip builds the flip schedule for a race whose Second access
+// never executed in the failing run (the failure truncated its thread
+// first). The plan replays the original sequence up to just before the
+// First access, then suspends First's thread, runs Second's thread until it
+// has executed the Second instruction (a post-execution breakpoint — it may
+// never fire if the access is unreachable, in which case the thread simply
+// finishes), and then resumes the original order.
+func PlanPhantomFlip(seq []Exec, r Race, fallback []string) Schedule {
+	entries := project(seq)
+	i := r.FirstStep
+
+	prefix := fromEntries(entries[:i], fallback)
+	suffix := fromEntries(entries[i:], fallback)
+
+	sch := Schedule{Fallback: fallback}
+	if i == 0 {
+		// The First access is the very first step: start directly in
+		// Second's thread instead of arming an unreachable breakpoint.
+		sch.Initial = r.Second.Thread
+	} else {
+		sch.Initial = prefix.Initial
+		sch.Points = append(sch.Points, prefix.Points...)
+		// Suspend First's thread right before the First access, on the
+		// correct occurrence (only occurrences in the thread's final
+		// prefix segment can match while this point is the pending head;
+		// earlier ones execute while the prefix's own points are pending).
+		sch.Points = append(sch.Points, Point{
+			Run:  r.First.Thread,
+			At:   r.First.Instr,
+			Skip: skipWithinFinalSegment(entries[:i], r.First.Thread, r.First.Instr),
+			To:   r.Second.Thread,
+		})
+	}
+	// Run Second's thread through the Second access, then hand control
+	// back to First's thread.
+	sch.Points = append(sch.Points, Point{
+		Run:   r.Second.Thread,
+		At:    r.Second.Instr,
+		After: true,
+		To:    r.First.Thread,
+	})
+	sch.Points = append(sch.Points, suffix.Points...)
+	return sch
+}
+
+// skipWithinFinalSegment computes how many matching occurrences the
+// pre-exec flip point will see before its intended firing position: the
+// occurrences of (thread, instr) inside the thread's final segment of the
+// prefix (earlier occurrences execute while earlier points are pending and
+// therefore never match this point).
+func skipWithinFinalSegment(entries []seqEntry, thread string, instr kir.InstrID) int {
+	// Find the final contiguous segment of the thread at the end of the
+	// prefix; if the prefix ends with another thread's segment, the flip
+	// point becomes head only when control returns to the thread, which is
+	// exactly at the boundary — no occurrences are consumed before it.
+	n := len(entries)
+	if n == 0 {
+		return 0
+	}
+	skip := 0
+	if entries[n-1].name == thread {
+		for k := n - 1; k >= 0 && entries[k].name == thread; k-- {
+			if entries[k].instr == instr {
+				skip++
+			}
+		}
+	}
+	return skip
+}

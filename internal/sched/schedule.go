@@ -1,0 +1,74 @@
+// Package sched provides fine-grained control over kernel-VM execution:
+// schedules made of breakpoint-style switch points, an enforcement engine
+// that runs a machine under a schedule (with missed-breakpoint and
+// lock-liveness handling), and extraction of data races from run results.
+//
+// It corresponds to the AITIA hypervisor's control plane (paper §4.3–§4.4):
+// "run thread T until it is about to execute instruction I, then suspend it
+// and resume thread U" — with a never-hit breakpoint simply being skipped,
+// exactly as a hardware breakpoint that is never reached.
+package sched
+
+import (
+	"fmt"
+
+	"aitia/internal/kir"
+)
+
+// Point is one scheduling point: while thread Run is executing, when it is
+// about to execute (or, with After set, has just executed) instruction At,
+// suspend it and resume thread To. Threads are identified by name, which is
+// stable across runs of the same program (see kvm spawned-thread naming).
+type Point struct {
+	Run   string
+	At    kir.InstrID
+	After bool
+	To    string
+	// Skip is the number of times the (Run, At) condition matches while
+	// this point is pending before it fires — needed when the breakpoint
+	// instruction executes several times (loops, repeated calls) before
+	// the intended switch position.
+	Skip int
+}
+
+// String renders the point for logs and test failures.
+func (p Point) String() string {
+	when := "before"
+	if p.After {
+		when = "after"
+	}
+	s := fmt.Sprintf("%s@%d(%s)->%s", p.Run, p.At, when, p.To)
+	if p.Skip > 0 {
+		s += fmt.Sprintf("+%d", p.Skip)
+	}
+	return s
+}
+
+// Schedule specifies one controlled execution: the initially running
+// thread, the ordered switch points to enforce, and a fallback preference
+// order used whenever the current thread cannot continue (finished,
+// crashed, or a point was missed) and the schedule does not say what to run
+// next.
+type Schedule struct {
+	Initial  string
+	Points   []Point
+	Fallback []string
+}
+
+// Serial returns a schedule with no interleaving: run the given threads to
+// completion in order. It is the interleaving-count-0 schedule of LIFS.
+func Serial(order ...string) Schedule {
+	if len(order) == 0 {
+		return Schedule{}
+	}
+	return Schedule{Initial: order[0], Fallback: order}
+}
+
+// String renders the schedule compactly.
+func (s Schedule) String() string {
+	out := "start=" + s.Initial
+	for _, p := range s.Points {
+		out += " " + p.String()
+	}
+	return out
+}
