@@ -28,9 +28,11 @@
 package aitia
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"aitia/internal/core"
 	"aitia/internal/fuzz"
@@ -80,21 +82,24 @@ func Compile(src string) (*Program, error) {
 // Source disassembles the program back to kasm text.
 func (p *Program) Source() string { return kasm.Disassemble(p.prog) }
 
-// Race describes one data race of a diagnosis in paper notation.
+// Race describes one data race of a diagnosis in paper notation. The
+// type is JSON-serializable (it appears in ResultSummary).
 type Race struct {
 	// First and Second are the racing instructions ("A6", "B12" or
 	// "fn+idx"), in the failure-causing order First => Second.
-	First, Second string
+	First  string `json:"first"`
+	Second string `json:"second"`
 	// Threads executing the two accesses.
-	FirstThread, SecondThread string
+	FirstThread  string `json:"first_thread"`
+	SecondThread string `json:"second_thread"`
 	// Variable is the raced variable (global symbol or object address).
-	Variable string
+	Variable string `json:"variable"`
 	// Phantom marks races whose Second access never executed in the
 	// failing run (the failure truncated its thread first).
-	Phantom bool
+	Phantom bool `json:"phantom,omitempty"`
 	// Ambiguous marks surrounding races that could not be tested in
 	// isolation (§3.4).
-	Ambiguous bool
+	Ambiguous bool `json:"ambiguous,omitempty"`
 }
 
 // Result is a completed diagnosis.
@@ -118,6 +123,12 @@ type Result struct {
 	AnalysisSchedules int
 	TestSetSize       int
 	MemAccesses       int
+	// SlicesTried counts reproducer launches until the failure reproduced
+	// (1 when diagnosing a program's declared threads directly).
+	SlicesTried int
+	// ReproduceTime and DiagnoseTime are the stage wall-clock times.
+	ReproduceTime time.Duration
+	DiagnoseTime  time.Duration
 	// Report is the full human-readable diagnosis report.
 	Report string
 }
@@ -226,11 +237,11 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 	if err != nil {
 		return nil, err
 	}
-	mres, err := mgr.DiagnoseTrace(finding.Trace)
+	mres, err := mgr.DiagnoseTrace(context.Background(), finding.Trace)
 	if err != nil {
 		return nil, err
 	}
-	res := buildResult(p.prog, mres.Reproduction, mres.Diagnosis)
+	res := FromManagerResult(p.prog, mres)
 	return &FuzzResult{
 		CrashReport: finding.Report,
 		Trace:       finding.Trace.Format(),
@@ -289,6 +300,18 @@ func FromInternal(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) 
 	return buildResult(prog, rep, d)
 }
 
+// FromManagerResult converts a completed manager pipeline result into the
+// public Result shape, carrying over the pipeline's slice count and stage
+// timings. It exists for tools in this module (cmd/aitia's finding mode,
+// the diagnosis service) that drive internal/manager directly.
+func FromManagerResult(prog *kir.Program, mres *manager.Result) *Result {
+	res := buildResult(prog, mres.Reproduction, mres.Diagnosis)
+	res.SlicesTried = mres.SlicesTried
+	res.ReproduceTime = mres.ReproduceTime
+	res.DiagnoseTime = mres.DiagnoseTime
+	return res
+}
+
 // buildResult converts internal results to the public shape.
 func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *Result {
 	m, _ := kvm.New(prog) // for symbolizing addresses
@@ -315,6 +338,9 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		AnalysisSchedules: d.Stats.Schedules,
 		TestSetSize:       d.Stats.TestSet,
 		MemAccesses:       d.Stats.MemAccesses,
+		SlicesTried:       1,
+		ReproduceTime:     rep.Stats.Elapsed,
+		DiagnoseTime:      d.Stats.Elapsed,
 		Report:            sb.String(),
 	}
 	ambiguous := make(map[string]bool)

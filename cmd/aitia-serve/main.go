@@ -1,0 +1,71 @@
+// Command aitia-serve runs the diagnosis service: a long-running HTTP
+// daemon that accepts kasm programs or built-in scenario names as jobs,
+// runs the LIFS + Causality Analysis pipeline on a worker pool, and
+// serves the resulting causality chains. See README.md ("Running as a
+// service") for the endpoints and curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aitia/internal/service"
+	"aitia/internal/service/httpapi"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 4, "worker-pool size (concurrent diagnoses)")
+		queue      = flag.Int("queue", 64, "job-queue depth (backpressure beyond this)")
+		cacheSize  = flag.Int("cache", 128, "result-cache capacity in entries")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline")
+		jobWorkers = flag.Int("job-workers", 1, "per-job parallelism (parallel flip tests)")
+		drain      = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		JobWorkers: *jobWorkers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "aitia-serve: listening on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cacheSize)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "aitia-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain queued
+	// and in-flight jobs before exiting.
+	fmt.Fprintln(os.Stderr, "aitia-serve: shutting down, draining jobs...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "aitia-serve: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "aitia-serve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "aitia-serve: drained cleanly")
+}

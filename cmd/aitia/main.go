@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -117,11 +118,11 @@ func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mres, err := mgr.DiagnoseTrace(tr)
+	mres, err := mgr.DiagnoseTrace(context.Background(), tr)
 	if err != nil {
 		return nil, err
 	}
-	return aitia.FromInternal(prog, mres.Reproduction, mres.Diagnosis), nil
+	return aitia.FromManagerResult(prog, mres), nil
 }
 
 // runVerifyFix implements the paper's §5.1 verification: diagnose the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -95,6 +96,13 @@ type Diagnosis struct {
 // The machine must execute the same program that produced rep; Analyze
 // resets it before the first test run.
 func Analyze(m *kvm.Machine, rep *Reproduction, opts AnalysisOptions) (*Diagnosis, error) {
+	return AnalyzeContext(context.Background(), m, rep, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation is checked
+// between flip tests (each test is one bounded schedule enforcement), so
+// a canceled context stops the analysis promptly with ctx.Err().
+func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts AnalysisOptions) (*Diagnosis, error) {
 	if rep == nil || rep.Run == nil || !rep.Run.Failed() {
 		return nil, fmt.Errorf("core: Analyze needs a failing reproduction")
 	}
@@ -179,6 +187,10 @@ func Analyze(m *kvm.Machine, rep *Reproduction, opts AnalysisOptions) (*Diagnosi
 				wenf := sched.NewEnforcer(wm)
 				winit := wm.Snapshot()
 				for idx := range jobs {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						continue
+					}
 					tr, err := testRace(wenf, winit, order[idx])
 					if err != nil {
 						fail(err)
@@ -198,6 +210,9 @@ func Analyze(m *kvm.Machine, rep *Reproduction, opts AnalysisOptions) (*Diagnosi
 		}
 	} else {
 		for i, r := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tr, err := testRace(enf, init, r)
 			if err != nil {
 				return nil, err

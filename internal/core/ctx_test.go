@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+)
+
+// slowSearchProg builds a program whose LIFS search space is enormous
+// (two threads hammering one shared word in long loops) and which never
+// produces the wanted failure kind — so the search only ends by budget
+// exhaustion or cancellation.
+func slowSearchProg(t *testing.T) *kir.Program {
+	t.Helper()
+	b := kir.NewBuilder()
+	b.Var("x", 0)
+	for _, fn := range []string{"fa", "fb"} {
+		f := b.Func(fn)
+		f.Mov(kir.R3, kir.Imm(400))
+		f.At("loop").Load(kir.R1, kir.G("x"))
+		f.Add(kir.R1, kir.Imm(1))
+		f.Store(kir.G("x"), kir.R(kir.R1))
+		f.Sub(kir.R3, kir.Imm(1))
+		f.Bne(kir.R(kir.R3), kir.Imm(0), "loop")
+		f.Ret()
+	}
+	b.Thread("A", "fa")
+	b.Thread("B", "fb")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestReproduceContextCancelMidSearch: canceling the context while LIFS
+// is exploring aborts the search promptly with ctx.Err().
+func TestReproduceContextCancelMidSearch(t *testing.T) {
+	m, err := kvm.New(slowSearchProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = ReproduceContext(ctx, m, LIFSOptions{
+		WantKind:     sanitizer.KindNullDeref, // never happens: search runs until stopped
+		MaxSchedules: 1 << 30,
+		StepBudget:   1 << 20,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestAnalyzeContextCanceled: a pre-canceled context stops Causality
+// Analysis before any flip test and surfaces ctx.Err() in both the
+// serial and the parallel (diagnoser-fleet) paths.
+func TestAnalyzeContextCanceled(t *testing.T) {
+	prog := figure1(t)
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Reproduce(m, LIFSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if err := m.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		_, err = AnalyzeContext(ctx, m, rep, AnalysisOptions{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -93,6 +94,13 @@ func IsNotReproduced(err error) bool { return errors.Is(err, ErrNotReproduced) }
 // Reproduce runs LIFS on the machine's declared threads. The machine is
 // left in the failing state of the reproduced run.
 func Reproduce(m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
+	return ReproduceContext(context.Background(), m, opts)
+}
+
+// ReproduceContext is Reproduce under a context: cancellation and
+// deadlines are checked at search-iteration boundaries, so a canceled
+// context aborts the search promptly and the error is ctx.Err().
+func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
 	if opts.MaxInterleavings <= 0 {
 		opts.MaxInterleavings = DefaultMaxInterleavings
 	}
@@ -104,6 +112,7 @@ func Reproduce(m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
 		m:    m,
 		am:   sched.NewAccessMap(),
 		opts: opts,
+		ctx:  ctx,
 	}
 	for _, td := range m.Prog().Threads {
 		s.fallback = append(s.fallback, td.Name)
@@ -136,6 +145,10 @@ func Reproduce(m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
 	}
 	s.stats.Elapsed = time.Since(start)
 
+	if s.ctxErr != nil {
+		m.Restore(s.init)
+		return nil, s.ctxErr
+	}
 	if !s.found {
 		m.Restore(s.init)
 		return nil, fmt.Errorf("%w after %d schedules (max %d interleavings)",
@@ -180,6 +193,9 @@ type searcher struct {
 	fallback []string
 	init     *kvm.Snapshot
 	stats    SearchStats
+	ctx      context.Context
+	ctxErr   error // set when ctx canceled the search
+	ctxTick  int   // steps since the last ctx check
 
 	visited     map[visKey]bool
 	trace       []sched.Exec
@@ -225,8 +241,33 @@ func (s *searcher) accept(f *sanitizer.Failure) bool {
 	return f.Kind == s.opts.WantKind
 }
 
+// canceled reports whether the surrounding context has been canceled,
+// latching ctx.Err() and flipping the search into unwinding mode. The
+// actual ctx poll runs every 64 calls: the check sits on the per-step
+// hot path and ctx.Err takes a lock.
+func (s *searcher) canceled() bool {
+	if s.ctxErr != nil {
+		return true
+	}
+	s.ctxTick++
+	if s.ctxTick&63 != 0 {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.ctxErr = err
+		s.exhausted = true
+		return true
+	}
+	return false
+}
+
 // phase explores all schedules with at most k preemptions.
 func (s *searcher) phase(k int) {
+	if s.ctx.Err() != nil {
+		s.ctxErr = s.ctx.Err()
+		s.exhausted = true
+		return
+	}
 	s.phaseBudget = k
 	s.visited = make(map[visKey]bool)
 	// The initial thread choice is itself a decision: branch over every
@@ -256,7 +297,7 @@ func (s *searcher) viableThreads() []kvm.ThreadID {
 // at the failing leaf).
 func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.ThreadID) bool {
 	for {
-		if s.found || s.exhausted {
+		if s.found || s.exhausted || s.canceled() {
 			return s.found
 		}
 		if s.m.Failure() != nil {

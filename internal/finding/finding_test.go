@@ -1,6 +1,7 @@
 package finding
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestSaveLoadDiagnoseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mgr.DiagnoseTrace(tr)
+	res, err := mgr.DiagnoseTrace(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}

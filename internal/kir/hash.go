@@ -1,0 +1,114 @@
+package kir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Hash returns a stable content hash of the program: a hex-encoded
+// SHA-256 over a canonical serialization of its globals, threads,
+// functions, instructions and labels. Two programs that assemble to the
+// same instructions hash identically — in particular the hash is
+// invariant under a disassemble/re-parse round trip — while any change
+// to an opcode, operand, label, global layout or thread set changes it.
+//
+// The hash is the cache key for diagnosis results: a crash report
+// resubmitted as the same program (even re-serialized) maps to the same
+// key, so a service can answer it without re-running LIFS.
+func (p *Program) Hash() string {
+	h := sha256.New()
+
+	// Globals in declared order: the order determines the address layout,
+	// which races and chains refer to.
+	writeInt(h, len(p.Globals))
+	for _, g := range p.Globals {
+		writeString(h, g.Name)
+		writeInt64(h, g.Size)
+		writeInt64(h, g.HeapSize)
+		writeInt(h, len(g.Init))
+		for _, v := range g.Init {
+			writeInt64(h, v)
+		}
+		offs := make([]int64, 0, len(g.AddrOf))
+		for off := range g.AddrOf {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		writeInt(h, len(offs))
+		for _, off := range offs {
+			writeInt64(h, off)
+			writeString(h, g.AddrOf[off])
+		}
+	}
+
+	// Threads in declared order (the order is the fallback scheduling
+	// order and part of the program's identity).
+	writeInt(h, len(p.Threads))
+	for _, t := range p.Threads {
+		writeString(h, t.Name)
+		writeString(h, t.Entry)
+		writeInt(h, int(t.Kind))
+		writeInt64(h, t.Arg)
+	}
+
+	// Functions in name order (the order Finalize assigns identities in).
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeInt(h, len(names))
+	for _, name := range names {
+		f := p.Funcs[name]
+		writeString(h, name)
+		// Branch-target labels, sorted by name, with their positions.
+		labels := f.Labels()
+		lnames := make([]string, 0, len(labels))
+		for l := range labels {
+			lnames = append(lnames, l)
+		}
+		sort.Strings(lnames)
+		writeInt(h, len(lnames))
+		for _, l := range lnames {
+			writeString(h, l)
+			writeInt(h, labels[l])
+		}
+		writeInt(h, len(f.Instrs))
+		for _, in := range f.Instrs {
+			writeInt(h, int(in.Op))
+			writeInt(h, int(in.Dst))
+			writeOperand(h, in.A)
+			writeOperand(h, in.B)
+			writeInt64(h, in.Size)
+			writeString(h, in.Target)
+			writeString(h, in.Label)
+		}
+	}
+
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func writeOperand(w io.Writer, o Operand) {
+	writeInt(w, int(o.Kind))
+	writeInt64(w, o.Imm)
+	writeInt(w, int(o.Reg))
+	writeString(w, o.Sym)
+	writeInt64(w, o.Off)
+}
+
+func writeInt(w io.Writer, v int) { writeInt64(w, int64(v)) }
+
+func writeInt64(w io.Writer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:])
+}
+
+// writeString is length-prefixed so adjacent fields cannot alias.
+func writeString(w io.Writer, s string) {
+	writeInt(w, len(s))
+	io.WriteString(w, s)
+}

@@ -1,0 +1,65 @@
+package kir
+
+import "testing"
+
+// buildHashProg assembles a small two-thread program; imm parameterizes
+// one immediate so tests can produce near-identical variants.
+func buildHashProg(t *testing.T, imm int64, label string) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Var("ptr_valid", 0)
+	b.VarAddrOf("ptr", "obj")
+	b.Global("obj", 2, 7)
+	fa := b.Func("fa")
+	fa.Store(G("ptr_valid"), Imm(imm)).L("A1")
+	fa.Load(R1, G("ptr")).L("A2")
+	fa.Ret()
+	fb := b.Func("fb")
+	fb.Load(R1, G("ptr_valid")).L("B1")
+	fb.Beq(R(R1), Imm(0), "out")
+	fb.Store(G("ptr"), Imm(0)).L(label)
+	fb.At("out").Ret()
+	b.Thread("A", "fa")
+	b.Thread("B", "fb")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestHashDeterministic(t *testing.T) {
+	p1 := buildHashProg(t, 1, "B2")
+	p2 := buildHashProg(t, 1, "B2")
+	h1, h2 := p1.Hash(), p2.Hash()
+	if h1 != h2 {
+		t.Errorf("identical programs hash differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(h1))
+	}
+	if h1 != p1.Hash() {
+		t.Error("hash not stable across calls")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := buildHashProg(t, 1, "B2").Hash()
+	if got := buildHashProg(t, 2, "B2").Hash(); got == base {
+		t.Error("changing an immediate did not change the hash")
+	}
+	if got := buildHashProg(t, 1, "B9").Hash(); got == base {
+		t.Error("changing an instruction label did not change the hash")
+	}
+}
+
+func TestHashRestrictedViewDiffers(t *testing.T) {
+	p := buildHashProg(t, 1, "B2")
+	r, err := p.Restrict([]string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hash() == p.Hash() {
+		t.Error("a slice view (fewer threads) must hash differently")
+	}
+}

@@ -7,6 +7,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -65,8 +66,11 @@ func New(prog *kir.Program, opts Options) (*Manager, error) {
 }
 
 // DiagnoseTrace runs the full pipeline on a bug-finder trace: modeling,
-// slicing, parallel reproduction, diagnosis.
-func (m *Manager) DiagnoseTrace(tr *history.Trace) (*Result, error) {
+// slicing, parallel reproduction, diagnosis. The context bounds the
+// whole pipeline: cancellation or deadline expiry stops the reproducer
+// search and the diagnoser flip tests at their next iteration boundary,
+// and the error is ctx.Err().
+func (m *Manager) DiagnoseTrace(ctx context.Context, tr *history.Trace) (*Result, error) {
 	lifs := m.opts.LIFS
 	if tr.Crash != nil {
 		lifs.WantKind = tr.Crash.Kind
@@ -79,23 +83,24 @@ func (m *Manager) DiagnoseTrace(tr *history.Trace) (*Result, error) {
 	if len(slices) == 0 {
 		return nil, fmt.Errorf("manager: trace yields no slices")
 	}
-	return m.diagnoseSlices(slices, lifs)
+	return m.diagnoseSlices(ctx, slices, lifs)
 }
 
 // Diagnose runs the pipeline on the program's full declared thread set
 // (a single slice), for callers that already know the concurrency group.
-func (m *Manager) Diagnose() (*Result, error) {
+// The context bounds the pipeline as in DiagnoseTrace.
+func (m *Manager) Diagnose(ctx context.Context) (*Result, error) {
 	var names []string
 	for _, t := range m.prog.Threads {
 		names = append(names, t.Name)
 	}
 	sl := history.Slice{Threads: names}
-	return m.diagnoseSlices([]history.Slice{sl}, m.opts.LIFS)
+	return m.diagnoseSlices(ctx, []history.Slice{sl}, m.opts.LIFS)
 }
 
 // diagnoseSlices launches reproducers over the candidate slices, in
 // parallel, and diagnoses the first (in slice order) that reproduces.
-func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
+func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
 	type repOut struct {
 		idx int
 		rep *core.Reproduction
@@ -115,7 +120,11 @@ func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) 
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rep, err := m.reproduce(slices[idx], lifs)
+				if err := ctx.Err(); err != nil {
+					outs <- repOut{idx: idx, err: err}
+					continue
+				}
+				rep, err := m.reproduce(ctx, slices[idx], lifs)
 				outs <- repOut{idx: idx, rep: rep, err: err}
 			}
 		}()
@@ -143,6 +152,9 @@ func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) 
 			best, bestRep = out.idx, out.rep
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if best < 0 {
 		if lastErr != nil {
 			return nil, fmt.Errorf("manager: no slice reproduced the failure (last error: %w)", lastErr)
@@ -164,7 +176,7 @@ func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) 
 	aopts.Workers = m.opts.Workers
 	aopts.LeakCheck = aopts.LeakCheck || lifs.LeakCheck
 	diagStart := time.Now()
-	diag, err := core.Analyze(dm, bestRep, aopts)
+	diag, err := core.AnalyzeContext(ctx, dm, bestRep, aopts)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +193,7 @@ func (m *Manager) diagnoseSlices(slices []history.Slice, lifs core.LIFSOptions) 
 
 // reproduce runs LIFS on one slice; a nil Reproduction with nil error
 // means the slice did not reproduce the failure (try the next one).
-func (m *Manager) reproduce(sl history.Slice, lifs core.LIFSOptions) (*core.Reproduction, error) {
+func (m *Manager) reproduce(ctx context.Context, sl history.Slice, lifs core.LIFSOptions) (*core.Reproduction, error) {
 	sliceProg, err := m.prog.Restrict(sl.Threads)
 	if err != nil {
 		return nil, err
@@ -190,7 +202,7 @@ func (m *Manager) reproduce(sl history.Slice, lifs core.LIFSOptions) (*core.Repr
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Reproduce(vm, lifs)
+	rep, err := core.ReproduceContext(ctx, vm, lifs)
 	if err != nil {
 		if core.IsNotReproduced(err) {
 			return nil, nil

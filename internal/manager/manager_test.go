@@ -1,7 +1,10 @@
 package manager
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"aitia/internal/fuzz"
 	"aitia/internal/history"
@@ -18,7 +21,7 @@ func TestDiagnoseDirect(t *testing.T) {
 	}
 	mgr.opts.LIFS.WantKind = sc.WantKind
 	mgr.opts.LIFS.WantInstr = sc.WantInstr()
-	res, err := mgr.Diagnose()
+	res, err := mgr.Diagnose(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +54,7 @@ func TestFullPipelineFromFuzzerTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mgr.DiagnoseTrace(finding.Trace)
+	res, err := mgr.DiagnoseTrace(context.Background(), finding.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestDiagnoseTraceWithIrrelevantThread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mgr.DiagnoseTrace(finding.Trace)
+	res, err := mgr.DiagnoseTrace(context.Background(), finding.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,27 @@ func TestDiagnoseTraceNoSlices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.DiagnoseTrace(&history.Trace{}); err == nil {
+	if _, err := mgr.DiagnoseTrace(context.Background(), &history.Trace{}); err == nil {
 		t.Error("empty trace should fail")
+	}
+}
+
+// TestDiagnoseCanceledContext: a context canceled before the pipeline
+// starts aborts it with ctx.Err().
+func TestDiagnoseCanceledContext(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	mgr, err := New(sc.MustProgram(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = mgr.Diagnose(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("canceled diagnosis took %v", elapsed)
 	}
 }

@@ -1,0 +1,49 @@
+package scenarios
+
+import (
+	"testing"
+
+	"aitia/internal/kasm"
+)
+
+// TestHashReparseInvariant verifies the cache-key property of
+// kir.Program.Hash across the whole corpus: disassembling a scenario
+// program and re-parsing the text yields the same hash, so a crash
+// report resubmitted as serialized source maps to the same cache entry.
+func TestHashReparseInvariant(t *testing.T) {
+	for _, sc := range All() {
+		prog, err := sc.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		src := kasm.Disassemble(prog)
+		reparsed, err := kasm.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", sc.Name, err)
+		}
+		if got, want := reparsed.Hash(), prog.Hash(); got != want {
+			t.Errorf("%s: hash changed across disassemble/parse round trip:\n got %s\nwant %s",
+				sc.Name, got, want)
+		}
+	}
+}
+
+// TestHashDistinctAcrossCorpus verifies that no two corpus scenarios
+// collide: every program must have its own cache identity.
+func TestHashDistinctAcrossCorpus(t *testing.T) {
+	seen := map[string]string{} // hash -> scenario name
+	for _, sc := range All() {
+		prog, err := sc.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		h := prog.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("scenarios %s and %s hash identically (%s)", prev, sc.Name, h)
+		}
+		seen[h] = sc.Name
+	}
+	if len(seen) < 20 {
+		t.Errorf("corpus yielded only %d distinct hashes", len(seen))
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServiceCacheHitVsCold contrasts a full pipeline run (LIFS +
+// Causality Analysis) against answering the same submission from the
+// LRU result cache — the speedup the cache buys a fleet that sees the
+// same Syzkaller crash resubmitted many times.
+func BenchmarkServiceCacheHitVsCold(b *testing.B) {
+	req := Request{Scenario: "cve-2017-15649"}
+
+	b.Run("Cold", func(b *testing.B) {
+		s := New(Config{Workers: 1})
+		defer s.Shutdown(context.Background())
+		for i := 0; i < b.N; i++ {
+			// A unique step budget per iteration defeats the cache, so
+			// every submission runs the pipeline.
+			r := req
+			r.Options.StepBudget = 1 << 20
+			r.Options.MaxInterleavings = 100000 + i
+			st, err := s.Submit(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fin, err := s.Wait(context.Background(), st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fin.State != StateDone {
+				b.Fatalf("state = %q (error %q)", fin.State, fin.Error)
+			}
+		}
+	})
+
+	b.Run("CacheHit", func(b *testing.B) {
+		s := New(Config{Workers: 1})
+		defer s.Shutdown(context.Background())
+		st, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), st.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := s.Submit(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.CacheHit {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"aitia"
+)
+
+// resultCache is a fixed-capacity LRU cache of completed diagnoses,
+// keyed by the content hash of the compiled program plus the normalized
+// request options. A crash report resubmitted in any serialization of
+// the same program is answered from here without re-running LIFS.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	sum *aitia.ResultSummary
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached summary for key and marks it recently used.
+func (c *resultCache) get(key string) (*aitia.ResultSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sum, true
+}
+
+// add inserts (or refreshes) a completed diagnosis, evicting the least
+// recently used entry when over capacity.
+func (c *resultCache) add(key string, sum *aitia.ResultSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).sum = sum
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sum: sum})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,100 @@
+// Package httpapi exposes the diagnosis service over HTTP/JSON. The
+// service core stays transport-agnostic; this package only translates
+// requests and sentinel errors to HTTP semantics:
+//
+//	POST   /v1/diagnose   submit a job (202; 429 on queue-full backpressure)
+//	GET    /v1/jobs       list all jobs
+//	GET    /v1/jobs/{id}  poll one job (includes the result when done)
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /v1/scenarios  list the built-in crash-scenario corpus
+//	GET    /metrics       Prometheus text-format metrics
+//	GET    /healthz       occupancy and drain state
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"aitia/internal/service"
+)
+
+// New returns the HTTP handler for a running service.
+func New(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/diagnose", func(w http.ResponseWriter, r *http.Request) {
+		var req service.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		st, err := svc.Submit(req)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Cancel(r.PathValue("id")); err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Scenarios())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		svc.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := svc.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	return mux
+}
+
+// statusFor maps the service's sentinel errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, service.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,267 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aitia"
+	"aitia/internal/kir"
+	"aitia/internal/service"
+	"aitia/internal/service/httpapi"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func getBody(t *testing.T, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// pollDone polls GET /v1/jobs/{id} until the job leaves the queue/run
+// states, returning the terminal status.
+func pollDone(t *testing.T, client *http.Client, base, id string) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := getBody(t, client, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job: status %d: %s", code, body)
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != service.StateQueued && st.State != service.StateRunning {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never completed", id)
+	return service.JobStatus{}
+}
+
+// metricValue extracts one sample value from Prometheus text output.
+func metricValue(t *testing.T, metrics []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, metrics)
+	return 0
+}
+
+// TestServiceHTTPEndToEnd is the acceptance path: POST the
+// cve-2017-15649 scenario, poll until the diagnosis completes with a
+// non-empty chain, POST the identical request again and observe the
+// cache hit in /metrics, then shut down and verify the drain.
+func TestServiceHTTPEndToEnd(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+	body := `{"scenario": "cve-2017-15649"}`
+
+	// Submit: 202 with a job id.
+	code, resp := postJSON(t, client, srv.URL+"/v1/diagnose", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/diagnose: status %d: %s", code, resp)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != service.StateQueued {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// Poll to completion: a non-empty causality chain.
+	final := pollDone(t, client, srv.URL, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job state = %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Chain == "" {
+		t.Fatalf("done job has no chain: %+v", final.Result)
+	}
+	if final.CacheHit {
+		t.Error("first submission must not be a cache hit")
+	}
+	t.Logf("chain: %s", final.Result.Chain)
+
+	// Identical resubmission: synchronous cache hit with the same chain.
+	code, resp = postJSON(t, client, srv.URL+"/v1/diagnose", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("second POST: status %d: %s", code, resp)
+	}
+	var st2 service.JobStatus
+	if err := json.Unmarshal(resp, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || st2.State != service.StateDone {
+		t.Fatalf("second submission not a cache hit: %+v", st2)
+	}
+	if st2.Result.Chain != final.Result.Chain {
+		t.Errorf("cached chain %q != original %q", st2.Result.Chain, final.Result.Chain)
+	}
+
+	// The hit is visible in /metrics.
+	code, metrics := getBody(t, client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if got := metricValue(t, metrics, "aitia_cache_hits_total"); got != 1 {
+		t.Errorf("aitia_cache_hits_total = %g, want 1", got)
+	}
+	if got := metricValue(t, metrics, "aitia_jobs_submitted_total"); got != 2 {
+		t.Errorf("aitia_jobs_submitted_total = %g, want 2", got)
+	}
+	if got := metricValue(t, metrics, "aitia_jobs_completed_total"); got != 2 {
+		t.Errorf("aitia_jobs_completed_total = %g, want 2", got)
+	}
+	if got := metricValue(t, metrics, "aitia_reproduce_seconds_count"); got != 1 {
+		t.Errorf("aitia_reproduce_seconds_count = %g, want 1", got)
+	}
+
+	// Scenario listing includes the one we just diagnosed.
+	code, scen := getBody(t, client, srv.URL+"/v1/scenarios")
+	if code != http.StatusOK || !bytes.Contains(scen, []byte("cve-2017-15649")) {
+		t.Errorf("GET /v1/scenarios: status %d, body %.200s", code, scen)
+	}
+
+	// Healthy before shutdown.
+	code, health := getBody(t, client, srv.URL+"/healthz")
+	if code != http.StatusOK || !bytes.Contains(health, []byte(`"status": "ok"`)) {
+		t.Errorf("GET /healthz: status %d, body %s", code, health)
+	}
+
+	// Submit one more job, then shut down: the drain must let it finish.
+	code, resp = postJSON(t, client, srv.URL+"/v1/diagnose",
+		`{"scenario": "cve-2017-15649", "options": {"step_budget": 200000}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("third POST: status %d: %s", code, resp)
+	}
+	var st3 service.JobStatus
+	if err := json.Unmarshal(resp, &st3); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got, err := svc.Job(st3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != service.StateDone {
+		t.Errorf("in-flight job after drain: state = %q (error %q), want done", got.State, got.Error)
+	}
+
+	// Draining service refuses new jobs with 503.
+	code, _ = postJSON(t, client, srv.URL+"/v1/diagnose", body)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("POST after shutdown: status %d, want 503", code)
+	}
+	code, health = getBody(t, client, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !bytes.Contains(health, []byte("draining")) {
+		t.Errorf("healthz after shutdown: status %d, body %s", code, health)
+	}
+}
+
+// TestHTTPErrorMapping: sentinel errors surface as the right status
+// codes through the HTTP layer.
+func TestHTTPErrorMapping(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, prog *kir.Program, req service.Request) (*aitia.ResultSummary, error) {
+		select {
+		case <-release:
+			return &aitia.ResultSummary{Chain: "A1 => B1"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1, Diagnoser: blocking})
+	defer svc.Shutdown(context.Background())
+	defer close(release) // unblock workers before the drain above runs
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	if code, body := postJSON(t, client, srv.URL+"/v1/diagnose", `{"scenario": "nope"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown scenario: status %d: %s", code, body)
+	}
+	if code, body := postJSON(t, client, srv.URL+"/v1/diagnose", `{not json`); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d: %s", code, body)
+	}
+	if code, body := getBody(t, client, srv.URL+"/v1/jobs/job-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d: %s", code, body)
+	}
+
+	// Occupy the single worker, wait until it is running, fill the
+	// depth-1 queue, then expect 429 on the next submission.
+	code, resp := postJSON(t, client, srv.URL+"/v1/diagnose",
+		`{"scenario": "cve-2017-15649", "options": {"step_budget": 50001}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fill worker: status %d: %s", code, resp)
+	}
+	var running service.JobStatus
+	if err := json.Unmarshal(resp, &running); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := svc.Job(running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never picked up job, state %q", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, resp := postJSON(t, client, srv.URL+"/v1/diagnose",
+		`{"scenario": "cve-2017-15649", "options": {"step_budget": 50002}}`); code != http.StatusAccepted {
+		t.Fatalf("fill queue: status %d: %s", code, resp)
+	}
+	if code, _ := postJSON(t, client, srv.URL+"/v1/diagnose",
+		`{"scenario": "cve-2017-15649", "options": {"step_budget": 60000}}`); code != http.StatusTooManyRequests {
+		t.Errorf("full queue: status %d, want 429", code)
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBounds are the upper bounds (seconds) of the duration histograms:
+// exponential from 1ms to 60s, covering sub-millisecond cache hits up to
+// multi-second diagnoser runs.
+const numHistBounds = 15
+
+var histBounds = [numHistBounds]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a cumulative histogram of seconds with fixed buckets.
+type Histogram struct {
+	buckets [numHistBounds + 1]atomic.Uint64 // +1 for +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one measurement in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(histBounds) && seconds > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Metrics is the service's metric registry: job-lifecycle counters, the
+// cache hit/miss counters, stage-duration histograms and occupancy
+// gauges, exported in Prometheus text exposition format at /metrics.
+type Metrics struct {
+	JobsSubmitted Counter // accepted into the queue (or served from cache)
+	JobsCompleted Counter // finished with a diagnosis
+	JobsFailed    Counter // finished with an error
+	JobsCanceled  Counter // canceled before completing
+	JobsRejected  Counter // rejected with queue-full backpressure
+	CacheHits     Counter // submissions answered from the result cache
+	CacheMisses   Counter // submissions that had to run the pipeline
+
+	QueueWait     Histogram // seconds from submit to worker pickup
+	ReproduceTime Histogram // seconds in the LIFS reproducing stage
+	DiagnoseTime  Histogram // seconds in the Causality Analysis stage
+
+	QueueDepth  Gauge // jobs waiting in the queue
+	BusyWorkers Gauge // workers currently diagnosing
+}
+
+// WritePrometheus renders every metric in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, c *Counter) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+	}
+	gauge := func(name, help string, g *Gauge) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.Value())
+	}
+	hist := func(name, help string, h *Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		cum := uint64(0)
+		for i, bound := range histBounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", bound), cum)
+		}
+		cum += h.buckets[len(histBounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	}
+
+	counter("aitia_jobs_submitted_total", "Diagnosis jobs accepted.", &m.JobsSubmitted)
+	counter("aitia_jobs_completed_total", "Diagnosis jobs completed successfully.", &m.JobsCompleted)
+	counter("aitia_jobs_failed_total", "Diagnosis jobs that failed.", &m.JobsFailed)
+	counter("aitia_jobs_canceled_total", "Diagnosis jobs canceled.", &m.JobsCanceled)
+	counter("aitia_jobs_rejected_total", "Submissions rejected because the queue was full.", &m.JobsRejected)
+	counter("aitia_cache_hits_total", "Submissions served from the result cache.", &m.CacheHits)
+	counter("aitia_cache_misses_total", "Submissions that ran the diagnosis pipeline.", &m.CacheMisses)
+	hist("aitia_queue_wait_seconds", "Seconds jobs spent queued before a worker picked them up.", &m.QueueWait)
+	hist("aitia_reproduce_seconds", "Seconds spent in the LIFS reproducing stage.", &m.ReproduceTime)
+	hist("aitia_diagnose_seconds", "Seconds spent in the Causality Analysis stage.", &m.DiagnoseTime)
+	gauge("aitia_queue_depth", "Jobs currently waiting in the queue.", &m.QueueDepth)
+	gauge("aitia_busy_workers", "Workers currently running a diagnosis.", &m.BusyWorkers)
+}

@@ -1,0 +1,519 @@
+// Package service turns the one-shot AITIA pipeline into a long-running
+// diagnosis service — the paper's §4.1 deployment, where a fleet of 32
+// reproducer/diagnoser VMs consumes a stream of Syzkaller crash reports.
+//
+// The subsystem is transport-agnostic (HTTP lives in the httpapi
+// subpackage) and composes four parts:
+//
+//   - a bounded job queue with backpressure: submissions beyond the
+//     queue depth are rejected with ErrQueueFull instead of piling up;
+//   - a worker pool (the VM fleet) with graceful drain on shutdown:
+//     queued and in-flight jobs finish, new submissions are refused;
+//   - an LRU result cache keyed by the content hash of the compiled
+//     kir.Program plus the normalized options, so resubmissions of the
+//     same crash are answered without re-running LIFS;
+//   - a metrics registry exported in Prometheus text format.
+//
+// Per-job deadlines and cancellation are plumbed into the pipeline via
+// context.Context (manager.Diagnose → core.ReproduceContext /
+// core.AnalyzeContext), so a deadline actually stops the search.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aitia"
+	"aitia/internal/core"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/manager"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+// Sentinel errors surfaced to transports.
+var (
+	// ErrQueueFull is backpressure: the job queue is at capacity and the
+	// submission was rejected (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed means the service is draining and accepts no new jobs.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrBadRequest wraps request-validation failures (HTTP 400).
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrNotFound means no job has the requested id (HTTP 404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size: how many diagnoses run
+	// concurrently (the paper's VM fleet). Default 4.
+	Workers int
+	// QueueDepth bounds the job queue; submissions beyond it are
+	// rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries. Default 128.
+	CacheSize int
+	// JobTimeout is the per-job deadline (overridable per request with
+	// a shorter one). Default 2 minutes.
+	JobTimeout time.Duration
+	// JobWorkers is the per-job parallelism handed to manager.Options
+	// (parallel flip tests). Default 1: the pool, not the job, is the
+	// unit of parallelism here.
+	JobWorkers int
+	// Diagnoser overrides the pipeline backend (tests inject blocking or
+	// failing backends to exercise the queue deterministically). Nil
+	// means the real manager-based pipeline.
+	Diagnoser Diagnoser
+}
+
+// Diagnoser runs one resolved job. prog is the compiled program and req
+// the normalized request (scenario defaults already applied).
+type Diagnoser func(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error)
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+}
+
+// Request is one diagnosis submission: either a built-in scenario name
+// or a kasm program, plus options.
+type Request struct {
+	// Scenario names a built-in corpus scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// Source is kasm program text (exclusive with Scenario).
+	Source string `json:"source,omitempty"`
+	// Options tune the pipeline.
+	Options RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions are the per-request pipeline knobs. They mirror
+// aitia.Options; fields at their zero value use the pipeline defaults.
+type RequestOptions struct {
+	MaxInterleavings int    `json:"max_interleavings,omitempty"`
+	StepBudget       int    `json:"step_budget,omitempty"`
+	LeakCheck        bool   `json:"leak_check,omitempty"`
+	FailureKind      string `json:"failure_kind,omitempty"`
+	FailureLabel     string `json:"failure_label,omitempty"`
+	// TimeoutMS caps this job's run time; it can only shorten the
+	// service-wide Config.JobTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Scenario string `json:"scenario,omitempty"`
+	// CacheHit marks jobs answered from the result cache.
+	CacheHit  bool      `json:"cache_hit,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	// QueueWaitMS and RunMS are filled as the job progresses.
+	QueueWaitMS int64 `json:"queue_wait_ms"`
+	RunMS       int64 `json:"run_ms"`
+	// Error is set for failed/canceled jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the diagnosis, set when State is "done".
+	Result *aitia.ResultSummary `json:"result,omitempty"`
+}
+
+// job is the internal job record; mutable fields are guarded by
+// Service.mu.
+type job struct {
+	status JobStatus
+	req    Request
+	prog   *kir.Program
+	key    string             // cache key
+	cancel context.CancelFunc // set while running
+	picked time.Time          // when a worker picked the job up
+	done   chan struct{}      // closed on completion
+}
+
+// Service is the diagnosis service: queue, worker fleet, result cache
+// and metrics.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+	queue   chan *job
+	wg      sync.WaitGroup
+	nextID  atomic.Uint64
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+}
+
+// New starts a service: the worker pool begins consuming the queue
+// immediately. Call Shutdown to drain it.
+func New(cfg Config) *Service {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		cache:   newResultCache(cfg.CacheSize),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the service's metric registry.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Scenarios lists the built-in corpus.
+func (s *Service) Scenarios() []aitia.ScenarioInfo { return aitia.Scenarios() }
+
+// Health is a point-in-time health snapshot.
+type Health struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	Workers      int    `json:"workers"`
+	BusyWorkers  int64  `json:"busy_workers"`
+	QueueDepth   int64  `json:"queue_depth"`
+	Jobs         int    `json:"jobs"`
+	CachedChains int    `json:"cached_chains"`
+}
+
+// Health reports the service's occupancy and drain state.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	closed, jobs := s.closed, len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	if closed {
+		status = "draining"
+	}
+	return Health{
+		Status:       status,
+		Workers:      s.cfg.Workers,
+		BusyWorkers:  s.metrics.BusyWorkers.Value(),
+		QueueDepth:   s.metrics.QueueDepth.Value(),
+		Jobs:         jobs,
+		CachedChains: s.cache.len(),
+	}
+}
+
+// resolve compiles the request into a program and normalizes the options
+// (scenario defaults applied), so equivalent submissions share one cache
+// key.
+func resolve(req Request) (*kir.Program, Request, error) {
+	switch {
+	case req.Scenario != "" && req.Source != "":
+		return nil, req, fmt.Errorf("%w: scenario and source are exclusive", ErrBadRequest)
+	case req.Scenario != "":
+		sc, ok := scenarios.ByName(req.Scenario)
+		if !ok {
+			return nil, req, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, req.Scenario)
+		}
+		prog, err := sc.Program()
+		if err != nil {
+			return nil, req, err
+		}
+		if req.Options.FailureKind == "" {
+			req.Options.FailureKind = sc.WantKind.String()
+		}
+		if req.Options.FailureLabel == "" {
+			req.Options.FailureLabel = sc.WantLabel
+		}
+		req.Options.LeakCheck = req.Options.LeakCheck || sc.NeedsLeakCheck()
+		return prog, req, nil
+	case req.Source != "":
+		prog, err := kasm.Parse(req.Source)
+		if err != nil {
+			return nil, req, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return prog, req, nil
+	default:
+		return nil, req, fmt.Errorf("%w: need scenario or source", ErrBadRequest)
+	}
+}
+
+// cacheKey derives the result-cache key: the program's content hash plus
+// every option that can change the diagnosis outcome. TimeoutMS is
+// excluded (failed jobs are never cached).
+func cacheKey(prog *kir.Program, o RequestOptions) string {
+	return fmt.Sprintf("%s|mi=%d|sb=%d|leak=%t|kind=%s|label=%s",
+		prog.Hash(), o.MaxInterleavings, o.StepBudget, o.LeakCheck, o.FailureKind, o.FailureLabel)
+}
+
+// Submit accepts a diagnosis job. Cache hits complete synchronously;
+// misses are enqueued for the worker pool, or rejected with ErrQueueFull
+// when the queue is at capacity.
+func (s *Service) Submit(req Request) (JobStatus, error) {
+	prog, req, err := resolve(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	key := cacheKey(prog, req.Options)
+
+	j := &job{
+		req:  req,
+		prog: prog,
+		key:  key,
+		done: make(chan struct{}),
+		status: JobStatus{
+			ID:        fmt.Sprintf("job-%06d", s.nextID.Add(1)),
+			Scenario:  req.Scenario,
+			Submitted: time.Now(),
+		},
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+
+	if sum, ok := s.cache.get(key); ok {
+		j.status.State = StateDone
+		j.status.CacheHit = true
+		j.status.Result = sum
+		close(j.done)
+		s.jobs[j.status.ID] = j
+		s.metrics.JobsSubmitted.Inc()
+		s.metrics.CacheHits.Inc()
+		s.metrics.JobsCompleted.Inc()
+		return j.status, nil
+	}
+
+	j.status.State = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.JobsRejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.status.ID] = j
+	s.metrics.JobsSubmitted.Inc()
+	s.metrics.CacheMisses.Inc()
+	s.metrics.QueueDepth.Inc()
+	return j.status, nil
+}
+
+// Job returns the status snapshot of a job.
+func (s *Service) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.status, nil
+}
+
+// Jobs returns status snapshots of every known job (unspecified order).
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status)
+	}
+	return out
+}
+
+// Cancel cancels a job: queued jobs are marked canceled and skipped by
+// the pool; running jobs have their context canceled, which stops the
+// search at its next iteration boundary.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.status.State {
+	case StateQueued:
+		j.status.State = StateCanceled
+		j.status.Error = context.Canceled.Error()
+		s.metrics.JobsCanceled.Inc()
+		close(j.done)
+	case StateRunning:
+		j.cancel() // runJob records the terminal state
+	}
+	return nil
+}
+
+// Wait blocks until the job completes (or ctx expires) and returns its
+// final status.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and in-flight jobs run to completion, and the worker pool exits. It
+// returns ctx.Err() if the drain outlives the context.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker consumes the queue until Shutdown closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.QueueDepth.Dec()
+		ctx, ok := s.pickUp(j)
+		if !ok {
+			continue // canceled while queued
+		}
+		s.runJob(ctx, j)
+	}
+}
+
+// pickUp transitions a dequeued job to running and arms its deadline.
+func (s *Service) pickUp(j *job) (context.Context, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.status.State != StateQueued {
+		return nil, false
+	}
+	timeout := s.cfg.JobTimeout
+	if ms := j.req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j.cancel = cancel
+	j.picked = time.Now()
+	j.status.State = StateRunning
+	j.status.QueueWaitMS = j.picked.Sub(j.status.Submitted).Milliseconds()
+	s.metrics.QueueWait.Observe(j.picked.Sub(j.status.Submitted).Seconds())
+	return ctx, true
+}
+
+// runJob executes one diagnosis and records the terminal state.
+func (s *Service) runJob(ctx context.Context, j *job) {
+	s.metrics.BusyWorkers.Inc()
+	defer s.metrics.BusyWorkers.Dec()
+
+	diagnose := s.cfg.Diagnoser
+	if diagnose == nil {
+		diagnose = s.runManager
+	}
+	sum, err := diagnose(ctx, j.prog, j.req)
+	j.cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.status.RunMS = time.Since(j.picked).Milliseconds()
+	switch {
+	case err == nil:
+		j.status.State = StateDone
+		j.status.Result = sum
+		s.cache.add(j.key, sum)
+		s.metrics.JobsCompleted.Inc()
+		s.metrics.ReproduceTime.Observe(sum.ReproduceTime.Seconds())
+		s.metrics.DiagnoseTime.Observe(sum.DiagnoseTime.Seconds())
+	case errors.Is(err, context.Canceled):
+		j.status.State = StateCanceled
+		j.status.Error = err.Error()
+		s.metrics.JobsCanceled.Inc()
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+		s.metrics.JobsFailed.Inc()
+	}
+	close(j.done)
+}
+
+// runManager is the default Diagnoser: the full manager pipeline on the
+// program's declared threads, under the job's context.
+func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error) {
+	lifs := core.LIFSOptions{
+		MaxInterleavings: req.Options.MaxInterleavings,
+		StepBudget:       req.Options.StepBudget,
+		LeakCheck:        req.Options.LeakCheck,
+		WantInstr:        kir.NoInstr,
+	}
+	if req.Options.FailureKind != "" {
+		if k, ok := sanitizer.KindByName(req.Options.FailureKind); ok {
+			lifs.WantKind = k
+		}
+	}
+	if req.Options.FailureLabel != "" {
+		if in, ok := prog.ByLabel(req.Options.FailureLabel); ok {
+			lifs.WantInstr = in.ID
+		}
+	}
+	mgr, err := manager.New(prog, manager.Options{
+		Workers: s.cfg.JobWorkers,
+		LIFS:    lifs,
+		Analysis: core.AnalysisOptions{
+			StepBudget: req.Options.StepBudget,
+			LeakCheck:  lifs.LeakCheck,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mres, err := mgr.Diagnose(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := aitia.FromManagerResult(prog, mres)
+	res.Scenario = req.Scenario
+	return res.Summary(), nil
+}

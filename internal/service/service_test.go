@@ -1,0 +1,283 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aitia"
+	"aitia/internal/kir"
+)
+
+// blockingDiagnoser returns a Diagnoser that parks until release is
+// closed (or the job's context expires), so tests can hold workers busy
+// and exercise the queue deterministically.
+func blockingDiagnoser(release <-chan struct{}) Diagnoser {
+	return func(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error) {
+		select {
+		case <-release:
+			return &aitia.ResultSummary{Failure: "fake", Chain: "A1 => B1"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// submitN submits a request distinguished by index i (distinct cache
+// keys) and returns its status.
+func submitN(t *testing.T, s *Service, i int) (JobStatus, error) {
+	t.Helper()
+	return s.Submit(Request{
+		Scenario: "cve-2017-15649",
+		Options:  RequestOptions{StepBudget: 10000 + i},
+	})
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, s *Service, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := s.Job(id)
+	t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+}
+
+// TestQueueBackpressure: with one busy worker and a depth-1 queue, the
+// third submission is rejected with ErrQueueFull; after the worker
+// frees up, submissions are accepted again.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1, Diagnoser: blockingDiagnoser(release)})
+	defer s.Shutdown(context.Background())
+
+	st1, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st1.ID, StateRunning) // worker holds job 1
+
+	st2, err := submitN(t, s, 2) // fills the queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submitN(t, s, 3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	if got := s.Metrics().JobsRejected.Value(); got != 1 {
+		t.Errorf("jobs_rejected = %d, want 1", got)
+	}
+	if got := s.Metrics().QueueDepth.Value(); got != 1 {
+		t.Errorf("queue_depth = %d, want 1", got)
+	}
+
+	close(release)
+	waitState(t, s, st1.ID, StateDone)
+	waitState(t, s, st2.ID, StateDone)
+	if _, err := submitN(t, s, 4); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// TestCancelQueuedAndRunning: canceling a queued job marks it canceled
+// without a worker ever picking it up; canceling a running job stops
+// its diagnoser via context.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := New(Config{Workers: 1, QueueDepth: 4, Diagnoser: blockingDiagnoser(release)})
+	defer s.Shutdown(context.Background())
+
+	running, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning)
+
+	queued, err := submitN(t, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(context.Background(), queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("queued job state = %q, want canceled", st.State)
+	}
+
+	if err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.Wait(context.Background(), running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("running job state = %q, want canceled", st.State)
+	}
+	if got := s.Metrics().JobsCanceled.Value(); got != 2 {
+		t.Errorf("jobs_canceled = %d, want 2", got)
+	}
+
+	if err := s.Cancel("job-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cancel unknown: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestGracefulDrain: Shutdown refuses new work but waits for queued and
+// in-flight jobs to complete.
+func TestGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 4, Diagnoser: blockingDiagnoser(release)})
+
+	inflight, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, inflight.ID, StateRunning)
+	queued, err := submitN(t, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Shutdown(context.Background()) }()
+
+	// Draining: new submissions refused, but the drain must not finish
+	// while a job is still blocked in the diagnoser.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := submitN(t, s, 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit while draining: err = %v, want ErrClosed", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Shutdown returned %v with a job still in flight", err)
+	default:
+	}
+	if h := s.Health(); h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, id := range []string{inflight.ID, queued.ID} {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Errorf("job %s after drain: state = %q, want done", id, st.State)
+		}
+	}
+	// Second Shutdown is a no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("repeat Shutdown: %v", err)
+	}
+}
+
+// TestShutdownDeadline: Shutdown gives up with ctx.Err() when a job
+// outlives the drain context.
+func TestShutdownDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := New(Config{Workers: 1, Diagnoser: blockingDiagnoser(release)})
+	st, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSubmitValidation: malformed requests fail with ErrBadRequest
+// before touching the queue.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	for _, req := range []Request{
+		{}, // neither scenario nor source
+		{Scenario: "no-such-scenario"},
+		{Scenario: "cve-2017-15649", Source: "func f\nret\nend\n"}, // both
+		{Source: "this is not kasm"},
+	} {
+		if _, err := s.Submit(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Submit(%+v): err = %v, want ErrBadRequest", req, err)
+		}
+	}
+	if _, err := s.Job("job-000042"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Job unknown: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestJobTimeout: a per-request timeout shorter than the service-wide
+// deadline cancels the job, surfacing as failed with a deadline error.
+func TestJobTimeout(t *testing.T) {
+	never := make(chan struct{}) // diagnoser only returns via ctx
+	defer close(never)
+	s := New(Config{Workers: 1, Diagnoser: blockingDiagnoser(never)})
+	defer s.Shutdown(context.Background())
+
+	st, err := s.Submit(Request{
+		Scenario: "cve-2017-15649",
+		Options:  RequestOptions{TimeoutMS: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed {
+		t.Errorf("state = %q, want failed", got.State)
+	}
+	if got.Error == "" {
+		t.Error("timed-out job has no error")
+	}
+}
+
+// TestCacheLRUEviction: the LRU evicts the least recently used entry at
+// capacity and refreshes entries on hit.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	for i := 0; i < 3; i++ {
+		c.add(fmt.Sprintf("k%d", i), &aitia.ResultSummary{Chain: fmt.Sprintf("c%d", i)})
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Error("k0 should have been evicted")
+	}
+	if _, ok := c.get("k1"); !ok { // refresh k1
+		t.Fatal("k1 missing")
+	}
+	c.add("k3", &aitia.ResultSummary{Chain: "c3"})
+	if _, ok := c.get("k2"); ok {
+		t.Error("k2 should have been evicted (k1 was refreshed)")
+	}
+	if _, ok := c.get("k1"); !ok {
+		t.Error("k1 should have survived")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,77 @@
+package aitia
+
+import "time"
+
+// RaceVerdict pairs one tested race with its Causality Analysis verdict
+// ("root-cause", "benign" or "ambiguous").
+type RaceVerdict struct {
+	Race    Race   `json:"race"`
+	Verdict string `json:"verdict"`
+}
+
+// ResultSummary is the JSON-serializable projection of a diagnosis:
+// everything a caller outside this process needs (the chain, the
+// root-cause races, the per-race verdicts, stage timings and search
+// statistics), with no pointers into internal pipeline types. It is the
+// wire format of the diagnosis service and round-trips through
+// encoding/json without loss.
+type ResultSummary struct {
+	// Scenario is the corpus scenario name, when diagnosed from the corpus.
+	Scenario string `json:"scenario,omitempty"`
+	// Failure is the crash symptom ("kernel BUG (BUG_ON)", ...).
+	Failure string `json:"failure"`
+	// FailSequence is the failure-causing instruction sequence.
+	FailSequence string `json:"fail_sequence,omitempty"`
+	// Chain is the formatted causality chain.
+	Chain string `json:"chain"`
+	// ChainRaces are the chain's races in chain order (the root cause).
+	ChainRaces []Race `json:"chain_races,omitempty"`
+	// BenignRaces are the races excluded from the chain.
+	BenignRaces []Race `json:"benign_races,omitempty"`
+	// Verdicts lists every tested race with its verdict.
+	Verdicts []RaceVerdict `json:"verdicts,omitempty"`
+
+	// SlicesTried counts reproducer launches until the failure reproduced.
+	SlicesTried int `json:"slices_tried,omitempty"`
+	// Stage wall-clock times (JSON: integer nanoseconds).
+	ReproduceTime time.Duration `json:"reproduce_ns,omitempty"`
+	DiagnoseTime  time.Duration `json:"diagnose_ns,omitempty"`
+
+	// Search statistics, matching the paper's Tables 2-3 columns.
+	LIFSSchedules     int `json:"lifs_schedules,omitempty"`
+	Interleavings     int `json:"interleavings,omitempty"`
+	AnalysisSchedules int `json:"analysis_schedules,omitempty"`
+	TestSetSize       int `json:"test_set_size,omitempty"`
+	MemAccesses       int `json:"mem_accesses,omitempty"`
+}
+
+// Summary projects the diagnosis onto its serializable form.
+func (r *Result) Summary() *ResultSummary {
+	s := &ResultSummary{
+		Scenario:          r.Scenario,
+		Failure:           r.Failure,
+		FailSequence:      r.FailSequence,
+		Chain:             r.Chain,
+		ChainRaces:        append([]Race(nil), r.ChainRaces...),
+		BenignRaces:       append([]Race(nil), r.Benign...),
+		SlicesTried:       r.SlicesTried,
+		ReproduceTime:     r.ReproduceTime,
+		DiagnoseTime:      r.DiagnoseTime,
+		LIFSSchedules:     r.LIFSSchedules,
+		Interleavings:     r.Interleavings,
+		AnalysisSchedules: r.AnalysisSchedules,
+		TestSetSize:       r.TestSetSize,
+		MemAccesses:       r.MemAccesses,
+	}
+	for _, race := range r.ChainRaces {
+		v := "root-cause"
+		if race.Ambiguous {
+			v = "ambiguous"
+		}
+		s.Verdicts = append(s.Verdicts, RaceVerdict{Race: race, Verdict: v})
+	}
+	for _, race := range r.Benign {
+		s.Verdicts = append(s.Verdicts, RaceVerdict{Race: race, Verdict: "benign"})
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package aitia_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"aitia"
+)
+
+// TestSummaryJSONRoundTrip checks that a synthetic summary survives an
+// encoding/json round trip bit for bit.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	in := &aitia.ResultSummary{
+		Scenario:     "fig1",
+		Failure:      "KASAN: null-ptr-deref",
+		FailSequence: "A1 B1 B2 A2",
+		Chain:        "A1 => B1 → B2 => A2 → KASAN: null-ptr-deref",
+		ChainRaces: []aitia.Race{
+			{First: "A1", Second: "B1", FirstThread: "A", SecondThread: "B", Variable: "ptr_valid"},
+			{First: "B2", Second: "A2", FirstThread: "B", SecondThread: "A", Variable: "ptr", Phantom: true},
+		},
+		BenignRaces: []aitia.Race{
+			{First: "A3", Second: "B3", FirstThread: "A", SecondThread: "B", Variable: "stat"},
+		},
+		Verdicts: []aitia.RaceVerdict{
+			{Race: aitia.Race{First: "A1", Second: "B1"}, Verdict: "root-cause"},
+		},
+		SlicesTried:       2,
+		ReproduceTime:     137 * time.Millisecond,
+		DiagnoseTime:      42 * time.Millisecond,
+		LIFSSchedules:     9,
+		Interleavings:     1,
+		AnalysisSchedules: 4,
+		TestSetSize:       4,
+		MemAccesses:       250,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &aitia.ResultSummary{}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the summary:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSummaryFromDiagnosis checks that a real diagnosis summarizes into a
+// self-contained value that round-trips through JSON.
+func TestSummaryFromDiagnosis(t *testing.T) {
+	res, err := aitia.DiagnoseScenario("fig1", aitia.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	if sum.Chain == "" || sum.Chain != res.Chain {
+		t.Errorf("summary chain = %q, result chain = %q", sum.Chain, res.Chain)
+	}
+	if len(sum.Verdicts) != len(sum.ChainRaces)+len(sum.BenignRaces) {
+		t.Errorf("verdicts = %d, want %d", len(sum.Verdicts), len(sum.ChainRaces)+len(sum.BenignRaces))
+	}
+	if sum.ReproduceTime <= 0 || sum.DiagnoseTime <= 0 {
+		t.Error("missing stage timings")
+	}
+	if sum.SlicesTried != 1 {
+		t.Errorf("slices tried = %d, want 1", sum.SlicesTried)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &aitia.ResultSummary{}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, out) {
+		t.Error("real diagnosis summary did not round-trip through JSON")
+	}
+}
