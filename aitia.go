@@ -51,6 +51,11 @@ type Options struct {
 	// Workers is the number of parallel reproducer/diagnoser instances
 	// (the paper's VM fleet; default GOMAXPROCS).
 	Workers int
+	// LIFSWorkers parallelizes the LIFS search itself across that many
+	// goroutines, each driving its own kernel VM with copy-on-write
+	// snapshots. Zero or one searches serially; parallel and serial
+	// searches return the same reproduction.
+	LIFSWorkers int
 	// MaxInterleavings bounds LIFS's iterative deepening (default 3).
 	MaxInterleavings int
 	// StepBudget is the per-run watchdog limit.
@@ -102,6 +107,13 @@ type Race struct {
 	Ambiguous bool `json:"ambiguous,omitempty"`
 }
 
+// PhaseStat summarizes one iterative-deepening phase of the LIFS search.
+type PhaseStat struct {
+	Budget    int           `json:"budget"`
+	Schedules int           `json:"schedules"`
+	Elapsed   time.Duration `json:"elapsed"`
+}
+
 // Result is a completed diagnosis.
 type Result struct {
 	// Scenario is the scenario name, when diagnosed from the corpus.
@@ -123,6 +135,13 @@ type Result struct {
 	AnalysisSchedules int
 	TestSetSize       int
 	MemAccesses       int
+	// LIFSPruned counts search branches skipped as equivalent states;
+	// SnapshotBytes is the copy-on-write checkpointing cost of the search.
+	LIFSPruned    int
+	SnapshotBytes uint64
+	// Phases reports per-phase schedule counts and wall-clock times of the
+	// iterative deepening.
+	Phases []PhaseStat
 	// SlicesTried counts reproducer launches until the failure reproduced
 	// (1 when diagnosing a program's declared threads directly).
 	SlicesTried int
@@ -257,6 +276,7 @@ func lifsOptions(prog *kir.Program, opts Options) core.LIFSOptions {
 		StepBudget:       opts.StepBudget,
 		LeakCheck:        opts.LeakCheck,
 		WantInstr:        kir.NoInstr,
+		Workers:          opts.LIFSWorkers,
 	}
 	if opts.FailureKind != "" {
 		if k, ok := sanitizer.KindByName(opts.FailureKind); ok {
@@ -335,6 +355,8 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		Chain:             d.Chain.Format(prog),
 		LIFSSchedules:     rep.Stats.Schedules,
 		Interleavings:     rep.Stats.Interleavings,
+		LIFSPruned:        rep.Stats.Pruned,
+		SnapshotBytes:     rep.Stats.SnapshotBytes,
 		AnalysisSchedules: d.Stats.Schedules,
 		TestSetSize:       d.Stats.TestSet,
 		MemAccesses:       d.Stats.MemAccesses,
@@ -342,6 +364,9 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		ReproduceTime:     rep.Stats.Elapsed,
 		DiagnoseTime:      d.Stats.Elapsed,
 		Report:            sb.String(),
+	}
+	for _, p := range rep.Stats.Phases {
+		res.Phases = append(res.Phases, PhaseStat{Budget: p.Budget, Schedules: p.Schedules, Elapsed: p.Elapsed})
 	}
 	ambiguous := make(map[string]bool)
 	for _, r := range d.Ambiguous {

@@ -329,6 +329,117 @@ func BenchmarkLIFSScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkLIFSParallel measures the sharded search (LIFSOptions.Workers)
+// against the serial one: on a permutation-heavy synthetic stress scenario
+// whose top-level branches carry equal subtree mass, and on the hardest
+// corpus reproduction (#8 CAN, the only 2-interleaving bug). Parallel and
+// serial searches return identical reproductions (core's
+// TestParallelReproduceMatchesSerial proves it); this benchmark isolates
+// the wall-clock effect of the sharding. Speedup requires spare CPUs — on
+// a single-core runner the workers serialize and the numbers bound the
+// sharding overhead instead.
+func BenchmarkLIFSParallel(b *testing.B) {
+	stress, err := eval.ParallelStressProgram(7, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syz, _ := scenarios.ByName("syz08-j1939-refcount")
+	cases := []struct {
+		name string
+		prog *kir.Program
+		opts core.LIFSOptions
+	}{
+		{"stress", stress, core.LIFSOptions{WantKind: sanitizer.KindNullDeref, MaxSchedules: 1 << 30}},
+		{"syz08-j1939-refcount", syz.MustProgram(), core.LIFSOptions{WantKind: syz.WantKind, WantInstr: syz.WantInstr()}},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
+				var scheds, bytes float64
+				for i := 0; i < b.N; i++ {
+					m, err := kvm.New(c.prog)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := c.opts
+					opts.Workers = workers
+					rep, err := core.Reproduce(m, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					scheds = float64(rep.Stats.Schedules)
+					bytes = float64(rep.Stats.SnapshotBytes)
+				}
+				b.ReportMetric(scheds, "schedules")
+				b.ReportMetric(bytes, "snap-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotCoWVsDeep compares the copy-on-write Snapshot/Restore
+// pair against the retained deep-copy baseline under the searcher's usage
+// pattern: checkpoint, execute a burst of steps, revert. The deep variant
+// copies the whole state every cycle, so its cost scales with total state
+// width; the CoW variant journals only what the burst touches. The two
+// sub-cases span that axis: a small corpus scenario (where the deep copy
+// is cheap and the two are comparable) and a kernel-scale wide state with
+// 4096 globals (where CoW wins by the width ratio).
+func BenchmarkSnapshotCoWVsDeep(b *testing.B) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	wide, err := eval.WideStateProgram(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const burst = 32
+	step := func(m *kvm.Machine) {
+		for s := 0; s < burst; s++ {
+			if m.Failure() != nil {
+				return
+			}
+			run := m.Runnable()
+			if len(run) == 0 {
+				return
+			}
+			if _, err := m.Step(run[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, c := range []struct {
+		name string
+		prog *kir.Program
+	}{
+		{"syz08-j1939-refcount", sc.MustProgram()},
+		{"wide-4096", wide},
+	} {
+		b.Run(c.name+"/cow", func(b *testing.B) {
+			m, err := kvm.New(c.prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := m.Snapshot()
+				step(m)
+				m.Restore(snap)
+			}
+		})
+		b.Run(c.name+"/deep", func(b *testing.B) {
+			m, err := kvm.New(c.prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := m.DeepSnapshot()
+				step(m)
+				m.RestoreDeep(snap)
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks (the simulator itself) ---
 
 // BenchmarkMachineStep measures raw instruction throughput of the kernel

@@ -11,13 +11,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"aitia/internal/core"
 	"aitia/internal/eval"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
 	"aitia/internal/report"
+	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
 )
 
@@ -31,10 +38,12 @@ func main() {
 		ablation = flag.Bool("ablations", false, "run the design-choice ablations")
 		repro    = flag.Bool("reproduction", false, "compare LIFS vs random scheduling for reproduction cost")
 		chains   = flag.Bool("chains", false, "print every scenario's causality chain")
+		lifs     = flag.Bool("lifs", false, "run the LIFS performance artifact (parallel search + snapshot strategy)")
+		out      = flag.String("out", "", "with -lifs: also write the artifact as JSON to this path")
 		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs {
 		*all = true
 	}
 
@@ -62,6 +71,204 @@ func main() {
 	if *chains {
 		check(printChains())
 	}
+	if *lifs {
+		check(printLIFS(*out))
+	}
+}
+
+// The JSON shape of the -lifs performance artifact (BENCH_lifs.json).
+type lifsArtifact struct {
+	Generated  string            `json:"generated"`
+	CPUs       int               `json:"cpus"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Note       string            `json:"note"`
+	Parallel   []lifsParallelRow `json:"parallel"`
+	Snapshot   []lifsSnapshotRow `json:"snapshot"`
+}
+
+type lifsParallelRow struct {
+	Scenario  string  `json:"scenario"`
+	Workers   int     `json:"workers"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Schedules int     `json:"schedules"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+}
+
+type lifsSnapshotRow struct {
+	State          string  `json:"state"`
+	Globals        int     `json:"globals"`
+	CoWNSPerCycle  int64   `json:"cow_ns_per_cycle"`
+	DeepNSPerCycle int64   `json:"deep_ns_per_cycle"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// printLIFS measures the two perf mechanisms of the search engine — worker
+// sharding (LIFSOptions.Workers) and copy-on-write snapshots — and writes
+// the numbers to stdout and, with -out, to a JSON artifact. All timings are
+// best-of-3 to damp scheduler noise.
+func printLIFS(outPath string) error {
+	art := lifsArtifact{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "parallel speedup requires spare CPUs: on a single-CPU runner the " +
+			"workers serialize and speedup_vs_serial bounds the sharding overhead " +
+			"instead; the snapshot comparison is single-threaded and unaffected",
+	}
+
+	// Parallel search: a permutation-heavy stress scenario with uniform
+	// top-level branch mass, plus the hardest corpus reproduction.
+	stress, err := eval.ParallelStressProgram(7, 40)
+	if err != nil {
+		return err
+	}
+	syz, ok := scenarios.ByName("syz08-j1939-refcount")
+	if !ok {
+		return fmt.Errorf("scenario syz08-j1939-refcount missing from corpus")
+	}
+	cases := []struct {
+		name string
+		prog *kir.Program
+		opts core.LIFSOptions
+	}{
+		{"stress-7x40", stress, core.LIFSOptions{WantKind: sanitizer.KindNullDeref, MaxSchedules: 1 << 30}},
+		{syz.Name, syz.MustProgram(), core.LIFSOptions{WantKind: syz.WantKind, WantInstr: syz.WantInstr()}},
+	}
+	t := report.Table{Title: "Parallel LIFS search (best of 3 runs)"}
+	t.Add("Scenario", "Workers", "Elapsed", "# sched", "Speedup")
+	for _, c := range cases {
+		var serial time.Duration
+		for _, workers := range []int{1, 2, 4, 8} {
+			best := time.Duration(0)
+			scheds := 0
+			for rep := 0; rep < 3; rep++ {
+				m, err := kvm.New(c.prog)
+				if err != nil {
+					return err
+				}
+				opts := c.opts
+				opts.Workers = workers
+				start := time.Now()
+				r, err := core.Reproduce(m, opts)
+				if err != nil {
+					return fmt.Errorf("%s workers=%d: %w", c.name, workers, err)
+				}
+				if el := time.Since(start); best == 0 || el < best {
+					best = el
+				}
+				scheds = r.Stats.Schedules
+			}
+			if workers == 1 {
+				serial = best
+			}
+			speedup := float64(serial) / float64(best)
+			art.Parallel = append(art.Parallel, lifsParallelRow{
+				Scenario: c.name, Workers: workers,
+				ElapsedNS: best.Nanoseconds(), Schedules: scheds,
+				Speedup: speedup,
+			})
+			t.Add(c.name, fmt.Sprint(workers), fmt.Sprint(best.Round(10_000)),
+				fmt.Sprint(scheds), fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("  (%d CPUs, GOMAXPROCS %d — %s)\n\n", art.CPUs, art.GOMAXPROCS, art.Note)
+
+	// Snapshot strategy: checkpoint / 32-step burst / revert cycles. Deep
+	// copy scales with total state width, the journal with bytes dirtied.
+	wide, err := eval.WideStateProgram(4096)
+	if err != nil {
+		return err
+	}
+	snapCases := []struct {
+		name    string
+		globals int
+		prog    *kir.Program
+	}{
+		{syz.Name, 0, syz.MustProgram()},
+		{"wide-4096", 4096, wide},
+	}
+	const cycles, burst = 3000, 32
+	st := report.Table{Title: "Snapshot strategy: copy-on-write journal vs deep copy (per checkpoint/burst/revert cycle)"}
+	st.Add("State", "CoW", "Deep copy", "Speedup")
+	for _, c := range snapCases {
+		cow, err := snapshotCycle(c.prog, cycles, burst, false)
+		if err != nil {
+			return err
+		}
+		deep, err := snapshotCycle(c.prog, cycles, burst, true)
+		if err != nil {
+			return err
+		}
+		speedup := float64(deep) / float64(cow)
+		art.Snapshot = append(art.Snapshot, lifsSnapshotRow{
+			State: c.name, Globals: c.globals,
+			CoWNSPerCycle: cow.Nanoseconds(), DeepNSPerCycle: deep.Nanoseconds(),
+			Speedup: speedup,
+		})
+		st.Add(c.name, fmt.Sprint(cow), fmt.Sprint(deep), fmt.Sprintf("%.1fx", speedup))
+	}
+	st.Write(os.Stdout)
+	fmt.Printf("  (%d cycles of %d steps each; deep-copy cost grows with state width, CoW with bytes dirtied)\n\n",
+		cycles, burst)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// snapshotCycle times one checkpoint / burst / revert cycle, best of 3
+// passes of `cycles` cycles, using either the CoW journal pair or the
+// deep-copy baseline.
+func snapshotCycle(prog *kir.Program, cycles, burst int, deep bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		m, err := kvm.New(prog)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < cycles; i++ {
+			var (
+				cowSnap  *kvm.Snapshot
+				deepSnap *kvm.DeepSnapshot
+			)
+			if deep {
+				deepSnap = m.DeepSnapshot()
+			} else {
+				cowSnap = m.Snapshot()
+			}
+			for s := 0; s < burst; s++ {
+				if m.Failure() != nil {
+					break
+				}
+				run := m.Runnable()
+				if len(run) == 0 {
+					break
+				}
+				if _, err := m.Step(run[0]); err != nil {
+					return 0, err
+				}
+			}
+			if deep {
+				m.RestoreDeep(deepSnap)
+			} else {
+				m.Restore(cowSnap)
+			}
+		}
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	return best / time.Duration(cycles), nil
 }
 
 func printReproduction(seed int64) error {

@@ -27,16 +27,18 @@ func main() {
 		cacheSize  = flag.Int("cache", 128, "result-cache capacity in entries")
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline")
 		jobWorkers = flag.Int("job-workers", 1, "per-job parallelism (parallel flip tests)")
+		maxJobW    = flag.Int("max-job-workers", 8, "cap on the per-request 'workers' option (parallel LIFS search)")
 		drain      = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		JobWorkers: *jobWorkers,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		JobWorkers:    *jobWorkers,
+		MaxJobWorkers: *maxJobW,
 	})
 	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
 

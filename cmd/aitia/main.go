@@ -39,6 +39,7 @@ func main() {
 		verifyFix  = flag.Bool("verify-fix", false, "with -scenario: check that the modelled developer fix prevents the failure; with -file and -fixed: check a custom patch")
 		fixedFile  = flag.String("fixed", "", "patched kasm program to verify against -file's diagnosis")
 		workers    = flag.Int("workers", 0, "parallel diagnoser instances (0 = GOMAXPROCS)")
+		lifsWork   = flag.Int("lifs-workers", 0, "parallelize the LIFS search itself across this many goroutines (0 = serial)")
 		kind       = flag.String("failure", "", "expected failure kind from the crash report (optional)")
 		label      = flag.String("at", "", "expected failing instruction label (optional)")
 		leak       = flag.Bool("leak-check", false, "enable the memory-leak oracle")
@@ -61,6 +62,7 @@ func main() {
 
 	opts := aitia.Options{
 		Workers:      *workers,
+		LIFSWorkers:  *lifsWork,
 		FailureKind:  *kind,
 		FailureLabel: *label,
 		LeakCheck:    *leak,
@@ -114,7 +116,7 @@ func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers})
+	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers, LIFSWorkers: opts.LIFSWorkers})
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"aitia/internal/kvm"
@@ -155,58 +155,37 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		return tr, nil
 	}
 
+	// Stats.Schedules counts runs actually executed: a canceled or failed
+	// analysis reports only the flip tests that ran, not the test-set size.
+	var executed atomic.Int64
 	d.Tested = make([]TestedRace, len(order))
 	if opts.Workers > 1 {
 		// One independent machine per diagnoser, as in the paper's VM
-		// fleet; flip tests are mutually independent.
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		fail := func(err error) {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+		// fleet; flip tests are mutually independent. The shared pool
+		// (runWorkers) stops feeding on the first error or cancellation.
+		type flipVM struct {
+			enf  *sched.Enforcer
+			init *kvm.Snapshot
 		}
-		jobs := make(chan int)
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+		err := runWorkers(ctx, opts.Workers, len(order),
+			func() (*flipVM, error) {
 				wm, err := kvm.New(m.Prog())
 				if err != nil {
-					fail(err)
-					for range jobs {
-						// drain so the feeder never blocks
-					}
-					return
+					return nil, err
 				}
-				wenf := sched.NewEnforcer(wm)
-				winit := wm.Snapshot()
-				for idx := range jobs {
-					if err := ctx.Err(); err != nil {
-						fail(err)
-						continue
-					}
-					tr, err := testRace(wenf, winit, order[idx])
-					if err != nil {
-						fail(err)
-						continue
-					}
-					d.Tested[idx] = tr
+				return &flipVM{enf: sched.NewEnforcer(wm), init: wm.Snapshot()}, nil
+			},
+			func(ctx context.Context, vm *flipVM, idx int) error {
+				tr, err := testRace(vm.enf, vm.init, order[idx])
+				if err != nil {
+					return err
 				}
-			}()
-		}
-		for i := range order {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+				executed.Add(1)
+				d.Tested[idx] = tr
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		for i, r := range order {
@@ -217,10 +196,11 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 			if err != nil {
 				return nil, err
 			}
+			executed.Add(1)
 			d.Tested[i] = tr
 		}
 	}
-	d.Stats.Schedules += len(order)
+	d.Stats.Schedules += int(executed.Load())
 
 	// Ambiguity: a surrounding race whose flip avoids the failure cannot
 	// be attributed when its nested race is itself a root cause — flipping

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"aitia/internal/kir"
@@ -36,6 +39,15 @@ type LIFSOptions struct {
 	// RecordLeaves retains a per-leaf search trace (used to regenerate the
 	// paper's Figure 5 search tree).
 	RecordLeaves bool
+	// Workers shards each iterative-deepening phase's top-level branches
+	// (initial-thread choice × first preemption or natural-switch decision)
+	// across this many goroutines, each driving its own kvm.Machine. Zero
+	// or one searches serially. Parallel and serial searches return the
+	// same reproduction (schedule, races and interleaving count); only
+	// Stats.Schedules/Pruned may differ, because parallel units cannot
+	// share visited states with in-flight siblings. Requires the machine
+	// to be in its initial state.
+	Workers int
 
 	// Ablation switches (all default off, i.e. the paper's design):
 
@@ -55,12 +67,21 @@ const (
 	DefaultMaxSchedules     = 200000
 )
 
+// PhaseStat summarizes one iterative-deepening phase of the search.
+type PhaseStat struct {
+	Budget    int           // preemption budget of the phase
+	Schedules int           // complete runs executed during it
+	Elapsed   time.Duration // wall-clock phase time
+}
+
 // SearchStats summarize a LIFS search.
 type SearchStats struct {
 	Schedules     int           // complete runs executed
 	Interleavings int           // preemption count at which the failure reproduced
 	Pruned        int           // branches pruned as equivalent states
+	SnapshotBytes uint64        // bytes copied by copy-on-write checkpointing
 	Elapsed       time.Duration // wall-clock search time
+	Phases        []PhaseStat   // per-phase schedule throughput
 }
 
 // LeafTrace records one complete run of the search for introspection.
@@ -117,6 +138,7 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 	for _, td := range m.Prog().Threads {
 		s.fallback = append(s.fallback, td.Name)
 	}
+	s.initSig = m.StateSignature()
 	s.init = m.Snapshot()
 	start := time.Now()
 
@@ -124,19 +146,27 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 	// the search twice when new conflicting instructions were discovered
 	// late (race-steered control flows can hide conflicts from shallow
 	// phases); a second round with a warm AccessMap covers them.
+	var searchErr error
+rounds:
 	for round := 0; round < 2 && !s.found; round++ {
 		sitesBefore := len(s.am.Sites())
 		if opts.NoLeastFirst {
 			// Ablation: a warm-up pass at count 0 discovers the initial
 			// conflict set (the search cannot branch without it), then
 			// the full-depth search runs directly.
-			s.phase(0)
+			if searchErr = s.phase(0); searchErr != nil {
+				break rounds
+			}
 			if !s.found {
-				s.phase(opts.MaxInterleavings)
+				if searchErr = s.phase(opts.MaxInterleavings); searchErr != nil {
+					break rounds
+				}
 			}
 		} else {
 			for k := 0; k <= opts.MaxInterleavings && !s.found; k++ {
-				s.phase(k)
+				if searchErr = s.phase(k); searchErr != nil {
+					break rounds
+				}
 			}
 		}
 		if s.found || len(s.am.Sites()) == sitesBefore {
@@ -144,7 +174,14 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 		}
 	}
 	s.stats.Elapsed = time.Since(start)
+	s.stats.Schedules = int(s.schedules.Load())
+	s.stats.Pruned = int(s.pruned.Load())
+	s.stats.SnapshotBytes = m.SnapshotBytes() + s.workerBytes()
 
+	if searchErr != nil {
+		m.Restore(s.init)
+		return nil, searchErr
+	}
 	if s.ctxErr != nil {
 		m.Restore(s.init)
 		return nil, s.ctxErr
@@ -188,29 +225,83 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 // searcher carries the state of one LIFS search.
 type searcher struct {
 	m        *kvm.Machine
-	am       *sched.AccessMap
+	am       *sched.AccessMap // authoritative access knowledge, merged between phases
 	opts     LIFSOptions
 	fallback []string
 	init     *kvm.Snapshot
+	initSig  uint64 // state signature of the initial state (worker validation)
 	stats    SearchStats
 	ctx      context.Context
-	ctxErr   error // set when ctx canceled the search
-	ctxTick  int   // steps since the last ctx check
 
-	visited     map[visKey]bool
-	trace       []sched.Exec
-	phaseBudget int
+	errMu  sync.Mutex
+	ctxErr error // set when ctx canceled the search
+
+	schedules atomic.Int64 // complete runs executed
+	pruned    atomic.Int64
+	exhausted atomic.Bool  // MaxSchedules hit
+	best      atomic.Int64 // lowest unit ordinal with an accepted leaf this phase
+
+	spareMu sync.Mutex
+	spare   []*workerVM // worker machines reused across phases
 
 	found      bool
 	foundTrace []sched.Exec
 	leaves     []LeafTrace
-	exhausted  bool // MaxSchedules hit
 }
 
-type visKey struct {
-	sig    uint64
-	cur    kvm.ThreadID
-	budget int
+// workerVM is one parallel worker's private kernel VM.
+type workerVM struct {
+	m    *kvm.Machine
+	init *kvm.Snapshot
+}
+
+// acquireVM pops a spare worker machine or builds a fresh one. A fresh
+// machine must match the searched machine's initial state — the parallel
+// search replays prefixes from scratch on each worker.
+func (s *searcher) acquireVM() (*workerVM, error) {
+	s.spareMu.Lock()
+	if n := len(s.spare); n > 0 {
+		vm := s.spare[n-1]
+		s.spare = s.spare[:n-1]
+		s.spareMu.Unlock()
+		return vm, nil
+	}
+	s.spareMu.Unlock()
+	wm, err := kvm.New(s.m.Prog())
+	if err != nil {
+		return nil, err
+	}
+	if wm.StateSignature() != s.initSig {
+		return nil, errors.New("core: parallel search requires the machine in its initial state")
+	}
+	return &workerVM{m: wm, init: wm.Snapshot()}, nil
+}
+
+// releaseVMs returns worker machines to the spare pool after a phase.
+func (s *searcher) releaseVMs(vms []*workerVM) {
+	s.spareMu.Lock()
+	s.spare = append(s.spare, vms...)
+	s.spareMu.Unlock()
+}
+
+// workerBytes sums the copy-on-write cost over the worker machines.
+func (s *searcher) workerBytes() uint64 {
+	s.spareMu.Lock()
+	defer s.spareMu.Unlock()
+	var n uint64
+	for _, vm := range s.spare {
+		n += vm.m.SnapshotBytes()
+	}
+	return n
+}
+
+func (s *searcher) setCtxErr(err error) {
+	s.errMu.Lock()
+	if s.ctxErr == nil {
+		s.ctxErr = err
+	}
+	s.errMu.Unlock()
+	s.exhausted.Store(true)
 }
 
 func (s *searcher) runOpts() sched.Options {
@@ -241,84 +332,339 @@ func (s *searcher) accept(f *sanitizer.Failure) bool {
 	return f.Kind == s.opts.WantKind
 }
 
-// canceled reports whether the surrounding context has been canceled,
-// latching ctx.Err() and flipping the search into unwinding mode. The
-// actual ctx poll runs every 64 calls: the check sits on the per-step
-// hot path and ctx.Err takes a lock.
-func (s *searcher) canceled() bool {
-	if s.ctxErr != nil {
+type visKey struct {
+	sig    uint64
+	cur    kvm.ThreadID
+	budget int
+}
+
+// visitedSet is the phase's sharded concurrent visited-state set. Each
+// entry records the ordinal of the unit that first claimed the state.
+// Writers are the sequential parts of the phase (probing, and every unit
+// in serial mode); during parallel task execution it is read-only and the
+// per-shard locks only guard against the race detector's view of the
+// probe-phase writes.
+type visitedSet struct {
+	shards [visShards]visShard
+}
+
+type visShard struct {
+	mu sync.RWMutex
+	m  map[visKey]int
+}
+
+const visShards = 64
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[visKey]int)
+	}
+	return v
+}
+
+func (v *visitedSet) shard(k visKey) *visShard {
+	return &v.shards[k.sig%visShards]
+}
+
+// get returns the claimant of k, if any.
+func (v *visitedSet) get(k visKey) (int, bool) {
+	sh := v.shard(k)
+	sh.mu.RLock()
+	c, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return c, ok
+}
+
+// insert claims k for ordinal unless already claimed; it returns the
+// existing claimant when not inserted.
+func (v *visitedSet) insert(k visKey, ordinal int) (claimant int, inserted bool) {
+	sh := v.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.m[k]; ok {
+		return c, false
+	}
+	sh.m[k] = ordinal
+	return ordinal, true
+}
+
+// branchInfo describes the branch event a probe discovered: the first
+// point of its group's prefix where the search forks.
+type branchInfo struct {
+	natural bool // a natural switch with ≥2 viable threads; else a conflict preemption
+	choices int  // number of task units to create (0: the prefix ended at a leaf or was pruned)
+}
+
+// candidate is a unit's first accepted leaf.
+type candidate struct {
+	trace      []sched.Exec
+	budgetLeft int
+}
+
+// unit is one independently explorable slice of a phase: a group's probe
+// (the deterministic prefix up to the branch event) or one branch choice
+// at that event. Units are totally ordered by ordinal — probe of group 0,
+// its tasks in canonical choice order, probe of group 1, ... — which is
+// exactly the order the serial search visits them; the winner rule picks
+// the candidate with the lowest ordinal, making parallel and serial
+// searches return the same reproduction.
+type unit struct {
+	ordinal int
+	group   int // initial-thread index in the fallback order
+	probe   bool
+	choice  int // task: index into the branch event's canonical choices
+	initial kvm.ThreadID
+
+	rec    *sched.AccessMap // accesses recorded by this unit
+	leaves []LeafTrace
+	cand   *candidate
+	branch branchInfo // probe only
+}
+
+// phaseRun is the shared state of one iterative-deepening phase.
+type phaseRun struct {
+	s     *searcher
+	k     int
+	base  *sched.AccessMap // frozen decision map: conflict points for the whole phase
+	vis   *visitedSet
+	units []*unit
+}
+
+func (p *phaseRun) addUnit(group int, probe bool, choice int, initial kvm.ThreadID) *unit {
+	u := &unit{
+		ordinal: len(p.units),
+		group:   group,
+		probe:   probe,
+		choice:  choice,
+		initial: initial,
+		rec:     sched.NewAccessMap(),
+	}
+	p.units = append(p.units, u)
+	return u
+}
+
+// phase explores all schedules with at most k preemptions. Conflict-point
+// decisions consult the AccessMap frozen at phase entry, so exploration
+// from a machine state is a pure function of (state, thread, budget) — the
+// property that makes cross-unit pruning sound and the parallel search
+// deterministic. Accesses recorded during the phase are merged back into
+// the searcher's map afterwards (and feed the next phase/round).
+func (s *searcher) phase(k int) error {
+	if err := s.ctx.Err(); err != nil {
+		s.setCtxErr(err)
+		return nil
+	}
+	if s.exhausted.Load() {
+		return nil
+	}
+	start := time.Now()
+	schedBefore := s.schedules.Load()
+	p := &phaseRun{s: s, k: k, base: s.am, vis: newVisitedSet()}
+	s.best.Store(math.MaxInt64)
+	parallel := s.opts.Workers > 1
+
+	// The initial thread choice is itself a decision: branch over every
+	// declared thread (spawned threads cannot exist yet). Each group's
+	// probe runs the deterministic prefix on the main machine and claims
+	// its states; in serial mode the group's tasks run immediately after
+	// it, in parallel mode all tasks are dispatched to the pool below.
+	var tasks []*unit
+	for gi := range s.fallback {
+		if s.exhausted.Load() || s.ctxErr != nil {
+			break
+		}
+		// Everything not yet probed has a higher ordinal than an accepted
+		// candidate: it cannot win.
+		if s.best.Load() < int64(len(p.units)) {
+			break
+		}
+		t := s.m.ThreadByName(s.fallback[gi])
+		if t == nil {
+			continue
+		}
+		pu := p.addUnit(gi, true, -1, t.ID)
+		s.m.Restore(s.init)
+		newExplorer(p, pu, s.m, true).run(k)
+		var groupTasks []*unit
+		for c := 0; c < pu.branch.choices; c++ {
+			groupTasks = append(groupTasks, p.addUnit(gi, false, c, t.ID))
+		}
+		if parallel {
+			tasks = append(tasks, groupTasks...)
+			continue
+		}
+		for _, tu := range groupTasks {
+			if s.exhausted.Load() || s.ctxErr != nil {
+				break
+			}
+			if s.best.Load() < int64(tu.ordinal) {
+				break
+			}
+			s.m.Restore(s.init)
+			newExplorer(p, tu, s.m, false).run(k)
+		}
+	}
+
+	if parallel && len(tasks) > 0 && s.ctxErr == nil {
+		var vmMu sync.Mutex
+		var vms []*workerVM
+		err := runWorkers(s.ctx, s.opts.Workers, len(tasks),
+			func() (*workerVM, error) {
+				vm, err := s.acquireVM()
+				if err != nil {
+					return nil, err
+				}
+				vmMu.Lock()
+				vms = append(vms, vm)
+				vmMu.Unlock()
+				return vm, nil
+			},
+			func(ctx context.Context, vm *workerVM, i int) error {
+				tu := tasks[i]
+				if s.exhausted.Load() || s.best.Load() < int64(tu.ordinal) {
+					return nil
+				}
+				vm.m.Restore(vm.init)
+				newExplorer(p, tu, vm.m, false).run(k)
+				return nil
+			})
+		s.releaseVMs(vms)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.setCtxErr(err)
+			} else {
+				return err
+			}
+		}
+	}
+
+	// Deterministic winner rule: the lowest phase wins by construction of
+	// iterative deepening; within the phase, the candidate with the lowest
+	// unit ordinal — the first accept of the serial visit order. Merge the
+	// access records and leaves of every unit up to the winner (later
+	// units may have been cut short and must not leak into the result).
+	winner := -1
+	for _, u := range p.units {
+		if u.cand != nil {
+			winner = u.ordinal
+			break
+		}
+	}
+	for _, u := range p.units {
+		if winner >= 0 && u.ordinal > winner {
+			break
+		}
+		s.am.Merge(u.rec)
+		s.leaves = append(s.leaves, u.leaves...)
+	}
+	if winner >= 0 {
+		w := p.units[winner]
+		s.found = true
+		s.foundTrace = w.cand.trace
+		s.stats.Interleavings = k - w.cand.budgetLeft
+	}
+	s.stats.Phases = append(s.stats.Phases, PhaseStat{
+		Budget:    k,
+		Schedules: int(s.schedules.Load() - schedBefore),
+		Elapsed:   time.Since(start),
+	})
+	return nil
+}
+
+// explorer drives one unit's exploration on one machine.
+type explorer struct {
+	s *searcher
+	p *phaseRun
+	u *unit
+	m *kvm.Machine
+
+	probe bool
+	// splitPending is true until the unit passes its group's branch event:
+	// the probe stops there, a task takes its assigned choice there.
+	splitPending bool
+	// serialOrder is true when units run strictly in ordinal order and
+	// insert into the shared visited set (probing, and serial mode); false
+	// for parallel tasks, whose own revisits go to the local map instead.
+	serialOrder bool
+	local       map[visKey]struct{}
+
+	trace   []sched.Exec
+	ctxTick int
+	aborted bool
+}
+
+func newExplorer(p *phaseRun, u *unit, m *kvm.Machine, probe bool) *explorer {
+	e := &explorer{
+		s:            p.s,
+		p:            p,
+		u:            u,
+		m:            m,
+		probe:        probe,
+		splitPending: true,
+		serialOrder:  probe || p.s.opts.Workers <= 1,
+	}
+	if !e.serialOrder {
+		e.local = make(map[visKey]struct{})
+	}
+	return e
+}
+
+// run explores the unit from the machine's initial state.
+func (e *explorer) run(budget int) {
+	e.explore(e.u.initial, budget, nil)
+}
+
+// canceled polls the context (every 64 calls — it sits on the per-step
+// hot path) and checks whether a lower-ordinal candidate supersedes this
+// unit, flipping the unit into unwinding mode.
+func (e *explorer) canceled() bool {
+	if e.aborted {
 		return true
 	}
-	s.ctxTick++
-	if s.ctxTick&63 != 0 {
+	e.ctxTick++
+	if e.ctxTick&63 != 0 {
 		return false
 	}
-	if err := s.ctx.Err(); err != nil {
-		s.ctxErr = err
-		s.exhausted = true
+	if err := e.s.ctx.Err(); err != nil {
+		e.s.setCtxErr(err)
+		e.aborted = true
+		return true
+	}
+	if e.s.best.Load() < int64(e.u.ordinal) {
+		e.aborted = true
 		return true
 	}
 	return false
 }
 
-// phase explores all schedules with at most k preemptions.
-func (s *searcher) phase(k int) {
-	if s.ctx.Err() != nil {
-		s.ctxErr = s.ctx.Err()
-		s.exhausted = true
-		return
-	}
-	s.phaseBudget = k
-	s.visited = make(map[visKey]bool)
-	// The initial thread choice is itself a decision: branch over every
-	// declared thread (spawned threads cannot exist yet).
-	for i := range s.fallback {
-		if s.found || s.exhausted {
-			return
-		}
-		s.m.Restore(s.init)
-		s.trace = s.trace[:0]
-		t := s.m.ThreadByName(s.fallback[i])
-		if t == nil {
-			continue
-		}
-		s.explore(t.ID, k, nil)
-	}
-}
-
-// viableThreads lists threads that can progress, in deterministic order.
-func (s *searcher) viableThreads() []kvm.ThreadID {
-	return s.m.Runnable()
-}
-
 // explore runs the machine from its current state with the given current
 // thread and preemption budget, branching at decision points. It returns
-// true when the target failure was found (the machine and trace are left
-// at the failing leaf).
-func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.ThreadID) bool {
+// true when the target failure was found on this unit.
+func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.ThreadID) bool {
 	for {
-		if s.found || s.exhausted || s.canceled() {
-			return s.found
+		if e.aborted || e.s.exhausted.Load() || e.canceled() {
+			return false
 		}
-		if s.m.Failure() != nil {
-			return s.leaf(budget)
+		if e.m.Failure() != nil {
+			return e.leaf(budget)
 		}
-		if s.m.AllDone() {
-			if s.opts.LeakCheck {
-				s.m.CheckLeaks()
+		if e.m.AllDone() {
+			if e.s.opts.LeakCheck {
+				e.m.CheckLeaks()
 			}
-			return s.leaf(budget)
+			return e.leaf(budget)
 		}
-		if s.m.Deadlocked() {
-			s.injectDeadlock()
-			return s.leaf(budget)
+		if e.m.Deadlocked() {
+			e.injectDeadlock()
+			return e.leaf(budget)
 		}
 
 		// Return from a lock diversion as soon as the diverted-from thread
 		// can run again (mirrors the enforcement engine).
 		if n := len(returnStack); n > 0 {
-			t := s.m.Thread(returnStack[n-1])
-			if s.viable(t) {
+			t := e.m.Thread(returnStack[n-1])
+			if e.viable(t) {
 				cur = t.ID
 				returnStack = returnStack[:n-1]
 			} else if t == nil || t.State == kvm.Done || t.State == kvm.Crashed {
@@ -327,10 +673,10 @@ func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 			}
 		}
 
-		curT := s.m.Thread(cur)
-		if !s.viable(curT) {
+		curT := e.m.Thread(cur)
+		if !e.viable(curT) {
 			if curT != nil && curT.State == kvm.Blocked {
-				if owner, held := s.m.LockOwner(curT.WaitLock); held {
+				if owner, held := e.m.LockOwner(curT.WaitLock); held {
 					returnStack = append(returnStack, cur)
 					cur = owner
 					continue
@@ -342,26 +688,37 @@ func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 			// child would immediately re-encounter the same machine state
 			// at its first conflict point, and the check there performs
 			// the deduplication.
-			choices := s.viableThreads()
+			choices := e.m.Runnable()
 			if len(choices) == 0 {
-				s.injectDeadlock()
-				return s.leaf(budget)
+				e.injectDeadlock()
+				return e.leaf(budget)
 			}
 			if len(choices) == 1 {
 				cur = choices[0]
 				continue
 			}
-			snap := s.m.Snapshot()
-			tlen := len(s.trace)
-			for _, choice := range choices {
-				if s.explore(choice, budget, cloneStack(returnStack)) {
-					return true
-				}
-				if s.exhausted {
+			if e.splitPending {
+				// The group's branch event. The probe stops here and the
+				// choices become task units; a task takes its one choice.
+				if e.probe {
+					e.u.branch = branchInfo{natural: true, choices: len(choices)}
 					return false
 				}
-				s.m.Restore(snap)
-				s.trace = s.trace[:tlen]
+				e.splitPending = false
+				cur = choices[e.u.choice]
+				continue
+			}
+			snap := e.m.Snapshot()
+			tlen := len(e.trace)
+			for _, choice := range choices {
+				if e.explore(choice, budget, cloneStack(returnStack)) {
+					return true
+				}
+				if e.aborted || e.s.exhausted.Load() {
+					return false
+				}
+				e.m.Restore(snap)
+				e.trace = e.trace[:tlen]
 			}
 			return false
 		}
@@ -372,37 +729,60 @@ func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 		// same remaining budget produces only equivalent sequences), and
 		// remaining preemption budget branches to every other viable
 		// thread.
-		if s.isConflictPoint(cur) {
-			if s.pruned(cur, budget) {
-				return false
-			}
-			if budget > 0 {
-				others := s.othersViable(cur)
-				snap := s.m.Snapshot()
-				tlen := len(s.trace)
-				for _, u := range others {
-					if s.explore(u, budget-1, cloneStack(returnStack)) {
-						return true
-					}
-					if s.exhausted {
+		if e.isConflictPoint(cur) {
+			branched := false
+			if e.splitPending && budget > 0 {
+				if others := e.othersViable(cur); len(others) > 0 {
+					// The group's branch event: one task per preemption
+					// target plus the fall-through (canonically last).
+					if e.pruneCheck(cur, budget) {
 						return false
 					}
-					s.m.Restore(snap)
-					s.trace = s.trace[:tlen]
+					if e.probe {
+						e.u.branch = branchInfo{choices: len(others) + 1}
+						return false
+					}
+					e.splitPending = false
+					if c := e.u.choice; c < len(others) {
+						return e.explore(others[c], budget-1, cloneStack(returnStack))
+					}
+					// Fall-through task: continue the current thread with
+					// the budget unchanged.
+					branched = true
 				}
-				// Fall through: continue the current thread without
-				// preempting (budget unchanged).
+			}
+			if !branched {
+				if e.pruneCheck(cur, budget) {
+					return false
+				}
+				if !e.splitPending && budget > 0 {
+					others := e.othersViable(cur)
+					snap := e.m.Snapshot()
+					tlen := len(e.trace)
+					for _, u := range others {
+						if e.explore(u, budget-1, cloneStack(returnStack)) {
+							return true
+						}
+						if e.aborted || e.s.exhausted.Load() {
+							return false
+						}
+						e.m.Restore(snap)
+						e.trace = e.trace[:tlen]
+					}
+					// Fall through: continue the current thread without
+					// preempting (budget unchanged).
+				}
 			}
 		}
 
-		ev, err := s.m.Step(cur)
+		ev, err := e.m.Step(cur)
 		if err != nil {
 			// Driving bug; surface as exhaustion rather than panic.
-			s.exhausted = true
+			e.s.exhausted.Store(true)
 			return false
 		}
 		if !ev.Executed {
-			owner, held := s.m.LockOwner(curT.WaitLock)
+			owner, held := e.m.LockOwner(curT.WaitLock)
 			if !held {
 				continue
 			}
@@ -410,23 +790,23 @@ func (s *searcher) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 			cur = owner
 			continue
 		}
-		s.record(cur, curT, ev)
-		if len(s.trace) > s.stepBudget() {
-			s.m.InjectFailure(&sanitizer.Failure{
+		e.record(cur, curT, ev)
+		if len(e.trace) > e.s.stepBudget() {
+			e.m.InjectFailure(&sanitizer.Failure{
 				Kind:   sanitizer.KindWatchdog,
 				Thread: curT.Name,
 				Instr:  ev.Instr.ID,
 				Msg:    "step budget exceeded during search",
 			})
-			return s.leaf(budget)
+			return e.leaf(budget)
 		}
 	}
 }
 
-// record appends an executed step to the trace and the access map.
-func (s *searcher) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) {
+// record appends an executed step to the trace and the unit's access map.
+func (e *explorer) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) {
 	exec := sched.Exec{
-		Step:   len(s.trace),
+		Step:   len(e.trace),
 		Thread: cur,
 		Name:   curT.Name,
 		Instr:  ev.Instr,
@@ -434,47 +814,56 @@ func (s *searcher) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) 
 	site := sched.Site{Thread: curT.Name, Instr: ev.Instr.ID}
 	for _, a := range ev.Accesses {
 		exec.Accesses = append(exec.Accesses, sched.AccessRec{Addr: a.Addr, Write: a.Write})
-		s.am.Record(site, a.Addr, a.Write)
+		e.u.rec.Record(site, a.Addr, a.Write)
 	}
 	if len(curT.Locks) > 0 {
 		exec.Lockset = append([]uint64(nil), curT.Locks...)
 	}
 	if ev.Spawned != kvm.NoThread {
-		exec.Spawned = s.m.Thread(ev.Spawned).Name
+		exec.Spawned = e.m.Thread(ev.Spawned).Name
 	}
-	s.trace = append(s.trace, exec)
+	e.trace = append(e.trace, exec)
 }
 
 // leaf finishes one complete run.
-func (s *searcher) leaf(budgetLeft int) bool {
-	s.stats.Schedules++
-	if s.stats.Schedules >= s.opts.MaxSchedules {
-		s.exhausted = true
+func (e *explorer) leaf(budgetLeft int) bool {
+	n := e.s.schedules.Add(1)
+	if int(n) >= e.s.opts.MaxSchedules {
+		e.s.exhausted.Store(true)
 	}
-	f := s.m.Failure()
-	if s.opts.RecordLeaves {
-		lt := LeafTrace{Failed: f != nil}
-		for _, e := range s.trace {
-			if e.Instr.Label != "" {
-				lt.Labels = append(lt.Labels, e.Instr.Label)
+	f := e.m.Failure()
+	if e.s.opts.RecordLeaves {
+		lt := LeafTrace{Failed: f != nil, Preemptions: e.p.k - budgetLeft}
+		for _, x := range e.trace {
+			if x.Instr.Label != "" {
+				lt.Labels = append(lt.Labels, x.Instr.Label)
 			}
 		}
-		s.leaves = append(s.leaves, lt)
+		e.u.leaves = append(e.u.leaves, lt)
 	}
-	if s.accept(f) {
-		s.found = true
-		s.foundTrace = append([]sched.Exec(nil), s.trace...)
+	if e.s.accept(f) {
 		// The interleaving count is the preemption budget the search
 		// actually consumed on this path — exactly the paper's notion
 		// (natural switches at thread completion and involuntary lock
 		// diversions are free).
-		s.stats.Interleavings = s.phaseBudget - budgetLeft
+		e.u.cand = &candidate{
+			trace:      append([]sched.Exec(nil), e.trace...),
+			budgetLeft: budgetLeft,
+		}
+		// CAS-min so lower ordinals always win; units above the best
+		// candidate cancel themselves at their next poll.
+		for {
+			b := e.s.best.Load()
+			if int64(e.u.ordinal) >= b || e.s.best.CompareAndSwap(b, int64(e.u.ordinal)) {
+				break
+			}
+		}
 		return true
 	}
 	return false
 }
 
-func (s *searcher) viable(t *kvm.Thread) bool {
+func (e *explorer) viable(t *kvm.Thread) bool {
 	if t == nil {
 		return false
 	}
@@ -482,16 +871,16 @@ func (s *searcher) viable(t *kvm.Thread) bool {
 	case kvm.Runnable:
 		return true
 	case kvm.Blocked:
-		_, held := s.m.LockOwner(t.WaitLock)
+		_, held := e.m.LockOwner(t.WaitLock)
 		return !held
 	default:
 		return false
 	}
 }
 
-func (s *searcher) othersViable(cur kvm.ThreadID) []kvm.ThreadID {
+func (e *explorer) othersViable(cur kvm.ThreadID) []kvm.ThreadID {
 	var out []kvm.ThreadID
-	for _, tid := range s.viableThreads() {
+	for _, tid := range e.m.Runnable() {
 		if tid != cur {
 			out = append(out, tid)
 		}
@@ -500,43 +889,89 @@ func (s *searcher) othersViable(cur kvm.ThreadID) []kvm.ThreadID {
 }
 
 // isConflictPoint reports whether the thread's next instruction performs an
-// access known (from any previous run) to conflict with an access of a
-// different thread — the scheduling decision points of LIFS.
-func (s *searcher) isConflictPoint(cur kvm.ThreadID) bool {
-	accs := s.m.PeekAccesses(cur)
+// access known to conflict with an access of a different thread — the
+// scheduling decision points of LIFS. It consults the phase-frozen map,
+// never the in-flight records, so every unit sees the same decisions.
+func (e *explorer) isConflictPoint(cur kvm.ThreadID) bool {
+	accs := e.m.PeekAccesses(cur)
 	if len(accs) == 0 {
 		return false
 	}
-	name := s.m.Thread(cur).Name
+	name := e.m.Thread(cur).Name
 	for _, a := range accs {
-		if s.am.ConflictsAt(name, a.Addr, a.Write) {
+		if e.p.base.ConflictsAt(name, a.Addr, a.Write) {
 			return true
 		}
 	}
 	return false
 }
 
-// pruned consults and updates the visited-state set.
-func (s *searcher) pruned(cur kvm.ThreadID, budget int) bool {
-	if s.opts.NoPruning {
+// pruneCheck consults and updates the visited-state set. The rules keep
+// the winner and the merged AccessMap identical across worker counts:
+//
+//   - A unit always prunes on its own earlier claims (a state loop).
+//   - Replaying the prefix (splitPending) over the own group's probe
+//     claims is exempt — that is the task reaching its branch event.
+//   - In serial order every existing claim belongs to an earlier unit
+//     that ran to completion, exactly the classic single-map semantics.
+//   - Parallel tasks prune only on lower-group probe claims: those are
+//     the claims that provably exist at this point in the serial visit
+//     order too. Sibling tasks' claims are ignored (their completion
+//     order is nondeterministic), so each unit's exploration — and hence
+//     the winner's trace and the merged map — never depends on timing.
+func (e *explorer) pruneCheck(cur kvm.ThreadID, budget int) bool {
+	if e.s.opts.NoPruning {
 		return false
 	}
-	key := visKey{sig: s.m.StateSignature(), cur: cur, budget: budget}
-	if s.visited[key] {
-		s.stats.Pruned++
+	key := visKey{sig: e.m.StateSignature(), cur: cur, budget: budget}
+	if e.serialOrder {
+		c, inserted := e.p.vis.insert(key, e.u.ordinal)
+		if inserted || e.exempt(c) {
+			return false
+		}
+		e.s.pruned.Add(1)
 		return true
 	}
-	s.visited[key] = true
+	if c, ok := e.p.vis.get(key); ok {
+		if e.exempt(c) {
+			return false
+		}
+		e.s.pruned.Add(1)
+		return true
+	}
+	if _, ok := e.local[key]; ok {
+		e.s.pruned.Add(1)
+		return true
+	}
+	e.local[key] = struct{}{}
 	return false
 }
 
+// exempt reports whether a visited-set hit on claimant c does not prune e.
+func (e *explorer) exempt(c int) bool {
+	if c == e.u.ordinal {
+		return false // own revisit always prunes
+	}
+	cu := e.p.units[c]
+	replay := cu.probe && cu.group == e.u.group && e.splitPending
+	if e.serialOrder {
+		return replay
+	}
+	if replay {
+		return true
+	}
+	// Parallel task: only lower groups' probes have provably claimed the
+	// state at this point of the serial order.
+	return !(cu.probe && cu.group < e.u.group)
+}
+
 // injectDeadlock mirrors the enforcement engine's deadlock failure.
-func (s *searcher) injectDeadlock() {
-	for i := 0; i < s.m.NumThreads(); i++ {
-		t := s.m.Thread(kvm.ThreadID(i))
+func (e *explorer) injectDeadlock() {
+	for i := 0; i < e.m.NumThreads(); i++ {
+		t := e.m.Thread(kvm.ThreadID(i))
 		if t.State == kvm.Blocked {
-			in, _ := s.m.NextInstr(t.ID)
-			s.m.InjectFailure(&sanitizer.Failure{
+			in, _ := e.m.NextInstr(t.ID)
+			e.m.InjectFailure(&sanitizer.Failure{
 				Kind:   sanitizer.KindDeadlock,
 				Thread: t.Name,
 				Instr:  in.ID,
@@ -546,7 +981,7 @@ func (s *searcher) injectDeadlock() {
 			return
 		}
 	}
-	s.m.InjectFailure(&sanitizer.Failure{Kind: sanitizer.KindDeadlock, Instr: kir.NoInstr, Msg: "no runnable thread"})
+	e.m.InjectFailure(&sanitizer.Failure{Kind: sanitizer.KindDeadlock, Instr: kir.NoInstr, Msg: "no runnable thread"})
 }
 
 func cloneStack(st []kvm.ThreadID) []kvm.ThreadID {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+// TestParallelReproduceMatchesSerial: the parallel search must return the
+// exact same reproduction as the serial one — schedule, race set and
+// interleaving count — across the whole scenario corpus. (Stats.Schedules
+// and Stats.Pruned may legitimately differ: parallel units cannot see
+// their in-flight siblings' visited states.)
+func TestParallelReproduceMatchesSerial(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := sc.MustProgram()
+			opts := LIFSOptions{
+				WantKind:  sc.WantKind,
+				WantInstr: sc.WantInstr(),
+				LeakCheck: sc.NeedsLeakCheck(),
+			}
+
+			serial, err := Reproduce(mustMachine(t, prog), opts)
+			if err != nil {
+				if IsNotReproduced(err) {
+					t.Skipf("scenario does not reproduce serially: %v", err)
+				}
+				t.Fatalf("serial Reproduce: %v", err)
+			}
+
+			for _, workers := range []int{2, 8} {
+				popts := opts
+				popts.Workers = workers
+				par, err := Reproduce(mustMachine(t, prog), popts)
+				if err != nil {
+					t.Fatalf("workers=%d Reproduce: %v", workers, err)
+				}
+				if !reflect.DeepEqual(par.Schedule, serial.Schedule) {
+					t.Errorf("workers=%d schedule = %v\nwant      %v", workers, par.Schedule, serial.Schedule)
+				}
+				if !reflect.DeepEqual(par.Races, serial.Races) {
+					t.Errorf("workers=%d races = %v, want %v", workers, par.Races, serial.Races)
+				}
+				if par.Stats.Interleavings != serial.Stats.Interleavings {
+					t.Errorf("workers=%d interleavings = %d, want %d",
+						workers, par.Stats.Interleavings, serial.Stats.Interleavings)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReproduceCancel: canceling the context aborts a parallel
+// search promptly with ctx.Err(), with every worker VM wound down.
+func TestParallelReproduceCancel(t *testing.T) {
+	m, err := kvm.New(slowSearchProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = ReproduceContext(ctx, m, LIFSOptions{
+		WantKind:     sanitizer.KindNullDeref, // never happens: search runs until stopped
+		MaxSchedules: 1 << 30,
+		StepBudget:   1 << 20,
+		Workers:      8,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestParallelReproduceRepeatable: repeated parallel runs are themselves
+// deterministic (the winner rule is timing-independent).
+func TestParallelReproduceRepeatable(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	opts := LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		Workers:   4,
+	}
+	first, err := Reproduce(mustMachine(t, prog), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Reproduce(mustMachine(t, prog), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Schedule, first.Schedule) {
+			t.Fatalf("run %d schedule = %v, want %v", i, again.Schedule, first.Schedule)
+		}
+		if !reflect.DeepEqual(again.Races, first.Races) {
+			t.Fatalf("run %d races differ", i)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// runWorkers fans jobs 0..n-1 out to a pool of up to workers goroutines.
+// Each worker builds its own state once via newState (both callers use
+// this for the worker's private kernel VM) and then processes jobs with
+// run. It is the one pool shared by the parallel flip tests of Causality
+// Analysis and the parallel LIFS search.
+//
+// Cancellation and errors stop the pool promptly: the feeder re-checks the
+// pool context before handing out each job, so a canceled context or a
+// failing worker cuts the run short instead of draining the whole job
+// list. runWorkers returns the first newState/run error; if cancellation
+// alone cut the run short it returns ctx.Err(). nil means every job ran.
+func runWorkers[S any](ctx context.Context, workers, n int, newState func() (S, error), run func(ctx context.Context, st S, job int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := newState()
+			if err != nil {
+				fail(err)
+				for range jobs { // keep draining so the feeder never blocks
+				}
+				return
+			}
+			for job := range jobs {
+				if cctx.Err() != nil {
+					continue // unwinding: drop the remaining jobs
+				}
+				if err := run(cctx, st, job); err != nil {
+					fail(err)
+					continue
+				}
+				done.Add(1)
+			}
+		}()
+	}
+
+feed:
+	for job := 0; job < n; job++ {
+		if cctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- job:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(done.Load()) < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: worker pool completed %d of %d jobs", done.Load(), n)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+
+	"aitia/internal/kir"
+)
+
+// ParallelStressProgram builds a synthetic scenario whose LIFS search
+// space is large, evenly branched, and resolved only by the very last
+// schedule in canonical search order — the shape that measures parallel
+// search throughput rather than lucky early exits.
+//
+// The program declares `threads` worker threads that each run `pad`
+// thread-local instructions and then advance a shared sequence counter,
+// but only when the counter shows every higher-numbered thread has
+// already finished: thread i advances seq from threads-1-i. Thread 0,
+// the last link, dereferences a null pointer once the whole descending
+// order (w<threads-1>, ..., w1, w0) has been observed. No other schedule
+// fails, so the search must enumerate the full permutation tree of
+// thread completion orders — threads! schedules — and accepts exactly
+// the final leaf. The threads share no conflicting accesses until the
+// counter handoff, so the tree branches only at natural switches and
+// every top-level branch carries the same subtree mass, the best case
+// for sharding and the fairest for comparing worker counts.
+// WideStateProgram builds a single-thread program with `globals` global
+// words and a tight loop that keeps touching just two of them. It models
+// the snapshot workload of a real kernel state: total state is wide, but
+// any burst of execution dirties only a handful of locations. A deep-copy
+// snapshot pays for every global on each checkpoint/restore cycle; the
+// journal-based one pays only for the words the burst wrote, so the gap
+// between the two grows linearly with `globals`.
+func WideStateProgram(globals int) (*kir.Program, error) {
+	if globals < 2 {
+		return nil, fmt.Errorf("eval: wide-state program needs at least 2 globals, got %d", globals)
+	}
+	b := kir.NewBuilder()
+	for i := 0; i < globals; i++ {
+		b.Var(fmt.Sprintf("g%d", i), int64(i))
+	}
+	f := b.Func("spin")
+	f.At("top").Load(kir.R1, kir.G("g0"))
+	f.Store(kir.G("g1"), kir.R(kir.R1))
+	f.Bne(kir.R(kir.R1), kir.Imm(-1), "top") // g0 is never -1: loop forever
+	f.Ret()
+	b.Thread("spin", "spin")
+	return b.Build()
+}
+
+func ParallelStressProgram(threads, pad int) (*kir.Program, error) {
+	if threads < 2 {
+		return nil, fmt.Errorf("eval: stress program needs at least 2 threads, got %d", threads)
+	}
+	b := kir.NewBuilder()
+	b.Var("seq", 0)
+	b.Var("nullp", 0)
+	for i := 0; i < threads; i++ {
+		f := b.Func(fmt.Sprintf("w%d", i))
+		for j := 0; j < pad; j++ {
+			f.Mov(kir.R4, kir.Imm(int64(j)))
+		}
+		f.Load(kir.R1, kir.G("seq"))
+		f.Bne(kir.R(kir.R1), kir.Imm(int64(threads-1-i)), "out")
+		f.Store(kir.G("seq"), kir.Imm(int64(threads-i)))
+		if i == 0 {
+			// Whole descending order observed: the planted failure.
+			f.Load(kir.R2, kir.G("nullp"))
+			f.Load(kir.R3, kir.Ind(kir.R2, 0)).L("CRASH")
+		}
+		f.At("out").Ret()
+	}
+	for i := 0; i < threads; i++ {
+		b.Thread(fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i))
+	}
+	return b.Build()
+}

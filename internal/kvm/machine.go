@@ -74,6 +74,11 @@ type Thread struct {
 	SpawnedBy ThreadID    // NoThread for declared threads
 	SpawnSite kir.InstrID // instruction that spawned it (queue_work/call_rcu)
 	frames    []frame
+
+	// savedEpoch is the snapshot epoch in which this thread was last
+	// journaled; a thread is cloned into the undo journal at most once per
+	// epoch (copy-on-write).
+	savedEpoch uint64
 }
 
 // HoldsLock reports whether the thread currently holds the lock at addr.
@@ -120,6 +125,16 @@ type Machine struct {
 	failure   *sanitizer.Failure
 	steps     uint64
 	spawnSeq  map[kir.InstrID]int
+
+	// Copy-on-write checkpointing state (see snapshot.go). Journaling is
+	// off until the first Snapshot call.
+	journal    []mundo
+	mseq       uint64
+	journaling bool
+	epoch      uint64
+	copied     uint64 // approximate bytes journaled, for metrics
+	snapshots  uint64
+	restores   uint64
 }
 
 // New creates a machine with the program's declared threads ready to run.
@@ -351,6 +366,10 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 	if t.State != Runnable && t.State != Blocked {
 		return StepEvent{}, fmt.Errorf("kvm: thread %s is %s", t.Name, t.State)
 	}
+	// Every mutation below touches only the stepping thread (plus the
+	// machine maps, journaled at their mutation sites), so one clone here
+	// covers the whole step.
+	m.saveThread(t)
 
 	fr := &t.frames[len(t.frames)-1]
 	in := fr.fn.Instrs[fr.pc]
@@ -363,6 +382,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 			ev.Executed = false
 			return ev, nil
 		}
+		m.saveLock(la)
 		m.lockOwner[la] = tid
 		t.Locks = append(t.Locks, la)
 		t.State = Runnable
@@ -446,6 +466,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 		owner, held := m.lockOwner[la]
 		switch {
 		case !held:
+			m.saveLock(la)
 			m.lockOwner[la] = tid
 			t.Locks = append(t.Locks, la)
 		case owner == tid:
@@ -464,6 +485,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 			ev.Failure = m.fail(t, in, sanitizer.KindBadUnlock, la, "unlock of a lock not held by this thread")
 			return ev, nil
 		}
+		m.saveLock(la)
 		delete(m.lockOwner, la)
 		for i, l := range t.Locks {
 			if l == la {
@@ -585,6 +607,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 		if n := m.spawnSeq[in.ID]; n > 0 {
 			name = fmt.Sprintf("%s#%d", name, n)
 		}
+		m.saveSpawnSeq(in.ID)
 		m.spawnSeq[in.ID]++
 		nt := &Thread{
 			ID:        ThreadID(len(m.threads)),
@@ -596,7 +619,12 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 			frames:    []frame{{fn: m.prog.Funcs[in.Target]}},
 		}
 		nt.Regs[0] = value(t, in.A)
+		// The spawned thread is born in the current epoch: any restore
+		// crossing its creation pops it whole, so it needs no clone until
+		// the next snapshot.
+		nt.savedEpoch = m.epoch
 		m.threads = append(m.threads, nt)
+		m.noteSpawn()
 		ev.Spawned = nt.ID
 
 	case kir.OpExit:

@@ -6,12 +6,168 @@ import (
 	"aitia/internal/sanitizer"
 )
 
-// Snapshot is a full machine checkpoint: memory, threads, lock ownership
-// and counters. It backs both the VM-revert between diagnosis runs and the
-// depth-first search of LIFS (which checkpoints at every scheduling
-// decision point).
+// mundoKind tags one machine journal entry.
+type mundoKind uint8
+
+const (
+	muThread   mundoKind = iota // a thread about to be mutated (saved clone)
+	muLock                      // a lockOwner entry mutated
+	muSpawnSeq                  // a spawnSeq counter mutated
+	muSpawn                     // a thread appended by queue_work/call_rcu
+)
+
+// mundo is one reverse-replayable machine mutation record.
+type mundo struct {
+	kind  mundoKind
+	seq   uint64
+	tid   ThreadID // muThread
+	thr   *Thread  // saved clone (muThread)
+	addr  uint64   // lock address (muLock)
+	owner ThreadID // previous owner (muLock)
+	had   bool     // the lockOwner/spawnSeq key was present before
+	instr kir.InstrID
+	n     int // previous spawnSeq value
+}
+
+// mappend adds one machine journal entry with the next sequence id.
+func (m *Machine) mappend(r mundo) {
+	m.mseq++
+	r.seq = m.mseq
+	m.journal = append(m.journal, r)
+}
+
+// saveThread journals a clone of t before its first mutation in the
+// current snapshot epoch. Only the stepping thread is ever mutated (fail
+// crashes the stepping thread; the blocked-retry path mutates it too), so
+// one call at the top of Step covers every thread mutation.
+func (m *Machine) saveThread(t *Thread) {
+	if !m.journaling || t.savedEpoch == m.epoch {
+		return
+	}
+	t.savedEpoch = m.epoch
+	cp := t.clone()
+	m.mappend(mundo{kind: muThread, tid: t.ID, thr: cp})
+	m.copied += uint64(threadBytes + 8*len(cp.Locks) + 16*len(cp.frames))
+}
+
+// threadBytes approximates the fixed size of one Thread clone, for the
+// snapshot-bytes metric.
+const threadBytes = 64 + 8*kir.NumRegs
+
+// saveLock journals the lockOwner entry at addr before a mutation.
+func (m *Machine) saveLock(addr uint64) {
+	if !m.journaling {
+		return
+	}
+	o, had := m.lockOwner[addr]
+	m.mappend(mundo{kind: muLock, addr: addr, owner: o, had: had})
+	m.copied += 24
+}
+
+// saveSpawnSeq journals the spawnSeq counter for instr before a mutation.
+func (m *Machine) saveSpawnSeq(instr kir.InstrID) {
+	if !m.journaling {
+		return
+	}
+	n, had := m.spawnSeq[instr]
+	m.mappend(mundo{kind: muSpawnSeq, instr: instr, n: n, had: had})
+	m.copied += 24
+}
+
+// noteSpawn journals the append of a freshly spawned thread; undo pops it.
+func (m *Machine) noteSpawn() {
+	if !m.journaling {
+		return
+	}
+	m.mappend(mundo{kind: muSpawn})
+	m.copied += 8
+}
+
+// Snapshot is a copy-on-write machine checkpoint: a position in the
+// machine's undo journal plus the space's journal mark and the scalar
+// counters. Taking one is O(1); restoring costs O(mutations since it was
+// taken) — the VM-revert the LIFS searcher performs at every scheduling
+// decision point.
+//
+// Snapshots form a stack: restores must be LIFO-ordered. An outer snapshot
+// stays valid across any number of inner snapshot/restore cycles and can
+// itself be restored repeatedly; restoring a stale snapshot panics.
 type Snapshot struct {
-	space     *mem.Snapshot
+	space   *mem.Snapshot
+	pos     int
+	seq     uint64
+	failure *sanitizer.Failure
+	steps   uint64
+}
+
+// Snapshot captures the machine state and enables mutation journaling (the
+// first call flips the machine into CoW mode; machines that are never
+// snapshotted pay nothing per Step).
+func (m *Machine) Snapshot() *Snapshot {
+	m.journaling = true
+	m.epoch++
+	m.snapshots++
+	// Match against the last live entry's id, not the monotonic counter
+	// (which outruns the journal after a restore).
+	var last uint64
+	if len(m.journal) > 0 {
+		last = m.journal[len(m.journal)-1].seq
+	}
+	return &Snapshot{
+		space:   m.space.Snapshot(),
+		pos:     len(m.journal),
+		seq:     last,
+		failure: m.failure,
+		steps:   m.steps,
+	}
+}
+
+// Restore rewinds the machine to a snapshot by reverse-replaying the undo
+// journal. The snapshot remains usable for further LIFO restores.
+func (m *Machine) Restore(sn *Snapshot) {
+	if sn.pos > len(m.journal) || (sn.pos > 0 && m.journal[sn.pos-1].seq != sn.seq) {
+		panic("kvm: restore of a stale snapshot (restores must be LIFO-ordered)")
+	}
+	for i := len(m.journal) - 1; i >= sn.pos; i-- {
+		r := &m.journal[i]
+		switch r.kind {
+		case muThread:
+			m.threads[r.tid] = r.thr
+		case muLock:
+			if r.had {
+				m.lockOwner[r.addr] = r.owner
+			} else {
+				delete(m.lockOwner, r.addr)
+			}
+		case muSpawnSeq:
+			if r.had {
+				m.spawnSeq[r.instr] = r.n
+			} else {
+				delete(m.spawnSeq, r.instr)
+			}
+		case muSpawn:
+			m.threads = m.threads[:len(m.threads)-1]
+		}
+		*r = mundo{} // drop references so truncated entries can be collected
+	}
+	m.journal = m.journal[:sn.pos]
+	m.space.Restore(sn.space)
+	m.failure = sn.failure
+	m.steps = sn.steps
+	m.restores++
+	m.epoch++
+}
+
+// SnapshotBytes returns the approximate number of bytes copied by the
+// machine's copy-on-write journaling (thread clones, lock/spawn records
+// and memory undo entries) since the machine was created, for metrics.
+func (m *Machine) SnapshotBytes() uint64 { return m.copied + m.space.CopiedBytes() }
+
+// DeepSnapshot is a full deep copy of the machine state: memory, threads,
+// lock ownership and counters. It is kept alongside the journal-based
+// Snapshot as the benchmark baseline.
+type DeepSnapshot struct {
+	space     *mem.DeepSnapshot
 	threads   []*Thread
 	lockOwner map[uint64]ThreadID
 	failure   *sanitizer.Failure
@@ -19,11 +175,10 @@ type Snapshot struct {
 	spawnSeq  map[kir.InstrID]int
 }
 
-// Snapshot captures the machine state. The snapshot is immutable and can
-// be restored any number of times.
-func (m *Machine) Snapshot() *Snapshot {
-	sn := &Snapshot{
-		space:     m.space.Snapshot(),
+// DeepSnapshot captures a full copy of the machine state for RestoreDeep.
+func (m *Machine) DeepSnapshot() *DeepSnapshot {
+	sn := &DeepSnapshot{
+		space:     m.space.DeepSnapshot(),
 		threads:   make([]*Thread, len(m.threads)),
 		lockOwner: make(map[uint64]ThreadID, len(m.lockOwner)),
 		failure:   m.failure,
@@ -42,9 +197,11 @@ func (m *Machine) Snapshot() *Snapshot {
 	return sn
 }
 
-// Restore rewinds the machine to a snapshot.
-func (m *Machine) Restore(sn *Snapshot) {
-	m.space.Restore(sn.space)
+// RestoreDeep rewinds the machine to a deep snapshot. Because it replaces
+// state wholesale and bypasses the journal, it invalidates every live
+// journal-based Snapshot.
+func (m *Machine) RestoreDeep(sn *DeepSnapshot) {
+	m.space.RestoreDeep(sn.space)
 	m.threads = make([]*Thread, len(sn.threads))
 	for i, t := range sn.threads {
 		m.threads[i] = t.clone()
@@ -59,6 +216,8 @@ func (m *Machine) Restore(sn *Snapshot) {
 	for k, v := range sn.spawnSeq {
 		m.spawnSeq[k] = v
 	}
+	m.journal = nil
+	m.epoch++
 }
 
 // Reset rewinds the machine to its initial state (equivalent to New).

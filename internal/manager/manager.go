@@ -25,8 +25,15 @@ type Options struct {
 	// Workers is the number of parallel reproducer/diagnoser instances
 	// (the paper launches 32 VMs). Zero means GOMAXPROCS.
 	Workers int
+	// LIFSWorkers parallelizes each reproducer's search internally
+	// (core.LIFSOptions.Workers). Zero keeps the searches serial — the
+	// default, because the reproducers already run in parallel across
+	// slices and N×N oversubscription helps nobody. Set it when traces
+	// yield few slices but each search is deep.
+	LIFSWorkers int
 	// LIFS configures the reproducing stage. WantKind/WantInstr are
-	// overridden from the trace's crash information when present.
+	// overridden from the trace's crash information when present, and
+	// Workers from Options.LIFSWorkers when set.
 	LIFS core.LIFSOptions
 	// Analysis configures the diagnosing stage (Workers is overridden
 	// from Options.Workers).
@@ -72,6 +79,9 @@ func New(prog *kir.Program, opts Options) (*Manager, error) {
 // and the error is ctx.Err().
 func (m *Manager) DiagnoseTrace(ctx context.Context, tr *history.Trace) (*Result, error) {
 	lifs := m.opts.LIFS
+	if m.opts.LIFSWorkers > 0 {
+		lifs.Workers = m.opts.LIFSWorkers
+	}
 	if tr.Crash != nil {
 		lifs.WantKind = tr.Crash.Kind
 		lifs.WantInstr = tr.Crash.Instr
@@ -95,7 +105,11 @@ func (m *Manager) Diagnose(ctx context.Context) (*Result, error) {
 		names = append(names, t.Name)
 	}
 	sl := history.Slice{Threads: names}
-	return m.diagnoseSlices(ctx, []history.Slice{sl}, m.opts.LIFS)
+	lifs := m.opts.LIFS
+	if m.opts.LIFSWorkers > 0 {
+		lifs.Workers = m.opts.LIFSWorkers
+	}
+	return m.diagnoseSlices(ctx, []history.Slice{sl}, lifs)
 }
 
 // diagnoseSlices launches reproducers over the candidate slices, in

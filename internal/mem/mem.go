@@ -141,6 +141,71 @@ type Space struct {
 	gend    uint64
 	objects []*Object // sorted by Base
 	next    uint64
+
+	// Copy-on-write checkpointing state: an undo journal of mutations since
+	// the oldest live snapshot. Snapshot marks a journal position (O(1));
+	// Restore reverse-replays the entries above the mark (O(mutations since
+	// the snapshot)). Journaling is off until the first Snapshot call, so
+	// enforcement-only spaces pay nothing on the Store/Alloc hot path.
+	journal    []undoRec
+	seq        uint64 // id of the most recently appended entry
+	journaling bool
+	epoch      uint64            // bumped on Snapshot and Restore
+	listSaved  map[uint64]uint64 // list addr -> epoch of its last saved copy
+	copied     uint64            // approximate bytes journaled (CoW metric)
+}
+
+// undoKind tags one journal entry.
+type undoKind uint8
+
+const (
+	undoWord  undoKind = iota // a word overwritten or deleted by Store
+	undoList                  // a list mutated by ListAdd/ListDel
+	undoFree                  // an object freed by Free
+	undoAlloc                 // an object appended by Alloc
+)
+
+// undoRec is one reverse-replayable mutation record.
+type undoRec struct {
+	kind    undoKind
+	seq     uint64
+	addr    uint64  // word or list address
+	val     int64   // old word value (undoWord)
+	existed bool    // the word/list key was present before the mutation
+	list    []int64 // old list contents (undoList)
+	obj     *Object // the freed object (undoFree); identities are stable
+	state   ObjState
+	site    kir.InstrID // the freed object's previous FreeSite
+}
+
+// append adds one journal entry, stamping it with the next sequence id.
+func (s *Space) append(r undoRec) {
+	s.seq++
+	r.seq = s.seq
+	s.journal = append(s.journal, r)
+}
+
+// saveWord journals the word at addr before a Store mutates it.
+func (s *Space) saveWord(addr uint64) {
+	if !s.journaling {
+		return
+	}
+	v, ok := s.words[addr]
+	s.append(undoRec{kind: undoWord, addr: addr, val: v, existed: ok})
+	s.copied += 16
+}
+
+// saveList journals the list at addr, at most once per snapshot epoch,
+// before ListAdd/ListDel mutates it. The copy must preserve exact map
+// presence: FoldState distinguishes an absent list from an empty one.
+func (s *Space) saveList(addr uint64) {
+	if !s.journaling || s.listSaved[addr] == s.epoch {
+		return
+	}
+	s.listSaved[addr] = s.epoch
+	l, ok := s.lists[addr]
+	s.append(undoRec{kind: undoList, addr: addr, list: append([]int64(nil), l...), existed: ok})
+	s.copied += 16 + 8*uint64(len(l))
 }
 
 // NewSpace builds an address space with the given globals laid out from
@@ -273,6 +338,7 @@ func (s *Space) Store(addr uint64, v int64) *Fault {
 	if f := s.check(addr, true); f != nil {
 		return f
 	}
+	s.saveWord(addr)
 	if v == 0 {
 		delete(s.words, addr)
 	} else {
@@ -288,6 +354,13 @@ func (s *Space) Alloc(size int64, site kir.InstrID) uint64 {
 	s.next = base + uint64(size) + Redzone + heapGap
 	obj := &Object{Base: base, Size: size, State: Allocated, AllocSite: site, FreeSite: kir.NoInstr}
 	s.objects = append(s.objects, obj) // bases are monotone, stays sorted
+	if s.journaling {
+		// Undo pops the object; next is restored from the snapshot scalar.
+		// The word deletes below are no-ops (regions are never reused), so
+		// they need no journal entries.
+		s.append(undoRec{kind: undoAlloc})
+		s.copied += 8
+	}
 	for a := base; a < base+uint64(size); a++ {
 		delete(s.words, a)
 	}
@@ -303,6 +376,10 @@ func (s *Space) Free(base uint64, site kir.InstrID) *Fault {
 	if obj.State == Freed {
 		return &Fault{Kind: FaultDoubleFree, Addr: base, Write: true, Object: obj}
 	}
+	if s.journaling {
+		s.append(undoRec{kind: undoFree, obj: obj, state: obj.State, site: obj.FreeSite})
+		s.copied += 24
+	}
 	obj.State = Freed
 	obj.FreeSite = site
 	return nil
@@ -316,6 +393,7 @@ func (s *Space) ListAdd(addr uint64, v int64) *Fault {
 	if f := s.check(addr, true); f != nil {
 		return f
 	}
+	s.saveList(addr)
 	s.lists[addr] = append(s.lists[addr], v)
 	return nil
 }
@@ -330,6 +408,7 @@ func (s *Space) ListDel(addr uint64, v int64) *Fault {
 	l := s.lists[addr]
 	for i, x := range l {
 		if x == v {
+			s.saveList(addr)
 			s.lists[addr] = append(append([]int64(nil), l[:i]...), l[i+1:]...)
 			return nil
 		}
@@ -419,17 +498,90 @@ func (s *Space) FoldState(fold func(parts ...uint64)) {
 	fold(0xa1, s.next)
 }
 
-// Snapshot is a deep copy of a Space's mutable state.
+// Snapshot is a copy-on-write checkpoint: a position in the space's undo
+// journal plus the allocator cursor. Taking one is O(1); restoring one
+// costs O(mutations performed since it was taken).
+//
+// Snapshots form a stack. Restores must be LIFO-ordered: restoring a
+// snapshot invalidates every snapshot taken after it, and an outer
+// snapshot stays valid across any number of inner snapshot/restore
+// cycles — exactly the DFS discipline of the LIFS searcher. Restoring to
+// a stale snapshot panics.
 type Snapshot struct {
+	pos  int    // journal length when taken
+	seq  uint64 // sequence id of the last journal entry when taken
+	next uint64
+}
+
+// Snapshot captures the current state for later Restore and enables
+// mutation journaling (the first call flips the space into CoW mode).
+func (s *Space) Snapshot() *Snapshot {
+	s.journaling = true
+	if s.listSaved == nil {
+		s.listSaved = make(map[uint64]uint64)
+	}
+	s.epoch++
+	// The staleness check matches against the last live entry's id, not the
+	// monotonic counter (which outruns the journal after a restore).
+	var last uint64
+	if len(s.journal) > 0 {
+		last = s.journal[len(s.journal)-1].seq
+	}
+	return &Snapshot{pos: len(s.journal), seq: last, next: s.next}
+}
+
+// Restore rewinds the space to a snapshot (the VM-revert operation the
+// AITIA hypervisor performs between runs) by reverse-replaying the undo
+// journal. The snapshot remains usable for further LIFO restores.
+func (s *Space) Restore(sn *Snapshot) {
+	if sn.pos > len(s.journal) || (sn.pos > 0 && s.journal[sn.pos-1].seq != sn.seq) {
+		panic("mem: restore of a stale snapshot (restores must be LIFO-ordered)")
+	}
+	for i := len(s.journal) - 1; i >= sn.pos; i-- {
+		r := &s.journal[i]
+		switch r.kind {
+		case undoWord:
+			if r.existed {
+				s.words[r.addr] = r.val
+			} else {
+				delete(s.words, r.addr)
+			}
+		case undoList:
+			if r.existed {
+				s.lists[r.addr] = r.list
+			} else {
+				delete(s.lists, r.addr)
+			}
+		case undoFree:
+			r.obj.State = r.state
+			r.obj.FreeSite = r.site
+		case undoAlloc:
+			s.objects = s.objects[:len(s.objects)-1]
+		}
+		*r = undoRec{} // drop references so truncated entries can be collected
+	}
+	s.journal = s.journal[:sn.pos]
+	s.next = sn.next
+	s.epoch++
+}
+
+// CopiedBytes returns the approximate number of bytes the undo journal has
+// copied since the space was created — the total CoW cost, for metrics.
+func (s *Space) CopiedBytes() uint64 { return s.copied }
+
+// DeepSnapshot is a full deep copy of a Space's mutable state. It is kept
+// alongside the journal-based Snapshot as the benchmark baseline and as an
+// order-independent checkpoint (deep restores need not be LIFO).
+type DeepSnapshot struct {
 	words   map[uint64]int64
 	lists   map[uint64][]int64
 	objects []*Object
 	next    uint64
 }
 
-// Snapshot captures the current state for later Restore.
-func (s *Space) Snapshot() *Snapshot {
-	sn := &Snapshot{
+// DeepSnapshot captures a full copy of the current state for RestoreDeep.
+func (s *Space) DeepSnapshot() *DeepSnapshot {
+	sn := &DeepSnapshot{
 		words:   make(map[uint64]int64, len(s.words)),
 		lists:   make(map[uint64][]int64, len(s.lists)),
 		objects: make([]*Object, len(s.objects)),
@@ -448,9 +600,10 @@ func (s *Space) Snapshot() *Snapshot {
 	return sn
 }
 
-// Restore rewinds the space to a snapshot (the VM-revert operation the
-// AITIA hypervisor performs between runs). The snapshot remains usable.
-func (s *Space) Restore(sn *Snapshot) {
+// RestoreDeep rewinds the space to a deep snapshot. Because it replaces
+// object identities and bypasses the journal, it invalidates every live
+// journal-based Snapshot (subsequent Restore calls on them panic).
+func (s *Space) RestoreDeep(sn *DeepSnapshot) {
 	s.words = make(map[uint64]int64, len(sn.words))
 	for k, v := range sn.words {
 		s.words[k] = v
@@ -465,4 +618,6 @@ func (s *Space) Restore(sn *Snapshot) {
 		s.objects[i] = &cp
 	}
 	s.next = sn.next
+	s.journal = nil
+	s.epoch++
 }

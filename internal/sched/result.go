@@ -142,6 +142,56 @@ func (am *AccessMap) Record(s Site, addr uint64, write bool) {
 	byThread[s.Thread] |= mode
 }
 
+// Clone returns an independent copy of the map.
+func (am *AccessMap) Clone() *AccessMap {
+	cp := &AccessMap{
+		m:      make(map[Site]map[uint64]accessMode, len(am.m)),
+		byAddr: make(map[uint64]map[string]accessMode, len(am.byAddr)),
+	}
+	for s, byAddr := range am.m {
+		inner := make(map[uint64]accessMode, len(byAddr))
+		for a, mode := range byAddr {
+			inner[a] = mode
+		}
+		cp.m[s] = inner
+	}
+	for a, byThread := range am.byAddr {
+		inner := make(map[string]accessMode, len(byThread))
+		for t, mode := range byThread {
+			inner[t] = mode
+		}
+		cp.byAddr[a] = inner
+	}
+	return cp
+}
+
+// Merge folds every access recorded in other into am. Access modes are
+// bitmask-unioned, so merging any number of per-worker maps in any order
+// yields the same map — the property the parallel LIFS search relies on
+// when combining worker results between rounds.
+func (am *AccessMap) Merge(other *AccessMap) {
+	for s, byAddr := range other.m {
+		dst := am.m[s]
+		if dst == nil {
+			dst = make(map[uint64]accessMode, len(byAddr))
+			am.m[s] = dst
+		}
+		for a, mode := range byAddr {
+			dst[a] |= mode
+		}
+	}
+	for a, byThread := range other.byAddr {
+		dst := am.byAddr[a]
+		if dst == nil {
+			dst = make(map[string]accessMode, len(byThread))
+			am.byAddr[a] = dst
+		}
+		for t, mode := range byThread {
+			dst[t] |= mode
+		}
+	}
+}
+
 // ConflictsAt reports whether an access (thread, addr, write) conflicts
 // with any access of a different thread recorded so far: the addresses
 // match and at least one side writes.

@@ -2,7 +2,10 @@
 // service core stays transport-agnostic; this package only translates
 // requests and sentinel errors to HTTP semantics:
 //
-//	POST   /v1/diagnose   submit a job (202; 429 on queue-full backpressure)
+//	POST   /v1/diagnose   submit a job (202; 429 on queue-full backpressure).
+//	                      The request's options.workers field parallelizes
+//	                      the job's LIFS search (clamped to the server's
+//	                      -max-job-workers cap).
 //	GET    /v1/jobs       list all jobs
 //	GET    /v1/jobs/{id}  poll one job (includes the result when done)
 //	DELETE /v1/jobs/{id}  cancel a job

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"sync/atomic"
+
+	"aitia"
 )
 
 // Counter is a monotonically increasing metric.
@@ -13,8 +15,20 @@ type Counter struct{ v atomic.Uint64 }
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FGauge is a float-valued gauge (ratios, rates).
+type FGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Gauge is a metric that can go up and down.
 type Gauge struct{ v atomic.Int64 }
@@ -86,6 +100,39 @@ type Metrics struct {
 
 	QueueDepth  Gauge // jobs waiting in the queue
 	BusyWorkers Gauge // workers currently diagnosing
+
+	// LIFS search telemetry, aggregated over completed jobs.
+	LIFSSchedules Counter // schedules executed by the reproducing searches
+	LIFSPruned    Counter // branches pruned as equivalent states
+	SnapshotBytes Counter // bytes copied by copy-on-write checkpointing
+	PruneRatio    FGauge  // pruned/(pruned+schedules) of the last completed job
+	// PhaseRate is the last completed job's per-phase schedule throughput
+	// (schedules per second), indexed by the phase's preemption budget.
+	PhaseRate [maxPhaseRate]FGauge
+}
+
+// maxPhaseRate bounds the exported per-phase gauges; deeper phases (which
+// the corpus never reaches) fold into the last slot.
+const maxPhaseRate = 8
+
+// observeSearch folds one completed diagnosis' search statistics into the
+// registry.
+func (m *Metrics) observeSearch(sum *aitia.ResultSummary) {
+	m.LIFSSchedules.Add(uint64(sum.LIFSSchedules))
+	m.LIFSPruned.Add(uint64(sum.LIFSPruned))
+	m.SnapshotBytes.Add(sum.SnapshotBytes)
+	if total := sum.LIFSSchedules + sum.LIFSPruned; total > 0 {
+		m.PruneRatio.Set(float64(sum.LIFSPruned) / float64(total))
+	}
+	for _, p := range sum.Phases {
+		i := p.Budget
+		if i >= maxPhaseRate {
+			i = maxPhaseRate - 1
+		}
+		if secs := p.Elapsed.Seconds(); secs > 0 {
+			m.PhaseRate[i].Set(float64(p.Schedules) / secs)
+		}
+	}
 }
 
 // WritePrometheus renders every metric in Prometheus text format.
@@ -121,4 +168,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	hist("aitia_diagnose_seconds", "Seconds spent in the Causality Analysis stage.", &m.DiagnoseTime)
 	gauge("aitia_queue_depth", "Jobs currently waiting in the queue.", &m.QueueDepth)
 	gauge("aitia_busy_workers", "Workers currently running a diagnosis.", &m.BusyWorkers)
+	counter("aitia_lifs_schedules_total", "Schedules executed by the LIFS searches of completed jobs.", &m.LIFSSchedules)
+	counter("aitia_lifs_pruned_total", "LIFS branches pruned as equivalent states.", &m.LIFSPruned)
+	counter("aitia_snapshot_bytes_total", "Bytes copied by copy-on-write checkpointing during the searches.", &m.SnapshotBytes)
+	fmt.Fprintf(w, "# HELP aitia_lifs_prune_ratio Pruned fraction of the last completed job's search.\n# TYPE aitia_lifs_prune_ratio gauge\naitia_lifs_prune_ratio %g\n", m.PruneRatio.Value())
+	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
+	for i := range m.PhaseRate {
+		fmt.Fprintf(w, "aitia_lifs_phase_schedules_per_second{budget=\"%d\"} %g\n", i, m.PhaseRate[i].Value())
+	}
 }

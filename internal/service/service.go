@@ -66,6 +66,10 @@ type Config struct {
 	// (parallel flip tests). Default 1: the pool, not the job, is the
 	// unit of parallelism here.
 	JobWorkers int
+	// MaxJobWorkers caps the per-request "workers" option (parallel LIFS
+	// search): requests asking for more are clamped, not rejected, so one
+	// client cannot oversubscribe the fleet. Default 8.
+	MaxJobWorkers int
 	// Diagnoser overrides the pipeline backend (tests inject blocking or
 	// failing backends to exercise the queue deterministically). Nil
 	// means the real manager-based pipeline.
@@ -92,6 +96,9 @@ func (c *Config) applyDefaults() {
 	if c.JobWorkers <= 0 {
 		c.JobWorkers = 1
 	}
+	if c.MaxJobWorkers <= 0 {
+		c.MaxJobWorkers = 8
+	}
 }
 
 // Request is one diagnosis submission: either a built-in scenario name
@@ -113,6 +120,10 @@ type RequestOptions struct {
 	LeakCheck        bool   `json:"leak_check,omitempty"`
 	FailureKind      string `json:"failure_kind,omitempty"`
 	FailureLabel     string `json:"failure_label,omitempty"`
+	// Workers parallelizes this job's LIFS search across that many
+	// goroutines (aitia.Options.LIFSWorkers). Clamped to the service's
+	// Config.MaxJobWorkers; zero or one searches serially.
+	Workers int `json:"workers,omitempty"`
 	// TimeoutMS caps this job's run time; it can only shorten the
 	// service-wide Config.JobTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -264,10 +275,13 @@ func resolve(req Request) (*kir.Program, Request, error) {
 
 // cacheKey derives the result-cache key: the program's content hash plus
 // every option that can change the diagnosis outcome. TimeoutMS is
-// excluded (failed jobs are never cached).
+// excluded (failed jobs are never cached). Workers is included even
+// though serial and parallel searches return the same reproduction: the
+// result carries search statistics (schedule counts, snapshot bytes)
+// that do depend on it.
 func cacheKey(prog *kir.Program, o RequestOptions) string {
-	return fmt.Sprintf("%s|mi=%d|sb=%d|leak=%t|kind=%s|label=%s",
-		prog.Hash(), o.MaxInterleavings, o.StepBudget, o.LeakCheck, o.FailureKind, o.FailureLabel)
+	return fmt.Sprintf("%s|mi=%d|sb=%d|leak=%t|kind=%s|label=%s|w=%d",
+		prog.Hash(), o.MaxInterleavings, o.StepBudget, o.LeakCheck, o.FailureKind, o.FailureLabel, o.Workers)
 }
 
 // Submit accepts a diagnosis job. Cache hits complete synchronously;
@@ -277,6 +291,12 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	prog, req, err := resolve(req)
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if req.Options.Workers < 0 {
+		req.Options.Workers = 0
+	}
+	if req.Options.Workers > s.cfg.MaxJobWorkers {
+		req.Options.Workers = s.cfg.MaxJobWorkers
 	}
 	key := cacheKey(prog, req.Options)
 
@@ -467,6 +487,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		s.metrics.JobsCompleted.Inc()
 		s.metrics.ReproduceTime.Observe(sum.ReproduceTime.Seconds())
 		s.metrics.DiagnoseTime.Observe(sum.DiagnoseTime.Seconds())
+		s.metrics.observeSearch(sum)
 	case errors.Is(err, context.Canceled):
 		j.status.State = StateCanceled
 		j.status.Error = err.Error()
@@ -499,8 +520,9 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 		}
 	}
 	mgr, err := manager.New(prog, manager.Options{
-		Workers: s.cfg.JobWorkers,
-		LIFS:    lifs,
+		Workers:     s.cfg.JobWorkers,
+		LIFSWorkers: req.Options.Workers,
+		LIFS:        lifs,
 		Analysis: core.AnalysisOptions{
 			StepBudget: req.Options.StepBudget,
 			LeakCheck:  lifs.LeakCheck,

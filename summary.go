@@ -43,6 +43,13 @@ type ResultSummary struct {
 	AnalysisSchedules int `json:"analysis_schedules,omitempty"`
 	TestSetSize       int `json:"test_set_size,omitempty"`
 	MemAccesses       int `json:"mem_accesses,omitempty"`
+	// LIFSPruned counts search branches skipped as equivalent states;
+	// SnapshotBytes is the search's copy-on-write checkpointing cost.
+	LIFSPruned    int    `json:"lifs_pruned,omitempty"`
+	SnapshotBytes uint64 `json:"snapshot_bytes,omitempty"`
+	// Phases reports the iterative deepening's per-phase schedule counts
+	// and wall-clock times.
+	Phases []PhaseStat `json:"phases,omitempty"`
 }
 
 // Summary projects the diagnosis onto its serializable form.
@@ -62,6 +69,9 @@ func (r *Result) Summary() *ResultSummary {
 		AnalysisSchedules: r.AnalysisSchedules,
 		TestSetSize:       r.TestSetSize,
 		MemAccesses:       r.MemAccesses,
+		LIFSPruned:        r.LIFSPruned,
+		SnapshotBytes:     r.SnapshotBytes,
+		Phases:            append([]PhaseStat(nil), r.Phases...),
 	}
 	for _, race := range r.ChainRaces {
 		v := "root-cause"
