@@ -41,6 +41,7 @@ import (
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/manager"
+	"aitia/internal/obs"
 	"aitia/internal/report"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
@@ -67,6 +68,11 @@ type Options struct {
 	FailureKind string
 	// FailureLabel restricts reproduction to a failing instruction label.
 	FailureLabel string
+	// Tracer collects execution spans of the whole pipeline (LIFS phases
+	// and search units, causality flip tests, worker-pool dispatch); see
+	// internal/obs. Export the collected events with obs.WriteChrome for
+	// chrome://tracing / Perfetto. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Program is a compiled kernel program.
@@ -148,6 +154,10 @@ type Result struct {
 	// ReproduceTime and DiagnoseTime are the stage wall-clock times.
 	ReproduceTime time.Duration
 	DiagnoseTime  time.Duration
+	// Spans aggregates the tracer's spans per (category, name): span
+	// counts and total durations of each pipeline stage. Empty unless
+	// Options.Tracer was set.
+	Spans []obs.SpanStat
 	// Report is the full human-readable diagnosis report.
 	Report string
 }
@@ -249,9 +259,12 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 		return nil, fmt.Errorf("aitia: fuzzing found no failure")
 	}
 
+	lifs := lifsOptions(p.prog, opts)
+	lifs.Tracer = nil // per-slice child tracers; the manager adopts the winner's
 	mgr, err := manager.New(p.prog, manager.Options{
 		Workers: opts.Workers,
-		LIFS:    lifsOptions(p.prog, opts),
+		LIFS:    lifs,
+		Tracer:  opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -261,6 +274,7 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 		return nil, err
 	}
 	res := FromManagerResult(p.prog, mres)
+	attachSpans(res, opts.Tracer)
 	return &FuzzResult{
 		CrashReport: finding.Report,
 		Trace:       finding.Trace.Format(),
@@ -277,6 +291,7 @@ func lifsOptions(prog *kir.Program, opts Options) core.LIFSOptions {
 		LeakCheck:        opts.LeakCheck,
 		WantInstr:        kir.NoInstr,
 		Workers:          opts.LIFSWorkers,
+		Tracer:           opts.Tracer,
 	}
 	if opts.FailureKind != "" {
 		if k, ok := sanitizer.KindByName(opts.FailureKind); ok {
@@ -305,11 +320,21 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 		StepBudget: opts.StepBudget,
 		LeakCheck:  opts.LeakCheck,
 		Workers:    opts.Workers,
+		Tracer:     opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return buildResult(prog, rep, d), nil
+	res := buildResult(prog, rep, d)
+	attachSpans(res, opts.Tracer)
+	return res, nil
+}
+
+// attachSpans folds the tracer's per-stage aggregates into the result.
+func attachSpans(res *Result, tr *obs.Tracer) {
+	if tr.Enabled() {
+		res.Spans = obs.Summarize(tr.Events())
+	}
 }
 
 // FromInternal converts internal pipeline results (a reproduction and its

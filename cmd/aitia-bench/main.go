@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"aitia/internal/eval"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
+	"aitia/internal/obs"
 	"aitia/internal/report"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
@@ -41,9 +43,13 @@ func main() {
 		lifs     = flag.Bool("lifs", false, "run the LIFS performance artifact (parallel search + snapshot strategy)")
 		out      = flag.String("out", "", "with -lifs: also write the artifact as JSON to this path")
 		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
+		checkCh  = flag.Bool("check-chains", false, "re-diagnose the corpus and fail unless every chain matches the golden set (the CI corpus gate)")
+		trace    = flag.String("trace", "", "write an execution trace of diagnosing -trace-scenario as Chrome trace-event JSON to this path")
+		traceSc  = flag.String("trace-scenario", "cve-2017-15649", "scenario to diagnose for -trace")
+		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && *trace == "" {
 		*all = true
 	}
 
@@ -74,6 +80,101 @@ func main() {
 	if *lifs {
 		check(printLIFS(*out))
 	}
+	if *checkCh {
+		check(checkChains())
+	}
+	if *trace != "" {
+		check(writeTrace(*trace, *traceSc, *traceW))
+	}
+}
+
+// checkChains is the CI corpus gate: it re-diagnoses every scenario and
+// compares the causality chain against scenarios.GoldenChains,
+// independently of `go test` — an edited or skipped golden test cannot
+// hide a regression from this path.
+func checkChains() error {
+	rows, err := eval.RunAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) != len(scenarios.GoldenChains) {
+		return fmt.Errorf("check-chains: corpus has %d scenarios but %d golden chains — regenerate with -chains and update internal/scenarios/golden.go",
+			len(rows), len(scenarios.GoldenChains))
+	}
+	bad := 0
+	for _, r := range rows {
+		want, ok := scenarios.GoldenChains[r.Scenario.Name]
+		if !ok {
+			fmt.Printf("FAIL %-22s no golden chain\n", r.Scenario.Name)
+			bad++
+			continue
+		}
+		if r.Chain != want {
+			fmt.Printf("FAIL %-22s chain = %q\n     %-22s want    %q\n", r.Scenario.Name, r.Chain, "", want)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %-22s %s\n", r.Scenario.Name, r.Chain)
+	}
+	if bad > 0 {
+		return fmt.Errorf("check-chains: %d of %d scenarios diverge from the golden chains", bad, len(rows))
+	}
+	fmt.Printf("check-chains: all %d scenario chains match the golden set\n", len(rows))
+	return nil
+}
+
+// writeTrace diagnoses one scenario with tracing enabled and exports the
+// trace as Chrome trace-event JSON, validating it on the way out.
+func writeTrace(outPath, name string, workers int) error {
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	m, err := kvm.New(sc.MustProgram())
+	if err != nil {
+		return err
+	}
+	tr := obs.New()
+	rep, err := core.Reproduce(m, core.LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+		Workers:   workers,
+		Tracer:    tr,
+	})
+	if err != nil {
+		return err
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{
+		LeakCheck: sc.NeedsLeakCheck(),
+		Workers:   workers,
+		Tracer:    tr,
+	})
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return err
+	}
+	if err := obs.ValidateChrome(buf.Bytes()); err != nil {
+		return fmt.Errorf("exported trace does not validate: %w", err)
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	events := tr.Events()
+	fmt.Printf("wrote %s: %d spans from diagnosing %s with %d workers (chain: %s)\n",
+		outPath, len(events), sc.Name, workers, d.Chain.Format(sc.MustProgram()))
+	t := report.Table{Title: "Span summary (open the JSON in chrome://tracing or https://ui.perfetto.dev)"}
+	t.Add("Category", "Span", "Count", "Total")
+	for _, st := range obs.Summarize(events) {
+		t.Add(st.Cat, st.Name, fmt.Sprint(st.Count), fmt.Sprint(time.Duration(st.Total).Round(time.Microsecond)))
+	}
+	t.Write(os.Stdout)
+	return nil
 }
 
 // The JSON shape of the -lifs performance artifact (BENCH_lifs.json).

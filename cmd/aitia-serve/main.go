@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,8 +30,21 @@ func main() {
 		jobWorkers = flag.Int("job-workers", 1, "per-job parallelism (parallel flip tests)")
 		maxJobW    = flag.Int("max-job-workers", 8, "cap on the per-request 'workers' option (parallel LIFS search)")
 		drain      = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
+		debugAddr  = flag.String("debug-addr", "", "listen address for the net/http/pprof profiling endpoints (e.g. localhost:6060); empty disables them")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// pprof registers on the DefaultServeMux; serve it on its own
+		// listener so the profiling surface never shares a port with the
+		// public API.
+		go func() {
+			fmt.Fprintf(os.Stderr, "aitia-serve: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "aitia-serve: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	svc := service.New(service.Config{
 		Workers:       *workers,

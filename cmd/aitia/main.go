@@ -25,6 +25,7 @@ import (
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/manager"
+	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
 )
@@ -44,6 +45,7 @@ func main() {
 		label      = flag.String("at", "", "expected failing instruction label (optional)")
 		leak       = flag.Bool("leak-check", false, "enable the memory-leak oracle")
 		quiet      = flag.Bool("quiet", false, "print only the causality chain")
+		traceOut   = flag.String("trace-out", "", "write the diagnosis' execution trace as Chrome trace-event JSON to this path (open in chrome://tracing or https://ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -67,9 +69,15 @@ func main() {
 		FailureLabel: *label,
 		LeakCheck:    *leak,
 	}
+	if *traceOut != "" {
+		opts.Tracer = obs.New()
+	}
 
 	if *verifyFix {
 		if err := runVerifyFix(*scenario, *file, *fixedFile, opts); err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(*traceOut, opts.Tracer); err != nil {
 			fatal(err)
 		}
 		return
@@ -101,11 +109,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := writeTrace(*traceOut, opts.Tracer); err != nil {
+		fatal(err)
+	}
 	if *quiet {
 		fmt.Println(res.Chain)
 		return
 	}
 	fmt.Print(res.Report)
+}
+
+// writeTrace exports the tracer's events as a Chrome trace-event JSON
+// file. A nil tracer (no -trace-out) is a no-op.
+func writeTrace(path string, tr *obs.Tracer) error {
+	if path == "" || !tr.Enabled() {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "aitia: wrote execution trace to %s (%d spans)\n", path, len(tr.Events()))
+	return nil
 }
 
 // diagnoseFinding runs the pipeline on a saved bug-finder finding: the
@@ -116,7 +148,7 @@ func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers, LIFSWorkers: opts.LIFSWorkers})
+	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers, LIFSWorkers: opts.LIFSWorkers, Tracer: opts.Tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aitia/internal/kvm"
+	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
 	"aitia/internal/sched"
 )
@@ -73,6 +74,9 @@ type AnalysisOptions struct {
 	// NoCriticalSections is an ablation switch: disable the §3.4 rule of
 	// flipping whole critical sections as units.
 	NoCriticalSections bool
+	// Tracer collects execution spans (the analysis and each flip test).
+	// Nil disables tracing at zero cost; see internal/obs.
+	Tracer *obs.Tracer
 }
 
 // Diagnosis is the final output: the causality chain plus the full
@@ -124,6 +128,12 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 
 	d := &Diagnosis{Failure: original}
 	d.Stats.TestSet = len(rep.Races)
+	az := opts.Tracer.Begin("ca", "analyze", 0)
+	defer func() {
+		az.Arg("test_set", int64(d.Stats.TestSet))
+		az.Info("schedules", int64(d.Stats.Schedules))
+		az.End()
+	}()
 	for _, e := range failSeq {
 		if len(e.Accesses) > 0 {
 			d.Stats.MemAccesses++
@@ -159,6 +169,26 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	// analysis reports only the flip tests that ran, not the test-set size.
 	var executed atomic.Int64
 	d.Tested = make([]TestedRace, len(order))
+	// Flip spans are measured where the test ran and committed in test
+	// order below, after the verdicts (including the ambiguity pass) are
+	// final — never in completion order.
+	type flipSpan struct {
+		start, dur time.Duration
+		worker     int
+	}
+	var flipSpans []flipSpan
+	if opts.Tracer.Enabled() {
+		flipSpans = make([]flipSpan, len(order))
+	}
+	timeFlip := func(worker, idx int, run func() error) error {
+		if flipSpans == nil {
+			return run()
+		}
+		t0 := opts.Tracer.Now()
+		err := run()
+		flipSpans[idx] = flipSpan{start: t0, dur: opts.Tracer.Now() - t0, worker: worker}
+		return err
+	}
 	if opts.Workers > 1 {
 		// One independent machine per diagnoser, as in the paper's VM
 		// fleet; flip tests are mutually independent. The shared pool
@@ -167,22 +197,24 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 			enf  *sched.Enforcer
 			init *kvm.Snapshot
 		}
-		err := runWorkers(ctx, opts.Workers, len(order),
-			func() (*flipVM, error) {
+		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(order),
+			func(int) (*flipVM, error) {
 				wm, err := kvm.New(m.Prog())
 				if err != nil {
 					return nil, err
 				}
 				return &flipVM{enf: sched.NewEnforcer(wm), init: wm.Snapshot()}, nil
 			},
-			func(ctx context.Context, vm *flipVM, idx int) error {
-				tr, err := testRace(vm.enf, vm.init, order[idx])
-				if err != nil {
-					return err
-				}
-				executed.Add(1)
-				d.Tested[idx] = tr
-				return nil
+			func(ctx context.Context, vm *flipVM, worker, idx int) error {
+				return timeFlip(worker, idx, func() error {
+					tr, err := testRace(vm.enf, vm.init, order[idx])
+					if err != nil {
+						return err
+					}
+					executed.Add(1)
+					d.Tested[idx] = tr
+					return nil
+				})
 			})
 		if err != nil {
 			return nil, err
@@ -192,12 +224,18 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			tr, err := testRace(enf, init, r)
+			err := timeFlip(-1, i, func() error {
+				tr, err := testRace(enf, init, r)
+				if err != nil {
+					return err
+				}
+				executed.Add(1)
+				d.Tested[i] = tr
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			executed.Add(1)
-			d.Tested[i] = tr
 		}
 	}
 	d.Stats.Schedules += int(executed.Load())
@@ -219,6 +257,26 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 				p.Verdict = VerdictAmbiguous
 			}
 		}
+	}
+
+	// Commit flip spans now that the verdicts (including the ambiguity
+	// pass) are final; test order and verdicts are deterministic, so the
+	// canonical flip sequence is too.
+	for i := range d.Tested {
+		if flipSpans == nil {
+			break
+		}
+		tr := &d.Tested[i]
+		opts.Tracer.Emit(obs.Event{
+			Cat: "ca", Name: "flip", Track: int64(i) + 1,
+			Start: flipSpans[i].start, Dur: flipSpans[i].dur,
+			Args: []obs.Arg{
+				{Key: "idx", Val: int64(i)},
+				{Key: "verdict", Val: int64(tr.Verdict)},
+				{Key: "realized", Val: b2i(tr.FlipRealized)},
+			},
+			Info: []obs.Arg{{Key: "worker", Val: int64(flipSpans[i].worker)}},
+		})
 	}
 
 	for _, tr := range d.Tested {

@@ -11,6 +11,7 @@ import (
 
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
+	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
 	"aitia/internal/sched"
 )
@@ -48,6 +49,11 @@ type LIFSOptions struct {
 	// share visited states with in-flight siblings. Requires the machine
 	// to be in its initial state.
 	Workers int
+	// Tracer collects execution spans (per deepening phase, per search
+	// unit, per pool dispatch). Nil disables tracing at zero cost. The
+	// canonical event sequence is deterministic across worker counts;
+	// see internal/obs.
+	Tracer *obs.Tracer
 
 	// Ablation switches (all default off, i.e. the paper's design):
 
@@ -142,6 +148,20 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 	s.init = m.Snapshot()
 	start := time.Now()
 
+	// The search root span closes last (after the per-phase, per-unit and
+	// replay spans), carrying the deterministic outcome in Args and the
+	// worker-count-dependent statistics in Info.
+	search := opts.Tracer.Begin("lifs", "search", 0)
+	defer func() {
+		search.Arg("found", b2i(s.found))
+		search.Arg("interleavings", int64(s.stats.Interleavings))
+		search.Info("workers", int64(opts.Workers))
+		search.Info("schedules", int64(s.stats.Schedules))
+		search.Info("pruned", int64(s.stats.Pruned))
+		search.Info("snapshot_bytes", int64(s.stats.SnapshotBytes))
+		search.End()
+	}()
+
 	// Iterative deepening: interleaving count 0, 1, 2, ... The paper runs
 	// the search twice when new conflicting instructions were discovered
 	// late (race-steered control flows can hide conflicts from shallow
@@ -198,10 +218,14 @@ rounds:
 	schedule := sched.FromSeq(s.foundTrace, s.fallback)
 	m.Restore(s.init)
 	enf := sched.NewEnforcer(m)
+	rp := opts.Tracer.Begin("lifs", "replay", 0)
 	res, err := enf.Run(schedule, s.runOpts())
 	if err != nil {
+		rp.End()
 		return nil, err
 	}
+	rp.Arg("steps", int64(len(res.Seq)))
+	rp.End()
 	if !res.Failed() || !s.accept(res.Failure) {
 		return nil, fmt.Errorf("core: replay of the found schedule did not reproduce the failure (got %v)", res.Failure)
 	}
@@ -420,6 +444,13 @@ type unit struct {
 	leaves []LeafTrace
 	cand   *candidate
 	branch branchInfo // probe only
+
+	// Span timing (obs): the wall window where the unit ran and the
+	// worker slot that ran it (-1 for the main machine). Spans are
+	// committed by the phase merge step in ordinal order, never here.
+	ran          bool
+	tStart, tDur time.Duration
+	tWorker      int
 }
 
 // phaseRun is the shared state of one iterative-deepening phase.
@@ -460,6 +491,14 @@ func (s *searcher) phase(k int) error {
 	}
 	start := time.Now()
 	schedBefore := s.schedules.Load()
+	prunedBefore := s.pruned.Load()
+	ph := s.opts.Tracer.Begin("lifs", "phase", 0)
+	ph.Arg("budget", int64(k))
+	defer func() {
+		ph.Info("schedules", s.schedules.Load()-schedBefore)
+		ph.Info("pruned", s.pruned.Load()-prunedBefore)
+		ph.End()
+	}()
 	p := &phaseRun{s: s, k: k, base: s.am, vis: newVisitedSet()}
 	s.best.Store(math.MaxInt64)
 	parallel := s.opts.Workers > 1
@@ -485,7 +524,7 @@ func (s *searcher) phase(k int) error {
 		}
 		pu := p.addUnit(gi, true, -1, t.ID)
 		s.m.Restore(s.init)
-		newExplorer(p, pu, s.m, true).run(k)
+		s.runUnit(p, pu, s.m, true, -1, k)
 		var groupTasks []*unit
 		for c := 0; c < pu.branch.choices; c++ {
 			groupTasks = append(groupTasks, p.addUnit(gi, false, c, t.ID))
@@ -502,15 +541,15 @@ func (s *searcher) phase(k int) error {
 				break
 			}
 			s.m.Restore(s.init)
-			newExplorer(p, tu, s.m, false).run(k)
+			s.runUnit(p, tu, s.m, false, -1, k)
 		}
 	}
 
 	if parallel && len(tasks) > 0 && s.ctxErr == nil {
 		var vmMu sync.Mutex
 		var vms []*workerVM
-		err := runWorkers(s.ctx, s.opts.Workers, len(tasks),
-			func() (*workerVM, error) {
+		err := runWorkers(s.ctx, s.opts.Tracer, "lifs-task", s.opts.Workers, len(tasks),
+			func(int) (*workerVM, error) {
 				vm, err := s.acquireVM()
 				if err != nil {
 					return nil, err
@@ -520,13 +559,13 @@ func (s *searcher) phase(k int) error {
 				vmMu.Unlock()
 				return vm, nil
 			},
-			func(ctx context.Context, vm *workerVM, i int) error {
+			func(ctx context.Context, vm *workerVM, worker, i int) error {
 				tu := tasks[i]
 				if s.exhausted.Load() || s.best.Load() < int64(tu.ordinal) {
 					return nil
 				}
 				vm.m.Restore(vm.init)
-				newExplorer(p, tu, vm.m, false).run(k)
+				s.runUnit(p, tu, vm.m, false, worker, k)
 				return nil
 			})
 		s.releaseVMs(vms)
@@ -557,6 +596,7 @@ func (s *searcher) phase(k int) error {
 		}
 		s.am.Merge(u.rec)
 		s.leaves = append(s.leaves, u.leaves...)
+		s.emitUnit(p, u)
 	}
 	if winner >= 0 {
 		w := p.units[winner]
@@ -570,6 +610,58 @@ func (s *searcher) phase(k int) error {
 		Elapsed:   time.Since(start),
 	})
 	return nil
+}
+
+// runUnit drives one unit's exploration on m, recording the unit's wall
+// window and worker slot for the tracer when enabled. The span itself is
+// committed later, by the phase merge step, in ordinal order.
+func (s *searcher) runUnit(p *phaseRun, u *unit, m *kvm.Machine, probe bool, worker, k int) {
+	u.ran = true
+	u.tWorker = worker
+	tr := s.opts.Tracer
+	if tr == nil {
+		newExplorer(p, u, m, probe).run(k)
+		return
+	}
+	u.tStart = tr.Now()
+	newExplorer(p, u, m, probe).run(k)
+	u.tDur = tr.Now() - u.tStart
+}
+
+// emitUnit commits one merged unit's span. It runs in the phase merge
+// step — single-threaded, in unit ordinal order, and only for units up
+// to the winner — which is what makes the canonical event sequence
+// identical across worker counts: exactly those units ran to completion
+// in the serial search too, and their Args (ordinal, group, choice,
+// branch shape, acceptance) are pure functions of the searched state.
+func (s *searcher) emitUnit(p *phaseRun, u *unit) {
+	tr := s.opts.Tracer
+	if tr == nil || !u.ran {
+		return
+	}
+	name := "task"
+	if u.probe {
+		name = "probe"
+	}
+	ev := obs.Event{
+		Cat: "lifs", Name: name, Track: int64(u.ordinal) + 1,
+		Start: u.tStart, Dur: u.tDur,
+		Args: []obs.Arg{
+			{Key: "budget", Val: int64(p.k)},
+			{Key: "ordinal", Val: int64(u.ordinal)},
+			{Key: "group", Val: int64(u.group)},
+		},
+		Info: []obs.Arg{{Key: "worker", Val: int64(u.tWorker)}},
+	}
+	if u.probe {
+		ev.Args = append(ev.Args,
+			obs.Arg{Key: "choices", Val: int64(u.branch.choices)},
+			obs.Arg{Key: "natural", Val: b2i(u.branch.natural)})
+	} else {
+		ev.Args = append(ev.Args, obs.Arg{Key: "choice", Val: int64(u.choice)})
+	}
+	ev.Args = append(ev.Args, obs.Arg{Key: "accepted", Val: b2i(u.cand != nil)})
+	tr.Emit(ev)
 }
 
 // explorer drives one unit's exploration on one machine.
@@ -989,4 +1081,11 @@ func cloneStack(st []kvm.ThreadID) []kvm.ThreadID {
 		return nil
 	}
 	return append([]kvm.ThreadID(nil), st...)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"aitia/internal/obs"
 )
 
 // runWorkers fans jobs 0..n-1 out to a pool of up to workers goroutines.
@@ -13,12 +16,21 @@ import (
 // run. It is the one pool shared by the parallel flip tests of Causality
 // Analysis and the parallel LIFS search.
 //
+// Dispatch is traced when tr is enabled: every executed job becomes one
+// span in the "pool" category named name, on the worker slot's track, so
+// the trace renders a per-worker timeline of the fleet. Which jobs a
+// slot executes (and whether a superseded job executes at all) depends
+// on runtime scheduling, so pool spans are Volatile — they carry timing
+// and placement, and are excluded from the canonical event sequence.
+// Spans are committed in job order after the pool drains, never in
+// completion order.
+//
 // Cancellation and errors stop the pool promptly: the feeder re-checks the
 // pool context before handing out each job, so a canceled context or a
 // failing worker cuts the run short instead of draining the whole job
 // list. runWorkers returns the first newState/run error; if cancellation
 // alone cut the run short it returns ctx.Err(). nil means every job ran.
-func runWorkers[S any](ctx context.Context, workers, n int, newState func() (S, error), run func(ctx context.Context, st S, job int) error) error {
+func runWorkers[S any](ctx context.Context, tr *obs.Tracer, name string, workers, n int, newState func(worker int) (S, error), run func(ctx context.Context, st S, worker, job int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -31,6 +43,16 @@ func runWorkers[S any](ctx context.Context, workers, n int, newState func() (S, 
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	type jobSpan struct {
+		start, dur time.Duration
+		worker     int
+		ran        bool
+	}
+	var spans []jobSpan
+	if tr.Enabled() {
+		spans = make([]jobSpan, n)
+	}
 
 	var (
 		mu       sync.Mutex
@@ -52,7 +74,7 @@ func runWorkers[S any](ctx context.Context, workers, n int, newState func() (S, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, err := newState()
+			st, err := newState(w)
 			if err != nil {
 				fail(err)
 				for range jobs { // keep draining so the feeder never blocks
@@ -63,7 +85,15 @@ func runWorkers[S any](ctx context.Context, workers, n int, newState func() (S, 
 				if cctx.Err() != nil {
 					continue // unwinding: drop the remaining jobs
 				}
-				if err := run(cctx, st, job); err != nil {
+				var start time.Duration
+				if spans != nil {
+					start = tr.Now()
+				}
+				err := run(cctx, st, w, job)
+				if spans != nil {
+					spans[job] = jobSpan{start: start, dur: tr.Now() - start, worker: w, ran: true}
+				}
+				if err != nil {
 					fail(err)
 					continue
 				}
@@ -85,6 +115,18 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+
+	for job, sp := range spans {
+		if !sp.ran {
+			continue
+		}
+		tr.Emit(obs.Event{
+			Cat: "pool", Name: name, Track: int64(sp.worker),
+			Start: sp.start, Dur: sp.dur,
+			Info:     []obs.Arg{{Key: "job", Val: int64(job)}, {Key: "worker", Val: int64(sp.worker)}},
+			Volatile: true,
+		})
+	}
 
 	mu.Lock()
 	defer mu.Unlock()

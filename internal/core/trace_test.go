@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"aitia/internal/obs"
+	"aitia/internal/scenarios"
+)
+
+// traceDiagnose runs the full pipeline on a scenario with tracing and the
+// given worker count and returns the collected events plus the results.
+func traceDiagnose(t testing.TB, name string, workers int) ([]obs.Event, *Reproduction, *Diagnosis) {
+	t.Helper()
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	m := mustMachine(t, sc.MustProgram())
+	tr := obs.New()
+	rep, err := Reproduce(m, LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+		Workers:   workers,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatalf("Reproduce(%s, workers=%d): %v", name, workers, err)
+	}
+	d, err := Analyze(m, rep, AnalysisOptions{Workers: workers, Tracer: tr})
+	if err != nil {
+		t.Fatalf("Analyze(%s, workers=%d): %v", name, workers, err)
+	}
+	return tr.Events(), rep, d
+}
+
+// TestTraceDeterministicAcrossWorkers pins the tracer's ordering contract:
+// the canonical event sequence (category, name, track and Args of every
+// non-volatile span, in commit order) of a traced diagnosis is identical
+// for Workers:1 and Workers:8. Timing, worker placement and schedule
+// counts legitimately differ — they live in Info or in Volatile events,
+// which the canonical projection drops.
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"cve-2017-15649", "fig1"} {
+		t.Run(name, func(t *testing.T) {
+			serial, _, _ := traceDiagnose(t, name, 1)
+			parallel, _, _ := traceDiagnose(t, name, 8)
+			got := obs.Canonical(parallel)
+			want := obs.Canonical(serial)
+			if len(got) != len(want) {
+				t.Fatalf("workers=8 canonical trace has %d events, workers=1 has %d\nserial:\n%s\nparallel:\n%s",
+					len(got), len(want), join(want), join(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("canonical[%d]:\n  workers=8: %s\n  workers=1: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func join(lines []string) string {
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString("  ")
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// TestTraceChromeValid exports a real diagnosis trace to Chrome trace-event
+// JSON, validates it, and checks the span population against the pipeline's
+// own stats: one phase span per deepening phase, one flip span per tested
+// race, plus the search/replay/analyze roots and the search units.
+func TestTraceChromeValid(t *testing.T) {
+	events, rep, d := traceDiagnose(t, "cve-2017-15649", 8)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := obs.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+
+	count := map[string]int{}
+	for _, ev := range events {
+		count[ev.Cat+"/"+ev.Name]++
+	}
+	if got, want := count["lifs/phase"], len(rep.Stats.Phases); got != want {
+		t.Errorf("lifs/phase spans = %d, want %d (one per deepening phase)", got, want)
+	}
+	if got, want := count["ca/flip"], len(d.Tested); got != want {
+		t.Errorf("ca/flip spans = %d, want %d (one per tested race)", got, want)
+	}
+	for _, must := range []string{"lifs/search", "lifs/replay", "ca/analyze"} {
+		if count[must] != 1 {
+			t.Errorf("%s spans = %d, want exactly 1", must, count[must])
+		}
+	}
+	for _, some := range []string{"lifs/probe", "lifs/task", "pool/lifs-task", "pool/ca-flip"} {
+		if count[some] == 0 {
+			t.Errorf("no %s spans in an 8-worker diagnosis trace", some)
+		}
+	}
+}
+
+// BenchmarkReproduceTracingDisabled against BenchmarkReproduceTracingEnabled
+// measures the cost the tracer adds to an untraced search — the nil-tracer
+// fast path should make the disabled case indistinguishable from the
+// pre-tracer searcher.
+func BenchmarkReproduceTracingDisabled(b *testing.B) {
+	benchmarkReproduce(b, false)
+}
+
+func BenchmarkReproduceTracingEnabled(b *testing.B) {
+	benchmarkReproduce(b, true)
+}
+
+func benchmarkReproduce(b *testing.B, traced bool) {
+	sc, ok := scenarios.ByName("fig1")
+	if !ok {
+		b.Fatal("unknown scenario fig1")
+	}
+	prog := sc.MustProgram()
+	opts := LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if traced {
+			opts.Tracer = obs.New()
+		}
+		if _, err := Reproduce(mustMachine(b, prog), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

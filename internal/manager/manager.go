@@ -17,6 +17,7 @@ import (
 	"aitia/internal/history"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
+	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// Analysis configures the diagnosing stage (Workers is overridden
 	// from Options.Workers).
 	Analysis core.AnalysisOptions
+	// Tracer collects execution spans for the whole pipeline: the
+	// reproducing fleet (volatile per-slice spans), the winning slice's
+	// LIFS search (adopted from its private child tracer, so the merged
+	// trace stays independent of slice completion order) and the
+	// diagnosing stage. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Result is a completed diagnosis.
@@ -119,8 +126,26 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 		idx int
 		rep *core.Reproduction
 		err error
+		// Tracing: the slice's private child tracer plus the attempt's
+		// wall interval and worker slot on the parent's clock.
+		tr        *obs.Tracer
+		tStart    time.Duration
+		tDur      time.Duration
+		worker    int
+		attempted bool
 	}
 	start := time.Now()
+
+	ptr := m.opts.Tracer
+	root := ptr.Begin("manager", "diagnose", 0)
+	best := -1
+	defer func() {
+		root.Arg("slices", int64(len(slices)))
+		if best >= 0 {
+			root.Arg("slice", int64(best))
+		}
+		root.End()
+	}()
 
 	workers := m.opts.Workers
 	if workers > len(slices) {
@@ -138,8 +163,20 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 					outs <- repOut{idx: idx, err: err}
 					continue
 				}
-				rep, err := m.reproduce(ctx, slices[idx], lifs)
-				outs <- repOut{idx: idx, rep: rep, err: err}
+				// Each reproducer traces into its own child so slices
+				// do not interleave their spans; only the winner's are
+				// merged back.
+				slifs := lifs
+				if ptr.Enabled() {
+					slifs.Tracer = obs.New()
+				}
+				t0 := ptr.Now()
+				rep, err := m.reproduce(ctx, slices[idx], slifs)
+				outs <- repOut{
+					idx: idx, rep: rep, err: err,
+					tr: slifs.Tracer, tStart: t0, tDur: ptr.Now() - t0,
+					worker: w, attempted: true,
+				}
 			}
 		}()
 	}
@@ -152,18 +189,40 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 		close(outs)
 	}()
 
-	best := -1
 	var bestRep *core.Reproduction
+	var bestTr *obs.Tracer
 	tried := 0
 	var lastErr error
+	attempts := make([]repOut, len(slices))
 	for out := range outs {
 		tried++
+		attempts[out.idx] = out
 		if out.err != nil {
 			lastErr = out.err
 			continue
 		}
 		if out.rep != nil && (best < 0 || out.idx < best) {
-			best, bestRep = out.idx, out.rep
+			best, bestRep, bestTr = out.idx, out.rep, out.tr
+		}
+	}
+	if ptr.Enabled() {
+		// Which worker ran which slice (and how long) depends on runtime
+		// scheduling: record the fleet timeline as volatile spans, in
+		// slice order.
+		for idx, out := range attempts {
+			if !out.attempted {
+				continue
+			}
+			ptr.Emit(obs.Event{
+				Cat: "manager", Name: "reproduce", Track: int64(out.worker) + 1,
+				Start: out.tStart, Dur: out.tDur,
+				Info: []obs.Arg{
+					{Key: "slice", Val: int64(idx)},
+					{Key: "worker", Val: int64(out.worker)},
+					{Key: "reproduced", Val: b2i(out.rep != nil)},
+				},
+				Volatile: true,
+			})
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -175,6 +234,10 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 		}
 		return nil, fmt.Errorf("manager: no slice reproduced the failure")
 	}
+	// Merge the winning slice's search spans; the losers' children are
+	// dropped, so the canonical sequence only depends on which slice won
+	// (deterministic), not on completion order.
+	ptr.Adopt(bestTr)
 	reproTime := time.Since(start)
 
 	// Diagnosing stage on the winning slice.
@@ -189,6 +252,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	aopts := m.opts.Analysis
 	aopts.Workers = m.opts.Workers
 	aopts.LeakCheck = aopts.LeakCheck || lifs.LeakCheck
+	aopts.Tracer = ptr
 	diagStart := time.Now()
 	diag, err := core.AnalyzeContext(ctx, dm, bestRep, aopts)
 	if err != nil {
@@ -203,6 +267,13 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 		ReproduceTime: reproTime,
 		DiagnoseTime:  time.Since(diagStart),
 	}, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // reproduce runs LIFS on one slice; a nil Reproduction with nil error

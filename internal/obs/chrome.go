@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event JSON export (the "JSON Array Format" consumed
+// by chrome://tracing and Perfetto). Each span becomes a B/E event pair
+// on (pid, tid), where pid identifies the producing subsystem (category)
+// and tid the span's deterministic track. Timestamps are microseconds
+// from the trace epoch.
+
+// chromeEvent is one trace-event object on the wire.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	PID  int64            `json:"pid"`
+	TID  int64            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata (ph "M") event naming a process row.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int64             `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// Well-known categories keep stable process ids so traces of different
+// runs line up row-for-row in the viewer.
+var catPIDs = map[string]int64{
+	"lifs":    1,
+	"ca":      2,
+	"manager": 3,
+	"job":     4,
+	"pool":    5,
+}
+
+// pidFor assigns process ids: well-known categories get their fixed id,
+// unknown ones are numbered deterministically from 10 in sorted order.
+func pidFor(events []Event) func(cat string) int64 {
+	var unknown []string
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if _, ok := catPIDs[ev.Cat]; !ok && !seen[ev.Cat] {
+			seen[ev.Cat] = true
+			unknown = append(unknown, ev.Cat)
+		}
+	}
+	sort.Strings(unknown)
+	extra := make(map[string]int64, len(unknown))
+	for i, cat := range unknown {
+		extra[cat] = int64(10 + i)
+	}
+	return func(cat string) int64 {
+		if pid, ok := catPIDs[cat]; ok {
+			return pid
+		}
+		return extra[cat]
+	}
+}
+
+// WriteChrome renders the tracer's events as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Events())
+}
+
+// WriteChrome renders events as Chrome trace-event JSON. Events are
+// grouped per (pid, tid) lane and each lane is emitted as properly
+// nested B/E pairs in non-decreasing timestamp order; children measured
+// with wall-clock jitter are clamped into their parent's interval so
+// the pairing stays consistent.
+func WriteChrome(w io.Writer, events []Event) error {
+	pid := pidFor(events)
+
+	type lane struct {
+		pid, tid int64
+		evs      []Event
+	}
+	lanes := map[[2]int64]*lane{}
+	for _, ev := range events {
+		k := [2]int64{pid(ev.Cat), ev.Track}
+		l, ok := lanes[k]
+		if !ok {
+			l = &lane{pid: k[0], tid: k[1]}
+			lanes[k] = l
+		}
+		l.evs = append(l.evs, ev)
+	}
+	keys := make([][2]int64, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	out := []json.RawMessage{}
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, raw)
+		return nil
+	}
+
+	// Name the process rows after their categories.
+	named := map[int64]bool{}
+	for _, ev := range events {
+		p := pid(ev.Cat)
+		if named[p] {
+			continue
+		}
+		named[p] = true
+		if err := add(chromeMeta{
+			Name: "process_name", Ph: "M", PID: p,
+			Args: map[string]string{"name": ev.Cat},
+		}); err != nil {
+			return err
+		}
+	}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, k := range keys {
+		l := lanes[k]
+		// Nesting order: by start ascending, longer span first on ties,
+		// so a parent always precedes the children it encloses.
+		sort.SliceStable(l.evs, func(i, j int) bool {
+			if l.evs[i].Start != l.evs[j].Start {
+				return l.evs[i].Start < l.evs[j].Start
+			}
+			return l.evs[i].Dur > l.evs[j].Dur
+		})
+		type open struct {
+			ev  Event
+			end int64 // ns, possibly clamped
+		}
+		var stack []open
+		pop := func() error {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return add(chromeEvent{
+				Name: top.ev.Name, Cat: top.ev.Cat, Ph: "E",
+				TS: us(top.end), PID: l.pid, TID: l.tid,
+			})
+		}
+		for _, ev := range l.evs {
+			start := ev.Start.Nanoseconds()
+			end := start + ev.Dur.Nanoseconds()
+			for len(stack) > 0 && stack[len(stack)-1].end <= start {
+				if err := pop(); err != nil {
+					return err
+				}
+			}
+			// Clamp wall-clock jitter: a child may not outlive the
+			// enclosing span it logically nests in.
+			if len(stack) > 0 {
+				if pe := stack[len(stack)-1].end; end > pe {
+					end = pe
+				}
+			}
+			if end < start {
+				end = start
+			}
+			args := make(map[string]int64, len(ev.Args)+len(ev.Info))
+			for _, a := range ev.Args {
+				args[a.Key] = a.Val
+			}
+			for _, a := range ev.Info {
+				args[a.Key] = a.Val
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			if err := add(chromeEvent{
+				Name: ev.Name, Cat: ev.Cat, Ph: "B",
+				TS: us(start), PID: l.pid, TID: l.tid, Args: args,
+			}); err != nil {
+				return err
+			}
+			stack = append(stack, open{ev: ev, end: end})
+		}
+		for len(stack) > 0 {
+			if err := pop(); err != nil {
+				return err
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event
+// JSON file as this package emits it: valid JSON with a traceEvents
+// array, and per (pid, tid) lane the B/E events pair up in array order
+// with non-decreasing, properly nested timestamps. The tracer tests and
+// the CI artifact check both go through this.
+func ValidateChrome(data []byte) error {
+	var tr struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			PID  int64    `json:"pid"`
+			TID  int64    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	type frame struct {
+		name string
+		ts   float64
+	}
+	stacks := map[[2]int64][]frame{}
+	lastTS := map[[2]int64]float64{}
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "B", "E":
+		default:
+			return fmt.Errorf("obs: event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.TS == nil {
+			return fmt.Errorf("obs: event %d (%s %q): missing ts", i, ev.Ph, ev.Name)
+		}
+		k := [2]int64{ev.PID, ev.TID}
+		if last, ok := lastTS[k]; ok && *ev.TS < last {
+			return fmt.Errorf("obs: event %d (%s %q): timestamp %v goes backwards on pid=%d tid=%d (last %v)",
+				i, ev.Ph, ev.Name, *ev.TS, ev.PID, ev.TID, last)
+		}
+		lastTS[k] = *ev.TS
+		switch ev.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], frame{name: ev.Name, ts: *ev.TS})
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("obs: event %d: E %q without matching B on pid=%d tid=%d", i, ev.Name, ev.PID, ev.TID)
+			}
+			top := st[len(st)-1]
+			if top.name != ev.Name {
+				return fmt.Errorf("obs: event %d: E %q does not match open B %q on pid=%d tid=%d", i, ev.Name, top.name, ev.PID, ev.TID)
+			}
+			if *ev.TS < top.ts {
+				return fmt.Errorf("obs: event %d: E %q at %v ends before its B at %v", i, ev.Name, *ev.TS, top.ts)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d (first %q)", len(st), k[0], k[1], st[0].name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerZeroAlloc pins the disabled fast path: beginning,
+// annotating and ending spans on a nil tracer must not allocate. This is
+// the contract that lets the tracer sit on the search hot path.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("lifs", "phase", 0)
+		sp.Arg("budget", 2)
+		sp.Info("schedules", 41)
+		sp.End()
+		tr.Emit(Event{Cat: "lifs", Name: "unit"})
+		_ = tr.Now()
+		_ = tr.Events()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestSpanCollectsArgs(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("ca", "flip", 3)
+	sp.Arg("idx", 2)
+	sp.Arg("verdict", 1)
+	sp.Info("worker", 7)
+	sp.End()
+
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Cat != "ca" || ev.Name != "flip" || ev.Track != 3 {
+		t.Errorf("event identity = %s/%s tid=%d", ev.Cat, ev.Name, ev.Track)
+	}
+	if len(ev.Args) != 2 || ev.Args[0] != (Arg{"idx", 2}) || ev.Args[1] != (Arg{"verdict", 1}) {
+		t.Errorf("args = %v", ev.Args)
+	}
+	if len(ev.Info) != 1 || ev.Info[0] != (Arg{"worker", 7}) {
+		t.Errorf("info = %v", ev.Info)
+	}
+	if ev.Dur < 0 {
+		t.Errorf("negative duration %v", ev.Dur)
+	}
+}
+
+func TestCanonicalDropsTimingAndVolatile(t *testing.T) {
+	events := []Event{
+		{Cat: "lifs", Name: "phase", Track: 0, Start: 5, Dur: 100, Args: []Arg{{"budget", 1}}, Info: []Arg{{"schedules", 9}}},
+		{Cat: "pool", Name: "task", Track: 1, Start: 6, Dur: 10, Volatile: true},
+		{Cat: "lifs", Name: "task", Track: 2, Args: []Arg{{"group", 0}, {"choice", 1}}},
+	}
+	got := Canonical(events)
+	want := []string{
+		"lifs/phase tid=0 budget=1",
+		"lifs/task tid=2 group=0 choice=1",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("canonical = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("canonical[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Cat: "lifs", Name: "phase", Dur: 10 * time.Microsecond},
+		{Cat: "lifs", Name: "phase", Dur: 30 * time.Microsecond},
+		{Cat: "ca", Name: "flip", Dur: 5 * time.Microsecond},
+	}
+	got := Summarize(events)
+	if len(got) != 2 {
+		t.Fatalf("got %d stats, want 2", len(got))
+	}
+	if got[0].Cat != "ca" || got[0].Count != 1 || got[0].Total != 5000 {
+		t.Errorf("stat[0] = %+v", got[0])
+	}
+	if got[1].Cat != "lifs" || got[1].Name != "phase" || got[1].Count != 2 || got[1].Total != 40000 {
+		t.Errorf("stat[1] = %+v", got[1])
+	}
+}
+
+func TestAdoptShiftsChildOffsets(t *testing.T) {
+	parent := New()
+	time.Sleep(2 * time.Millisecond)
+	child := New()
+	sp := child.Begin("lifs", "search", 0)
+	sp.End()
+	parent.Adopt(child)
+
+	evs := parent.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if evs[0].Start < 2*time.Millisecond {
+		t.Errorf("adopted event start %v not shifted past the epoch gap", evs[0].Start)
+	}
+}
+
+func TestWriteChromeValidates(t *testing.T) {
+	tr := New()
+	root := tr.Begin("lifs", "search", 0)
+	for k := 0; k < 2; k++ {
+		ph := tr.Begin("lifs", "phase", 0)
+		ph.Arg("budget", int64(k))
+		u := tr.Begin("lifs", "task", int64(k+1))
+		u.Info("worker", 0)
+		u.End()
+		ph.End()
+	}
+	root.End()
+	tr.Emit(Event{Cat: "pool", Name: "task", Track: 9, Volatile: true, Start: tr.Now(), Dur: time.Microsecond})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{`"ph":"B"`, `"ph":"E"`, `"budget"`, `"process_name"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace JSON missing %s", want)
+		}
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("empty trace does not validate: %v", err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents": [`,
+		"no array":      `{"foo": 1}`,
+		"unmatched E":   `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"unclosed B":    `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"name mismatch": `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},{"name":"y","ph":"E","ts":2,"pid":1,"tid":1}]}`,
+		"backwards ts":  `{"traceEvents":[{"name":"x","ph":"B","ts":5,"pid":1,"tid":1},{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted invalid input", name)
+		}
+	}
+}
+
+// BenchmarkSpanDisabled measures the nil fast path (the cost added to an
+// untraced search) against BenchmarkSpanEnabled.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("lifs", "phase", 0)
+		sp.Arg("budget", 1)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("lifs", "phase", 0)
+		sp.Arg("budget", 1)
+		sp.End()
+	}
+	_ = tr.Events()
+}

@@ -7,59 +7,19 @@ import (
 	"aitia/internal/scenarios"
 )
 
-// goldenChains pins the exact causality chain of every corpus scenario.
-// The pipeline is fully deterministic, so any change here is a behaviour
-// change in LIFS, Causality Analysis, chain construction or a scenario —
-// and must be reviewed against the paper before updating the golden
-// value (regenerate with `go run ./cmd/aitia-bench -chains`).
-var goldenChains = map[string]string{
-	"cve-2016-10200": "(A1 => B2 (ambiguous) ∧ A2 => B1 ∧ B2 => A3) → kernel BUG (BUG_ON)",
-	"cve-2016-8655":  "B1 => A3 → (A1 => B2 ∧ B2 => A4) → KASAN: slab-out-of-bounds",
-	"cve-2017-10661": "(C1 => C2 ∧ C1 => C2) → kernel BUG (BUG_ON)",
-	"cve-2017-15649": "(A2 => B11 ∧ B2 => A6) → A6 => B12 → B17 => A12 → kernel BUG (BUG_ON)",
-	"cve-2017-2636":  "(C1 => C2 ∧ C1 => C2) → KASAN: double-free",
-	"cve-2017-2671":  "A1 => B1 → B1 => A2 → NULL pointer dereference",
-	"cve-2017-7533":  "(A2 => B2 ∧ B1 => A1) → KASAN: slab-out-of-bounds",
-	"cve-2018-12232": "A1 => B1 → B1 => A2 → NULL pointer dereference",
-	"cve-2019-11486": "(A1 => B2 ∧ B1 => A1) → B3 => A2 → KASAN: use-after-free",
-	"cve-2019-6974":  "A1 => B1 → B3 => A2 → KASAN: use-after-free",
-
-	"fig1":  "A1 => B1 → B2 => A2 → NULL pointer dereference",
-	"fig4a": "(A1 => K1 ∧ B1 => A1) → K1 => A2 → NULL pointer dereference",
-	"fig4b": "R2 => A3 → KASAN: use-after-free",
-	"fig4c": "A1 => B1 → B2 => A2 → B3 => A3 → NULL pointer dereference",
-	"fig5":  "A1 => B1 → K1 => A3 → NULL pointer dereference",
-	"fig7":  "(A1 => B2 (ambiguous) ∧ A2 => B1 ∧ B2 => A3) → kernel BUG (BUG_ON)",
-
-	"syz01-l2tp-oob":         "(B1 => A1 ∧ A2 => B2) → KASAN: slab-out-of-bounds",
-	"syz02-packet-frame":     "(B1 => A2 ∧ B2 => A2 ∧ A1 => B2) → A2 => B3 → kernel BUG (BUG_ON)",
-	"syz03-l2tp-uaf":         "A1 => B1 → B2 => A2 → KASAN: use-after-free",
-	"syz04-kvm-irqfd":        "A1 => B1 → K1 => A2 → KASAN: use-after-free",
-	"syz05-rxrpc-local":      "K1 => A2 → KASAN: use-after-free",
-	"syz06-bpf-devmap":       "A1 => B1 → A2 => B2 → (B0 => A5 ∧ B3 => A3) → general protection fault",
-	"syz07-delete-partition": "(A1 => B2 ∧ B1 => A3) → (B1 => A5 ∧ B3 => A4) → KASAN: use-after-free",
-	"syz08-j1939-refcount":   "B1 => A1 → A2 => B2 → A3 => B3 → (B5 => A5 ∧ K1 => A4) → KASAN: use-after-free",
-	"syz09-seccomp-leak":     "(C1 => C2 ∧ C1 => C2) → memory leak",
-	"syz10-md-ioctl":         "C1 => C4 → (C4 => C2 ∧ C4 => C4) → kernel BUG (BUG_ON)",
-	"syz11-floppy-bh":        "(C1 => C2 ∧ C1 => C2) → kernel BUG (BUG_ON)",
-	"syz12-sco-timeout":      "(A1 => B1 ∧ A2 => B1) → B2 => A3 → B3 => K1 → KASAN: use-after-free",
-
-	"ext-irq-timer": "I1 => B1 → I2 => B2 → B3 => I3 → KASAN: use-after-free",
-	"ext-cs-order":  "A1 => B2 → B3 => A2 → KASAN: use-after-free",
-}
-
 // TestGoldenChains re-diagnoses every scenario and compares against the
-// pinned chain.
+// pinned chain in scenarios.GoldenChains. The same goldens gate CI via
+// `aitia-bench -check-chains`, independently of the test runner.
 func TestGoldenChains(t *testing.T) {
 	all := scenarios.All()
-	if len(goldenChains) != len(all) {
-		t.Errorf("golden map has %d entries for %d scenarios", len(goldenChains), len(all))
+	if len(scenarios.GoldenChains) != len(all) {
+		t.Errorf("golden map has %d entries for %d scenarios", len(scenarios.GoldenChains), len(all))
 	}
 	for _, sc := range all {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			t.Parallel()
-			want, ok := goldenChains[sc.Name]
+			want, ok := scenarios.GoldenChains[sc.Name]
 			if !ok {
 				t.Fatalf("no golden chain for %s", sc.Name)
 			}

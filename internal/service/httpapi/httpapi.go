@@ -8,6 +8,9 @@
 //	                      -max-job-workers cap).
 //	GET    /v1/jobs       list all jobs
 //	GET    /v1/jobs/{id}  poll one job (includes the result when done)
+//	GET    /v1/jobs/{id}/trace  the job's execution trace as Chrome
+//	                      trace-event JSON (load in chrome://tracing or
+//	                      https://ui.perfetto.dev)
 //	DELETE /v1/jobs/{id}  cancel a job
 //	GET    /v1/scenarios  list the built-in crash-scenario corpus
 //	GET    /metrics       Prometheus text-format metrics
@@ -48,6 +51,18 @@ func New(svc *service.Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		trace, err := svc.JobTrace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(trace); err != nil {
+			return // client went away; nothing to salvage
+		}
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := svc.Cancel(r.PathValue("id")); err != nil {
@@ -95,7 +110,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is already on the wire: an encode failure here is a
+	// client disconnect, with nothing left to report to anyone.
+	_ = enc.Encode(v)
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

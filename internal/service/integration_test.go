@@ -14,6 +14,7 @@ import (
 
 	"aitia"
 	"aitia/internal/kir"
+	"aitia/internal/obs"
 	"aitia/internal/service"
 	"aitia/internal/service/httpapi"
 )
@@ -206,7 +207,7 @@ func TestServiceHTTPEndToEnd(t *testing.T) {
 // codes through the HTTP layer.
 func TestHTTPErrorMapping(t *testing.T) {
 	release := make(chan struct{})
-	blocking := func(ctx context.Context, prog *kir.Program, req service.Request) (*aitia.ResultSummary, error) {
+	blocking := func(ctx context.Context, prog *kir.Program, req service.Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
 		select {
 		case <-release:
 			return &aitia.ResultSummary{Chain: "A1 => B1"}, nil

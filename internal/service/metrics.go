@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"aitia"
@@ -109,6 +111,13 @@ type Metrics struct {
 	// PhaseRate is the last completed job's per-phase schedule throughput
 	// (schedules per second), indexed by the phase's preemption budget.
 	PhaseRate [maxPhaseRate]FGauge
+
+	// Execution-span aggregates from the tracer, labelled by span
+	// category and name, accumulated over completed jobs. Guarded by
+	// spanMu because the label set is dynamic.
+	spanMu      sync.Mutex
+	spanCount   map[string]uint64
+	spanSeconds map[string]float64
 }
 
 // maxPhaseRate bounds the exported per-phase gauges; deeper phases (which
@@ -132,6 +141,25 @@ func (m *Metrics) observeSearch(sum *aitia.ResultSummary) {
 		if secs := p.Elapsed.Seconds(); secs > 0 {
 			m.PhaseRate[i].Set(float64(p.Schedules) / secs)
 		}
+	}
+}
+
+// observeSpans folds one completed job's execution-span aggregates into
+// the per-(category, name) totals.
+func (m *Metrics) observeSpans(spans []aitia.SpanStat) {
+	if len(spans) == 0 {
+		return
+	}
+	m.spanMu.Lock()
+	defer m.spanMu.Unlock()
+	if m.spanCount == nil {
+		m.spanCount = make(map[string]uint64)
+		m.spanSeconds = make(map[string]float64)
+	}
+	for _, sp := range spans {
+		key := fmt.Sprintf("cat=%q,name=%q", sp.Cat, sp.Name)
+		m.spanCount[key] += uint64(sp.Count)
+		m.spanSeconds[key] += float64(sp.Total) / 1e9
 	}
 }
 
@@ -175,5 +203,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
 	for i := range m.PhaseRate {
 		fmt.Fprintf(w, "aitia_lifs_phase_schedules_per_second{budget=\"%d\"} %g\n", i, m.PhaseRate[i].Value())
+	}
+
+	m.spanMu.Lock()
+	defer m.spanMu.Unlock()
+	keys := make([]string, 0, len(m.spanCount))
+	for k := range m.spanCount {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP aitia_span_count_total Execution spans per tracer category and name, over completed jobs.\n# TYPE aitia_span_count_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "aitia_span_count_total{%s} %d\n", k, m.spanCount[k])
+	}
+	fmt.Fprintf(w, "# HELP aitia_span_seconds_total Total execution-span duration per tracer category and name, over completed jobs.\n# TYPE aitia_span_seconds_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "aitia_span_seconds_total{%s} %g\n", k, m.spanSeconds[k])
 	}
 }

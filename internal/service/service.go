@@ -20,6 +20,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
 	"aitia/internal/manager"
+	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
 )
@@ -77,8 +79,11 @@ type Config struct {
 }
 
 // Diagnoser runs one resolved job. prog is the compiled program and req
-// the normalized request (scenario defaults already applied).
-type Diagnoser func(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error)
+// the normalized request (scenario defaults already applied). tr is the
+// job's execution tracer: the backend threads it into the pipeline so
+// the job's trace covers the search and analysis, not just the service
+// lifecycle. Backends may ignore it.
+type Diagnoser func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error)
 
 func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
@@ -168,6 +173,11 @@ type job struct {
 	cancel context.CancelFunc // set while running
 	picked time.Time          // when a worker picked the job up
 	done   chan struct{}      // closed on completion
+	// tr collects the job's execution spans from submission on: the
+	// queue wait, the pipeline run (with the full search/analysis trace
+	// threaded through manager.Options.Tracer) or the cache hit. Epoch
+	// is the submission instant.
+	tr *obs.Tracer
 }
 
 // Service is the diagnosis service: queue, worker fleet, result cache
@@ -305,6 +315,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		prog: prog,
 		key:  key,
 		done: make(chan struct{}),
+		tr:   obs.New(),
 		status: JobStatus{
 			ID:        fmt.Sprintf("job-%06d", s.nextID.Add(1)),
 			Scenario:  req.Scenario,
@@ -319,6 +330,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	}
 
 	if sum, ok := s.cache.get(key); ok {
+		j.tr.Emit(obs.Event{Cat: "job", Name: "cache-hit", Start: j.tr.Now()})
 		j.status.State = StateDone
 		j.status.CacheHit = true
 		j.status.Result = sum
@@ -353,6 +365,25 @@ func (s *Service) Job(id string) (JobStatus, error) {
 		return JobStatus{}, ErrNotFound
 	}
 	return j.status, nil
+}
+
+// JobTrace renders a job's execution trace as Chrome trace-event JSON
+// (chrome://tracing / Perfetto): the service lifecycle spans (queue wait,
+// run, cache hit) plus, for jobs that ran the real pipeline, the full
+// search and analysis trace. Valid at any point of the job's life — a
+// running job yields the spans committed so far.
+func (s *Service) JobTrace(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	var buf bytes.Buffer
+	if err := j.tr.WriteChrome(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Jobs returns status snapshots of every known job (unspecified order).
@@ -458,6 +489,7 @@ func (s *Service) pickUp(j *job) (context.Context, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	j.cancel = cancel
 	j.picked = time.Now()
+	j.tr.Emit(obs.Event{Cat: "job", Name: "queued", Dur: j.tr.Now()})
 	j.status.State = StateRunning
 	j.status.QueueWaitMS = j.picked.Sub(j.status.Submitted).Milliseconds()
 	s.metrics.QueueWait.Observe(j.picked.Sub(j.status.Submitted).Seconds())
@@ -473,7 +505,9 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	if diagnose == nil {
 		diagnose = s.runManager
 	}
-	sum, err := diagnose(ctx, j.prog, j.req)
+	run := j.tr.Begin("job", "run", 0)
+	sum, err := diagnose(ctx, j.prog, j.req, j.tr)
+	run.End()
 	j.cancel()
 
 	s.mu.Lock()
@@ -481,6 +515,9 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	j.status.RunMS = time.Since(j.picked).Milliseconds()
 	switch {
 	case err == nil:
+		// The cached summary carries the span aggregates, so cache hits
+		// answer with the original run's stage breakdown.
+		sum.Spans = obs.Summarize(j.tr.Events())
 		j.status.State = StateDone
 		j.status.Result = sum
 		s.cache.add(j.key, sum)
@@ -488,6 +525,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		s.metrics.ReproduceTime.Observe(sum.ReproduceTime.Seconds())
 		s.metrics.DiagnoseTime.Observe(sum.DiagnoseTime.Seconds())
 		s.metrics.observeSearch(sum)
+		s.metrics.observeSpans(sum.Spans)
 	case errors.Is(err, context.Canceled):
 		j.status.State = StateCanceled
 		j.status.Error = err.Error()
@@ -502,7 +540,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 
 // runManager is the default Diagnoser: the full manager pipeline on the
 // program's declared threads, under the job's context.
-func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error) {
+func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
 	lifs := core.LIFSOptions{
 		MaxInterleavings: req.Options.MaxInterleavings,
 		StepBudget:       req.Options.StepBudget,
@@ -527,6 +565,7 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 			StepBudget: req.Options.StepBudget,
 			LeakCheck:  lifs.LeakCheck,
 		},
+		Tracer: tr,
 	})
 	if err != nil {
 		return nil, err

@@ -9,13 +9,14 @@ import (
 
 	"aitia"
 	"aitia/internal/kir"
+	"aitia/internal/obs"
 )
 
 // blockingDiagnoser returns a Diagnoser that parks until release is
 // closed (or the job's context expires), so tests can hold workers busy
 // and exercise the queue deterministically.
 func blockingDiagnoser(release <-chan struct{}) Diagnoser {
-	return func(ctx context.Context, prog *kir.Program, req Request) (*aitia.ResultSummary, error) {
+	return func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
 		select {
 		case <-release:
 			return &aitia.ResultSummary{Failure: "fake", Chain: "A1 => B1"}, nil

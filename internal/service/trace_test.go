@@ -1,0 +1,83 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aitia/internal/obs"
+	"aitia/internal/service"
+	"aitia/internal/service/httpapi"
+)
+
+// TestJobTraceEndpoint: a completed job serves its execution trace as
+// valid Chrome trace-event JSON covering both the service lifecycle
+// (queued/run spans) and the pipeline it ran (search and flip spans),
+// and the span aggregates surface in the result and in /metrics.
+func TestJobTraceEndpoint(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	code, resp := postJSON(t, client, srv.URL+"/v1/diagnose", `{"scenario": "fig1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/diagnose: status %d: %s", code, resp)
+	}
+	var st service.JobStatus
+	mustUnmarshal(t, resp, &st)
+	final := pollDone(t, client, srv.URL, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job state = %q (error %q), want done", final.State, final.Error)
+	}
+	if len(final.Result.Spans) == 0 {
+		t.Error("done job's result has no span aggregates")
+	}
+
+	code, trace := getBody(t, client, srv.URL+"/v1/jobs/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: status %d: %s", code, trace)
+	}
+	if err := obs.ValidateChrome(trace); err != nil {
+		t.Fatalf("job trace does not validate: %v\n%s", err, trace)
+	}
+	for _, want := range []string{`"queued"`, `"run"`, `"search"`, `"flip"`, `"diagnose"`} {
+		if !bytes.Contains(trace, []byte(want)) {
+			t.Errorf("job trace missing %s span", want)
+		}
+	}
+
+	code, metrics := getBody(t, client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`aitia_span_count_total{cat="lifs",name="search"} 1`,
+		`aitia_span_seconds_total{cat="job",name="run"}`,
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	if _, err := svc.JobTrace("job-999999"); err == nil {
+		t.Error("JobTrace on unknown id did not fail")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}

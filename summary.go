@@ -1,6 +1,15 @@
 package aitia
 
-import "time"
+import (
+	"time"
+
+	"aitia/internal/obs"
+)
+
+// SpanStat aggregates the execution tracer's spans of one (category,
+// name) pair: count and total duration. It is an alias of the internal
+// tracer's aggregate so pipeline results serialize without conversion.
+type SpanStat = obs.SpanStat
 
 // RaceVerdict pairs one tested race with its Causality Analysis verdict
 // ("root-cause", "benign" or "ambiguous").
@@ -50,6 +59,10 @@ type ResultSummary struct {
 	// Phases reports the iterative deepening's per-phase schedule counts
 	// and wall-clock times.
 	Phases []PhaseStat `json:"phases,omitempty"`
+	// Spans aggregates the execution tracer's spans per (category, name):
+	// how many spans each pipeline stage emitted and their total duration.
+	// Empty unless the diagnosis ran with tracing.
+	Spans []SpanStat `json:"spans,omitempty"`
 }
 
 // Summary projects the diagnosis onto its serializable form.
@@ -72,6 +85,7 @@ func (r *Result) Summary() *ResultSummary {
 		LIFSPruned:        r.LIFSPruned,
 		SnapshotBytes:     r.SnapshotBytes,
 		Phases:            append([]PhaseStat(nil), r.Phases...),
+		Spans:             append([]obs.SpanStat(nil), r.Spans...),
 	}
 	for _, race := range r.ChainRaces {
 		v := "root-cause"
