@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"aitia/internal/core"
+	"aitia/internal/faultinject"
 	"aitia/internal/fuzz"
 	"aitia/internal/history"
 	"aitia/internal/kasm"
@@ -73,6 +74,27 @@ type Options struct {
 	// internal/obs. Export the collected events with obs.WriteChrome for
 	// chrome://tracing / Perfetto. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// FaultRate arms deterministic fault injection across the pipeline
+	// (snapshot-restore errors, schedule-enforcement stalls, worker-VM
+	// deaths) with this per-decision probability; 0 disables injection
+	// entirely at zero cost. FaultSeed makes the injected faults
+	// reproducible: the same (seed, rate) yields the same faults — and
+	// the same diagnosis — regardless of Workers. Intended for chaos
+	// testing the diagnoser itself; see internal/faultinject.
+	FaultRate float64
+	FaultSeed int64
+	// Retry bounds the re-execution of faulted operations (per-attempt
+	// timeout, bounded exponential backoff); zero-value knobs mean
+	// faultinject.DefaultRetry.
+	Retry faultinject.RetryPolicy
+}
+
+// faultPlan builds the options' fault plan, or nil when injection is off.
+func faultPlan(opts Options) *faultinject.Plan {
+	if opts.FaultRate <= 0 {
+		return nil
+	}
+	return faultinject.NewPlan(opts.FaultSeed, opts.FaultRate)
 }
 
 // Program is a compiled kernel program.
@@ -135,6 +157,15 @@ type Result struct {
 	ChainRaces []Race
 	// Benign are the races excluded from the chain by Causality Analysis.
 	Benign []Race
+	// Unknown are races whose flip tests could not complete (injected
+	// faults or timeouts exhausted the retry budget); they are excluded
+	// from the chain and the diagnosis is marked Partial.
+	Unknown []Race
+	// Partial marks a degraded diagnosis: the chain is built only from
+	// the races that could be tested. PartialReason is machine-readable,
+	// e.g. "flip_retries_exhausted=2".
+	Partial       bool
+	PartialReason string
 	// Statistics, matching the paper's Tables 2-3 columns.
 	LIFSSchedules     int
 	Interleavings     int
@@ -259,12 +290,15 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 		return nil, fmt.Errorf("aitia: fuzzing found no failure")
 	}
 
-	lifs := lifsOptions(p.prog, opts)
+	plan := faultPlan(opts)
+	lifs := lifsOptions(p.prog, opts, plan)
 	lifs.Tracer = nil // per-slice child tracers; the manager adopts the winner's
 	mgr, err := manager.New(p.prog, manager.Options{
 		Workers: opts.Workers,
 		LIFS:    lifs,
 		Tracer:  opts.Tracer,
+		Fault:   plan,
+		Retry:   opts.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -283,8 +317,11 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 	}, nil
 }
 
-// lifsOptions translates the public options.
-func lifsOptions(prog *kir.Program, opts Options) core.LIFSOptions {
+// lifsOptions translates the public options. plan is the shared fault
+// plan of the whole diagnosis (nil when injection is off); it is passed
+// in rather than rebuilt so LIFS and Causality Analysis draw from the
+// same deterministic fault stream.
+func lifsOptions(prog *kir.Program, opts Options, plan *faultinject.Plan) core.LIFSOptions {
 	lo := core.LIFSOptions{
 		MaxInterleavings: opts.MaxInterleavings,
 		StepBudget:       opts.StepBudget,
@@ -292,6 +329,8 @@ func lifsOptions(prog *kir.Program, opts Options) core.LIFSOptions {
 		WantInstr:        kir.NoInstr,
 		Workers:          opts.LIFSWorkers,
 		Tracer:           opts.Tracer,
+		Fault:            plan,
+		Retry:            opts.Retry,
 	}
 	if opts.FailureKind != "" {
 		if k, ok := sanitizer.KindByName(opts.FailureKind); ok {
@@ -312,7 +351,8 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Reproduce(m, lifsOptions(prog, opts))
+	plan := faultPlan(opts)
+	rep, err := core.Reproduce(m, lifsOptions(prog, opts, plan))
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +361,8 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 		LeakCheck:  opts.LeakCheck,
 		Workers:    opts.Workers,
 		Tracer:     opts.Tracer,
+		Fault:      plan,
+		Retry:      opts.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -418,6 +460,18 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 			Phantom:      r.Phantom,
 		})
 	}
+	for _, r := range d.Unknown {
+		res.Unknown = append(res.Unknown, Race{
+			First:        prog.InstrName(r.First.Instr),
+			Second:       prog.InstrName(r.Second.Instr),
+			FirstThread:  r.First.Thread,
+			SecondThread: r.Second.Thread,
+			Variable:     variable(r.Addr),
+			Phantom:      r.Phantom,
+		})
+	}
+	res.Partial = d.Partial
+	res.PartialReason = d.PartialReason
 	return res
 }
 

@@ -13,6 +13,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"aitia/internal/core"
 	"aitia/internal/eval"
+	"aitia/internal/faultinject"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
@@ -44,12 +46,15 @@ func main() {
 		out      = flag.String("out", "", "with -lifs: also write the artifact as JSON to this path")
 		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
 		checkCh  = flag.Bool("check-chains", false, "re-diagnose the corpus and fail unless every chain matches the golden set (the CI corpus gate)")
+		faults   = flag.Bool("faults", false, "chaos gate: re-diagnose the corpus under deterministic fault injection (seeded by -seed) and fail unless serial and 8-worker runs agree and every chain is golden or Partial with a machine-readable reason")
+		faultR   = flag.Float64("fault-rate", 0.1, "with -faults: per-decision fault probability")
+		checkLF  = flag.String("check-lifs", "", "run the -lifs artifact and fail if schedule counts or speedups regress more than 25% against the committed baseline JSON at this path")
 		trace    = flag.String("trace", "", "write an execution trace of diagnosing -trace-scenario as Chrome trace-event JSON to this path")
 		traceSc  = flag.String("trace-scenario", "cve-2017-15649", "scenario to diagnose for -trace")
 		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && *trace == "" {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*faults && *checkLF == "" && *trace == "" {
 		*all = true
 	}
 
@@ -78,12 +83,21 @@ func main() {
 		check(printChains())
 	}
 	if *lifs {
-		check(printLIFS(*out))
+		_, err := printLIFS(*out)
+		check(err)
 	}
 	if *checkCh {
 		check(checkChains())
 	}
-	if *trace != "" {
+	if *faults {
+		// With -faults, -trace names the failure artifact runChaos writes
+		// for the first violating scenario, not a standalone trace run.
+		check(runChaos(*seed, *faultR, *trace))
+	}
+	if *checkLF != "" {
+		check(checkLIFSArtifact(*checkLF, *out))
+	}
+	if *trace != "" && !*faults {
 		check(writeTrace(*trace, *traceSc, *traceW))
 	}
 }
@@ -120,6 +134,125 @@ func checkChains() error {
 		return fmt.Errorf("check-chains: %d of %d scenarios diverge from the golden chains", bad, len(rows))
 	}
 	fmt.Printf("check-chains: all %d scenario chains match the golden set\n", len(rows))
+	return nil
+}
+
+// runChaos is the chaos CI gate: every corpus scenario is re-diagnosed
+// under a deterministic fault plan, serially and with 8 workers. The
+// run passes when, per scenario, both worker counts produce identical
+// results AND the outcome is one of the three sanctioned shapes:
+// the golden chain, a Partial diagnosis with a machine-readable reason,
+// or a classified retry exhaustion (which a service deployment would
+// requeue). Anything else — divergent chains, unclassified errors, a
+// silently wrong chain — fails the gate.
+func runChaos(seed int64, rate float64, tracePath string) error {
+	retry := faultinject.RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+	}
+	pipeline := func(sc *scenarios.Scenario, workers int, tr *obs.Tracer) (*core.Diagnosis, string, error) {
+		plan := faultinject.NewPlan(seed, rate)
+		m, err := kvm.New(sc.MustProgram())
+		if err != nil {
+			return nil, "", err
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{
+			WantKind:  sc.WantKind,
+			WantInstr: sc.WantInstr(),
+			LeakCheck: sc.NeedsLeakCheck(),
+			Workers:   workers,
+			Fault:     plan,
+			Retry:     retry,
+			Tracer:    tr,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := core.Analyze(m, rep, core.AnalysisOptions{
+			LeakCheck: sc.NeedsLeakCheck(),
+			Workers:   workers,
+			Fault:     plan,
+			Retry:     retry,
+			Tracer:    tr,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return d, d.Chain.Format(sc.MustProgram()), nil
+	}
+
+	fmt.Printf("chaos gate: fault seed %d, rate %g, retry budget %d\n", seed, rate, retry.MaxAttempts)
+	bad := 0
+	var firstBad *scenarios.Scenario
+	violated := func(sc *scenarios.Scenario) {
+		bad++
+		if firstBad == nil {
+			firstBad = sc
+		}
+	}
+	for _, sc := range scenarios.All() {
+		ds, cs, serr := pipeline(sc, 1, nil)
+		dp, cp, perr := pipeline(sc, 8, nil)
+		switch {
+		case serr != nil || perr != nil:
+			if serr != nil && perr != nil &&
+				errors.Is(serr, faultinject.ErrExhausted) && errors.Is(perr, faultinject.ErrExhausted) {
+				fmt.Printf("degr %-22s classified exhaustion on both (requeueable): %v\n", sc.Name, serr)
+				continue
+			}
+			fmt.Printf("FAIL %-22s errors diverge or unclassified:\n     serial:   %v\n     workers8: %v\n", sc.Name, serr, perr)
+			violated(sc)
+		case cs != cp || ds.Partial != dp.Partial || ds.PartialReason != dp.PartialReason:
+			fmt.Printf("FAIL %-22s serial and 8-worker runs diverge:\n     serial:   %q partial=%v (%s)\n     workers8: %q partial=%v (%s)\n",
+				sc.Name, cs, ds.Partial, ds.PartialReason, cp, dp.Partial, dp.PartialReason)
+			violated(sc)
+		case ds.Partial:
+			if ds.PartialReason == "" {
+				fmt.Printf("FAIL %-22s Partial without a machine-readable reason\n", sc.Name)
+				violated(sc)
+				continue
+			}
+			fmt.Printf("part %-22s %q (%d unknown, reason %s)\n", sc.Name, cs, len(ds.Unknown), ds.PartialReason)
+		default:
+			if want := scenarios.GoldenChains[sc.Name]; cs != want {
+				fmt.Printf("FAIL %-22s chain = %q\n     %-22s want    %q\n", sc.Name, cs, "", want)
+				violated(sc)
+				continue
+			}
+			fmt.Printf("ok   %-22s %s\n", sc.Name, cs)
+		}
+	}
+	if bad > 0 {
+		if tracePath != "" && firstBad != nil {
+			if terr := writeChaosTrace(tracePath, firstBad, pipeline); terr != nil {
+				fmt.Fprintf(os.Stderr, "faults: could not write failure trace: %v\n", terr)
+			}
+		}
+		return fmt.Errorf("faults: %d scenarios violated the chaos invariant (seed %d, rate %g)", bad, seed, rate)
+	}
+	fmt.Printf("faults: all %d scenarios deterministic under injection (seed %d, rate %g)\n",
+		len(scenarios.All()), seed, rate)
+	return nil
+}
+
+// writeChaosTrace re-runs the first violating scenario's faulted serial
+// pipeline with tracing enabled and dumps the spans — fault injections,
+// retries and all — as a Chrome trace, so a failed chaos gate leaves a
+// postmortem artifact. The rerun's own error is irrelevant (the gate has
+// already failed); whatever spans were collected get written.
+func writeChaosTrace(outPath string, sc *scenarios.Scenario, pipeline func(*scenarios.Scenario, int, *obs.Tracer) (*core.Diagnosis, string, error)) error {
+	tr := obs.New()
+	_, _, rerr := pipeline(sc, 1, tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "faults: wrote failure trace of %s to %s (%d spans, rerun error: %v)\n",
+		sc.Name, outPath, len(tr.Events()), rerr)
 	return nil
 }
 
@@ -206,8 +339,9 @@ type lifsSnapshotRow struct {
 // printLIFS measures the two perf mechanisms of the search engine — worker
 // sharding (LIFSOptions.Workers) and copy-on-write snapshots — and writes
 // the numbers to stdout and, with -out, to a JSON artifact. All timings are
-// best-of-3 to damp scheduler noise.
-func printLIFS(outPath string) error {
+// best-of-3 to damp scheduler noise. The measured artifact is returned so
+// -check-lifs can compare it against a committed baseline.
+func printLIFS(outPath string) (*lifsArtifact, error) {
 	art := lifsArtifact{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		CPUs:       runtime.NumCPU(),
@@ -221,11 +355,11 @@ func printLIFS(outPath string) error {
 	// top-level branch mass, plus the hardest corpus reproduction.
 	stress, err := eval.ParallelStressProgram(7, 40)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	syz, ok := scenarios.ByName("syz08-j1939-refcount")
 	if !ok {
-		return fmt.Errorf("scenario syz08-j1939-refcount missing from corpus")
+		return nil, fmt.Errorf("scenario syz08-j1939-refcount missing from corpus")
 	}
 	cases := []struct {
 		name string
@@ -245,14 +379,14 @@ func printLIFS(outPath string) error {
 			for rep := 0; rep < 3; rep++ {
 				m, err := kvm.New(c.prog)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				opts := c.opts
 				opts.Workers = workers
 				start := time.Now()
 				r, err := core.Reproduce(m, opts)
 				if err != nil {
-					return fmt.Errorf("%s workers=%d: %w", c.name, workers, err)
+					return nil, fmt.Errorf("%s workers=%d: %w", c.name, workers, err)
 				}
 				if el := time.Since(start); best == 0 || el < best {
 					best = el
@@ -279,7 +413,7 @@ func printLIFS(outPath string) error {
 	// copy scales with total state width, the journal with bytes dirtied.
 	wide, err := eval.WideStateProgram(4096)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	snapCases := []struct {
 		name    string
@@ -295,11 +429,11 @@ func printLIFS(outPath string) error {
 	for _, c := range snapCases {
 		cow, err := snapshotCycle(c.prog, cycles, burst, false)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		deep, err := snapshotCycle(c.prog, cycles, burst, true)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		speedup := float64(deep) / float64(cow)
 		art.Snapshot = append(art.Snapshot, lifsSnapshotRow{
@@ -316,13 +450,97 @@ func printLIFS(outPath string) error {
 	if outPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("wrote %s\n", outPath)
 	}
+	return &art, nil
+}
+
+// checkLIFSArtifact is the bench-regression CI gate: it re-measures the
+// -lifs artifact and compares it against the committed baseline at
+// baselinePath. Wall-clock times do not transfer between machines, so
+// the gate checks machine-portable quantities only: per-(scenario,
+// workers) schedule counts within ±25%, and parallel/snapshot speedup
+// ratios one-sided (a regression of more than 25% fails; being faster
+// never does). Parallel speedups are skipped when this machine has
+// fewer CPUs than the baseline machine. With -out, the fresh artifact
+// is written there so CI can upload it as the new candidate baseline.
+func checkLIFSArtifact(baselinePath, outPath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("check-lifs: %w", err)
+	}
+	var base lifsArtifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("check-lifs: parsing %s: %w", baselinePath, err)
+	}
+	art, err := printLIFS(outPath)
+	if err != nil {
+		return err
+	}
+
+	const tol = 0.25
+	bad := 0
+	fail := func(format string, args ...any) {
+		fmt.Printf("FAIL "+format+"\n", args...)
+		bad++
+	}
+
+	parallel := make(map[string]lifsParallelRow)
+	for _, r := range base.Parallel {
+		parallel[fmt.Sprintf("%s/w%d", r.Scenario, r.Workers)] = r
+	}
+	compareSpeedups := runtime.NumCPU() >= base.CPUs
+	if !compareSpeedups {
+		fmt.Printf("check-lifs: %d CPUs here vs %d in the baseline — parallel speedups not comparable, checking schedule counts only\n",
+			runtime.NumCPU(), base.CPUs)
+	}
+	for _, r := range art.Parallel {
+		key := fmt.Sprintf("%s/w%d", r.Scenario, r.Workers)
+		b, ok := parallel[key]
+		if !ok {
+			fail("%-28s not in baseline %s — regenerate it with -lifs -out", key, baselinePath)
+			continue
+		}
+		lo, hi := float64(b.Schedules)*(1-tol), float64(b.Schedules)*(1+tol)
+		if s := float64(r.Schedules); s < lo || s > hi {
+			fail("%-28s schedules = %d, baseline %d (±25%%: %.0f..%.0f) — the search explores a different amount of work",
+				key, r.Schedules, b.Schedules, lo, hi)
+		}
+		if compareSpeedups && r.Speedup < b.Speedup*(1-tol) {
+			fail("%-28s speedup = %.2fx, baseline %.2fx (floor %.2fx)", key, r.Speedup, b.Speedup, b.Speedup*(1-tol))
+		}
+	}
+
+	snapshot := make(map[string]lifsSnapshotRow)
+	for _, r := range base.Snapshot {
+		snapshot[r.State] = r
+	}
+	for _, r := range art.Snapshot {
+		b, ok := snapshot[r.State]
+		if !ok {
+			fail("snapshot/%-19s not in baseline %s — regenerate it with -lifs -out", r.State, baselinePath)
+			continue
+		}
+		// The CoW-vs-deep ratio is single-threaded and machine-stable.
+		if r.Speedup < b.Speedup*(1-tol) {
+			fail("snapshot/%-19s CoW speedup = %.1fx, baseline %.1fx (floor %.1fx)",
+				r.State, r.Speedup, b.Speedup, b.Speedup*(1-tol))
+		}
+	}
+
+	if bad > 0 {
+		where := ""
+		if outPath != "" {
+			where = fmt.Sprintf(" (fresh artifact written to %s)", outPath)
+		}
+		return fmt.Errorf("check-lifs: %d regressions against %s%s", bad, baselinePath, where)
+	}
+	fmt.Printf("check-lifs: no regression against %s (tolerance ±25%%)\n", baselinePath)
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/service"
 	"aitia/internal/service/httpapi"
 )
@@ -31,8 +32,20 @@ func main() {
 		maxJobW    = flag.Int("max-job-workers", 8, "cap on the per-request 'workers' option (parallel LIFS search)")
 		drain      = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
 		debugAddr  = flag.String("debug-addr", "", "listen address for the net/http/pprof profiling endpoints (e.g. localhost:6060); empty disables them")
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for deterministic fault injection (chaos testing); active when -fault-rate > 0")
+		faultRate  = flag.Float64("fault-rate", 0, "per-decision fault probability for every fault kind; 0 disables injection entirely")
+		retryMax   = flag.Int("retry-max-attempts", 0, "attempts (including the first) for faulted operations; 0 uses the built-in default")
+		retryBase  = flag.Duration("retry-base-backoff", 0, "initial retry backoff, doubling per attempt; 0 uses the built-in default")
+		retryCap   = flag.Duration("retry-max-backoff", 0, "backoff ceiling; 0 uses the built-in default")
+		requeues   = flag.Int("max-requeues", 0, "requeues per job after classified infrastructure faults; 0 uses the default (2), negative disables")
 	)
 	flag.Parse()
+
+	var plan *faultinject.Plan
+	if *faultRate > 0 {
+		plan = faultinject.NewPlan(*faultSeed, *faultRate)
+		fmt.Fprintf(os.Stderr, "aitia-serve: fault injection armed (seed %d, rate %g)\n", *faultSeed, *faultRate)
+	}
 
 	if *debugAddr != "" {
 		// pprof registers on the DefaultServeMux; serve it on its own
@@ -53,6 +66,13 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		JobWorkers:    *jobWorkers,
 		MaxJobWorkers: *maxJobW,
+		MaxRequeues:   *requeues,
+		Fault:         plan,
+		Retry: faultinject.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseBackoff: *retryBase,
+			MaxBackoff:  *retryCap,
+		},
 	})
 	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
 

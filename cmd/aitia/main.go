@@ -46,6 +46,8 @@ func main() {
 		leak       = flag.Bool("leak-check", false, "enable the memory-leak oracle")
 		quiet      = flag.Bool("quiet", false, "print only the causality chain")
 		traceOut   = flag.String("trace-out", "", "write the diagnosis' execution trace as Chrome trace-event JSON to this path (open in chrome://tracing or https://ui.perfetto.dev)")
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for deterministic fault injection (chaos-testing the diagnoser); active when -fault-rate > 0")
+		faultRate  = flag.Float64("fault-rate", 0, "per-decision fault probability (snapshot restores, schedule enforcement, worker VMs); 0 disables injection")
 	)
 	flag.Parse()
 
@@ -68,6 +70,8 @@ func main() {
 		FailureKind:  *kind,
 		FailureLabel: *label,
 		LeakCheck:    *leak,
+		FaultSeed:    *faultSeed,
+		FaultRate:    *faultRate,
 	}
 	if *traceOut != "" {
 		opts.Tracer = obs.New()
@@ -111,6 +115,10 @@ func main() {
 	}
 	if err := writeTrace(*traceOut, opts.Tracer); err != nil {
 		fatal(err)
+	}
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "aitia: partial diagnosis (%s): %d race(s) left untested\n",
+			res.PartialReason, len(res.Unknown))
 	}
 	if *quiet {
 		fmt.Println(res.Chain)

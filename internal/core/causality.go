@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
@@ -26,6 +28,11 @@ const (
 	// VerdictAmbiguous: the race surrounds a nested root-cause race, so
 	// its own flip could not be tested in isolation (§3.4).
 	VerdictAmbiguous
+	// VerdictUnknown: the flip test could not be completed — every retry
+	// of its schedule enforcement was lost to (injected) infrastructure
+	// faults. The race is excluded from the chain and the diagnosis is
+	// returned as Partial instead of failing outright.
+	VerdictUnknown
 )
 
 // String returns the verdict name.
@@ -37,6 +44,8 @@ func (v Verdict) String() string {
 		return "root-cause"
 	case VerdictAmbiguous:
 		return "ambiguous"
+	case VerdictUnknown:
+		return "unknown"
 	default:
 		return fmt.Sprintf("verdict(%d)", uint8(v))
 	}
@@ -77,6 +86,13 @@ type AnalysisOptions struct {
 	// Tracer collects execution spans (the analysis and each flip test).
 	// Nil disables tracing at zero cost; see internal/obs.
 	Tracer *obs.Tracer
+	// Fault arms deterministic fault injection on the analysis
+	// infrastructure (flip-test restores and enforcements, diagnoser-VM
+	// launches). Nil disables it at zero cost; see internal/faultinject.
+	Fault *faultinject.Plan
+	// Retry bounds the re-execution of faulted flip tests; zero-value
+	// knobs mean faultinject.DefaultRetry.
+	Retry faultinject.RetryPolicy
 }
 
 // Diagnosis is the final output: the causality chain plus the full
@@ -87,8 +103,17 @@ type Diagnosis struct {
 	RootCause []sched.Race
 	Benign    []sched.Race
 	Ambiguous []sched.Race
-	Chain     *Chain
-	Stats     AnalysisStats
+	// Unknown holds races whose flip tests exhausted their retry budget
+	// (VerdictUnknown). They are excluded from the chain; when any exist
+	// the diagnosis is Partial rather than failed.
+	Unknown []sched.Race
+	Chain   *Chain
+	// Partial reports that the chain was built from an incomplete test
+	// set; PartialReason is the machine-readable cause (e.g.
+	// "flip_retries_exhausted=2").
+	Partial       bool
+	PartialReason string
+	Stats         AnalysisStats
 }
 
 // Analyze runs Causality Analysis on a reproduction: it flips each data
@@ -113,6 +138,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	if err := m.Reset(); err != nil {
 		return nil, err
 	}
+	m.SetFaultPlan(opts.Fault)
 	init := m.Snapshot()
 	enf := sched.NewEnforcer(m)
 	runOpts := sched.Options{StepBudget: opts.StepBudget, LeakCheck: opts.LeakCheck}
@@ -131,7 +157,21 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	az := opts.Tracer.Begin("ca", "analyze", 0)
 	defer func() {
 		az.Arg("test_set", int64(d.Stats.TestSet))
+		// The unknown count is a deterministic function of the fault
+		// seed, so it rides in Args and the obs validation enforces its
+		// equality across worker counts.
+		az.Arg("unknown", int64(len(d.Unknown)))
 		az.Info("schedules", int64(d.Stats.Schedules))
+		if opts.Fault.Enabled() {
+			st := opts.Fault.Stats()
+			var fired uint64
+			for _, n := range st.Fired {
+				fired += n
+			}
+			az.Info("fault_fired", int64(fired))
+			az.Info("fault_retries", int64(st.Retries))
+			az.Info("fault_exhausted", int64(st.Exhausted))
+		}
 		az.End()
 	}()
 	for _, e := range failSeq {
@@ -145,22 +185,49 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	order := testOrder(rep.Races)
 
 	fo := sched.FlipOptions{NoCriticalSections: opts.NoCriticalSections}
-	testRace := func(enf *sched.Enforcer, init *kvm.Snapshot, r sched.Race) (TestedRace, error) {
+	// One flip test, retried under the fault plan. The operation identity
+	// is the flip's index in the deterministic test order, so for a fixed
+	// fault seed the same flips fault, retry and (rarely) exhaust no
+	// matter how the tests are spread over workers.
+	testRace := func(ctx context.Context, enf *sched.Enforcer, init *kvm.Snapshot, idx int, r sched.Race) (TestedRace, error) {
 		plan := sched.PlanFlipOpt(failSeq, r, fallback, fo)
-		enf.Machine().Restore(init)
-		res, err := enf.Run(plan, runOpts)
+		var tr TestedRace
+		err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(ctx context.Context, attempt int) error {
+			if err := enf.Machine().TryRestore(init, "ca.flip", uint64(idx), attempt); err != nil {
+				return err
+			}
+			ro := runOpts
+			ro.Fault = opts.Fault
+			ro.FaultOp = "ca.flip"
+			ro.FaultKey = uint64(idx)
+			ro.FaultAttempt = attempt
+			ro.Ctx = ctx
+			res, err := enf.Run(plan, ro)
+			if err != nil {
+				return err
+			}
+			tr = TestedRace{
+				Race:         r,
+				FlipRealized: flipRealized(res, r),
+				FlipRun:      res,
+			}
+			if res.Failed() && res.Failure.SameSymptom(original) {
+				tr.Verdict = VerdictBenign
+			} else {
+				tr.Verdict = VerdictRootCause
+			}
+			return nil
+		})
 		if err != nil {
+			if errors.Is(err, faultinject.ErrExhausted) {
+				// Graceful degradation: give up on this flip, keep the
+				// analysis. The race's causality stays undecided.
+				return TestedRace{Race: r, Verdict: VerdictUnknown}, nil
+			}
+			if faultinject.Is(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return TestedRace{}, err
+			}
 			return TestedRace{}, fmt.Errorf("core: flip run for %s: %w", r.FormatLong(m.Prog()), err)
-		}
-		tr := TestedRace{
-			Race:         r,
-			FlipRealized: flipRealized(res, r),
-			FlipRun:      res,
-		}
-		if res.Failed() && res.Failure.SameSymptom(original) {
-			tr.Verdict = VerdictBenign
-		} else {
-			tr.Verdict = VerdictRootCause
 		}
 		return tr, nil
 	}
@@ -189,43 +256,20 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		flipSpans[idx] = flipSpan{start: t0, dur: opts.Tracer.Now() - t0, worker: worker}
 		return err
 	}
-	if opts.Workers > 1 {
-		// One independent machine per diagnoser, as in the paper's VM
-		// fleet; flip tests are mutually independent. The shared pool
-		// (runWorkers) stops feeding on the first error or cancellation.
-		type flipVM struct {
-			enf  *sched.Enforcer
-			init *kvm.Snapshot
-		}
-		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(order),
-			func(int) (*flipVM, error) {
-				wm, err := kvm.New(m.Prog())
-				if err != nil {
-					return nil, err
-				}
-				return &flipVM{enf: sched.NewEnforcer(wm), init: wm.Snapshot()}, nil
-			},
-			func(ctx context.Context, vm *flipVM, worker, idx int) error {
-				return timeFlip(worker, idx, func() error {
-					tr, err := testRace(vm.enf, vm.init, order[idx])
-					if err != nil {
-						return err
-					}
-					executed.Add(1)
-					d.Tested[idx] = tr
-					return nil
-				})
-			})
-		if err != nil {
-			return nil, err
-		}
-	} else {
+	// serialFlips runs the given flips on the analysis machine; it is both
+	// the Workers<=1 path and the degradation path when the diagnoser
+	// fleet is lost to injected worker deaths.
+	done := make([]bool, len(order))
+	serialFlips := func() error {
 		for i, r := range order {
+			if done[i] {
+				continue
+			}
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			err := timeFlip(-1, i, func() error {
-				tr, err := testRace(enf, init, r)
+				tr, err := testRace(ctx, enf, init, i, r)
 				if err != nil {
 					return err
 				}
@@ -234,9 +278,64 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 				return nil
 			})
 			if err != nil {
+				return err
+			}
+			done[i] = true
+		}
+		return nil
+	}
+	if opts.Workers > 1 {
+		// One independent machine per diagnoser, as in the paper's VM
+		// fleet; flip tests are mutually independent. The shared pool
+		// (runWorkers) stops feeding on the first error or cancellation.
+		// VM launches are themselves an injection point (worker death),
+		// retried under the plan; a fleet that cannot be built at all
+		// degrades to the serial path below — which machine runs a flip
+		// never changes its verdict.
+		type flipVM struct {
+			enf  *sched.Enforcer
+			init *kvm.Snapshot
+		}
+		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(order),
+			func(int) (*flipVM, error) {
+				var vm *flipVM
+				err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(context.Context, int) error {
+					if err := opts.Fault.Check(faultinject.KindWorkerDeath, "ca.worker-vm", opts.Fault.Seq(), 0); err != nil {
+						return err
+					}
+					wm, err := kvm.New(m.Prog())
+					if err != nil {
+						return err
+					}
+					wm.SetFaultPlan(opts.Fault)
+					vm = &flipVM{enf: sched.NewEnforcer(wm), init: wm.Snapshot()}
+					return nil
+				})
+				return vm, err
+			},
+			func(ctx context.Context, vm *flipVM, worker, idx int) error {
+				return timeFlip(worker, idx, func() error {
+					tr, err := testRace(ctx, vm.enf, vm.init, idx, order[idx])
+					if err != nil {
+						return err
+					}
+					executed.Add(1)
+					d.Tested[idx] = tr
+					done[idx] = true
+					return nil
+				})
+			})
+		if err != nil {
+			if !faultinject.Is(err) || ctx.Err() != nil {
+				return nil, err
+			}
+			// The fleet died; the pool has joined, so done[] is settled.
+			if err := serialFlips(); err != nil {
 				return nil, err
 			}
 		}
+	} else if err := serialFlips(); err != nil {
+		return nil, err
 	}
 	d.Stats.Schedules += int(executed.Load())
 
@@ -287,7 +386,13 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 			d.Benign = append(d.Benign, tr.Race)
 		case VerdictAmbiguous:
 			d.Ambiguous = append(d.Ambiguous, tr.Race)
+		case VerdictUnknown:
+			d.Unknown = append(d.Unknown, tr.Race)
 		}
+	}
+	if n := len(d.Unknown); n > 0 {
+		d.Partial = true
+		d.PartialReason = fmt.Sprintf("flip_retries_exhausted=%d", n)
 	}
 
 	d.Chain = buildChain(d, original)

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"aitia/internal/faultinject"
+	"aitia/internal/scenarios"
+)
+
+// quickRetry keeps fault-test backoffs negligible.
+var quickRetry = faultinject.RetryPolicy{
+	MaxAttempts: 5,
+	BaseBackoff: time.Microsecond,
+	MaxBackoff:  10 * time.Microsecond,
+}
+
+// faultedPipeline runs Reproduce + Analyze under a fresh plan with the
+// given seed/rate at the given worker count.
+func faultedPipeline(t *testing.T, sc *scenarios.Scenario, seed int64, rate float64, workers int) (*Reproduction, *Diagnosis, error) {
+	t.Helper()
+	plan := faultinject.NewPlan(seed, rate)
+	m := mustMachine(t, sc.MustProgram())
+	rep, err := Reproduce(m, LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+		Workers:   workers,
+		Fault:     plan,
+		Retry:     quickRetry,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := Analyze(m, rep, AnalysisOptions{
+		Workers: workers,
+		Fault:   plan,
+		Retry:   quickRetry,
+	})
+	return rep, d, err
+}
+
+// TestFaultedReproduceDeterministic is the tentpole invariant: for any
+// fixed fault seed, a serial and an 8-worker run of the full pipeline
+// inject the same faults and produce identical reproductions, verdicts
+// and chains (including identical Partial degradation) across the
+// scenario corpus.
+func TestFaultedReproduceDeterministic(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		for _, seed := range []int64{3, 11} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", sc.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				prog := sc.MustProgram()
+				repS, dS, err := faultedPipeline(t, sc, seed, 0.2, 1)
+				if err != nil {
+					if IsNotReproduced(err) {
+						t.Skipf("scenario does not reproduce: %v", err)
+					}
+					if errors.Is(err, faultinject.ErrExhausted) {
+						// The replay exhausted its budget under this seed;
+						// the parallel run must fail identically.
+						_, _, perr := faultedPipeline(t, sc, seed, 0.2, 8)
+						if !errors.Is(perr, faultinject.ErrExhausted) {
+							t.Fatalf("serial exhausted but workers=8 got %v", perr)
+						}
+						return
+					}
+					t.Fatalf("serial faulted pipeline: %v", err)
+				}
+				repP, dP, err := faultedPipeline(t, sc, seed, 0.2, 8)
+				if err != nil {
+					t.Fatalf("workers=8 faulted pipeline: %v", err)
+				}
+
+				if !reflect.DeepEqual(repP.Schedule, repS.Schedule) {
+					t.Errorf("schedules differ:\n  workers=8 %v\n  serial    %v", repP.Schedule, repS.Schedule)
+				}
+				if !reflect.DeepEqual(repP.Races, repS.Races) {
+					t.Errorf("race sets differ")
+				}
+				if len(dS.Tested) != len(dP.Tested) {
+					t.Fatalf("test-set sizes differ: %d vs %d", len(dS.Tested), len(dP.Tested))
+				}
+				for i := range dS.Tested {
+					if dS.Tested[i].Verdict != dP.Tested[i].Verdict {
+						t.Errorf("verdict %d differs: %v vs %v", i, dS.Tested[i].Verdict, dP.Tested[i].Verdict)
+					}
+				}
+				if cs, cp := dS.Chain.Format(prog), dP.Chain.Format(prog); cs != cp {
+					t.Errorf("chains differ: %q vs %q", cs, cp)
+				}
+				if dS.Partial != dP.Partial || dS.PartialReason != dP.PartialReason {
+					t.Errorf("degradation differs: (%v,%q) vs (%v,%q)",
+						dS.Partial, dS.PartialReason, dP.Partial, dP.PartialReason)
+				}
+			})
+		}
+	}
+}
+
+// TestFlipExhaustionDegradesToPartial: when every flip-test restore is
+// lost (rate-1 snapshot-restore faults), the analysis must not fail — it
+// returns every race as VerdictUnknown and the diagnosis as Partial with
+// a machine-readable reason, with an empty chain.
+func TestFlipExhaustionDegradesToPartial(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	m := mustMachine(t, sc.MustProgram())
+	rep, err := Reproduce(m, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan(1, 0).SetRate(faultinject.KindSnapshotRestore, 1)
+	for _, workers := range []int{1, 4} {
+		d, err := Analyze(m, rep, AnalysisOptions{Workers: workers, Fault: plan, Retry: quickRetry})
+		if err != nil {
+			t.Fatalf("workers=%d: analysis must degrade, not fail: %v", workers, err)
+		}
+		if !d.Partial {
+			t.Fatalf("workers=%d: diagnosis not Partial", workers)
+		}
+		if want := fmt.Sprintf("flip_retries_exhausted=%d", len(d.Tested)); d.PartialReason != want {
+			t.Errorf("workers=%d: reason = %q, want %q", workers, d.PartialReason, want)
+		}
+		if len(d.Unknown) != len(d.Tested) || len(d.RootCause) != 0 {
+			t.Errorf("workers=%d: unknown=%d rootcause=%d of %d tested",
+				workers, len(d.Unknown), len(d.RootCause), len(d.Tested))
+		}
+		for _, tr := range d.Tested {
+			if tr.Verdict != VerdictUnknown {
+				t.Fatalf("workers=%d: verdict %v, want unknown", workers, tr.Verdict)
+			}
+		}
+		if d.Chain == nil || d.Chain.Len() != 0 {
+			t.Errorf("workers=%d: chain should be empty, got %v", workers, d.Chain)
+		}
+	}
+	if st := plan.Stats(); st.Exhausted == 0 {
+		t.Error("exhaustion not counted on the plan")
+	}
+}
+
+// TestWorkerDeathDegradesToSerial: with every worker-VM launch dying
+// (rate-1 worker-death, all retries included), the parallel pipeline
+// falls back to the main machine and still produces the exact chain of
+// an unfaulted serial run — losing the fleet costs throughput, never
+// correctness.
+func TestWorkerDeathDegradesToSerial(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+
+	m1 := mustMachine(t, prog)
+	rep1, err := Reproduce(m1, LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := Analyze(m1, rep1, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultinject.NewPlan(5, 0).SetRate(faultinject.KindWorkerDeath, 1)
+	m2 := mustMachine(t, prog)
+	rep2, err := Reproduce(m2, LIFSOptions{
+		WantKind: sc.WantKind, WantInstr: sc.WantInstr(),
+		Workers: 4, Fault: plan, Retry: quickRetry,
+	})
+	if err != nil {
+		t.Fatalf("parallel search must degrade to serial, not fail: %v", err)
+	}
+	if !reflect.DeepEqual(rep2.Schedule, rep1.Schedule) {
+		t.Errorf("degraded schedule differs")
+	}
+	d2, err := Analyze(m2, rep2, AnalysisOptions{Workers: 4, Fault: plan, Retry: quickRetry})
+	if err != nil {
+		t.Fatalf("parallel analysis must degrade to serial, not fail: %v", err)
+	}
+	if d2.Partial {
+		t.Error("worker death must not make the diagnosis Partial")
+	}
+	if got, want := d2.Chain.Format(prog), quiet.Chain.Format(prog); got != want {
+		t.Errorf("degraded chain = %q, want %q", got, want)
+	}
+	if st := plan.Stats(); st.Fired[faultinject.KindWorkerDeath] == 0 {
+		t.Error("worker-death faults did not fire")
+	}
+}
+
+// TestReplayExhaustionFailsWithExhausted: the LIFS replay is load-bearing
+// (no reproduction without it), so exhausting its retries is a real
+// error — and a classified one, so the service can requeue the job.
+func TestReplayExhaustionFailsWithExhausted(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	plan := faultinject.NewPlan(2, 0).SetRate(faultinject.KindSnapshotRestore, 1)
+	m := mustMachine(t, sc.MustProgram())
+	_, err := Reproduce(m, LIFSOptions{
+		WantKind: sc.WantKind, WantInstr: sc.WantInstr(),
+		Fault: plan, Retry: quickRetry,
+	})
+	if !errors.Is(err, faultinject.ErrExhausted) || !faultinject.Is(err) {
+		t.Fatalf("err = %v, want retry exhaustion carrying the fault", err)
+	}
+	if !strings.Contains(err.Error(), "lifs.replay") {
+		t.Errorf("error %q does not name the injection point", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
@@ -54,6 +55,16 @@ type LIFSOptions struct {
 	// canonical event sequence is deterministic across worker counts;
 	// see internal/obs.
 	Tracer *obs.Tracer
+	// Fault arms deterministic fault injection on the search
+	// infrastructure (the final replay's restore and enforcement, and
+	// worker-VM launches). Nil disables it at zero cost. Injection never
+	// happens inside the exploration hot path — restore order there
+	// differs across worker counts, and the plan must fire identically
+	// for serial and parallel searches.
+	Fault *faultinject.Plan
+	// Retry bounds the re-execution of faulted operations; zero-value
+	// knobs mean faultinject.DefaultRetry.
+	Retry faultinject.RetryPolicy
 
 	// Ablation switches (all default off, i.e. the paper's design):
 
@@ -159,6 +170,15 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 		search.Info("schedules", int64(s.stats.Schedules))
 		search.Info("pruned", int64(s.stats.Pruned))
 		search.Info("snapshot_bytes", int64(s.stats.SnapshotBytes))
+		if opts.Fault.Enabled() {
+			st := opts.Fault.Stats()
+			var fired uint64
+			for _, n := range st.Fired {
+				fired += n
+			}
+			search.Info("fault_fired", int64(fired))
+			search.Info("fault_retries", int64(st.Retries))
+		}
 		search.End()
 	}()
 
@@ -214,17 +234,39 @@ rounds:
 
 	// Replay the found trace through the enforcement engine to obtain the
 	// canonical failure-causing run (and to validate that the schedule
-	// reconstruction is deterministic).
+	// reconstruction is deterministic). The replay's restore and
+	// enforcement are injection points, retried under the plan; the key
+	// is fixed (one replay per search), so the fault fate is the same for
+	// serial and parallel searches.
 	schedule := sched.FromSeq(s.foundTrace, s.fallback)
-	m.Restore(s.init)
+	m.SetFaultPlan(opts.Fault)
 	enf := sched.NewEnforcer(m)
 	rp := opts.Tracer.Begin("lifs", "replay", 0)
-	res, err := enf.Run(schedule, s.runOpts())
+	var res *sched.RunResult
+	var attempts int
+	err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(ctx context.Context, attempt int) error {
+		attempts = attempt + 1
+		if err := m.TryRestore(s.init, "lifs.replay", 0, attempt); err != nil {
+			return err
+		}
+		ro := s.runOpts()
+		ro.Fault = opts.Fault
+		ro.FaultOp = "lifs.replay"
+		ro.FaultAttempt = attempt
+		ro.Ctx = ctx
+		r, err := enf.Run(schedule, ro)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
 	if err != nil {
 		rp.End()
 		return nil, err
 	}
 	rp.Arg("steps", int64(len(res.Seq)))
+	rp.Info("attempts", int64(attempts))
 	rp.End()
 	if !res.Failed() || !s.accept(res.Failure) {
 		return nil, fmt.Errorf("core: replay of the found schedule did not reproduce the failure (got %v)", res.Failure)
@@ -281,7 +323,10 @@ type workerVM struct {
 
 // acquireVM pops a spare worker machine or builds a fresh one. A fresh
 // machine must match the searched machine's initial state — the parallel
-// search replays prefixes from scratch on each worker.
+// search replays prefixes from scratch on each worker. Launches are an
+// injection point (worker death), retried under the plan; the key is a
+// plan-global sequence, which is safe because which VM runs a unit never
+// changes the unit's result.
 func (s *searcher) acquireVM() (*workerVM, error) {
 	s.spareMu.Lock()
 	if n := len(s.spare); n > 0 {
@@ -291,14 +336,23 @@ func (s *searcher) acquireVM() (*workerVM, error) {
 		return vm, nil
 	}
 	s.spareMu.Unlock()
-	wm, err := kvm.New(s.m.Prog())
-	if err != nil {
-		return nil, err
-	}
-	if wm.StateSignature() != s.initSig {
-		return nil, errors.New("core: parallel search requires the machine in its initial state")
-	}
-	return &workerVM{m: wm, init: wm.Snapshot()}, nil
+	var vm *workerVM
+	err := faultinject.Do(s.ctx, s.opts.Fault, s.opts.Retry, func(context.Context, int) error {
+		if err := s.opts.Fault.Check(faultinject.KindWorkerDeath, "lifs.worker-vm", s.opts.Fault.Seq(), 0); err != nil {
+			return err
+		}
+		wm, err := kvm.New(s.m.Prog())
+		if err != nil {
+			return err
+		}
+		if wm.StateSignature() != s.initSig {
+			return errors.New("core: parallel search requires the machine in its initial state")
+		}
+		wm.SetFaultPlan(s.opts.Fault)
+		vm = &workerVM{m: wm, init: wm.Snapshot()}
+		return nil
+	})
+	return vm, err
 }
 
 // releaseVMs returns worker machines to the spare pool after a phase.
@@ -570,9 +624,25 @@ func (s *searcher) phase(k int) error {
 			})
 		s.releaseVMs(vms)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				s.setCtxErr(err)
-			} else {
+			case faultinject.Is(err):
+				// The worker fleet could not be (re)built: degrade to the
+				// main machine for the units the pool never ran. The pool
+				// has joined, so every unit's ran flag is settled, and the
+				// serial sweep preserves the ordinal winner rule.
+				for _, tu := range tasks {
+					if tu.ran || s.exhausted.Load() || s.ctxErr != nil {
+						continue
+					}
+					if s.best.Load() < int64(tu.ordinal) {
+						continue
+					}
+					s.m.Restore(s.init)
+					s.runUnit(p, tu, s.m, false, -1, k)
+				}
+			default:
 				return err
 			}
 		}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds and paces re-execution of a faultable operation
+// (a flip test, a replay, a worker-VM launch, a job requeue).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	// Values < 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt; each further
+	// attempt doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout, when positive, bounds each attempt with its own
+	// context deadline; an attempt that exceeds it counts as a transient
+	// failure and is retried like an injected fault.
+	AttemptTimeout time.Duration
+	// SkipBackoff, when closed, cuts every in-flight backoff sleep short
+	// (the remaining attempts still run, immediately). The service wires
+	// its drain signal here so shutdown never stalls behind a sleeping
+	// retry loop.
+	SkipBackoff <-chan struct{}
+}
+
+// DefaultRetry is the policy used when a caller leaves the knobs zero:
+// five attempts with 2ms..250ms exponential backoff. At the default 10%
+// injection rate that leaves ~1e-5 of operations exhausting the budget.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 5,
+	BaseBackoff: 2 * time.Millisecond,
+	MaxBackoff:  250 * time.Millisecond,
+}
+
+// Normalized returns the policy with zero knobs replaced by DefaultRetry
+// values (MaxAttempts < 0 stays a strict single attempt).
+func (rp RetryPolicy) Normalized() RetryPolicy {
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = DefaultRetry.MaxAttempts
+	}
+	if rp.MaxAttempts < 1 {
+		rp.MaxAttempts = 1
+	}
+	if rp.BaseBackoff == 0 {
+		rp.BaseBackoff = DefaultRetry.BaseBackoff
+	}
+	if rp.MaxBackoff == 0 {
+		rp.MaxBackoff = DefaultRetry.MaxBackoff
+	}
+	return rp
+}
+
+// Backoff returns the sleep between attempt n and n+1 (n counts from 1).
+func (rp RetryPolicy) Backoff(n int) time.Duration {
+	d := rp.BaseBackoff
+	for ; n > 1 && d < rp.MaxBackoff; n-- {
+		d *= 2
+	}
+	if d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	return d
+}
+
+// ErrExhausted wraps the final error when every attempt failed; check it
+// with errors.Is to distinguish "retried and gave up" (degrade) from a
+// first-class failure.
+var ErrExhausted = errors.New("faultinject: retry budget exhausted")
+
+// Do runs op under the policy: op(ctx, attempt) with attempt counting
+// from 0, retried while it returns an injected fault or overruns its
+// per-attempt timeout. Any other error returns immediately — retries
+// are for the planned transient failures, not for masking bugs. When
+// the budget runs out, the final error is wrapped with ErrExhausted
+// (still matching Is) and counted on the plan.
+func Do(ctx context.Context, p *Plan, rp RetryPolicy, op func(ctx context.Context, attempt int) error) error {
+	rp = rp.Normalized()
+	var err error
+	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleep(ctx, rp.Backoff(attempt), rp.SkipBackoff); serr != nil {
+				return serr
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if rp.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, rp.AttemptTimeout)
+		}
+		err = op(actx, attempt)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if perr := ctx.Err(); perr != nil {
+			// The caller's context ended; its error wins over whatever
+			// the aborted attempt reported.
+			return perr
+		}
+		if !Is(err) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	p.NoteExhausted()
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, rp.MaxAttempts, err)
+}
+
+// sleep waits for d, returning early (nil) when skip closes or with the
+// context's error when it ends first.
+func sleep(ctx context.Context, d time.Duration, skip <-chan struct{}) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-skip: // nil channel: never selected
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

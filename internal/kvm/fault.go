@@ -1,0 +1,26 @@
+package kvm
+
+import "aitia/internal/faultinject"
+
+// SetFaultPlan arms deterministic fault injection on the machine and its
+// memory space. A nil plan (the default) disables it; TryRestore then
+// always restores.
+func (m *Machine) SetFaultPlan(p *faultinject.Plan) {
+	m.fault = p
+	m.space.SetFaultPlan(p)
+}
+
+// FaultPlan returns the armed plan (nil when faults are off).
+func (m *Machine) FaultPlan() *faultinject.Plan { return m.fault }
+
+// TryRestore is Restore behind the machine's fault plan. The plan is
+// consulted before any mutation, so a faulted restore leaves the machine
+// and the snapshot untouched — a retry of the same operation (attempt+1)
+// resumes from exactly the state the failed one saw.
+func (m *Machine) TryRestore(sn *Snapshot, op string, key uint64, attempt int) error {
+	if err := m.fault.Check(faultinject.KindSnapshotRestore, op, key, attempt); err != nil {
+		return err
+	}
+	m.Restore(sn)
+	return nil
+}

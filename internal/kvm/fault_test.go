@@ -1,0 +1,54 @@
+package kvm
+
+import (
+	"testing"
+
+	"aitia/internal/faultinject"
+	"aitia/internal/kir"
+)
+
+func TestMachineTryRestoreFaulted(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) {
+		f.Store(kir.G("g"), kir.Imm(1))
+		f.Ret()
+	})
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := m.Snapshot()
+	run(t, m, 0)
+
+	m.SetFaultPlan(faultinject.NewPlan(7, 0).SetRate(faultinject.KindSnapshotRestore, 1))
+	if err := m.TryRestore(sn, "test.restore", 3, 0); !faultinject.Is(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// Faulted: thread still Done, nothing rewound.
+	if m.Thread(0).State != Done {
+		t.Fatal("faulted restore mutated the machine")
+	}
+
+	m.SetFaultPlan(nil)
+	if err := m.TryRestore(sn, "test.restore", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Thread(0).State == Done {
+		t.Fatal("restore did not rewind the thread")
+	}
+}
+
+func TestResetKeepsFaultPlan(t *testing.T) {
+	prog := simpleProg(t, func(f *kir.FuncBuilder) { f.Ret() })
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan(1, 0.5)
+	m.SetFaultPlan(plan)
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FaultPlan() != plan {
+		t.Fatal("Reset dropped the fault plan")
+	}
+}

@@ -14,6 +14,7 @@ package kvm
 import (
 	"fmt"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/kir"
 	"aitia/internal/mem"
 	"aitia/internal/sanitizer"
@@ -125,6 +126,7 @@ type Machine struct {
 	failure   *sanitizer.Failure
 	steps     uint64
 	spawnSeq  map[kir.InstrID]int
+	fault     *faultinject.Plan // armed by SetFaultPlan; nil = no injection
 
 	// Copy-on-write checkpointing state (see snapshot.go). Journaling is
 	// off until the first Snapshot call.

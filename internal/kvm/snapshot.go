@@ -221,10 +221,14 @@ func (m *Machine) RestoreDeep(sn *DeepSnapshot) {
 }
 
 // Reset rewinds the machine to its initial state (equivalent to New).
+// The armed fault plan, if any, survives the reset.
 func (m *Machine) Reset() error {
 	fresh, err := New(m.prog)
 	if err != nil {
 		return err
+	}
+	if m.fault != nil {
+		fresh.SetFaultPlan(m.fault)
 	}
 	*m = *fresh
 	return nil

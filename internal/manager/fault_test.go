@@ -1,0 +1,80 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aitia/internal/faultinject"
+	"aitia/internal/scenarios"
+)
+
+var quickRetry = faultinject.RetryPolicy{
+	MaxAttempts: 5,
+	BaseBackoff: time.Microsecond,
+	MaxBackoff:  10 * time.Microsecond,
+}
+
+// TestFaultedDiagnoseMatchesQuiet: a moderate fault rate costs retries
+// but never correctness — the diagnosed chain matches the quiet run.
+func TestFaultedDiagnoseMatchesQuiet(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+
+	quiet, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.opts.LIFS.WantKind = sc.WantKind
+	quiet.opts.LIFS.WantInstr = sc.WantInstr()
+	qres, err := quiet.Diagnose(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultinject.NewPlan(9, 0.2)
+	mgr, err := New(prog, Options{Workers: 2, Fault: plan, Retry: quickRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.opts.LIFS.WantKind = sc.WantKind
+	mgr.opts.LIFS.WantInstr = sc.WantInstr()
+	res, err := mgr.Diagnose(context.Background())
+	if err != nil {
+		// A 0.2-rate plan can exhaust a load-bearing retry budget; that
+		// must surface as a classified error, never a wrong chain.
+		if errors.Is(err, faultinject.ErrExhausted) {
+			return
+		}
+		t.Fatal(err)
+	}
+	if got, want := res.Diagnosis.Chain.Format(prog), qres.Diagnosis.Chain.Format(prog); got != want {
+		t.Errorf("faulted chain = %q, want %q", got, want)
+	}
+	var checks uint64
+	for _, c := range plan.Stats().Checks {
+		checks += c
+	}
+	if checks == 0 {
+		t.Error("plan was never consulted")
+	}
+}
+
+// TestVMDeathExhausts: when every VM launch dies, the pipeline fails
+// with a classified retry-exhaustion error the service can requeue on —
+// instead of silently returning a partial result.
+func TestVMDeathExhausts(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	plan := faultinject.NewPlan(3, 0).SetRate(faultinject.KindWorkerDeath, 1)
+	mgr, err := New(sc.MustProgram(), Options{Workers: 1, Fault: plan, Retry: quickRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.opts.LIFS.WantKind = sc.WantKind
+	mgr.opts.LIFS.WantInstr = sc.WantInstr()
+	_, err = mgr.Diagnose(context.Background())
+	if !errors.Is(err, faultinject.ErrExhausted) || !faultinject.Is(err) {
+		t.Fatalf("err = %v, want classified worker-death exhaustion", err)
+	}
+}

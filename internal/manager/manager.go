@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"aitia/internal/core"
+	"aitia/internal/faultinject"
 	"aitia/internal/history"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
@@ -45,6 +46,13 @@ type Options struct {
 	// trace stays independent of slice completion order) and the
 	// diagnosing stage. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Fault is the deterministic fault plan threaded through every stage:
+	// the manager's own VM launches (worker-death), the LIFS searches and
+	// the flip tests. Nil disables injection at zero cost.
+	Fault *faultinject.Plan
+	// Retry bounds retries of faulted operations (zero-value fields fall
+	// back to faultinject.DefaultRetry).
+	Retry faultinject.RetryPolicy
 }
 
 // Result is a completed diagnosis.
@@ -122,6 +130,8 @@ func (m *Manager) Diagnose(ctx context.Context) (*Result, error) {
 // diagnoseSlices launches reproducers over the candidate slices, in
 // parallel, and diagnoses the first (in slice order) that reproduces.
 func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
+	lifs.Fault = m.opts.Fault
+	lifs.Retry = m.opts.Retry
 	type repOut struct {
 		idx int
 		rep *core.Reproduction
@@ -245,7 +255,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	if err != nil {
 		return nil, err
 	}
-	dm, err := kvm.New(sliceProg)
+	dm, err := m.newVM(ctx, sliceProg, "manager.diag-vm")
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +263,8 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	aopts.Workers = m.opts.Workers
 	aopts.LeakCheck = aopts.LeakCheck || lifs.LeakCheck
 	aopts.Tracer = ptr
+	aopts.Fault = m.opts.Fault
+	aopts.Retry = m.opts.Retry
 	diagStart := time.Now()
 	diag, err := core.AnalyzeContext(ctx, dm, bestRep, aopts)
 	if err != nil {
@@ -276,6 +288,30 @@ func b2i(b bool) int64 {
 	return 0
 }
 
+// newVM launches a kernel VM for the given program, riding out injected
+// worker-death faults: each attempt draws a fresh fleet slot, so under
+// partial fault rates a replacement VM usually comes up. Exhaustion is a
+// real (classified) error — the caller's stage cannot run without a VM.
+func (m *Manager) newVM(ctx context.Context, prog *kir.Program, op string) (*kvm.Machine, error) {
+	var vm *kvm.Machine
+	err := faultinject.Do(ctx, m.opts.Fault, m.opts.Retry, func(ctx context.Context, attempt int) error {
+		if err := m.opts.Fault.Check(faultinject.KindWorkerDeath, op, m.opts.Fault.Seq(), 0); err != nil {
+			return err
+		}
+		v, err := kvm.New(prog)
+		if err != nil {
+			return err
+		}
+		vm = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	vm.SetFaultPlan(m.opts.Fault)
+	return vm, nil
+}
+
 // reproduce runs LIFS on one slice; a nil Reproduction with nil error
 // means the slice did not reproduce the failure (try the next one).
 func (m *Manager) reproduce(ctx context.Context, sl history.Slice, lifs core.LIFSOptions) (*core.Reproduction, error) {
@@ -283,7 +319,7 @@ func (m *Manager) reproduce(ctx context.Context, sl history.Slice, lifs core.LIF
 	if err != nil {
 		return nil, err
 	}
-	vm, err := kvm.New(sliceProg)
+	vm, err := m.newVM(ctx, sliceProg, "manager.slice-vm")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,19 @@
+package mem
+
+import "aitia/internal/faultinject"
+
+// SetFaultPlan arms deterministic fault injection on the space. A nil
+// plan (the default) disables it; TryRestore then always restores.
+func (s *Space) SetFaultPlan(p *faultinject.Plan) { s.fault = p }
+
+// TryRestore is Restore behind the space's fault plan. The plan is
+// consulted before any mutation, so a faulted restore leaves the space
+// and the snapshot untouched — a retry of the same operation (attempt+1)
+// starts from exactly the state the failed one saw.
+func (s *Space) TryRestore(sn *Snapshot, op string, key uint64, attempt int) error {
+	if err := s.fault.Check(faultinject.KindSnapshotRestore, op, key, attempt); err != nil {
+		return err
+	}
+	s.Restore(sn)
+	return nil
+}

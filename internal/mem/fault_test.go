@@ -1,0 +1,34 @@
+package mem
+
+import (
+	"testing"
+
+	"aitia/internal/faultinject"
+)
+
+func TestTryRestoreFaulted(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.GlobalAddr("a")
+	sn := s.Snapshot()
+	if f := s.Store(a, 99); f != nil {
+		t.Fatal(f)
+	}
+
+	s.SetFaultPlan(faultinject.NewPlan(1, 0).SetRate(faultinject.KindSnapshotRestore, 1))
+	if err := s.TryRestore(sn, "test.restore", 0, 0); !faultinject.Is(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// The faulted restore must not have touched the space or the snapshot.
+	if v, _ := s.Load(a); v != 99 {
+		t.Fatalf("a = %d after faulted restore, want 99 (untouched)", v)
+	}
+
+	// A quiet plan restores normally from the same state.
+	s.SetFaultPlan(nil)
+	if err := s.TryRestore(sn, "test.restore", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Load(a); v != 7 {
+		t.Fatalf("a = %d after restore, want 7", v)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/kir"
 )
 
@@ -141,6 +142,7 @@ type Space struct {
 	gend    uint64
 	objects []*Object // sorted by Base
 	next    uint64
+	fault   *faultinject.Plan // armed by SetFaultPlan; nil = no injection
 
 	// Copy-on-write checkpointing state: an undo journal of mutations since
 	// the oldest live snapshot. Snapshot marks a journal position (O(1));

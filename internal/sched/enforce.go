@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
+	"aitia/internal/faultinject"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/sanitizer"
@@ -16,7 +18,30 @@ type Options struct {
 	StepBudget int
 	// LeakCheck runs the memory-leak check when all threads finish.
 	LeakCheck bool
+
+	// Fault arms deterministic fault injection for this run: an
+	// enforce-stall decision is drawn once at entry from (FaultOp,
+	// FaultKey, FaultAttempt), and when it fires the run aborts with the
+	// injected fault error after the drawn number of executed steps — as
+	// if the VM had stopped making progress and the watchdog killed the
+	// attempt. Nil (the default) disables injection entirely.
+	Fault *faultinject.Plan
+	// FaultOp labels the injection point (default "sched.enforce").
+	FaultOp string
+	// FaultKey is the operation's stable identity under the plan (e.g.
+	// the flip-test index); FaultAttempt its retry ordinal.
+	FaultKey     uint64
+	FaultAttempt int
+
+	// Ctx, when non-nil, is polled periodically during enforcement; once
+	// it ends the run aborts with its error. This is how per-attempt
+	// timeouts bound a stuck enforcement.
+	Ctx context.Context
 }
+
+// ctxPollMask throttles Ctx polling to every 1024 loop iterations, off
+// the per-step hot path.
+const ctxPollMask = 1023
 
 // DefaultStepBudget is the watchdog limit used when Options.StepBudget is
 // zero. Scenario programs execute tens to hundreds of instructions; a run
@@ -80,6 +105,14 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 	if budget <= 0 {
 		budget = DefaultStepBudget
 	}
+	faultOp := opts.FaultOp
+	if faultOp == "" {
+		faultOp = "sched.enforce"
+	}
+	// Drawn once at entry: the whole run's stall fate is fixed by the
+	// operation identity, never by execution order.
+	stallAt := opts.Fault.StallStep(faultOp, opts.FaultKey, opts.FaultAttempt)
+	var ticks uint
 	res := &RunResult{Threads: make(map[string]kvm.ThreadState)}
 	pending := append([]Point(nil), sch.Points...) // Skip counters are consumed
 	var returnStack []kvm.ThreadID
@@ -102,6 +135,11 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 	}
 
 	for {
+		if ticks++; ticks&ctxPollMask == 0 && opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if e.m.Failure() != nil {
 			return finish(), nil
 		}
@@ -226,6 +264,14 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 		}
 		res.Seq = append(res.Seq, exec)
 
+		if stallAt >= 0 && len(res.Seq) > stallAt {
+			return nil, &faultinject.Fault{
+				Kind:    faultinject.KindEnforceStall,
+				Op:      faultOp,
+				Key:     opts.FaultKey,
+				Attempt: opts.FaultAttempt,
+			}
+		}
 		if len(res.Seq) > budget {
 			e.failWatchdog(curT, ev.Instr.ID)
 			return finish(), nil

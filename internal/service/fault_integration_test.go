@@ -1,0 +1,89 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aitia"
+	"aitia/internal/kir"
+	"aitia/internal/obs"
+	"aitia/internal/service"
+	"aitia/internal/service/httpapi"
+)
+
+// TestPartialResultOverHTTP: a degraded (Partial) diagnosis serializes
+// losslessly through GET /v1/jobs/{id} — the partial flag, the
+// machine-readable reason, the untested races and their "unknown"
+// verdicts all reach the client.
+func TestPartialResultOverHTTP(t *testing.T) {
+	partial := func(ctx context.Context, prog *kir.Program, req service.Request, tr *obs.Tracer, _ service.FaultContext) (*aitia.ResultSummary, error) {
+		return &aitia.ResultSummary{
+			Failure:       "KASAN: use-after-free",
+			Chain:         "A1 => B1 → KASAN: use-after-free",
+			Partial:       true,
+			PartialReason: "flip_retries_exhausted=1",
+			UnknownRaces:  []aitia.Race{{First: "A2", Second: "B2", FirstThread: "A", SecondThread: "B", Variable: "g"}},
+			Verdicts: []aitia.RaceVerdict{
+				{Race: aitia.Race{First: "A1", Second: "B1"}, Verdict: "root-cause"},
+				{Race: aitia.Race{First: "A2", Second: "B2"}, Verdict: "unknown"},
+			},
+		}, nil
+	}
+	svc := service.New(service.Config{Workers: 1, Diagnoser: partial})
+	defer svc.Shutdown(context.Background())
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	code, resp := postJSON(t, client, srv.URL+"/v1/diagnose", `{"scenario": "cve-2017-15649"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d: %s", code, resp)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollDone(t, client, srv.URL, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("state = %q (error %q), want done", final.State, final.Error)
+	}
+	if !final.Result.Partial || final.Result.PartialReason != "flip_retries_exhausted=1" {
+		t.Errorf("partial lost in transit: %+v", final.Result)
+	}
+	if len(final.Result.UnknownRaces) != 1 || final.Result.UnknownRaces[0].First != "A2" {
+		t.Errorf("unknown races lost in transit: %+v", final.Result.UnknownRaces)
+	}
+	unknowns := 0
+	for _, v := range final.Result.Verdicts {
+		if v.Verdict == "unknown" {
+			unknowns++
+		}
+	}
+	if unknowns != 1 {
+		t.Errorf("unknown verdicts = %d, want 1", unknowns)
+	}
+
+	// The raw wire body must carry the JSON field names the API documents.
+	code, body := getBody(t, client, srv.URL+"/v1/jobs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET job: status %d", code)
+	}
+	for _, want := range []string{`"partial"`, `"partial_reason"`, `"unknown_races"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("wire body missing %s:\n%.400s", want, body)
+		}
+	}
+
+	// Partial completions are counted.
+	code, metrics := getBody(t, client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if got := metricValue(t, metrics, "aitia_jobs_partial_total"); got != 1 {
+		t.Errorf("aitia_jobs_partial_total = %g, want 1", got)
+	}
+}

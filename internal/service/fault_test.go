@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aitia"
+	"aitia/internal/faultinject"
+	"aitia/internal/kir"
+	"aitia/internal/obs"
+)
+
+// TestAdmissionHiccupRejects: an injected queue-admission fault surfaces
+// as ordinary ErrQueueFull backpressure (HTTP 429), still carrying the
+// fault for chaos-test assertions.
+func TestAdmissionHiccupRejects(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	plan := faultinject.NewPlan(1, 0).SetRate(faultinject.KindQueueAdmit, 1)
+	s := New(Config{Workers: 1, Fault: plan, Diagnoser: blockingDiagnoser(release)})
+	defer s.Shutdown(context.Background())
+
+	_, err := submitN(t, s, 1)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if !faultinject.Is(err) {
+		t.Fatalf("err = %v, should carry the injected fault", err)
+	}
+	if got := s.Metrics().JobsRejected.Value(); got != 1 {
+		t.Errorf("jobs_rejected = %d, want 1", got)
+	}
+	if st := plan.Stats(); st.Fired[faultinject.KindQueueAdmit] != 1 {
+		t.Errorf("admit faults fired = %d, want 1", st.Fired[faultinject.KindQueueAdmit])
+	}
+}
+
+// faultingDiagnoser fails with a classified worker-death fault for the
+// first `failures` calls, then succeeds. It records each run's fault-plan
+// seed so tests can assert the requeue forked a fresh epoch.
+func faultingDiagnoser(failures int, runs *atomic.Int32, seeds *[]int64) Diagnoser {
+	return func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer, fi FaultContext) (*aitia.ResultSummary, error) {
+		n := runs.Add(1)
+		if seeds != nil {
+			*seeds = append(*seeds, fi.Plan.Seed())
+		}
+		if int(n) <= failures {
+			return nil, &faultinject.Fault{Kind: faultinject.KindWorkerDeath, Op: "test.worker-vm", Key: uint64(n)}
+		}
+		return &aitia.ResultSummary{Failure: "fake", Chain: "A1 => B1"}, nil
+	}
+}
+
+// TestRequeueAfterWorkerDeath: a job whose run dies to injected faults
+// goes back on the queue — each time under a freshly forked fault plan —
+// and completes once a run survives. The intermediate failures never
+// surface to the client.
+func TestRequeueAfterWorkerDeath(t *testing.T) {
+	var runs atomic.Int32
+	var seeds []int64
+	s := New(Config{
+		Workers:     1,
+		MaxRequeues: 2,
+		Fault:       faultinject.NewPlan(77, 0), // rate 0: plan only seeds the per-epoch forks
+		Diagnoser:   faultingDiagnoser(2, &runs, &seeds),
+	})
+	defer s.Shutdown(context.Background())
+
+	st, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", final.State, final.Error)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Errorf("diagnoser ran %d times, want 3", got)
+	}
+	if got := s.Metrics().JobsRequeued.Value(); got != 2 {
+		t.Errorf("jobs_requeued = %d, want 2", got)
+	}
+	if got := s.Metrics().JobsFailed.Value(); got != 0 {
+		t.Errorf("jobs_failed = %d, want 0 (requeues are not failures)", got)
+	}
+	if len(seeds) != 3 || seeds[0] == seeds[1] || seeds[1] == seeds[2] || seeds[0] == seeds[2] {
+		t.Errorf("requeue epochs did not fork the plan: seeds %v", seeds)
+	}
+}
+
+// TestRequeueBudgetExhausted: when every run dies, the job fails for
+// good after MaxRequeues requeues, with the classified error visible.
+func TestRequeueBudgetExhausted(t *testing.T) {
+	var runs atomic.Int32
+	s := New(Config{
+		Workers:     1,
+		MaxRequeues: 2,
+		Diagnoser:   faultingDiagnoser(1 << 30, &runs, nil),
+	})
+	defer s.Shutdown(context.Background())
+
+	st, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if final.Error == "" {
+		t.Error("failed job has no error")
+	}
+	if got := runs.Load(); got != 3 {
+		t.Errorf("diagnoser ran %d times, want 3 (1 + MaxRequeues)", got)
+	}
+	if got := s.Metrics().JobsRequeued.Value(); got != 2 {
+		t.Errorf("jobs_requeued = %d, want 2", got)
+	}
+}
+
+// TestRequeuesDisabled: MaxRequeues < 0 turns requeueing off — the first
+// classified failure is terminal.
+func TestRequeuesDisabled(t *testing.T) {
+	var runs atomic.Int32
+	s := New(Config{Workers: 1, MaxRequeues: -1, Diagnoser: faultingDiagnoser(1<<30, &runs, nil)})
+	defer s.Shutdown(context.Background())
+
+	st, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, _ := s.Wait(context.Background(), st.ID); final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("diagnoser ran %d times, want 1", got)
+	}
+}
+
+// TestDrainCancelsBackoff: a worker parked in an exponential-backoff
+// sleep (far longer than the test budget) must wake the moment Shutdown
+// starts — the drain signal is wired into RetryPolicy.SkipBackoff.
+func TestDrainCancelsBackoff(t *testing.T) {
+	inBackoff := make(chan struct{})
+	diag := func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer, fi FaultContext) (*aitia.ResultSummary, error) {
+		// Every attempt faults, so Do spends its time in backoff sleeps.
+		plan := faultinject.NewPlan(1, 0).SetRate(faultinject.KindSnapshotRestore, 1)
+		rp := fi.Retry // SkipBackoff pre-wired to the service drain
+		rp.MaxAttempts = 3
+		rp.BaseBackoff = time.Hour
+		rp.MaxBackoff = time.Hour
+		first := true
+		return nil, faultinject.Do(ctx, plan, rp, func(ctx context.Context, attempt int) error {
+			if first {
+				first = false
+				close(inBackoff)
+			}
+			return plan.Check(faultinject.KindSnapshotRestore, "test.restore", 0, attempt)
+		})
+	}
+	s := New(Config{Workers: 1, MaxRequeues: -1, Diagnoser: diag})
+
+	st, err := submitN(t, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inBackoff
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v (drain did not cut the backoff)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("drain took %v, want immediate backoff skip", elapsed)
+	}
+	if final, _ := s.Job(st.ID); final.State != StateFailed {
+		t.Errorf("state = %q, want failed (retries exhausted during drain)", final.State)
+	}
+}

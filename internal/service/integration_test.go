@@ -207,7 +207,7 @@ func TestServiceHTTPEndToEnd(t *testing.T) {
 // codes through the HTTP layer.
 func TestHTTPErrorMapping(t *testing.T) {
 	release := make(chan struct{})
-	blocking := func(ctx context.Context, prog *kir.Program, req service.Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
+	blocking := func(ctx context.Context, prog *kir.Program, req service.Request, tr *obs.Tracer, _ service.FaultContext) (*aitia.ResultSummary, error) {
 		select {
 		case <-release:
 			return &aitia.ResultSummary{Chain: "A1 => B1"}, nil

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"aitia"
+	"aitia/internal/faultinject"
 )
 
 // Counter is a monotonically increasing metric.
@@ -93,6 +94,8 @@ type Metrics struct {
 	JobsFailed    Counter // finished with an error
 	JobsCanceled  Counter // canceled before completing
 	JobsRejected  Counter // rejected with queue-full backpressure
+	JobsRequeued  Counter // put back on the queue after classified infrastructure faults
+	JobsPartial   Counter // completed with a Partial (degraded) diagnosis
 	CacheHits     Counter // submissions answered from the result cache
 	CacheMisses   Counter // submissions that had to run the pipeline
 
@@ -118,6 +121,11 @@ type Metrics struct {
 	spanMu      sync.Mutex
 	spanCount   map[string]uint64
 	spanSeconds map[string]float64
+
+	// FaultPlan, when set, exports the plan's injection statistics
+	// (aitia_fault_* / aitia_retry_*) alongside the service metrics. The
+	// plan keeps its own atomic counters; this is just the export hook.
+	FaultPlan *faultinject.Plan
 }
 
 // maxPhaseRate bounds the exported per-phase gauges; deeper phases (which
@@ -189,6 +197,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_jobs_failed_total", "Diagnosis jobs that failed.", &m.JobsFailed)
 	counter("aitia_jobs_canceled_total", "Diagnosis jobs canceled.", &m.JobsCanceled)
 	counter("aitia_jobs_rejected_total", "Submissions rejected because the queue was full.", &m.JobsRejected)
+	counter("aitia_jobs_requeued_total", "Jobs requeued after classified infrastructure faults.", &m.JobsRequeued)
+	counter("aitia_jobs_partial_total", "Jobs completed with a Partial (degraded) diagnosis.", &m.JobsPartial)
 	counter("aitia_cache_hits_total", "Submissions served from the result cache.", &m.CacheHits)
 	counter("aitia_cache_misses_total", "Submissions that ran the diagnosis pipeline.", &m.CacheMisses)
 	hist("aitia_queue_wait_seconds", "Seconds jobs spent queued before a worker picked them up.", &m.QueueWait)
@@ -203,6 +213,20 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
 	for i := range m.PhaseRate {
 		fmt.Fprintf(w, "aitia_lifs_phase_schedules_per_second{budget=\"%d\"} %g\n", i, m.PhaseRate[i].Value())
+	}
+
+	if p := m.FaultPlan; p != nil {
+		st := p.Stats()
+		fmt.Fprintf(w, "# HELP aitia_fault_checks_total Fault-injection decision points consulted, by kind.\n# TYPE aitia_fault_checks_total counter\n")
+		for _, k := range faultinject.Kinds() {
+			fmt.Fprintf(w, "aitia_fault_checks_total{kind=%q} %d\n", k.String(), st.Checks[k])
+		}
+		fmt.Fprintf(w, "# HELP aitia_fault_injected_total Faults injected, by kind.\n# TYPE aitia_fault_injected_total counter\n")
+		for _, k := range faultinject.Kinds() {
+			fmt.Fprintf(w, "aitia_fault_injected_total{kind=%q} %d\n", k.String(), st.Fired[k])
+		}
+		fmt.Fprintf(w, "# HELP aitia_retry_attempts_total Retry attempts after injected faults.\n# TYPE aitia_retry_attempts_total counter\naitia_retry_attempts_total %d\n", st.Retries)
+		fmt.Fprintf(w, "# HELP aitia_retry_exhausted_total Operations that exhausted their retry budget.\n# TYPE aitia_retry_exhausted_total counter\naitia_retry_exhausted_total %d\n", st.Exhausted)
 	}
 
 	m.spanMu.Lock()

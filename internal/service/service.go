@@ -30,6 +30,7 @@ import (
 
 	"aitia"
 	"aitia/internal/core"
+	"aitia/internal/faultinject"
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
 	"aitia/internal/manager"
@@ -76,14 +77,40 @@ type Config struct {
 	// failing backends to exercise the queue deterministically). Nil
 	// means the real manager-based pipeline.
 	Diagnoser Diagnoser
+	// Fault is the service-wide deterministic fault plan (chaos testing):
+	// it is threaded into every job's pipeline and into queue admission.
+	// Nil disables injection at zero cost.
+	Fault *faultinject.Plan
+	// Retry bounds retries of faulted operations inside jobs (zero-value
+	// fields fall back to faultinject.DefaultRetry). The service wires
+	// its drain signal into the policy so backoff sleeps end immediately
+	// on Shutdown.
+	Retry faultinject.RetryPolicy
+	// MaxRequeues bounds how many times a job that failed on classified
+	// infrastructure faults (injected faults, retry exhaustion) is put
+	// back on the queue before it fails for good. Each requeue runs under
+	// a re-seeded fork of the fault plan, so a deterministically doomed
+	// job gets genuinely fresh draws. Zero means the default (2);
+	// negative disables requeueing.
+	MaxRequeues int
 }
 
 // Diagnoser runs one resolved job. prog is the compiled program and req
 // the normalized request (scenario defaults already applied). tr is the
 // job's execution tracer: the backend threads it into the pipeline so
 // the job's trace covers the search and analysis, not just the service
-// lifecycle. Backends may ignore it.
-type Diagnoser func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error)
+// lifecycle. fi carries the job's fault plan and retry policy (see
+// FaultContext). Backends may ignore both.
+type Diagnoser func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer, fi FaultContext) (*aitia.ResultSummary, error)
+
+// FaultContext is the per-job slice of the service's fault configuration
+// handed to the Diagnoser: the plan (forked per requeue epoch, so a
+// requeued job does not re-draw the exact faults that killed it) and the
+// retry policy with SkipBackoff pre-wired to the service's drain signal.
+type FaultContext struct {
+	Plan  *faultinject.Plan
+	Retry faultinject.RetryPolicy
+}
 
 func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
@@ -103,6 +130,11 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxJobWorkers <= 0 {
 		c.MaxJobWorkers = 8
+	}
+	if c.MaxRequeues == 0 {
+		c.MaxRequeues = 2
+	} else if c.MaxRequeues < 0 {
+		c.MaxRequeues = 0
 	}
 }
 
@@ -178,6 +210,11 @@ type job struct {
 	// threaded through manager.Options.Tracer) or the cache hit. Epoch
 	// is the submission instant.
 	tr *obs.Tracer
+	// requeues counts how often the job went back on the queue after a
+	// classified infrastructure failure; it doubles as the fault-plan
+	// fork epoch. Mutated only between runs, so runJob may read it
+	// without the lock.
+	requeues int
 }
 
 // Service is the diagnosis service: queue, worker fleet, result cache
@@ -189,6 +226,10 @@ type Service struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	nextID  atomic.Uint64
+	// drain is closed by Shutdown: retry backoff sleeps inside running
+	// jobs select on it (RetryPolicy.SkipBackoff), so draining never
+	// waits out an exponential backoff.
+	drain chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -201,9 +242,10 @@ func New(cfg Config) *Service {
 	cfg.applyDefaults()
 	s := &Service{
 		cfg:     cfg,
-		metrics: &Metrics{},
+		metrics: &Metrics{FaultPlan: cfg.Fault},
 		cache:   newResultCache(cfg.CacheSize),
 		queue:   make(chan *job, cfg.QueueDepth),
+		drain:   make(chan struct{}),
 		jobs:    make(map[string]*job),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -310,6 +352,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	}
 	key := cacheKey(prog, req.Options)
 
+	seq := s.nextID.Add(1)
 	j := &job{
 		req:  req,
 		prog: prog,
@@ -317,7 +360,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		done: make(chan struct{}),
 		tr:   obs.New(),
 		status: JobStatus{
-			ID:        fmt.Sprintf("job-%06d", s.nextID.Add(1)),
+			ID:        fmt.Sprintf("job-%06d", seq),
 			Scenario:  req.Scenario,
 			Submitted: time.Now(),
 		},
@@ -340,6 +383,14 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		s.metrics.CacheHits.Inc()
 		s.metrics.JobsCompleted.Inc()
 		return j.status, nil
+	}
+
+	// Injected queue-admission hiccup: deterministic per submission
+	// sequence number, surfaced as ordinary backpressure so clients
+	// retry exactly as they would a genuinely full queue.
+	if err := s.cfg.Fault.Check(faultinject.KindQueueAdmit, "service.admit", seq, 0); err != nil {
+		s.metrics.JobsRejected.Inc()
+		return JobStatus{}, fmt.Errorf("%w: %w", ErrQueueFull, err)
 	}
 
 	j.status.State = StateQueued
@@ -447,6 +498,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	close(s.queue)
+	close(s.drain) // cut in-flight retry backoff sleeps immediately
 	s.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -505,8 +557,12 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	if diagnose == nil {
 		diagnose = s.runManager
 	}
+	// The fault plan is forked per requeue epoch: a job that died to
+	// deterministic faults must not re-draw exactly those faults on its
+	// second life.
+	fi := FaultContext{Plan: s.cfg.Fault.Fork(uint64(j.requeues)), Retry: s.retryPolicy()}
 	run := j.tr.Begin("job", "run", 0)
-	sum, err := diagnose(ctx, j.prog, j.req, j.tr)
+	sum, err := diagnose(ctx, j.prog, j.req, j.tr, fi)
 	run.End()
 	j.cancel()
 
@@ -522,6 +578,9 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		j.status.Result = sum
 		s.cache.add(j.key, sum)
 		s.metrics.JobsCompleted.Inc()
+		if sum.Partial {
+			s.metrics.JobsPartial.Inc()
+		}
 		s.metrics.ReproduceTime.Observe(sum.ReproduceTime.Seconds())
 		s.metrics.DiagnoseTime.Observe(sum.DiagnoseTime.Seconds())
 		s.metrics.observeSearch(sum)
@@ -531,6 +590,24 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		j.status.Error = err.Error()
 		s.metrics.JobsCanceled.Inc()
 	default:
+		// Classified infrastructure failures (injected faults, retry
+		// exhaustion) are requeued under a fresh fault epoch — up to
+		// MaxRequeues times, and never once the service is draining.
+		if (faultinject.Is(err) || errors.Is(err, faultinject.ErrExhausted)) &&
+			j.requeues < s.cfg.MaxRequeues && !s.closed {
+			select {
+			case s.queue <- j:
+				j.requeues++
+				j.status.State = StateQueued
+				j.status.Error = ""
+				j.tr.Emit(obs.Event{Cat: "job", Name: "requeue", Start: j.tr.Now()})
+				s.metrics.JobsRequeued.Inc()
+				s.metrics.QueueDepth.Inc()
+				return // the job lives on; done stays open
+			default:
+				// Queue full: fall through to a terminal failure.
+			}
+		}
 		j.status.State = StateFailed
 		j.status.Error = err.Error()
 		s.metrics.JobsFailed.Inc()
@@ -538,9 +615,17 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	close(j.done)
 }
 
+// retryPolicy is the service-wide retry policy with the drain signal
+// wired in, so in-flight backoff sleeps end the moment Shutdown starts.
+func (s *Service) retryPolicy() faultinject.RetryPolicy {
+	rp := s.cfg.Retry
+	rp.SkipBackoff = s.drain
+	return rp
+}
+
 // runManager is the default Diagnoser: the full manager pipeline on the
 // program's declared threads, under the job's context.
-func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
+func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer, fi FaultContext) (*aitia.ResultSummary, error) {
 	lifs := core.LIFSOptions{
 		MaxInterleavings: req.Options.MaxInterleavings,
 		StepBudget:       req.Options.StepBudget,
@@ -566,6 +651,8 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 			LeakCheck:  lifs.LeakCheck,
 		},
 		Tracer: tr,
+		Fault:  fi.Plan,
+		Retry:  fi.Retry,
 	})
 	if err != nil {
 		return nil, err

@@ -16,7 +16,7 @@ import (
 // closed (or the job's context expires), so tests can hold workers busy
 // and exercise the queue deterministically.
 func blockingDiagnoser(release <-chan struct{}) Diagnoser {
-	return func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer) (*aitia.ResultSummary, error) {
+	return func(ctx context.Context, prog *kir.Program, req Request, tr *obs.Tracer, _ FaultContext) (*aitia.ResultSummary, error) {
 		select {
 		case <-release:
 			return &aitia.ResultSummary{Failure: "fake", Chain: "A1 => B1"}, nil

@@ -37,6 +37,14 @@ type ResultSummary struct {
 	ChainRaces []Race `json:"chain_races,omitempty"`
 	// BenignRaces are the races excluded from the chain.
 	BenignRaces []Race `json:"benign_races,omitempty"`
+	// UnknownRaces are races whose flip tests could not complete; when
+	// present the diagnosis is Partial.
+	UnknownRaces []Race `json:"unknown_races,omitempty"`
+	// Partial marks a degraded diagnosis (the chain covers only the races
+	// that could be tested); PartialReason is the machine-readable cause,
+	// e.g. "flip_retries_exhausted=2".
+	Partial       bool   `json:"partial,omitempty"`
+	PartialReason string `json:"partial_reason,omitempty"`
 	// Verdicts lists every tested race with its verdict.
 	Verdicts []RaceVerdict `json:"verdicts,omitempty"`
 
@@ -74,6 +82,9 @@ func (r *Result) Summary() *ResultSummary {
 		Chain:             r.Chain,
 		ChainRaces:        append([]Race(nil), r.ChainRaces...),
 		BenignRaces:       append([]Race(nil), r.Benign...),
+		UnknownRaces:      append([]Race(nil), r.Unknown...),
+		Partial:           r.Partial,
+		PartialReason:     r.PartialReason,
 		SlicesTried:       r.SlicesTried,
 		ReproduceTime:     r.ReproduceTime,
 		DiagnoseTime:      r.DiagnoseTime,
@@ -96,6 +107,9 @@ func (r *Result) Summary() *ResultSummary {
 	}
 	for _, race := range r.Benign {
 		s.Verdicts = append(s.Verdicts, RaceVerdict{Race: race, Verdict: "benign"})
+	}
+	for _, race := range r.Unknown {
+		s.Verdicts = append(s.Verdicts, RaceVerdict{Race: race, Verdict: "unknown"})
 	}
 	return s
 }
