@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"aitia/internal/core"
+	"aitia/internal/durable"
 	"aitia/internal/faultinject"
 	"aitia/internal/fuzz"
 	"aitia/internal/history"
@@ -87,6 +88,31 @@ type Options struct {
 	// timeout, bounded exponential backoff); zero-value knobs mean
 	// faultinject.DefaultRetry.
 	Retry faultinject.RetryPolicy
+	// CheckpointDir, when set, arms durable crash recovery: the LIFS
+	// search checkpoints its frontier there (at every deepening-phase
+	// boundary, keyed by the program's content hash), the analysis
+	// checkpoints every settled flip verdict, and a re-run after a crash
+	// resumes from the latest valid snapshots, producing the same
+	// diagnosis as an uninterrupted run with strictly fewer schedules.
+	// Empty disables checkpointing at zero cost.
+	CheckpointDir string
+	// CheckpointEvery additionally checkpoints serial LIFS searches
+	// mid-phase after this many schedules. Zero checkpoints at phase
+	// boundaries only. Ignored without CheckpointDir.
+	CheckpointEvery int
+}
+
+// checkpointConfig opens the options' checkpoint store, or returns nil
+// when checkpointing is off.
+func checkpointConfig(opts Options) (*core.CheckpointConfig, error) {
+	if opts.CheckpointDir == "" {
+		return nil, nil
+	}
+	store, err := durable.OpenCheckpointStore(opts.CheckpointDir, false)
+	if err != nil {
+		return nil, err
+	}
+	return &core.CheckpointConfig{Store: store, Every: opts.CheckpointEvery}, nil
 }
 
 // faultPlan builds the options' fault plan, or nil when injection is off.
@@ -189,6 +215,12 @@ type Result struct {
 	// counts and total durations of each pipeline stage. Empty unless
 	// Options.Tracer was set.
 	Spans []obs.SpanStat
+	// Resumed reports that a pipeline stage continued from a durable
+	// checkpoint instead of starting over; CheckpointAge is the age of
+	// the search checkpoint it resumed from (zero for a resumed analysis
+	// only). Always false without Options.CheckpointDir.
+	Resumed       bool
+	CheckpointAge time.Duration
 	// Report is the full human-readable diagnosis report.
 	Report string
 }
@@ -291,14 +323,19 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 	}
 
 	plan := faultPlan(opts)
+	ck, err := checkpointConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	lifs := lifsOptions(p.prog, opts, plan)
 	lifs.Tracer = nil // per-slice child tracers; the manager adopts the winner's
 	mgr, err := manager.New(p.prog, manager.Options{
-		Workers: opts.Workers,
-		LIFS:    lifs,
-		Tracer:  opts.Tracer,
-		Fault:   plan,
-		Retry:   opts.Retry,
+		Workers:    opts.Workers,
+		LIFS:       lifs,
+		Tracer:     opts.Tracer,
+		Fault:      plan,
+		Retry:      opts.Retry,
+		Checkpoint: ck,
 	})
 	if err != nil {
 		return nil, err
@@ -352,7 +389,13 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	plan := faultPlan(opts)
-	rep, err := core.Reproduce(m, lifsOptions(prog, opts, plan))
+	ck, err := checkpointConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	lifs := lifsOptions(prog, opts, plan)
+	lifs.Checkpoint = ck
+	rep, err := core.Reproduce(m, lifs)
 	if err != nil {
 		return nil, err
 	}
@@ -363,6 +406,7 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 		Tracer:     opts.Tracer,
 		Fault:      plan,
 		Retry:      opts.Retry,
+		Checkpoint: ck,
 	})
 	if err != nil {
 		return nil, err
@@ -430,6 +474,8 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		SlicesTried:       1,
 		ReproduceTime:     rep.Stats.Elapsed,
 		DiagnoseTime:      d.Stats.Elapsed,
+		Resumed:           rep.Stats.Resumed || d.Stats.Resumed,
+		CheckpointAge:     rep.Stats.CheckpointAge,
 		Report:            sb.String(),
 	}
 	for _, p := range rep.Stats.Phases {

@@ -49,12 +49,15 @@ func main() {
 		faults   = flag.Bool("faults", false, "chaos gate: re-diagnose the corpus under deterministic fault injection (seeded by -seed) and fail unless serial and 8-worker runs agree and every chain is golden or Partial with a machine-readable reason")
 		faultR   = flag.Float64("fault-rate", 0.1, "with -faults: per-decision fault probability")
 		checkLF  = flag.String("check-lifs", "", "run the -lifs artifact and fail if schedule counts or speedups regress more than 25% against the committed baseline JSON at this path")
+		crashRes = flag.Bool("crash-resume", false, "crash-recovery gate, in-process half: interrupt checkpointed diagnoses mid-search and mid-analysis and fail unless they resume to the golden diagnosis with strictly fewer schedules")
+		killRec  = flag.String("kill-recover", "", "crash-recovery gate, process half: path to an aitia-serve binary to spawn with a durable data dir, SIGKILL mid-diagnosis, restart, and fail unless every submitted job recovers to its golden chain")
+		killDir  = flag.String("kill-data-dir", "", "with -kill-recover: use this data dir (left in place on failure for artifact upload); empty uses a temp dir")
 		trace    = flag.String("trace", "", "write an execution trace of diagnosing -trace-scenario as Chrome trace-event JSON to this path")
 		traceSc  = flag.String("trace-scenario", "cve-2017-15649", "scenario to diagnose for -trace")
 		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*faults && *checkLF == "" && *trace == "" {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *trace == "" {
 		*all = true
 	}
 
@@ -93,6 +96,12 @@ func main() {
 		// With -faults, -trace names the failure artifact runChaos writes
 		// for the first violating scenario, not a standalone trace run.
 		check(runChaos(*seed, *faultR, *trace))
+	}
+	if *crashRes {
+		check(runCrashResume())
+	}
+	if *killRec != "" {
+		check(runKillRecover(*killRec, *killDir))
 	}
 	if *checkLF != "" {
 		check(checkLIFSArtifact(*checkLF, *out))

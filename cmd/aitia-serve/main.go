@@ -38,6 +38,9 @@ func main() {
 		retryBase  = flag.Duration("retry-base-backoff", 0, "initial retry backoff, doubling per attempt; 0 uses the built-in default")
 		retryCap   = flag.Duration("retry-max-backoff", 0, "backoff ceiling; 0 uses the built-in default")
 		requeues   = flag.Int("max-requeues", 0, "requeues per job after classified infrastructure faults; 0 uses the default (2), negative disables")
+		dataDir    = flag.String("data-dir", "", "directory for the durable job journal and search checkpoints; empty runs in-memory (no crash recovery)")
+		syncWrites = flag.Bool("sync", false, "with -data-dir: fsync every journal append (slower, survives power loss, not just process death)")
+		ckEvery    = flag.Int("checkpoint-every", 0, "with -data-dir: also checkpoint LIFS every N schedules within a phase (serial searches only); 0 checkpoints at phase boundaries only")
 	)
 	flag.Parse()
 
@@ -59,21 +62,32 @@ func main() {
 		}()
 	}
 
-	svc := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheSize:     *cacheSize,
-		JobTimeout:    *jobTimeout,
-		JobWorkers:    *jobWorkers,
-		MaxJobWorkers: *maxJobW,
-		MaxRequeues:   *requeues,
-		Fault:         plan,
+	svc, err := service.Open(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		JobWorkers:      *jobWorkers,
+		MaxJobWorkers:   *maxJobW,
+		MaxRequeues:     *requeues,
+		DataDir:         *dataDir,
+		SyncWrites:      *syncWrites,
+		CheckpointEvery: *ckEvery,
+		Fault:           plan,
 		Retry: faultinject.RetryPolicy{
 			MaxAttempts: *retryMax,
 			BaseBackoff: *retryBase,
 			MaxBackoff:  *retryCap,
 		},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aitia-serve: opening durable state in %s: %v\n", *dataDir, err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "aitia-serve: durable state in %s (recovered %d jobs)\n",
+			*dataDir, svc.Metrics().JobsRecovered.Value())
+	}
 	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

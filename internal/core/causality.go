@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,10 +67,13 @@ type TestedRace struct {
 
 // AnalysisStats summarize one Causality Analysis.
 type AnalysisStats struct {
-	Schedules   int // runs executed (one per tested race)
+	Schedules   int // runs executed by THIS process (checkpointed flips not re-counted)
 	TestSet     int // races tested
 	MemAccesses int // memory-accessing instruction executions in the failing run
 	Elapsed     time.Duration
+	// Resumed reports that settled flip verdicts were restored from a
+	// durable checkpoint instead of re-executed.
+	Resumed bool
 }
 
 // AnalysisOptions configure Causality Analysis.
@@ -93,6 +97,11 @@ type AnalysisOptions struct {
 	// Retry bounds the re-execution of faulted flip tests; zero-value
 	// knobs mean faultinject.DefaultRetry.
 	Retry faultinject.RetryPolicy
+	// Checkpoint arms durable analysis checkpoints: every settled flip
+	// verdict is persisted (with the causal footprint of its test run),
+	// and a restarted analysis re-executes only the flips the crash
+	// lost. Nil disables checkpointing at zero cost.
+	Checkpoint *CheckpointConfig
 }
 
 // Diagnosis is the final output: the causality chain plus the full
@@ -260,6 +269,46 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	// the Workers<=1 path and the degradation path when the diagnoser
 	// fleet is lost to injected worker deaths.
 	done := make([]bool, len(order))
+
+	// Durable resume: settled verdicts from a prior process are restored
+	// (their test runs reconstructed from the checkpointed causal
+	// footprint) and only the remaining flips execute. Every newly
+	// settled flip is persisted immediately — the checkpoint is a pure
+	// function of the settled set, so saves commute and the ckMu only
+	// serializes the file writes of parallel workers.
+	checkpointing := opts.Checkpoint.enabled()
+	var (
+		ckKey, ckFP string
+		ckMu        sync.Mutex
+		ckSnaps     []flipSnap
+	)
+	if checkpointing {
+		ckFP = caFingerprint(m.Prog().Hash(), rep, order, opts)
+		ckKey = caCheckpointKey(m.Prog().Hash(), ckFP)
+		if ck := loadCACheckpoint(opts.Checkpoint, ckKey, ckFP, len(order)); ck != nil {
+			for _, fs := range ck.Flips {
+				if done[fs.Idx] {
+					continue
+				}
+				done[fs.Idx] = true
+				d.Tested[fs.Idx] = restoreFlip(order[fs.Idx], fs)
+				ckSnaps = append(ckSnaps, fs)
+			}
+			d.Stats.Resumed = len(ckSnaps) > 0
+		}
+	}
+	settle := func(idx int, tr TestedRace) {
+		d.Tested[idx] = tr
+		done[idx] = true
+		if !checkpointing {
+			return
+		}
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		ckSnaps = append(ckSnaps, snapFlip(idx, tr))
+		saveCACheckpoint(opts.Checkpoint, ckKey, &caCheckpoint{Fingerprint: ckFP, Flips: ckSnaps})
+	}
+
 	serialFlips := func() error {
 		for i, r := range order {
 			if done[i] {
@@ -274,13 +323,12 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 					return err
 				}
 				executed.Add(1)
-				d.Tested[i] = tr
+				settle(i, tr)
 				return nil
 			})
 			if err != nil {
 				return err
 			}
-			done[i] = true
 		}
 		return nil
 	}
@@ -314,14 +362,18 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 				return vm, err
 			},
 			func(ctx context.Context, vm *flipVM, worker, idx int) error {
+				if done[idx] {
+					// Settled by the restored checkpoint before the
+					// pool started.
+					return nil
+				}
 				return timeFlip(worker, idx, func() error {
 					tr, err := testRace(ctx, vm.enf, vm.init, idx, order[idx])
 					if err != nil {
 						return err
 					}
 					executed.Add(1)
-					d.Tested[idx] = tr
-					done[idx] = true
+					settle(idx, tr)
 					return nil
 				})
 			})

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"aitia/internal/durable"
+	"aitia/internal/kir"
+	"aitia/internal/sched"
+)
+
+// CheckpointConfig arms durable checkpointing of a diagnosis. With it
+// set, the LIFS search persists its frontier at every deepening-phase
+// boundary (and, serially, every Every schedules within a phase), the
+// causality analysis persists every settled flip verdict, and both
+// resume from the latest valid snapshot instead of starting over. A
+// resumed run is deterministic: it produces the same reproduction,
+// verdicts and causality chain as an uninterrupted one, having executed
+// only the schedules the crash lost.
+type CheckpointConfig struct {
+	// Store holds the snapshots. Nil disables checkpointing entirely.
+	Store *durable.CheckpointStore
+	// Every additionally checkpoints mid-phase after this many schedules
+	// (serial searches only — a parallel phase is in flight on many
+	// machines at once and only its boundary is a consistent cut).
+	// Zero checkpoints at phase boundaries only.
+	Every int
+	// OnSave, when set, runs after each durable save with the snapshot
+	// key. It is a test seam: kill-and-recover tests use it to cut the
+	// process at exact checkpoint cadence points.
+	OnSave func(key string)
+}
+
+func (c *CheckpointConfig) enabled() bool { return c != nil && c.Store != nil }
+
+func (c *CheckpointConfig) saved(key string) {
+	if c.OnSave != nil {
+		c.OnSave(key)
+	}
+}
+
+// Checkpoint format versions. Bump when the payload layout changes;
+// loads reject other versions and the search falls back to fresh.
+const (
+	lifsCheckpointVersion = 1
+	caCheckpointVersion   = 1
+)
+
+// lifsCheckpoint is the serialized frontier of a LIFS search: enough to
+// re-enter the deepening loop at (Round, NextPhase) with the access
+// knowledge, per-phase stats and (optionally) the partially explored
+// phase restored. A Done checkpoint is terminal: the search succeeded
+// and the found schedule replays the failure in one run.
+type lifsCheckpoint struct {
+	InitSig uint64 `json:"init_sig"` // machine state signature at search start
+	SavedAt int64  `json:"saved_at"` // unix nanoseconds
+
+	Round             int                  `json:"round"`
+	NextPhase         int                  `json:"next_phase"`
+	SitesAtRoundStart int                  `json:"sites_at_round_start"`
+	Phases            []PhaseStat          `json:"phases,omitempty"`
+	Accesses          []sched.AccessExport `json:"accesses,omitempty"`
+	Leaves            []LeafTrace          `json:"leaves,omitempty"`
+	Partial           *partialPhase        `json:"partial,omitempty"`
+
+	Done          bool            `json:"done,omitempty"`
+	Schedule      *sched.Schedule `json:"schedule,omitempty"`
+	Interleavings int             `json:"interleavings,omitempty"`
+}
+
+// partialPhase captures a serial phase cut at a group boundary: the
+// units explored so far (all complete, none accepted — an accepted
+// candidate ends the phase), and the visited-state claims they made.
+// Restoring both reproduces the exact pruning decisions, so the resumed
+// remainder of the phase explores the same tree as the lost run.
+type partialPhase struct {
+	Budget     int        `json:"budget"`
+	GroupsDone int        `json:"groups_done"`
+	Units      []unitSnap `json:"units,omitempty"`
+	Visited    []visEntry `json:"visited,omitempty"`
+}
+
+// unitSnap is the serializable outcome of one completed search unit.
+type unitSnap struct {
+	Group         int                  `json:"group"`
+	Probe         bool                 `json:"probe,omitempty"`
+	Choice        int                  `json:"choice"`
+	Initial       int                  `json:"initial"`
+	Ran           bool                 `json:"ran,omitempty"`
+	BranchNatural bool                 `json:"branch_natural,omitempty"`
+	BranchChoices int                  `json:"branch_choices,omitempty"`
+	Accesses      []sched.AccessExport `json:"accesses,omitempty"`
+	Leaves        []LeafTrace          `json:"leaves,omitempty"`
+}
+
+// visEntry is one visited-state claim.
+type visEntry struct {
+	Sig     uint64 `json:"sig"`
+	Cur     int    `json:"cur"`
+	Budget  int    `json:"budget"`
+	Ordinal int    `json:"ordinal"`
+}
+
+// lifsCheckpointKey derives the snapshot key for a search: the program
+// hash plus a digest of every option that shapes the explored tree.
+// MaxSchedules and Workers are deliberately excluded — the former only
+// bounds how far a process gets before aborting (the exact situation a
+// resume continues from), and serial/parallel searches of the same tree
+// return the same reproduction.
+func lifsCheckpointKey(prog *kir.Program, opts LIFSOptions) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mi=%d|sb=%d|leak=%t|kind=%d|instr=%d|leaves=%t|np=%t|nlf=%t|nph=%t",
+		opts.MaxInterleavings, opts.StepBudget, opts.LeakCheck,
+		opts.WantKind, opts.WantInstr, opts.RecordLeaves,
+		opts.NoPruning, opts.NoLeastFirst, opts.NoPhantom)
+	return fmt.Sprintf("%s.lifs.%016x", prog.Hash(), h.Sum64())
+}
+
+// loadLIFSCheckpoint returns the stored frontier for the key, or nil
+// when none exists, the snapshot is invalid (wrong version, key, or
+// checksum), or it was taken from a different initial machine state.
+// Invalid snapshots are indistinguishable from absent ones by design:
+// the search falls back to fresh.
+func loadLIFSCheckpoint(cfg *CheckpointConfig, key string, initSig uint64) *lifsCheckpoint {
+	payload, err := cfg.Store.Load(key, lifsCheckpointVersion)
+	if err != nil {
+		return nil
+	}
+	var ck lifsCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil
+	}
+	if ck.InitSig != initSig {
+		return nil
+	}
+	if ck.Done && ck.Schedule == nil {
+		return nil
+	}
+	return &ck
+}
+
+func saveLIFSCheckpoint(cfg *CheckpointConfig, key string, ck *lifsCheckpoint) {
+	ck.SavedAt = time.Now().UnixNano()
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return
+	}
+	if err := cfg.Store.Save(key, lifsCheckpointVersion, payload); err != nil {
+		return
+	}
+	cfg.saved(key)
+}
+
+// exportVisited dumps the visited set's claims deterministically enough
+// for a resume (replaying claims is order-independent: each key holds
+// its first claimant, and a serial phase never double-claims).
+func exportVisited(v *visitedSet) []visEntry {
+	var out []visEntry
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		for k, ord := range sh.m {
+			out = append(out, visEntry{Sig: k.sig, Cur: int(k.cur), Budget: k.budget, Ordinal: ord})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// caCheckpoint is the serialized progress of a causality analysis: the
+// settled flip verdicts in deterministic test order. Fingerprint guards
+// against resuming over a different test set (e.g. a reproduction that
+// found a different run).
+type caCheckpoint struct {
+	Fingerprint string     `json:"fingerprint"`
+	SavedAt     int64      `json:"saved_at"`
+	Flips       []flipSnap `json:"flips,omitempty"`
+}
+
+// flipSnap is one settled flip test: its index in the deterministic
+// test order, the pre-ambiguity verdict, and a compressed form of the
+// flip run — just the executed (site, accesses) sequence, which is all
+// the chain construction (sched.RaceOccurred/RaceOrder, Executed)
+// consumes from it.
+type flipSnap struct {
+	Idx      int        `json:"idx"`
+	Verdict  uint8      `json:"verdict"`
+	Realized bool       `json:"realized,omitempty"`
+	Failed   bool       `json:"failed,omitempty"`
+	Seq      []flipExec `json:"seq,omitempty"`
+}
+
+// flipExec is one executed step of a flip run, reduced to its causal
+// footprint.
+type flipExec struct {
+	Thread   string            `json:"t"`
+	Instr    kir.InstrID       `json:"i"`
+	Accesses []sched.AccessRec `json:"a,omitempty"`
+}
+
+// snapFlip compresses a settled flip test for the checkpoint.
+func snapFlip(idx int, tr TestedRace) flipSnap {
+	fs := flipSnap{
+		Idx:      idx,
+		Verdict:  uint8(tr.Verdict),
+		Realized: tr.FlipRealized,
+	}
+	if tr.FlipRun != nil {
+		fs.Failed = tr.FlipRun.Failed()
+		for _, e := range tr.FlipRun.Seq {
+			fs.Seq = append(fs.Seq, flipExec{
+				Thread:   e.Name,
+				Instr:    e.Instr.ID,
+				Accesses: e.Accesses,
+			})
+		}
+	}
+	return fs
+}
+
+// restoreFlip rebuilds a TestedRace from its snapshot. The synthetic
+// run result carries exactly the fields chain construction reads: the
+// ordered executed sites and their accesses. (Enforcement metadata and
+// full instruction bodies are not reconstructed; reports rendered from
+// a resumed diagnosis fall back to site identities.)
+func restoreFlip(r sched.Race, fs flipSnap) TestedRace {
+	tr := TestedRace{
+		Race:         r,
+		Verdict:      Verdict(fs.Verdict),
+		FlipRealized: fs.Realized,
+	}
+	if Verdict(fs.Verdict) == VerdictUnknown {
+		return tr
+	}
+	run := &sched.RunResult{}
+	for step, fe := range fs.Seq {
+		run.Seq = append(run.Seq, sched.Exec{
+			Step:     step,
+			Name:     fe.Thread,
+			Instr:    kir.Instr{ID: fe.Instr},
+			Accesses: fe.Accesses,
+		})
+	}
+	tr.FlipRun = run
+	return tr
+}
+
+// caFingerprint identifies one analysis problem: the program, the full
+// test set (order and identity of every race), the failing sequence
+// length and the options that decide verdicts. A checkpoint whose
+// fingerprint mismatches is ignored.
+func caFingerprint(progHash string, rep *Reproduction, order []sched.Race, opts AnalysisOptions) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|seq=%d|sb=%d|leak=%t|ncs=%t|races=%d",
+		progHash, len(rep.Run.Seq), opts.StepBudget, opts.LeakCheck, opts.NoCriticalSections, len(order))
+	for _, r := range order {
+		fmt.Fprintf(h, "|%s/%d=>%s/%d@%x:%d,%d,%t,%x",
+			r.First.Thread, r.First.Instr, r.Second.Thread, r.Second.Instr,
+			r.Addr, r.FirstStep, r.SecondStep, r.Phantom, r.CSLock)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func caCheckpointKey(progHash, fingerprint string) string {
+	return fmt.Sprintf("%s.ca.%s", progHash, fingerprint)
+}
+
+// loadCACheckpoint returns the settled flips for the key, or nil when
+// absent, invalid, or fingerprinted for a different test set.
+func loadCACheckpoint(cfg *CheckpointConfig, key, fingerprint string, testSet int) *caCheckpoint {
+	payload, err := cfg.Store.Load(key, caCheckpointVersion)
+	if err != nil {
+		return nil
+	}
+	var ck caCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil
+	}
+	if ck.Fingerprint != fingerprint {
+		return nil
+	}
+	for _, fs := range ck.Flips {
+		if fs.Idx < 0 || fs.Idx >= testSet {
+			return nil
+		}
+	}
+	return &ck
+}
+
+func saveCACheckpoint(cfg *CheckpointConfig, key string, ck *caCheckpoint) {
+	ck.SavedAt = time.Now().UnixNano()
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return
+	}
+	if err := cfg.Store.Save(key, caCheckpointVersion, payload); err != nil {
+		return
+	}
+	cfg.saved(key)
+}

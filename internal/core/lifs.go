@@ -65,6 +65,14 @@ type LIFSOptions struct {
 	// Retry bounds the re-execution of faulted operations; zero-value
 	// knobs mean faultinject.DefaultRetry.
 	Retry faultinject.RetryPolicy
+	// Checkpoint arms durable search checkpoints: the frontier is saved
+	// at every deepening-phase boundary (and, serially, every
+	// CheckpointConfig.Every schedules), and the search resumes from the
+	// latest valid snapshot, producing the same reproduction as an
+	// uninterrupted run. Nil disables checkpointing at zero cost.
+	// Ignored under NoLeastFirst (the ablation has no phase structure
+	// worth cutting at).
+	Checkpoint *CheckpointConfig
 
 	// Ablation switches (all default off, i.e. the paper's design):
 
@@ -93,12 +101,16 @@ type PhaseStat struct {
 
 // SearchStats summarize a LIFS search.
 type SearchStats struct {
-	Schedules     int           // complete runs executed
+	Schedules     int           // complete runs executed by THIS process (resumed work not re-counted)
 	Interleavings int           // preemption count at which the failure reproduced
 	Pruned        int           // branches pruned as equivalent states
 	SnapshotBytes uint64        // bytes copied by copy-on-write checkpointing
 	Elapsed       time.Duration // wall-clock search time
-	Phases        []PhaseStat   // per-phase schedule throughput
+	Phases        []PhaseStat   // per-phase schedule throughput (includes checkpointed phases)
+	// Resumed reports that the search continued from a durable
+	// checkpoint; CheckpointAge is how old that snapshot was.
+	Resumed       bool
+	CheckpointAge time.Duration
 }
 
 // LeafTrace records one complete run of the search for introspection.
@@ -139,6 +151,13 @@ func Reproduce(m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
 // deadlines are checked at search-iteration boundaries, so a canceled
 // context aborts the search promptly and the error is ctx.Err().
 func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*Reproduction, error) {
+	return reproduceContext(ctx, m, opts, true)
+}
+
+// reproduceContext carries the allowResume switch: a terminal
+// checkpoint whose replay no longer reproduces is deleted and the
+// search retried once with resumption disabled.
+func reproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions, allowResume bool) (*Reproduction, error) {
 	if opts.MaxInterleavings <= 0 {
 		opts.MaxInterleavings = DefaultMaxInterleavings
 	}
@@ -157,6 +176,36 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 	}
 	s.initSig = m.StateSignature()
 	s.init = m.Snapshot()
+
+	// Checkpointing: derive the key and load the latest valid frontier.
+	// An invalid, version-skewed or foreign-state snapshot loads as nil
+	// — exactly like no snapshot — and the search runs fresh.
+	checkpointing := opts.Checkpoint.enabled() && !opts.NoLeastFirst
+	var resume, terminal *lifsCheckpoint
+	if checkpointing {
+		s.ckKey = lifsCheckpointKey(m.Prog(), opts)
+		if allowResume {
+			if ck := loadLIFSCheckpoint(opts.Checkpoint, s.ckKey, s.initSig); ck != nil {
+				s.stats.Resumed = true
+				s.stats.CheckpointAge = time.Since(time.Unix(0, ck.SavedAt))
+				if ck.Done {
+					terminal = ck
+				} else {
+					resume = ck
+					s.am = sched.ImportAccessMap(ck.Accesses)
+					s.leaves = append([]LeafTrace(nil), ck.Leaves...)
+					s.stats.Phases = append([]PhaseStat(nil), ck.Phases...)
+					if opts.Workers > 1 {
+						// A partial phase is a serial cut; a parallel
+						// search resumes at the phase boundary and
+						// re-runs the phase whole.
+						ck.Partial = nil
+					}
+					s.resume = ck
+				}
+			}
+		}
+	}
 	start := time.Now()
 
 	// The search root span closes last (after the per-phase, per-unit and
@@ -186,10 +235,35 @@ func ReproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions) (*R
 	// the search twice when new conflicting instructions were discovered
 	// late (race-steered control flows can hide conflicts from shallow
 	// phases); a second round with a warm AccessMap covers them.
+	//
+	// With a frontier checkpoint the loop re-enters at (Round,
+	// NextPhase): completed phases left their merged accesses in the
+	// restored map and are never re-executed. After each completed phase
+	// (and only then — an exhausted or canceled phase is not a
+	// consistent cut) the new frontier is saved.
 	var searchErr error
+	startRound := 0
+	if resume != nil {
+		startRound = resume.Round
+	}
+	if terminal != nil {
+		// The search already succeeded in a previous process; skip it
+		// and reconstruct the reproduction from one replay below.
+		s.found = true
+		s.am = sched.ImportAccessMap(terminal.Accesses)
+		s.stats.Phases = append([]PhaseStat(nil), terminal.Phases...)
+		s.stats.Interleavings = terminal.Interleavings
+		s.leaves = append([]LeafTrace(nil), terminal.Leaves...)
+	}
 rounds:
-	for round := 0; round < 2 && !s.found; round++ {
+	for round := startRound; round < 2 && !s.found; round++ {
 		sitesBefore := len(s.am.Sites())
+		startK := 0
+		if resume != nil && round == resume.Round {
+			sitesBefore = resume.SitesAtRoundStart
+			startK = resume.NextPhase
+		}
+		s.ckRound, s.ckSites = round, sitesBefore
 		if opts.NoLeastFirst {
 			// Ablation: a warm-up pass at count 0 discovers the initial
 			// conflict set (the search cannot branch without it), then
@@ -203,9 +277,20 @@ rounds:
 				}
 			}
 		} else {
-			for k := 0; k <= opts.MaxInterleavings && !s.found; k++ {
+			for k := startK; k <= opts.MaxInterleavings && !s.found; k++ {
 				if searchErr = s.phase(k); searchErr != nil {
 					break rounds
+				}
+				if checkpointing && !s.found && !s.exhausted.Load() && s.ctxErr == nil {
+					saveLIFSCheckpoint(opts.Checkpoint, s.ckKey, &lifsCheckpoint{
+						InitSig:           s.initSig,
+						Round:             round,
+						NextPhase:         k + 1,
+						SitesAtRoundStart: sitesBefore,
+						Phases:            s.stats.Phases,
+						Accesses:          s.am.Export(),
+						Leaves:            s.leaves,
+					})
 				}
 			}
 		}
@@ -238,7 +323,16 @@ rounds:
 	// enforcement are injection points, retried under the plan; the key
 	// is fixed (one replay per search), so the fault fate is the same for
 	// serial and parallel searches.
-	schedule := sched.FromSeq(s.foundTrace, s.fallback)
+	//
+	// A terminal checkpoint short-circuits the whole search to this one
+	// replay: the stored schedule deterministically recreates the
+	// failing run, and races/accesses fall out of it as in a cold run.
+	var schedule sched.Schedule
+	if terminal != nil {
+		schedule = *terminal.Schedule
+	} else {
+		schedule = sched.FromSeq(s.foundTrace, s.fallback)
+	}
 	m.SetFaultPlan(opts.Fault)
 	enf := sched.NewEnforcer(m)
 	rp := opts.Tracer.Begin("lifs", "replay", 0)
@@ -269,6 +363,14 @@ rounds:
 	rp.Info("attempts", int64(attempts))
 	rp.End()
 	if !res.Failed() || !s.accept(res.Failure) {
+		if terminal != nil {
+			// The terminal checkpoint is stale (e.g. saved by a replay
+			// whose fault fate differed): never trust it again — delete
+			// and search fresh, exactly once.
+			_ = opts.Checkpoint.Store.Delete(s.ckKey)
+			m.Restore(s.init)
+			return reproduceContext(ctx, m, opts, false)
+		}
 		return nil, fmt.Errorf("core: replay of the found schedule did not reproduce the failure (got %v)", res.Failure)
 	}
 	s.am.RecordRun(res)
@@ -276,6 +378,24 @@ rounds:
 	races := sched.ExtractRaces(res)
 	if !opts.NoPhantom {
 		races = append(races, sched.PhantomRaces(res, s.am)...)
+	}
+
+	if checkpointing && terminal == nil {
+		// Terminal checkpoint: the found schedule (small — initial
+		// thread plus switch points) and the final access knowledge. A
+		// restart after this point reconstructs the reproduction with a
+		// single replay instead of a search. Never cleared on success:
+		// a later Analyze interruption restarts the whole diagnosis,
+		// and this is what makes its Reproduce leg O(1).
+		saveLIFSCheckpoint(opts.Checkpoint, s.ckKey, &lifsCheckpoint{
+			InitSig:       s.initSig,
+			Done:          true,
+			Schedule:      &schedule,
+			Interleavings: s.stats.Interleavings,
+			Phases:        s.stats.Phases,
+			Accesses:      s.am.Export(),
+			Leaves:        s.leaves,
+		})
 	}
 
 	return &Reproduction{
@@ -313,6 +433,16 @@ type searcher struct {
 	found      bool
 	foundTrace []sched.Exec
 	leaves     []LeafTrace
+
+	// Checkpointing state. resume is consumed by the first phase call;
+	// ckRound/ckSites mirror the round loop so mid-phase saves can
+	// write a complete frontier; lastSave tracks the schedule counter
+	// at the last durable save for the Every cadence.
+	ckKey    string
+	resume   *lifsCheckpoint
+	ckRound  int
+	ckSites  int
+	lastSave int64
 }
 
 // workerVM is one parallel worker's private kernel VM.
@@ -557,13 +687,32 @@ func (s *searcher) phase(k int) error {
 	s.best.Store(math.MaxInt64)
 	parallel := s.opts.Workers > 1
 
+	// A mid-phase checkpoint re-enters here: the completed units are
+	// restored (with their access records, leaves and branch shapes)
+	// and their visited-state claims replayed, so the remaining groups
+	// explore — and prune — exactly as the lost run would have.
+	startGroup := 0
+	if rp := s.takeResumePartial(k); rp != nil {
+		startGroup = rp.GroupsDone
+		for _, us := range rp.Units {
+			u := p.addUnit(us.Group, us.Probe, us.Choice, kvm.ThreadID(us.Initial))
+			u.ran = us.Ran
+			u.rec = sched.ImportAccessMap(us.Accesses)
+			u.leaves = us.Leaves
+			u.branch = branchInfo{natural: us.BranchNatural, choices: us.BranchChoices}
+		}
+		for _, ve := range rp.Visited {
+			p.vis.insert(visKey{sig: ve.Sig, cur: kvm.ThreadID(ve.Cur), budget: ve.Budget}, ve.Ordinal)
+		}
+	}
+
 	// The initial thread choice is itself a decision: branch over every
 	// declared thread (spawned threads cannot exist yet). Each group's
 	// probe runs the deterministic prefix on the main machine and claims
 	// its states; in serial mode the group's tasks run immediately after
 	// it, in parallel mode all tasks are dispatched to the pool below.
 	var tasks []*unit
-	for gi := range s.fallback {
+	for gi := startGroup; gi < len(s.fallback); gi++ {
 		if s.exhausted.Load() || s.ctxErr != nil {
 			break
 		}
@@ -597,6 +746,10 @@ func (s *searcher) phase(k int) error {
 			s.m.Restore(s.init)
 			s.runUnit(p, tu, s.m, false, -1, k)
 		}
+		// Serial group boundary: a consistent cut — every unit so far
+		// ran to completion and (if we get here without a candidate)
+		// none accepted. Checkpoint on the Every cadence.
+		s.maybeSavePartial(p, k, gi+1)
 	}
 
 	if parallel && len(tasks) > 0 && s.ctxErr == nil {
@@ -680,6 +833,68 @@ func (s *searcher) phase(k int) error {
 		Elapsed:   time.Since(start),
 	})
 	return nil
+}
+
+// takeResumePartial consumes the searcher's pending resume state and
+// returns its mid-phase cut when it belongs to phase k. It fires at
+// most once: the first phase a resumed search enters is by construction
+// the checkpoint's NextPhase.
+func (s *searcher) takeResumePartial(k int) *partialPhase {
+	ck := s.resume
+	if ck == nil {
+		return nil
+	}
+	s.resume = nil
+	if ck.Partial == nil || ck.Partial.Budget != k {
+		return nil
+	}
+	return ck.Partial
+}
+
+// maybeSavePartial checkpoints a serial phase at a group boundary once
+// CheckpointConfig.Every schedules have run since the last save. It
+// only fires on consistent cuts: no accepted candidate (which would end
+// the phase), no exhaustion, no cancellation.
+func (s *searcher) maybeSavePartial(p *phaseRun, k, groupsDone int) {
+	cfg := s.opts.Checkpoint
+	if !cfg.enabled() || s.opts.NoLeastFirst || cfg.Every <= 0 {
+		return
+	}
+	if s.best.Load() != math.MaxInt64 || s.exhausted.Load() || s.ctxErr != nil {
+		return
+	}
+	n := s.schedules.Load()
+	if n-s.lastSave < int64(cfg.Every) {
+		return
+	}
+	s.lastSave = n
+	pp := &partialPhase{Budget: k, GroupsDone: groupsDone, Visited: exportVisited(p.vis)}
+	for _, u := range p.units {
+		pp.Units = append(pp.Units, unitSnap{
+			Group:         u.group,
+			Probe:         u.probe,
+			Choice:        u.choice,
+			Initial:       int(u.initial),
+			Ran:           u.ran,
+			BranchNatural: u.branch.natural,
+			BranchChoices: u.branch.choices,
+			Accesses:      u.rec.Export(),
+			Leaves:        u.leaves,
+		})
+	}
+	// Accesses is the phase-entry map (the phase merges unit records
+	// only at its end, so s.am is still the frozen base here); the
+	// in-phase records ride inside Units and are re-merged on resume.
+	saveLIFSCheckpoint(cfg, s.ckKey, &lifsCheckpoint{
+		InitSig:           s.initSig,
+		Round:             s.ckRound,
+		NextPhase:         k,
+		SitesAtRoundStart: s.ckSites,
+		Phases:            s.stats.Phases,
+		Accesses:          s.am.Export(),
+		Leaves:            s.leaves,
+		Partial:           pp,
+	})
 }
 
 // runUnit drives one unit's exploration on m, recording the unit's wall

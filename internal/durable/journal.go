@@ -1,0 +1,474 @@
+// Package durable provides the crash-safety primitives under AITIA's
+// diagnosis pipeline: an append-only, checksummed write-ahead journal
+// (used by internal/service to make the job queue and result cache
+// survive a process kill) and a versioned checkpoint store (used by
+// internal/core to resume a LIFS search or causality analysis from the
+// last phase boundary instead of restarting it).
+//
+// Both are plain-file formats with no external dependencies, designed
+// so that the only two failure modes a crash can produce are (a) a
+// torn tail — the final record of the final segment is incomplete and
+// is silently dropped on replay — and (b) a detectably corrupt record
+// in the middle of a segment, which is reported as ErrCorrupt so the
+// caller can decide how much of the salvaged prefix to trust.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal framing: every record is
+//
+//	[len uint32 LE][crc32(IEEE) of payload uint32 LE][payload]
+//
+// appended to the newest segment file `wal-%08d.log`. A record is valid
+// only if the full frame is present and the CRC matches. An incomplete
+// frame at the end of the *final* segment is a torn tail (the crash
+// interrupted the append) and is dropped; anything else — a CRC
+// mismatch, an absurd length, or an incomplete frame followed by more
+// segments — is corruption.
+
+const (
+	headerSize = 8
+	// maxRecordLen bounds a single record. Journal payloads are small
+	// JSON job transitions; anything above this is a garbage length
+	// field read from a corrupt frame, not a real record.
+	maxRecordLen = 64 << 20
+
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+)
+
+// ErrCorrupt is returned (wrapped) by Replay when a segment contains a
+// record that is structurally complete but fails validation, or an
+// incomplete record that cannot be a torn tail. The salvaged prefix has
+// already been delivered to the callback by the time it is returned.
+var ErrCorrupt = errors.New("durable: journal corrupt")
+
+// JournalStats counts journal activity. All fields are cumulative for
+// the lifetime of the Journal value.
+type JournalStats struct {
+	Appends        uint64 // records appended
+	AppendedBytes  uint64 // payload bytes appended (excluding framing)
+	Segments       uint64 // segments created (including the initial one)
+	Compactions    uint64 // successful Compact calls
+	Replayed       uint64 // records delivered by Replay
+	TornTails      uint64 // torn tails dropped by Replay
+	CorruptRecords uint64 // mid-segment corrupt records seen by Replay
+	Syncs          uint64 // fsyncs issued
+}
+
+// Journal is an append-only, segmented write-ahead log. It is safe for
+// concurrent use by multiple goroutines.
+type Journal struct {
+	mu      sync.Mutex
+	dir     string
+	sync    bool
+	maxSeg  int64 // rotate when the active segment exceeds this many bytes
+	seg     *os.File
+	segIdx  uint64
+	segSize int64
+	closed  bool
+
+	appends        atomic.Uint64
+	appendedBytes  atomic.Uint64
+	segments       atomic.Uint64
+	compactions    atomic.Uint64
+	replayed       atomic.Uint64
+	tornTails      atomic.Uint64
+	corruptRecords atomic.Uint64
+	syncs          atomic.Uint64
+}
+
+// JournalOptions configure OpenJournal.
+type JournalOptions struct {
+	// Sync fsyncs the segment after every append. Durability of the
+	// last few records against power loss costs roughly one disk flush
+	// per job transition; without it a kill loses at most the records
+	// the OS had not yet written back, never the journal's integrity.
+	Sync bool
+	// MaxSegmentBytes rotates to a new segment once the active one
+	// exceeds this size. Zero means the default (4 MiB).
+	MaxSegmentBytes int64
+}
+
+// OpenJournal opens (creating if necessary) the journal in dir. The
+// existing segments are left untouched for Replay; appends always go to
+// a brand-new segment so that a torn tail in an old segment can never
+// be spliced mid-stream with fresh records.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, sync: opts.Sync, maxSeg: opts.MaxSegmentBytes}
+	if j.maxSeg <= 0 {
+		j.maxSeg = 4 << 20
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(0)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].idx + 1
+		// Repair a torn tail left by a crash mid-append: once we rotate
+		// to a fresh segment the old one is no longer "final", so a
+		// half-written frame there would read as corruption on replay.
+		torn, err := repairTail(segs[n-1].path)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			j.tornTails.Add(1)
+		}
+	}
+	if err := j.openSegment(next); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// repairTail truncates path after its last complete frame if the file
+// ends with an incomplete one (a torn append). Complete frames with bad
+// checksums are NOT removed — they are mid-segment corruption that
+// Replay must surface, not silently discard.
+func repairTail(path string) (bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("durable: open segment for repair: %w", err)
+	}
+	defer f.Close()
+	var valid int64
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return false, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				break // torn header
+			}
+			return false, fmt.Errorf("durable: repair read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if uint64(n) > maxRecordLen {
+			return false, nil // corrupt length: leave for Replay to flag
+		}
+		if _, err := io.CopyN(io.Discard, f, int64(n)); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn payload
+			}
+			return false, fmt.Errorf("durable: repair read: %w", err)
+		}
+		valid += headerSize + int64(n)
+	}
+	if err := f.Truncate(valid); err != nil {
+		return false, fmt.Errorf("durable: repair truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return false, fmt.Errorf("durable: repair sync: %w", err)
+	}
+	return true, nil
+}
+
+type segment struct {
+	idx  uint64
+	path string
+}
+
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: list journal dir: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		var idx uint64
+		if _, err := fmt.Sscanf(name, segmentPrefix+"%08d"+segmentSuffix, &idx); err != nil {
+			continue
+		}
+		if fmt.Sprintf(segmentPrefix+"%08d"+segmentSuffix, idx) != name {
+			continue
+		}
+		segs = append(segs, segment{idx: idx, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].idx < segs[k].idx })
+	return segs, nil
+}
+
+func (j *Journal) openSegment(idx uint64) error {
+	path := filepath.Join(j.dir, fmt.Sprintf(segmentPrefix+"%08d"+segmentSuffix, idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: open segment: %w", err)
+	}
+	if j.seg != nil {
+		j.seg.Close()
+	}
+	j.seg = f
+	j.segIdx = idx
+	j.segSize = 0
+	j.segments.Add(1)
+	return nil
+}
+
+// Append writes one record. The payload is framed, written, and (with
+// Sync) flushed before Append returns; once Append returns nil the
+// record will survive a process kill.
+func (j *Journal) Append(payload []byte) error {
+	if uint64(len(payload)) > maxRecordLen {
+		return fmt.Errorf("durable: record of %d bytes exceeds limit", len(payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("durable: journal closed")
+	}
+	if j.segSize >= j.maxSeg {
+		if err := j.openSegment(j.segIdx + 1); err != nil {
+			return err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	// A single Write call keeps the frame contiguous; O_APPEND makes
+	// the offset atomic even if another handle had the file open.
+	buf := make([]byte, 0, headerSize+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := j.seg.Write(buf); err != nil {
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	j.segSize += int64(len(buf))
+	if j.sync {
+		if err := j.seg.Sync(); err != nil {
+			return fmt.Errorf("durable: sync: %w", err)
+		}
+		j.syncs.Add(1)
+	}
+	j.appends.Add(1)
+	j.appendedBytes.Add(uint64(len(payload)))
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of the
+// per-append Sync option. Used at drain time for a final sync.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.seg == nil {
+		return nil
+	}
+	if err := j.seg.Sync(); err != nil {
+		return fmt.Errorf("durable: sync: %w", err)
+	}
+	j.syncs.Add(1)
+	return nil
+}
+
+// Close syncs and closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.seg == nil {
+		return nil
+	}
+	syncErr := j.seg.Sync()
+	closeErr := j.seg.Close()
+	j.seg = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Replay streams every valid record in segment order to fn. A torn tail
+// — an incomplete final frame in the final segment — is dropped and
+// counted, and Replay returns nil. A corrupt record anywhere else stops
+// the replay of that segment and returns an error wrapping ErrCorrupt;
+// records already delivered (the salvaged prefix) are kept by the
+// caller. fn returning an error aborts the replay with that error.
+func (j *Journal) Replay(fn func(payload []byte) error) error {
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	// Skip the segment we are currently appending to only if it is
+	// beyond all pre-existing data; in practice Replay is called right
+	// after OpenJournal, when the active segment is empty, so replaying
+	// it too is harmless (zero records).
+	for i, s := range segs {
+		last := i == len(segs)-1
+		if err := replaySegment(s.path, last, fn, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayDir replays a journal directory without opening it for appends.
+func ReplayDir(dir string, fn func(payload []byte) error) (JournalStats, error) {
+	j := &Journal{dir: dir}
+	err := j.Replay(fn)
+	return j.Stats(), err
+}
+
+func replaySegment(path string, lastSegment bool, fn func(payload []byte) error, j *Journal) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("durable: open segment for replay: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return nil // clean end of segment
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Partial header: torn tail if this is the last segment.
+			if lastSegment {
+				j.tornTails.Add(1)
+				return nil
+			}
+			j.corruptRecords.Add(1)
+			return fmt.Errorf("%w: truncated header in %s", ErrCorrupt, filepath.Base(path))
+		}
+		if err != nil {
+			return fmt.Errorf("durable: read segment: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if uint64(n) > maxRecordLen {
+			j.corruptRecords.Add(1)
+			return fmt.Errorf("%w: implausible record length %d in %s", ErrCorrupt, n, filepath.Base(path))
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if lastSegment {
+					j.tornTails.Add(1)
+					return nil
+				}
+				j.corruptRecords.Add(1)
+				return fmt.Errorf("%w: truncated record in %s", ErrCorrupt, filepath.Base(path))
+			}
+			return fmt.Errorf("durable: read segment: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			// A complete frame with a bad checksum is corruption even
+			// at the tail: a torn append can only shorten the file,
+			// never scramble bytes that were fully written.
+			j.corruptRecords.Add(1)
+			return fmt.Errorf("%w: checksum mismatch in %s", ErrCorrupt, filepath.Base(path))
+		}
+		j.replayed.Add(1)
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Compact rewrites the journal to the records produced by snapshot,
+// which is called once and must return the payloads representing the
+// current logical state (e.g. one terminal record per retained job).
+// The snapshot is written to a temporary file, fsynced, renamed to a
+// segment index *above* every existing segment, and only then are the
+// older segments deleted. A crash at any point leaves a replayable
+// journal: before the rename the old segments are intact; after it the
+// compacted segment replays last, so replay semantics where later
+// records win make the duplicate prefix harmless.
+func (j *Journal) Compact(snapshot func(emit func(payload []byte) error) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("durable: journal closed")
+	}
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	newIdx := j.segIdx + 1
+	if n := len(segs); n > 0 && segs[n-1].idx >= newIdx {
+		newIdx = segs[n-1].idx + 1
+	}
+	tmp, err := os.CreateTemp(j.dir, "compact-*")
+	if err != nil {
+		return fmt.Errorf("durable: compact temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	written := 0
+	emit := func(payload []byte) error {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			return err
+		}
+		written += headerSize + len(payload)
+		return nil
+	}
+	if err := snapshot(emit); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: compact snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: compact close: %w", err)
+	}
+	final := filepath.Join(j.dir, fmt.Sprintf(segmentPrefix+"%08d"+segmentSuffix, newIdx))
+	if err := os.Rename(tmpName, final); err != nil {
+		return fmt.Errorf("durable: compact rename: %w", err)
+	}
+	// The compacted segment is now durable and replays after everything
+	// it summarizes; dropping the older segments (including our own
+	// active one) is safe even if interrupted halfway.
+	for _, s := range segs {
+		os.Remove(s.path)
+	}
+	if j.seg != nil {
+		j.seg.Close()
+		j.seg = nil
+	}
+	if err := j.openSegment(newIdx + 1); err != nil {
+		return err
+	}
+	j.compactions.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the journal counters.
+func (j *Journal) Stats() JournalStats {
+	return JournalStats{
+		Appends:        j.appends.Load(),
+		AppendedBytes:  j.appendedBytes.Load(),
+		Segments:       j.segments.Load(),
+		Compactions:    j.compactions.Load(),
+		Replayed:       j.replayed.Load(),
+		TornTails:      j.tornTails.Load(),
+		CorruptRecords: j.corruptRecords.Load(),
+		Syncs:          j.syncs.Load(),
+	}
+}

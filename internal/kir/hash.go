@@ -17,8 +17,19 @@ import (
 //
 // The hash is the cache key for diagnosis results: a crash report
 // resubmitted as the same program (even re-serialized) maps to the same
-// key, so a service can answer it without re-running LIFS.
+// key, so a service can answer it without re-running LIFS. It also keys
+// durable checkpoints and journal records, where it is recomputed on
+// every job transition — so the digest of a finalized (hence immutable)
+// program is computed once and cached.
 func (p *Program) Hash() string {
+	if !p.finalized || p.hashCache == nil {
+		return p.computeHash()
+	}
+	p.hashCache.once.Do(func() { p.hashCache.val = p.computeHash() })
+	return p.hashCache.val
+}
+
+func (p *Program) computeHash() string {
 	h := sha256.New()
 
 	// Globals in declared order: the order determines the address layout,

@@ -3,6 +3,7 @@ package kir
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GlobalDef declares a global variable: a named region of Size words with
@@ -106,6 +107,20 @@ type Program struct {
 
 	byID      []instrRef // InstrID -> location
 	finalized bool
+
+	// hashCache caches the content digest of a finalized program (see
+	// Hash); finalized programs are immutable, so one computation serves
+	// every journal record and checkpoint key derived from the program.
+	// It lives behind a pointer so Restrict's shallow copy can hand the
+	// derived program a fresh cache (its thread set — and hash — differ)
+	// without copying a sync.Once.
+	hashCache *programHash
+}
+
+// programHash is the lazily computed content digest of one program.
+type programHash struct {
+	once sync.Once
+	val  string
 }
 
 type instrRef struct {
@@ -316,6 +331,7 @@ func (p *Program) Finalize() error {
 	}
 
 	p.finalized = true
+	p.hashCache = &programHash{}
 	return nil
 }
 
@@ -514,6 +530,7 @@ func (p *Program) Restrict(names []string) (*Program, error) {
 		want[n] = true
 	}
 	cp := *p
+	cp.hashCache = &programHash{} // different thread set, different hash
 	cp.Threads = nil
 	for _, t := range p.Threads {
 		if want[t.Name] {

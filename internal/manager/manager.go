@@ -53,6 +53,13 @@ type Options struct {
 	// Retry bounds retries of faulted operations (zero-value fields fall
 	// back to faultinject.DefaultRetry).
 	Retry faultinject.RetryPolicy
+	// Checkpoint arms durable crash recovery for both stages: each
+	// slice's LIFS search checkpoints its frontier (keyed by the slice
+	// program's content hash, so slices never collide) and the analysis
+	// checkpoints every settled flip. A pipeline restarted after a crash
+	// resumes from the latest snapshots and produces the same diagnosis.
+	// Nil disables checkpointing at zero cost.
+	Checkpoint *core.CheckpointConfig
 }
 
 // Result is a completed diagnosis.
@@ -132,6 +139,7 @@ func (m *Manager) Diagnose(ctx context.Context) (*Result, error) {
 func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
 	lifs.Fault = m.opts.Fault
 	lifs.Retry = m.opts.Retry
+	lifs.Checkpoint = m.opts.Checkpoint
 	type repOut struct {
 		idx int
 		rep *core.Reproduction
@@ -265,6 +273,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	aopts.Tracer = ptr
 	aopts.Fault = m.opts.Fault
 	aopts.Retry = m.opts.Retry
+	aopts.Checkpoint = m.opts.Checkpoint
 	diagStart := time.Now()
 	diag, err := core.AnalyzeContext(ctx, dm, bestRep, aopts)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"aitia"
+	"aitia/internal/durable"
 	"aitia/internal/faultinject"
 )
 
@@ -96,6 +97,7 @@ type Metrics struct {
 	JobsRejected  Counter // rejected with queue-full backpressure
 	JobsRequeued  Counter // put back on the queue after classified infrastructure faults
 	JobsPartial   Counter // completed with a Partial (degraded) diagnosis
+	JobsRecovered Counter // re-enqueued from the journal after a restart
 	CacheHits     Counter // submissions answered from the result cache
 	CacheMisses   Counter // submissions that had to run the pipeline
 
@@ -126,6 +128,11 @@ type Metrics struct {
 	// (aitia_fault_* / aitia_retry_*) alongside the service metrics. The
 	// plan keeps its own atomic counters; this is just the export hook.
 	FaultPlan *faultinject.Plan
+	// Journal and Checkpoints, when set, export the durability layer's
+	// statistics (aitia_journal_* / aitia_checkpoint_*). Both keep their
+	// own atomic counters; these are just the export hooks.
+	Journal     *durable.Journal
+	Checkpoints *durable.CheckpointStore
 }
 
 // maxPhaseRate bounds the exported per-phase gauges; deeper phases (which
@@ -199,6 +206,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_jobs_rejected_total", "Submissions rejected because the queue was full.", &m.JobsRejected)
 	counter("aitia_jobs_requeued_total", "Jobs requeued after classified infrastructure faults.", &m.JobsRequeued)
 	counter("aitia_jobs_partial_total", "Jobs completed with a Partial (degraded) diagnosis.", &m.JobsPartial)
+	counter("aitia_jobs_recovered_total", "Jobs re-enqueued from the journal after a restart.", &m.JobsRecovered)
 	counter("aitia_cache_hits_total", "Submissions served from the result cache.", &m.CacheHits)
 	counter("aitia_cache_misses_total", "Submissions that ran the diagnosis pipeline.", &m.CacheMisses)
 	hist("aitia_queue_wait_seconds", "Seconds jobs spent queued before a worker picked them up.", &m.QueueWait)
@@ -213,6 +221,29 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
 	for i := range m.PhaseRate {
 		fmt.Fprintf(w, "aitia_lifs_phase_schedules_per_second{budget=\"%d\"} %g\n", i, m.PhaseRate[i].Value())
+	}
+
+	raw := func(name, help, typ string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	if j := m.Journal; j != nil {
+		st := j.Stats()
+		raw("aitia_journal_appends_total", "Records appended to the job journal.", "counter", st.Appends)
+		raw("aitia_journal_appended_bytes_total", "Payload bytes appended to the job journal.", "counter", st.AppendedBytes)
+		raw("aitia_journal_segments_total", "Journal segments created.", "counter", st.Segments)
+		raw("aitia_journal_compactions_total", "Journal compactions performed.", "counter", st.Compactions)
+		raw("aitia_journal_replayed_total", "Records replayed from the journal at startup.", "counter", st.Replayed)
+		raw("aitia_journal_torn_tails_total", "Torn journal tails dropped during replay or repair.", "counter", st.TornTails)
+		raw("aitia_journal_corrupt_records_total", "Mid-segment corrupt journal records encountered.", "counter", st.CorruptRecords)
+		raw("aitia_journal_syncs_total", "Journal fsyncs issued.", "counter", st.Syncs)
+	}
+	if c := m.Checkpoints; c != nil {
+		st := c.Stats()
+		raw("aitia_checkpoint_saves_total", "Pipeline checkpoints saved.", "counter", st.Saves)
+		raw("aitia_checkpoint_loads_total", "Pipeline checkpoints loaded.", "counter", st.Loads)
+		raw("aitia_checkpoint_invalid_total", "Checkpoint loads rejected as invalid.", "counter", st.Invalid)
+		raw("aitia_checkpoint_misses_total", "Checkpoint loads with no snapshot present.", "counter", st.Misses)
+		raw("aitia_checkpoint_deletes_total", "Checkpoints deleted (e.g. stale terminal snapshots).", "counter", st.Deletes)
 	}
 
 	if p := m.FaultPlan; p != nil {

@@ -24,12 +24,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aitia"
 	"aitia/internal/core"
+	"aitia/internal/durable"
 	"aitia/internal/faultinject"
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
@@ -93,6 +95,22 @@ type Config struct {
 	// job gets genuinely fresh draws. Zero means the default (2);
 	// negative disables requeueing.
 	MaxRequeues int
+	// DataDir enables crash-safe operation. The job journal (a
+	// checksummed write-ahead log of every job transition) lives in
+	// DataDir/journal and the pipeline checkpoint store (LIFS frontiers,
+	// settled flip verdicts) in DataDir/checkpoints. Open replays the
+	// journal: terminal jobs come back queryable, their results warm the
+	// cache, and jobs that were queued or running when the process died
+	// are re-enqueued under a forked fault epoch — their searches resume
+	// from the latest checkpoints. Empty keeps everything in memory.
+	DataDir string
+	// SyncWrites fsyncs every journal append and checkpoint save. Off,
+	// durability is bounded by the OS page-cache flush interval.
+	SyncWrites bool
+	// CheckpointEvery additionally checkpoints serial LIFS searches
+	// mid-phase after this many schedules (core.CheckpointConfig.Every).
+	// Zero checkpoints at phase boundaries only.
+	CheckpointEvery int
 }
 
 // Diagnoser runs one resolved job. prog is the compiled program and req
@@ -231,28 +249,156 @@ type Service struct {
 	// waits out an exponential backoff.
 	drain chan struct{}
 
+	// Durability (nil without Config.DataDir): the job WAL and the
+	// pipeline checkpoint store.
+	journal *durable.Journal
+	ckStore *durable.CheckpointStore
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	closed bool
 }
 
-// New starts a service: the worker pool begins consuming the queue
-// immediately. Call Shutdown to drain it.
+// New starts an in-memory service: the worker pool begins consuming the
+// queue immediately. Call Shutdown to drain it. It panics when Open
+// fails, which only durable configurations (Config.DataDir) can — those
+// callers should use Open directly.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a service. With Config.DataDir set it opens the job
+// journal and checkpoint store, replays the journal (tolerating a torn
+// tail from a crashed predecessor), restores terminal jobs and the
+// result cache, re-enqueues jobs the crash interrupted, and compacts
+// the journal — all before the worker pool starts, so recovered work
+// and fresh submissions share one consistent queue.
+func Open(cfg Config) (*Service, error) {
 	cfg.applyDefaults()
 	s := &Service{
 		cfg:     cfg,
 		metrics: &Metrics{FaultPlan: cfg.Fault},
 		cache:   newResultCache(cfg.CacheSize),
-		queue:   make(chan *job, cfg.QueueDepth),
 		drain:   make(chan struct{}),
 		jobs:    make(map[string]*job),
+	}
+	queueDepth := cfg.QueueDepth
+	var pending []*job
+	if cfg.DataDir != "" {
+		tr := obs.New()
+		span := tr.Begin("service", "recover", 0)
+		ck, err := durable.OpenCheckpointStore(filepath.Join(cfg.DataDir, "checkpoints"), cfg.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+		jnl, err := durable.OpenJournal(filepath.Join(cfg.DataDir, "journal"), durable.JournalOptions{Sync: cfg.SyncWrites})
+		if err != nil {
+			return nil, err
+		}
+		s.ckStore, s.journal = ck, jnl
+		s.metrics.Journal, s.metrics.Checkpoints = jnl, ck
+		st, err := foldJournal(jnl)
+		if err != nil {
+			_ = jnl.Close()
+			return nil, err
+		}
+		// Compact before restoreJobs: its requeue records must land in
+		// the fresh post-compaction segment, not be erased by it.
+		if err := compactJournal(jnl, st); err != nil {
+			_ = jnl.Close()
+			return nil, err
+		}
+		pending = s.restoreJobs(st)
+		if len(pending) > queueDepth {
+			// Every interrupted job must fit back on the queue.
+			queueDepth = len(pending)
+		}
+		span.Arg("jobs", int64(len(st.jobs)))
+		span.Arg("requeued", int64(len(pending)))
+		span.End()
+		s.metrics.observeSpans(obs.Summarize(tr.Events()))
+	}
+	s.queue = make(chan *job, queueDepth)
+	for _, j := range pending {
+		s.queue <- j
+		s.metrics.QueueDepth.Inc()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// restoreJobs rebuilds the job table from the folded journal. Terminal
+// jobs come back queryable with their results; completed diagnoses warm
+// the cache in their original completion order, so the LRU bound evicts
+// the oldest journaled results first. Jobs that were queued or running
+// when the process died are returned for re-enqueueing, journaled as
+// requeued under a forked fault epoch (the crash was this epoch's
+// failure — the next run must not re-draw its exact faults).
+func (s *Service) restoreJobs(st *replayState) []*job {
+	s.nextID.Store(st.maxSeq)
+	var pending []*job
+	for _, id := range st.order {
+		rj := st.jobs[id]
+		if rj.submit.Req == nil {
+			continue
+		}
+		j := &job{
+			req:  *rj.submit.Req,
+			key:  rj.submit.Key,
+			done: make(chan struct{}),
+			tr:   obs.New(),
+			status: JobStatus{
+				ID:          id,
+				Scenario:    rj.submit.Req.Scenario,
+				CacheHit:    rj.submit.CacheHit,
+				Submitted:   rj.submit.At,
+				QueueWaitMS: rj.wait,
+				RunMS:       rj.run,
+			},
+		}
+		switch rj.state {
+		case StateDone:
+			j.status.State = StateDone
+			j.status.Result = rj.sum
+			close(j.done)
+		case StateFailed, StateCanceled:
+			j.status.State = rj.state
+			j.status.Error = rj.err
+			close(j.done)
+		default: // queued or running at crash time: run it again
+			prog, req, err := resolve(j.req)
+			if err != nil {
+				j.status.State = StateFailed
+				j.status.Error = err.Error()
+				s.journalAppend(jobRecord{Op: opFailed, ID: id, Error: j.status.Error})
+				close(j.done)
+				break
+			}
+			j.req, j.prog = req, prog
+			j.requeues = rj.epoch + 1
+			j.status.State = StateQueued
+			j.tr.Emit(obs.Event{Cat: "job", Name: "recovered", Start: j.tr.Now()})
+			s.journalAppend(jobRecord{Op: opRequeue, ID: id, Epoch: j.requeues})
+			s.metrics.JobsRecovered.Inc()
+			pending = append(pending, j)
+		}
+		s.jobs[id] = j
+	}
+	for _, rec := range st.warm {
+		rj, ok := st.jobs[rec.ID]
+		if !ok || rj.state != StateDone || rec.Summary == nil || rj.submit.Key == "" {
+			continue
+		}
+		s.cache.add(rj.submit.Key, rec.Summary)
+	}
+	return pending
 }
 
 // Metrics returns the service's metric registry.
@@ -269,6 +415,9 @@ type Health struct {
 	QueueDepth   int64  `json:"queue_depth"`
 	Jobs         int    `json:"jobs"`
 	CachedChains int    `json:"cached_chains"`
+	// Durable reports that the service runs with a job journal and
+	// checkpoint store (Config.DataDir).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // Health reports the service's occupancy and drain state.
@@ -287,6 +436,7 @@ func (s *Service) Health() Health {
 		QueueDepth:   s.metrics.QueueDepth.Value(),
 		Jobs:         jobs,
 		CachedChains: s.cache.len(),
+		Durable:      s.journal != nil,
 	}
 }
 
@@ -379,6 +529,8 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		j.status.Result = sum
 		close(j.done)
 		s.jobs[j.status.ID] = j
+		s.journalAppend(jobRecord{Op: opSubmit, ID: j.status.ID, Seq: seq, Req: &j.req, Key: key, CacheHit: true})
+		s.journalAppend(jobRecord{Op: opDone, ID: j.status.ID, Summary: sum})
 		s.metrics.JobsSubmitted.Inc()
 		s.metrics.CacheHits.Inc()
 		s.metrics.JobsCompleted.Inc()
@@ -401,6 +553,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 	s.jobs[j.status.ID] = j
+	s.journalAppend(jobRecord{Op: opSubmit, ID: j.status.ID, Seq: seq, Req: &j.req, Key: key})
 	s.metrics.JobsSubmitted.Inc()
 	s.metrics.CacheMisses.Inc()
 	s.metrics.QueueDepth.Inc()
@@ -462,6 +615,7 @@ func (s *Service) Cancel(id string) error {
 	case StateQueued:
 		j.status.State = StateCanceled
 		j.status.Error = context.Canceled.Error()
+		s.journalAppend(jobRecord{Op: opCanceled, ID: id, Error: j.status.Error})
 		s.metrics.JobsCanceled.Inc()
 		close(j.done)
 	case StateRunning:
@@ -508,8 +662,17 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		// Drain-time final sync: everything the pool journaled is on
+		// disk before the process reports a clean shutdown.
+		if s.journal != nil {
+			_ = s.journal.Sync()
+			_ = s.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
+		// The journal stays open: workers may still be appending. A
+		// process exit from here is exactly the crash the journal is
+		// for.
 		return ctx.Err()
 	}
 }
@@ -534,6 +697,12 @@ func (s *Service) pickUp(j *job) (context.Context, bool) {
 	if j.status.State != StateQueued {
 		return nil, false
 	}
+	if s.closed && s.journal != nil {
+		// Draining with a journal: leave queued-but-unstarted jobs on
+		// disk instead of racing the drain — the next incarnation
+		// re-enqueues them from the journal, losing no transitions.
+		return nil, false
+	}
 	timeout := s.cfg.JobTimeout
 	if ms := j.req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
 		timeout = time.Duration(ms) * time.Millisecond
@@ -544,6 +713,7 @@ func (s *Service) pickUp(j *job) (context.Context, bool) {
 	j.tr.Emit(obs.Event{Cat: "job", Name: "queued", Dur: j.tr.Now()})
 	j.status.State = StateRunning
 	j.status.QueueWaitMS = j.picked.Sub(j.status.Submitted).Milliseconds()
+	s.journalAppend(jobRecord{Op: opStart, ID: j.status.ID, QueueWaitMS: j.status.QueueWaitMS})
 	s.metrics.QueueWait.Observe(j.picked.Sub(j.status.Submitted).Seconds())
 	return ctx, true
 }
@@ -577,6 +747,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		j.status.State = StateDone
 		j.status.Result = sum
 		s.cache.add(j.key, sum)
+		s.journalAppend(jobRecord{Op: opDone, ID: j.status.ID, Summary: sum, RunMS: j.status.RunMS})
 		s.metrics.JobsCompleted.Inc()
 		if sum.Partial {
 			s.metrics.JobsPartial.Inc()
@@ -588,6 +759,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	case errors.Is(err, context.Canceled):
 		j.status.State = StateCanceled
 		j.status.Error = err.Error()
+		s.journalAppend(jobRecord{Op: opCanceled, ID: j.status.ID, Error: j.status.Error})
 		s.metrics.JobsCanceled.Inc()
 	default:
 		// Classified infrastructure failures (injected faults, retry
@@ -601,6 +773,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 				j.status.State = StateQueued
 				j.status.Error = ""
 				j.tr.Emit(obs.Event{Cat: "job", Name: "requeue", Start: j.tr.Now()})
+				s.journalAppend(jobRecord{Op: opRequeue, ID: j.status.ID, Epoch: j.requeues})
 				s.metrics.JobsRequeued.Inc()
 				s.metrics.QueueDepth.Inc()
 				return // the job lives on; done stays open
@@ -610,6 +783,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		}
 		j.status.State = StateFailed
 		j.status.Error = err.Error()
+		s.journalAppend(jobRecord{Op: opFailed, ID: j.status.ID, Error: j.status.Error, RunMS: j.status.RunMS})
 		s.metrics.JobsFailed.Inc()
 	}
 	close(j.done)
@@ -642,6 +816,10 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 			lifs.WantInstr = in.ID
 		}
 	}
+	var ck *core.CheckpointConfig
+	if s.ckStore != nil {
+		ck = &core.CheckpointConfig{Store: s.ckStore, Every: s.cfg.CheckpointEvery}
+	}
 	mgr, err := manager.New(prog, manager.Options{
 		Workers:     s.cfg.JobWorkers,
 		LIFSWorkers: req.Options.Workers,
@@ -650,9 +828,10 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 			StepBudget: req.Options.StepBudget,
 			LeakCheck:  lifs.LeakCheck,
 		},
-		Tracer: tr,
-		Fault:  fi.Plan,
-		Retry:  fi.Retry,
+		Tracer:     tr,
+		Fault:      fi.Plan,
+		Retry:      fi.Retry,
+		Checkpoint: ck,
 	})
 	if err != nil {
 		return nil, err

@@ -71,6 +71,11 @@ type ResultSummary struct {
 	// how many spans each pipeline stage emitted and their total duration.
 	// Empty unless the diagnosis ran with tracing.
 	Spans []SpanStat `json:"spans,omitempty"`
+	// Resumed reports that a pipeline stage continued from a durable
+	// checkpoint; CheckpointAge is the age of the search checkpoint it
+	// resumed from (JSON: integer nanoseconds).
+	Resumed       bool          `json:"resumed,omitempty"`
+	CheckpointAge time.Duration `json:"checkpoint_age_ns,omitempty"`
 }
 
 // Summary projects the diagnosis onto its serializable form.
@@ -97,6 +102,8 @@ func (r *Result) Summary() *ResultSummary {
 		SnapshotBytes:     r.SnapshotBytes,
 		Phases:            append([]PhaseStat(nil), r.Phases...),
 		Spans:             append([]obs.SpanStat(nil), r.Spans...),
+		Resumed:           r.Resumed,
+		CheckpointAge:     r.CheckpointAge,
 	}
 	for _, race := range r.ChainRaces {
 		v := "root-cause"
