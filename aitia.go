@@ -39,6 +39,7 @@ import (
 	"aitia/internal/faultinject"
 	"aitia/internal/fuzz"
 	"aitia/internal/history"
+	"aitia/internal/ingest"
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
@@ -215,6 +216,12 @@ type Result struct {
 	// counts and total durations of each pipeline stage. Empty unless
 	// Options.Tracer was set.
 	Spans []obs.SpanStat
+	// ReportPartial lists the machine-readable degradation reasons when
+	// the diagnosis was driven by a crash report that did not fully
+	// resolve against the program (see DiagnoseReport): unknown symbols,
+	// missing stacks, ambiguous sites. Empty for fully resolved reports
+	// and for trace-driven diagnoses.
+	ReportPartial []string
 	// Resumed reports that a pipeline stage continued from a durable
 	// checkpoint instead of starting over; CheckpointAge is the age of
 	// the search checkpoint it resumed from (zero for a resumed analysis
@@ -285,6 +292,97 @@ func DiagnoseScenario(name string, opts Options) (*Result, error) {
 // Diagnose diagnoses a compiled program's declared threads.
 func Diagnose(p *Program, opts Options) (*Result, error) {
 	return diagnose(p.prog, opts)
+}
+
+// ScenarioProgram compiles a corpus scenario's program, for callers that
+// pair a scenario with external input (e.g. a crash report for
+// DiagnoseReport).
+func ScenarioProgram(name string) (*Program, error) {
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("aitia: unknown scenario %q (see Scenarios())", name)
+	}
+	prog, err := sc.Program()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog}, nil
+}
+
+// DiagnoseReport diagnoses a failure from a KCSAN/KASAN-style textual
+// crash report alone — no execution trace. The report's title yields the
+// failure kind and site, its data-race section the suspect instruction
+// pair; each plausible resolution runs as a guided LIFS search seeded
+// with the suspects, with an unguided fallback for degraded or
+// mis-resolved reports (see internal/ingest and manager.DiagnoseReport).
+// Result.ReportPartial lists whatever the report left unresolved.
+func DiagnoseReport(p *Program, reportText string, opts Options) (*Result, error) {
+	rpt, err := ingest.Parse(reportText)
+	if err != nil {
+		return nil, err
+	}
+	plan := faultPlan(opts)
+	ck, err := checkpointConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	lifs := lifsOptions(p.prog, opts, plan)
+	lifs.Tracer = nil // per-candidate child tracers; the manager adopts the winner's
+	mgr, err := manager.New(p.prog, manager.Options{
+		Workers:     opts.Workers,
+		LIFSWorkers: opts.LIFSWorkers,
+		LIFS:        lifs,
+		Analysis: core.AnalysisOptions{
+			StepBudget: opts.StepBudget,
+			LeakCheck:  opts.LeakCheck,
+		},
+		Tracer:     opts.Tracer,
+		Fault:      plan,
+		Retry:      opts.Retry,
+		Checkpoint: ck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mres, err := mgr.DiagnoseReport(context.Background(), rpt)
+	if err != nil {
+		return nil, err
+	}
+	res := FromManagerResult(p.prog, mres)
+	attachSpans(res, opts.Tracer)
+	return res, nil
+}
+
+// ScenarioReport reproduces a corpus scenario's failure and renders it
+// as a KCSAN-style crash report: the sanitizer title plus one access
+// block per side of the race nearest the failure. The output feeds back
+// into DiagnoseReport, which is how the scenario corpus doubles as a
+// report-driven workload.
+func ScenarioReport(name string, opts Options) (string, error) {
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("aitia: unknown scenario %q (see Scenarios())", name)
+	}
+	prog, err := sc.Program()
+	if err != nil {
+		return "", err
+	}
+	m, err := kvm.New(prog)
+	if err != nil {
+		return "", err
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{
+		MaxInterleavings: opts.MaxInterleavings,
+		StepBudget:       opts.StepBudget,
+		WantKind:         sc.WantKind,
+		WantInstr:        sc.WantInstr(),
+		LeakCheck:        opts.LeakCheck || sc.NeedsLeakCheck(),
+		Workers:          opts.LIFSWorkers,
+	})
+	if err != nil {
+		return "", err
+	}
+	return ingest.Synthesize(prog, rep.Run, rep.Races)
 }
 
 // FuzzResult reports a fuzzing campaign that found a failure.
@@ -440,6 +538,11 @@ func FromManagerResult(prog *kir.Program, mres *manager.Result) *Result {
 	res.SlicesTried = mres.SlicesTried
 	res.ReproduceTime = mres.ReproduceTime
 	res.DiagnoseTime = mres.DiagnoseTime
+	if mres.Resolution != nil {
+		for _, reason := range mres.Resolution.Partial {
+			res.ReportPartial = append(res.ReportPartial, string(reason))
+		}
+	}
 	return res
 }
 

@@ -161,6 +161,51 @@ end
 	}
 }
 
+// TestReportRoundTrip: render a scenario's failure as a crash report,
+// then diagnose from the report text alone — the chain must match the
+// direct trace-driven diagnosis, with no resolution gaps.
+func TestReportRoundTrip(t *testing.T) {
+	direct, err := DiagnoseScenario("fig1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := ScenarioReport("fig1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "BUG:") {
+		t.Fatalf("report missing title:\n%s", text)
+	}
+	prog, err := ScenarioProgram("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiagnoseReport(prog, text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain != direct.Chain {
+		t.Errorf("report chain = %q, direct chain = %q", res.Chain, direct.Chain)
+	}
+	if len(res.ReportPartial) != 0 {
+		t.Errorf("full synthesized report resolved with gaps: %v", res.ReportPartial)
+	}
+
+	// A title-only report is under-specified: diagnosis still lands on
+	// the same chain (via the wider search) but the gaps are surfaced.
+	title := strings.SplitN(text, "\n", 2)[0]
+	partial, err := DiagnoseReport(prog, title+"\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.ReportPartial) == 0 {
+		t.Error("title-only report reported no resolution gaps")
+	}
+	if partial.Chain != direct.Chain {
+		t.Errorf("title-only chain = %q, want %q", partial.Chain, direct.Chain)
+	}
+}
+
 func TestFailureKindFilter(t *testing.T) {
 	// Constraining to the wrong kind must fail to reproduce.
 	_, err := DiagnoseScenario("fig1", Options{FailureKind: "KASAN: use-after-free"})

@@ -12,11 +12,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -24,8 +26,10 @@ import (
 	"aitia/internal/core"
 	"aitia/internal/eval"
 	"aitia/internal/faultinject"
+	"aitia/internal/ingest"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
+	"aitia/internal/manager"
 	"aitia/internal/obs"
 	"aitia/internal/report"
 	"aitia/internal/sanitizer"
@@ -46,6 +50,8 @@ func main() {
 		out      = flag.String("out", "", "with -lifs: also write the artifact as JSON to this path")
 		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
 		checkCh  = flag.Bool("check-chains", false, "re-diagnose the corpus and fail unless every chain matches the golden set (the CI corpus gate)")
+		checkRep = flag.Bool("check-reports", false, "report-corpus gate: synthesize each scenario's crash report, re-diagnose from the report alone, and fail unless the chain is golden and the seeded search runs strictly fewer schedules than the blind baseline")
+		repArt   = flag.String("report-artifacts", "", "with -check-reports: write each failing scenario's synthesized report and execution trace into this directory")
 		faults   = flag.Bool("faults", false, "chaos gate: re-diagnose the corpus under deterministic fault injection (seeded by -seed) and fail unless serial and 8-worker runs agree and every chain is golden or Partial with a machine-readable reason")
 		faultR   = flag.Float64("fault-rate", 0.1, "with -faults: per-decision fault probability")
 		checkLF  = flag.String("check-lifs", "", "run the -lifs artifact and fail if schedule counts or speedups regress more than 25% against the committed baseline JSON at this path")
@@ -57,7 +63,7 @@ func main() {
 		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *trace == "" {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*checkRep && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *trace == "" {
 		*all = true
 	}
 
@@ -91,6 +97,9 @@ func main() {
 	}
 	if *checkCh {
 		check(checkChains())
+	}
+	if *checkRep {
+		check(checkReports(*repArt))
 	}
 	if *faults {
 		// With -faults, -trace names the failure artifact runChaos writes
@@ -144,6 +153,97 @@ func checkChains() error {
 	}
 	fmt.Printf("check-chains: all %d scenario chains match the golden set\n", len(rows))
 	return nil
+}
+
+// checkReports is the report-corpus CI gate: for every scenario it
+// reproduces the failure blind, renders the failing run as a KCSAN-style
+// crash report, then diagnoses from that report text alone. The gate
+// fails unless the report-driven chain matches the golden set AND the
+// report-seeded search executes strictly fewer schedules than the blind
+// baseline — the whole point of constraining LIFS with report suspects.
+// When artifactDir is set, each violating scenario leaves its report and
+// an execution trace of the report-driven run there for upload.
+func checkReports(artifactDir string) error {
+	bad := 0
+	for _, sc := range scenarios.All() {
+		prog := sc.MustProgram()
+		m, err := kvm.New(prog)
+		if err != nil {
+			return err
+		}
+		blind, err := core.Reproduce(m, core.LIFSOptions{
+			WantKind:  sc.WantKind,
+			WantInstr: sc.WantInstr(),
+			LeakCheck: sc.NeedsLeakCheck(),
+		})
+		if err != nil {
+			return fmt.Errorf("check-reports: %s: blind baseline: %w", sc.Name, err)
+		}
+		text, err := ingest.Synthesize(prog, blind.Run, blind.Races)
+		if err != nil {
+			return fmt.Errorf("check-reports: %s: synthesize: %w", sc.Name, err)
+		}
+		rpt, err := ingest.Parse(text)
+		if err != nil {
+			return fmt.Errorf("check-reports: %s: synthesized report does not parse: %w", sc.Name, err)
+		}
+
+		tr := obs.New()
+		mgr, err := manager.New(prog, manager.Options{Tracer: tr})
+		if err != nil {
+			return err
+		}
+		mres, err := mgr.DiagnoseReport(context.Background(), rpt)
+		fail := func(format string, args ...any) {
+			fmt.Printf("FAIL %-22s %s\n", sc.Name, fmt.Sprintf(format, args...))
+			bad++
+			if werr := writeReportArtifacts(artifactDir, sc.Name, text, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "check-reports: could not write artifacts for %s: %v\n", sc.Name, werr)
+			}
+		}
+		switch {
+		case err != nil:
+			fail("report-driven diagnosis errored: %v", err)
+		case mres.Resolution.Degraded():
+			fail("synthesized report resolved degraded: %v", mres.Resolution.Partial)
+		default:
+			chain := mres.Diagnosis.Chain.Format(prog)
+			seeded := mres.Reproduction.Stats.Schedules
+			if want := scenarios.GoldenChains[sc.Name]; chain != want {
+				fail("chain = %q\n     %-22s want    %q", chain, "", want)
+			} else if seeded >= blind.Stats.Schedules {
+				fail("seeded search ran %d schedules, blind baseline %d — want strictly fewer", seeded, blind.Stats.Schedules)
+			} else {
+				fmt.Printf("ok   %-22s %d -> %d schedules  %s\n", sc.Name, blind.Stats.Schedules, seeded, chain)
+			}
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("check-reports: %d of %d scenarios fail the report-driven gate", bad, len(scenarios.All()))
+	}
+	fmt.Printf("check-reports: all %d scenarios diagnose from their crash report alone, each with fewer schedules than blind\n",
+		len(scenarios.All()))
+	return nil
+}
+
+// writeReportArtifacts dumps a violating scenario's synthesized report
+// and the Chrome trace of its report-driven diagnosis, so the CI gate
+// leaves a postmortem. A nil/empty dir disables artifacts.
+func writeReportArtifacts(dir, name, reportText string, tr *obs.Tracer) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".report.txt"), []byte(reportText), 0o644); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".trace.json"), buf.Bytes(), 0o644)
 }
 
 // runChaos is the chaos CI gate: every corpus scenario is re-diagnosed

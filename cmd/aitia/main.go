@@ -8,6 +8,8 @@
 //	aitia -scenario cve-2017-15649       # diagnose a corpus scenario
 //	aitia -file bug.kasm                 # diagnose a kasm program
 //	aitia -scenario fig1 -quiet          # print only the chain
+//	aitia -scenario fig1 -emit-report    # render the failure as a crash report
+//	aitia -report crash.txt -scenario fig1  # diagnose from a crash report alone
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 		scenario   = flag.String("scenario", "", "diagnose a built-in scenario by name")
 		file       = flag.String("file", "", "diagnose a kasm program file")
 		findingArg = flag.String("finding", "", "diagnose a finding file written by 'aitia-fuzz -out'")
+		reportArg  = flag.String("report", "", "diagnose from a KCSAN/KASAN-style crash report file; the program comes from -scenario or -file")
+		emitReport = flag.Bool("emit-report", false, "with -scenario: reproduce the failure and print it as a crash report, then exit")
 		export     = flag.String("export-corpus", "", "write every corpus scenario as a .kasm file into this directory and exit")
 		verifyFix  = flag.Bool("verify-fix", false, "with -scenario: check that the modelled developer fix prevents the failure; with -file and -fixed: check a custom patch")
 		fixedFile  = flag.String("fixed", "", "patched kasm program to verify against -file's diagnosis")
@@ -77,6 +81,18 @@ func main() {
 		opts.Tracer = obs.New()
 	}
 
+	if *emitReport {
+		if *scenario == "" {
+			fatal(fmt.Errorf("-emit-report needs -scenario"))
+		}
+		text, err := aitia.ScenarioReport(*scenario, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+
 	if *verifyFix {
 		if err := runVerifyFix(*scenario, *file, *fixedFile, opts); err != nil {
 			fatal(err)
@@ -92,6 +108,8 @@ func main() {
 		err error
 	)
 	switch {
+	case *reportArg != "":
+		res, err = diagnoseReport(*reportArg, *scenario, *file, opts)
 	case *scenario != "":
 		res, err = aitia.DiagnoseScenario(*scenario, opts)
 	case *file != "":
@@ -119,6 +137,10 @@ func main() {
 	if res.Partial {
 		fmt.Fprintf(os.Stderr, "aitia: partial diagnosis (%s): %d race(s) left untested\n",
 			res.PartialReason, len(res.Unknown))
+	}
+	if len(res.ReportPartial) > 0 {
+		fmt.Fprintf(os.Stderr, "aitia: report resolved with gaps (%s); diagnosis fell back to a wider search\n",
+			strings.Join(res.ReportPartial, ", "))
 	}
 	if *quiet {
 		fmt.Println(res.Chain)
@@ -148,13 +170,47 @@ func writeTrace(path string, tr *obs.Tracer) error {
 	return nil
 }
 
-// diagnoseFinding runs the pipeline on a saved bug-finder finding: the
-// trace is modelled into slices and the crash information constrains
-// which failure LIFS accepts.
-func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
-	prog, tr, _, err := finding.Load(path)
+// diagnoseReport runs the pipeline from a crash report alone: the report
+// file is parsed and resolved against the program (from -scenario or
+// -file), and its suspects seed a constrained LIFS search.
+func diagnoseReport(reportPath, scenario, file string, opts aitia.Options) (*aitia.Result, error) {
+	text, err := os.ReadFile(reportPath)
 	if err != nil {
 		return nil, err
+	}
+	var prog *aitia.Program
+	switch {
+	case scenario != "":
+		prog, err = aitia.ScenarioProgram(scenario)
+	case file != "":
+		var src []byte
+		if src, err = os.ReadFile(file); err == nil {
+			prog, err = aitia.Compile(string(src))
+		}
+	default:
+		return nil, fmt.Errorf("-report needs the program it crashed: add -scenario or -file")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return aitia.DiagnoseReport(prog, string(text), opts)
+}
+
+// diagnoseFinding runs the pipeline on a saved bug-finder finding. A
+// trace finding is modelled into slices with the crash information
+// constraining which failure LIFS accepts; a report-only finding (no
+// trace, just a crash report) goes through the report-driven pipeline.
+func diagnoseFinding(path string, opts aitia.Options) (*aitia.Result, error) {
+	prog, tr, file, err := finding.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if file.ReportOnly() {
+		p, err := aitia.Compile(file.Program)
+		if err != nil {
+			return nil, err
+		}
+		return aitia.DiagnoseReport(p, file.Report, opts)
 	}
 	mgr, err := manager.New(prog, manager.Options{Workers: opts.Workers, LIFSWorkers: opts.LIFSWorkers, Tracer: opts.Tracer})
 	if err != nil {

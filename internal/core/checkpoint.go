@@ -115,6 +115,14 @@ func lifsCheckpointKey(prog *kir.Program, opts LIFSOptions) string {
 		opts.MaxInterleavings, opts.StepBudget, opts.LeakCheck,
 		opts.WantKind, opts.WantInstr, opts.RecordLeaves,
 		opts.NoPruning, opts.NoLeastFirst, opts.NoPhantom)
+	if opts.Guide != nil {
+		// A guided search explores (seeds and prunes) a different tree:
+		// its frontier must never resume a blind search or a search
+		// guided by different suspects.
+		for _, sa := range opts.Guide.Suspects {
+			fmt.Fprintf(h, "|g=%d:%s:%x:%t", sa.Instr, sa.Thread, sa.Addr, sa.Write)
+		}
+	}
 	return fmt.Sprintf("%s.lifs.%016x", prog.Hash(), h.Sum64())
 }
 

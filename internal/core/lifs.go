@@ -65,6 +65,11 @@ type LIFSOptions struct {
 	// Retry bounds the re-execution of faulted operations; zero-value
 	// knobs mean faultinject.DefaultRetry.
 	Retry faultinject.RetryPolicy
+	// Guide switches the search into constrained, report-driven mode:
+	// the crash report's suspect accesses are seeded as conflict points
+	// and branches that can no longer reproduce the reported failure are
+	// pruned. Nil searches blind. See Guide.
+	Guide *Guide
 	// Checkpoint arms durable search checkpoints: the frontier is saved
 	// at every deepening-phase boundary (and, serially, every
 	// CheckpointConfig.Every schedules), and the search resumes from the
@@ -104,6 +109,7 @@ type SearchStats struct {
 	Schedules     int           // complete runs executed by THIS process (resumed work not re-counted)
 	Interleavings int           // preemption count at which the failure reproduced
 	Pruned        int           // branches pruned as equivalent states
+	GuidePruned   int           // branches pruned by report-guided reachability (LIFSOptions.Guide)
 	SnapshotBytes uint64        // bytes copied by copy-on-write checkpointing
 	Elapsed       time.Duration // wall-clock search time
 	Phases        []PhaseStat   // per-phase schedule throughput (includes checkpointed phases)
@@ -176,6 +182,25 @@ func reproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions, all
 	}
 	s.initSig = m.StateSignature()
 	s.init = m.Snapshot()
+
+	// Report-guided mode: compile the reachability oracles and seed the
+	// suspect accesses into the access knowledge, so the suspect pair is
+	// a conflict point — explored in both orders — from the very first
+	// phase. Seeding precedes any checkpoint restore; a restored map was
+	// exported by a search with the same guide (the checkpoint key covers
+	// it) and already contains the seeds.
+	if opts.Guide != nil {
+		s.guide = newGuideState(m.Prog(), opts)
+		for _, sa := range opts.Guide.Suspects {
+			if sa.Thread == "" || sa.Addr == 0 {
+				continue
+			}
+			if _, ok := m.Prog().Instr(sa.Instr); !ok {
+				continue
+			}
+			s.am.Record(sched.Site{Thread: sa.Thread, Instr: sa.Instr}, sa.Addr, sa.Write)
+		}
+	}
 
 	// Checkpointing: derive the key and load the latest valid frontier.
 	// An invalid, version-skewed or foreign-state snapshot loads as nil
@@ -301,6 +326,7 @@ rounds:
 	s.stats.Elapsed = time.Since(start)
 	s.stats.Schedules = int(s.schedules.Load())
 	s.stats.Pruned = int(s.pruned.Load())
+	s.stats.GuidePruned = int(s.guidePruned.Load())
 	s.stats.SnapshotBytes = m.SnapshotBytes() + s.workerBytes()
 
 	if searchErr != nil {
@@ -413,6 +439,7 @@ type searcher struct {
 	m        *kvm.Machine
 	am       *sched.AccessMap // authoritative access knowledge, merged between phases
 	opts     LIFSOptions
+	guide    *guideState // compiled report guide; nil in blind mode
 	fallback []string
 	init     *kvm.Snapshot
 	initSig  uint64 // state signature of the initial state (worker validation)
@@ -422,10 +449,11 @@ type searcher struct {
 	errMu  sync.Mutex
 	ctxErr error // set when ctx canceled the search
 
-	schedules atomic.Int64 // complete runs executed
-	pruned    atomic.Int64
-	exhausted atomic.Bool  // MaxSchedules hit
-	best      atomic.Int64 // lowest unit ordinal with an accepted leaf this phase
+	schedules   atomic.Int64 // complete runs executed
+	pruned      atomic.Int64
+	guidePruned atomic.Int64
+	exhausted   atomic.Bool  // MaxSchedules hit
+	best        atomic.Int64 // lowest unit ordinal with an accepted leaf this phase
 
 	spareMu sync.Mutex
 	spare   []*workerVM // worker machines reused across phases
@@ -969,6 +997,15 @@ type explorer struct {
 	trace   []sched.Exec
 	ctxTick int
 	aborted bool
+	// suspectSeen marks the guide suspects executed on the current path
+	// (bit i = guideState.suspects[i]); saved and restored alongside the
+	// trace at backtrack points.
+	suspectSeen uint32
+	// offReport flags that the report guide proved the reported failure
+	// impossible below the current path: the run completes straight-line
+	// (for access discovery) without branching and its leaf is discarded.
+	// Reset alongside suspectSeen at backtrack points.
+	offReport bool
 }
 
 func newExplorer(p *phaseRun, u *unit, m *kvm.Machine, probe bool) *explorer {
@@ -1026,6 +1063,25 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 		if e.m.Failure() != nil {
 			return e.leaf(budget)
 		}
+		// Report-guided mode: when reachability says the reported failure
+		// has become impossible below this state — the accept site is
+		// unreachable (with no live allocation from it when leaks are in
+		// play), or a not-yet-executed suspect is unreachable — the path
+		// flips to off-report mode. Off-report exploration stops BRANCHING
+		// (the whole subtree fan-out is the saved work) but still runs one
+		// straight-line completion, because the accesses it records feed
+		// conflict-point discovery and race identification: truncating the
+		// run here would starve later phases and the analysis stage of the
+		// access knowledge a blind search gathers from the same runs. The
+		// decision is a pure function of machine state and executed-suspect
+		// history, so serial and parallel searches agree. Off-report leaves
+		// (and on-report leaves the accept filter rejects) are discarded in
+		// leaf() rather than counted — a blind search must execute and
+		// count these same runs, which is what makes guided
+		// Stats.Schedules strictly smaller whenever any run ends benignly.
+		if !e.offReport && e.guidePruned() {
+			e.offReport = true
+		}
 		if e.m.AllDone() {
 			if e.s.opts.LeakCheck {
 				e.m.CheckLeaks()
@@ -1066,6 +1122,11 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 			// at its first conflict point, and the check there performs
 			// the deduplication.
 			choices := e.m.Runnable()
+			if e.offReport && len(choices) > 0 {
+				// Straight-line completion: no branching off-report.
+				cur = choices[0]
+				continue
+			}
 			if len(choices) == 0 {
 				e.injectDeadlock()
 				return e.leaf(budget)
@@ -1087,6 +1148,7 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 			}
 			snap := e.m.Snapshot()
 			tlen := len(e.trace)
+			seen := e.suspectSeen
 			for _, choice := range choices {
 				if e.explore(choice, budget, cloneStack(returnStack)) {
 					return true
@@ -1096,6 +1158,8 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 				}
 				e.m.Restore(snap)
 				e.trace = e.trace[:tlen]
+				e.suspectSeen = seen
+				e.offReport = false
 			}
 			return false
 		}
@@ -1105,8 +1169,10 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 		// a path reaching a state another path already explored with the
 		// same remaining budget produces only equivalent sequences), and
 		// remaining preemption budget branches to every other viable
-		// thread.
-		if e.isConflictPoint(cur) {
+		// thread. Off-report paths skip this entirely: they neither branch
+		// nor claim visited states (their subtree fate differs from a
+		// normal path's, so a claim here would dedup-prune live work).
+		if !e.offReport && e.isConflictPoint(cur) {
 			branched := false
 			if e.splitPending && budget > 0 {
 				if others := e.othersViable(cur); len(others) > 0 {
@@ -1136,6 +1202,7 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 					others := e.othersViable(cur)
 					snap := e.m.Snapshot()
 					tlen := len(e.trace)
+					seen := e.suspectSeen
 					for _, u := range others {
 						if e.explore(u, budget-1, cloneStack(returnStack)) {
 							return true
@@ -1145,6 +1212,8 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 						}
 						e.m.Restore(snap)
 						e.trace = e.trace[:tlen]
+						e.suspectSeen = seen
+						e.offReport = false
 					}
 					// Fall through: continue the current thread without
 					// preempting (budget unchanged).
@@ -1188,6 +1257,11 @@ func (e *explorer) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) 
 		Name:   curT.Name,
 		Instr:  ev.Instr,
 	}
+	if g := e.s.guide; g != nil {
+		if bits, ok := g.byInstr[ev.Instr.ID]; ok {
+			e.suspectSeen |= bits
+		}
+	}
 	site := sched.Site{Thread: curT.Name, Instr: ev.Instr.ID}
 	for _, a := range ev.Accesses {
 		exec.Accesses = append(exec.Accesses, sched.AccessRec{Addr: a.Addr, Write: a.Write})
@@ -1204,11 +1278,22 @@ func (e *explorer) record(cur kvm.ThreadID, curT *kvm.Thread, ev kvm.StepEvent) 
 
 // leaf finishes one complete run.
 func (e *explorer) leaf(budgetLeft int) bool {
+	f := e.m.Failure()
+	// Report-guided discard: a run that ended off-report, or with a
+	// failure the accept filter rejects (including none at all), is per
+	// the report's testimony not the reported failure. Its accesses were
+	// already recorded for discovery; the run itself is not credited as a
+	// schedule. Winner-preserving — the reproduction must be accepted, and
+	// the winner's own path never goes off-report (every suspect executes
+	// on it and the accept site stays reachable until the failure).
+	if e.s.guide != nil && (e.offReport || !e.s.accept(f)) {
+		e.s.guidePruned.Add(1)
+		return false
+	}
 	n := e.s.schedules.Add(1)
 	if int(n) >= e.s.opts.MaxSchedules {
 		e.s.exhausted.Store(true)
 	}
-	f := e.m.Failure()
 	if e.s.opts.RecordLeaves {
 		lt := LeafTrace{Failed: f != nil, Preemptions: e.p.k - budgetLeft}
 		for _, x := range e.trace {
@@ -1340,6 +1425,22 @@ func (e *explorer) exempt(c int) bool {
 	// Parallel task: only lower groups' probes have provably claimed the
 	// state at this point of the serial order.
 	return !(cu.probe && cu.group < e.u.group)
+}
+
+// guidePruned applies the report guide's reachability test to the
+// machine's current state: true flips the path into off-report mode
+// (straight-line completion, leaf discarded). The counter tallies these
+// entries plus every discarded leaf.
+func (e *explorer) guidePruned() bool {
+	g := e.s.guide
+	if g == nil {
+		return false
+	}
+	if g.pruned(e.m, e.suspectSeen) {
+		e.s.guidePruned.Add(1)
+		return true
+	}
+	return false
 }
 
 // injectDeadlock mirrors the enforcement engine's deadlock failure.

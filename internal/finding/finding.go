@@ -18,21 +18,39 @@ import (
 	"aitia/internal/sanitizer"
 )
 
+// Version is the current finding schema version. Version 2 added the
+// Report field (report-only findings) and the version marker itself;
+// files without one (version 0/1) are the legacy trace-only layout and
+// still load. Files from a NEWER schema than this package knows are
+// rejected rather than misread.
+const Version = 2
+
 // File is the serialized form of one finding.
 type File struct {
+	// SchemaVersion is the schema the file was written with; zero means
+	// a legacy (pre-versioning) trace finding.
+	SchemaVersion int `json:"version,omitempty"`
 	// Program is the kasm source of the program under test; instruction
 	// identities in Crash refer to it.
 	Program string `json:"program"`
+	// Report is a KCSAN/KASAN-style crash report. When set, the finding
+	// is report-only: Crash and Events are absent and diagnosis runs
+	// report-driven (ingest + guided search) instead of trace-driven.
+	Report string `json:"report,omitempty"`
 	// Seed and Runs document the fuzzing campaign.
 	Seed int64 `json:"seed"`
 	Runs int   `json:"runs"`
-	// Crash is the failure information.
+	// Crash is the failure information. Unused by report-only findings.
 	Crash Crash `json:"crash"`
 	// Events is the execution history (the ftrace analogue).
 	Events []Event `json:"events"`
 	// FDs maps syscall threads to file descriptors (for slicing closure).
 	FDs map[string]int `json:"fds,omitempty"`
 }
+
+// ReportOnly reports whether the finding carries a crash report instead
+// of a trace, and must be diagnosed report-driven.
+func (f *File) ReportOnly() bool { return f.Report != "" }
 
 // Crash is the serialized failure information.
 type Crash struct {
@@ -62,9 +80,10 @@ var eventKinds = map[string]history.EventKind{
 // FromFinding builds the serializable form from a fuzzer finding.
 func FromFinding(prog *kir.Program, f *fuzz.Finding) *File {
 	out := &File{
-		Program: kasm.Disassemble(prog),
-		Seed:    f.Seed,
-		Runs:    f.Runs,
+		SchemaVersion: Version,
+		Program:       kasm.Disassemble(prog),
+		Seed:          f.Seed,
+		Runs:          f.Runs,
 		Crash: Crash{
 			Kind:   f.Failure.Kind.String(),
 			Thread: f.Failure.Thread,
@@ -82,6 +101,17 @@ func FromFinding(prog *kir.Program, f *fuzz.Finding) *File {
 	return out
 }
 
+// FromReport builds a report-only finding: the program under test plus
+// a crash report, with no trace. Such a finding is diagnosed through
+// the report-driven pipeline.
+func FromReport(prog *kir.Program, report string) *File {
+	return &File{
+		SchemaVersion: Version,
+		Program:       kasm.Disassemble(prog),
+		Report:        report,
+	}
+}
+
 // Save writes the finding to path.
 func Save(path string, f *File) error {
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -92,6 +122,8 @@ func Save(path string, f *File) error {
 }
 
 // Load reads a finding file and reconstructs the program and trace.
+// For a report-only finding the trace is nil; check File.ReportOnly
+// and diagnose from File.Report instead.
 func Load(path string) (*kir.Program, *history.Trace, *File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -109,10 +141,18 @@ func Load(path string) (*kir.Program, *history.Trace, *File, error) {
 }
 
 // Restore reconstructs the program and trace from the serialized form.
+// Report-only findings restore with a nil trace: their crash report is
+// the diagnostic input, not an execution history.
 func (f *File) Restore() (*kir.Program, *history.Trace, error) {
+	if f.SchemaVersion > Version {
+		return nil, nil, fmt.Errorf("schema version %d is newer than supported %d", f.SchemaVersion, Version)
+	}
 	prog, err := kasm.Parse(f.Program)
 	if err != nil {
 		return nil, nil, fmt.Errorf("embedded program: %w", err)
+	}
+	if f.ReportOnly() {
+		return prog, nil, nil
 	}
 	kind, ok := sanitizer.KindByName(f.Crash.Kind)
 	if !ok {

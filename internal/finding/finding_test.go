@@ -59,6 +59,56 @@ func TestSaveLoadDiagnoseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReportOnlyRoundTrip: a report-only finding (schema v2) saves,
+// loads with a nil trace, and hands back the program and report intact
+// for report-driven diagnosis.
+func TestReportOnlyRoundTrip(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	report := "BUG: KASAN: use-after-free in some_fn+0x1\n"
+
+	path := filepath.Join(t.TempDir(), "report-finding.json")
+	f := FromReport(prog, report)
+	if !f.ReportOnly() || f.SchemaVersion != Version {
+		t.Fatalf("finding = %+v", f)
+	}
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+
+	loadedProg, tr, file, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Errorf("report-only finding restored a trace: %+v", tr)
+	}
+	if !file.ReportOnly() || file.Report != report {
+		t.Errorf("report = %q, want %q", file.Report, report)
+	}
+	if file.SchemaVersion != Version {
+		t.Errorf("version = %d, want %d", file.SchemaVersion, Version)
+	}
+	if loadedProg == nil || len(loadedProg.Threads) != len(prog.Threads) {
+		t.Errorf("program did not survive the round trip")
+	}
+
+	// A legacy trace finding (no version marker) must still load.
+	legacy := File{
+		Program: "global g = 1\nthread T f\nfunc f\nret\nend\n",
+		Crash:   Crash{Kind: "kernel BUG (BUG_ON)", Instr: -1},
+	}
+	if _, _, err := legacy.Restore(); err != nil {
+		t.Errorf("legacy finding rejected: %v", err)
+	}
+
+	// A finding from a future schema must be rejected, not misread.
+	future := File{SchemaVersion: Version + 1, Program: legacy.Program}
+	if _, _, err := future.Restore(); err == nil {
+		t.Error("future schema version accepted")
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, _, _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")

@@ -1,0 +1,44 @@
+package ingest
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the full ingestion path — Parse, Fingerprint, Resolve,
+// Candidates — over arbitrary report text. The invariants are the
+// package's contract: no panic on any input, a non-nil report whenever a
+// title line exists, and resolution that always terminates with a bounded
+// candidate fan-out. Seeds live in testdata/fuzz/FuzzParse; the CI quick
+// job runs a short -fuzztime smoke on top of the committed corpus.
+func FuzzParse(f *testing.F) {
+	prog := fanoutProg(nil)
+	f.Add(kcsanSample)
+	f.Add("kernel BUG at fanout_add+0x3!\n====\nBUG: KCSAN: data-race in a / b\n")
+	f.Add("BUG: memory leak in do_seccomp_install+0x0\n" +
+		"write to 0x101 of 8 bytes by task seccomp$1 on cpu 0:\n do_seccomp_install+0x0/0x9\n")
+	f.Add("INFO: task hung in lock_a\nread to ???? of 4 bytes by task t on cpu 9:\n lock_a\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if r.Title == "" {
+			t.Fatal("Parse returned a report without a title")
+		}
+		if len(r.Accesses) > 2 {
+			t.Fatalf("Parse kept %d access blocks, max is 2", len(r.Accesses))
+		}
+		if Fingerprint(r) != Fingerprint(r) {
+			t.Fatal("Fingerprint not deterministic")
+		}
+		ps := Resolve(prog, r)
+		for _, s := range ps.Suspects {
+			if _, ok := prog.Instr(s.Instr); !ok {
+				t.Fatalf("suspect resolved to invalid instruction %d", s.Instr)
+			}
+		}
+		if cs := ps.Candidates(8); len(cs) == 0 || len(cs) > 8 {
+			t.Fatalf("Candidates(8) = %d", len(cs))
+		}
+	})
+}

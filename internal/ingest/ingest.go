@@ -1,0 +1,208 @@
+// Package ingest turns KCSAN/KASAN-style textual crash reports into the
+// constraints a report-driven diagnosis needs: the failure kind and
+// failing location from the title line, and the racing access pair —
+// address, access type, task and call stack — from the KCSAN data-race
+// section. Resolve maps those against a program's symbol table into a
+// PartialSlice (suspect instructions, thread skeletons, degradation
+// reasons), and Synthesize renders a reproduced failing run back into the
+// same dialect, so the scenario corpus doubles as a report workload.
+//
+// The parser is deliberately lenient: real reports arrive truncated,
+// reformatted and with unresolvable symbols, so every missing piece
+// degrades the result (recorded as a machine-readable Reason on the
+// PartialSlice) instead of failing the ingestion. Parse only errors on
+// input with no usable title at all, and never panics.
+package ingest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"aitia/internal/sanitizer"
+)
+
+// Frame is one call-stack line of a report: a function name and the
+// instruction offset within it (-1 when the report carried none).
+type Frame struct {
+	Fn  string
+	Off int64
+}
+
+func (f Frame) String() string {
+	if f.Off < 0 {
+		return f.Fn
+	}
+	return fmt.Sprintf("%s+0x%x", f.Fn, f.Off)
+}
+
+// Access is one racing access block of the KCSAN section.
+type Access struct {
+	Write bool
+	Addr  uint64 // 0 when unparsable
+	Size  int    // bytes; 0 when unparsable
+	Task  string // task (thread) name as reported
+	CPU   int
+	Stack []Frame // innermost first
+}
+
+// Report is the parsed form of a crash report.
+type Report struct {
+	// Title is the raw first non-empty line.
+	Title string
+	// Kind is the failure class recognized from the title (KindNone when
+	// the title matches no known sanitizer header).
+	Kind sanitizer.Kind
+	// Site is the failing location named by the title (empty Fn when the
+	// title carried none).
+	Site Frame
+	// RacePair are the two function names of the "BUG: KCSAN: data-race
+	// in A / B" line, when present.
+	RacePair [2]string
+	// Accesses are the parsed access blocks, in report order (0, 1 or 2).
+	Accesses []Access
+}
+
+// titlePatterns maps sanitizer kinds to their report headers. The %s is
+// the failing location. Synthesize writes these; parseTitle matches them
+// (and a few real-world variants) back.
+var titlePatterns = []struct {
+	kind   sanitizer.Kind
+	prefix string
+	suffix string
+}{
+	{sanitizer.KindUseAfterFree, "BUG: KASAN: use-after-free in ", ""},
+	{sanitizer.KindOutOfBounds, "BUG: KASAN: slab-out-of-bounds in ", ""},
+	{sanitizer.KindDoubleFree, "BUG: KASAN: double-free in ", ""},
+	{sanitizer.KindBadFree, "BUG: KASAN: invalid-free in ", ""},
+	{sanitizer.KindNullDeref, "BUG: unable to handle kernel NULL pointer dereference in ", ""},
+	{sanitizer.KindGPF, "general protection fault in ", ""},
+	{sanitizer.KindBugOn, "kernel BUG at ", "!"},
+	{sanitizer.KindRefcount, "WARNING: refcount bug in ", ""},
+	{sanitizer.KindMemoryLeak, "BUG: memory leak in ", ""},
+	{sanitizer.KindBadUnlock, "WARNING: bad unlock balance detected! in ", ""},
+	{sanitizer.KindDeadlock, "INFO: task hung in ", ""},
+	{sanitizer.KindWatchdog, "watchdog: BUG: soft lockup in ", ""},
+}
+
+var (
+	// e.g. "write to 0x104 of 8 bytes by task seccomp$1 on cpu 0:"
+	accessRe = regexp.MustCompile(`^(write|read)(?: \(marked\))? to (0x[0-9a-fA-F]+|\?+) of (\d+) bytes? by (?:task|interrupt) (.+?)(?: on cpu (\d+))?:$`)
+	// e.g. " fanout_add+0x3/0x12" or " fanout_add" (offset unknown)
+	frameRe = regexp.MustCompile(`^\s+([A-Za-z_$][A-Za-z0-9_.$:#-]*)(?:\+0x([0-9a-fA-F]+))?(?:/0x[0-9a-fA-F]+)?\s*$`)
+	// e.g. "BUG: KCSAN: data-race in fanout_add / fanout_unlink"
+	kcsanRe = regexp.MustCompile(`^BUG: KCSAN: data-race in (\S+) / (\S+)`)
+)
+
+// Parse reads a crash report. It errors only when no title line exists;
+// everything else degrades to an emptier Report.
+func Parse(text string) (*Report, error) {
+	lines := strings.Split(text, "\n")
+	r := &Report{Kind: sanitizer.KindNone, Site: Frame{Off: -1}}
+
+	i := 0
+	for ; i < len(lines); i++ {
+		l := strings.TrimRight(lines[i], " \t\r")
+		if strings.TrimSpace(l) == "" || isSeparator(l) {
+			continue
+		}
+		r.Title = strings.TrimSpace(l)
+		break
+	}
+	if r.Title == "" {
+		return nil, fmt.Errorf("ingest: no report title found")
+	}
+	r.Kind, r.Site = parseTitle(r.Title)
+
+	var cur *Access
+	for ; i < len(lines); i++ {
+		l := strings.TrimRight(lines[i], " \t\r")
+		if m := kcsanRe.FindStringSubmatch(strings.TrimSpace(l)); m != nil {
+			r.RacePair = [2]string{m[1], m[2]}
+			cur = nil
+			continue
+		}
+		if m := accessRe.FindStringSubmatch(strings.TrimSpace(l)); m != nil {
+			if len(r.Accesses) == 2 {
+				cur = nil
+				continue // extra blocks: keep the first pair
+			}
+			a := Access{Write: m[1] == "write", Task: m[4]}
+			if v, err := strconv.ParseUint(strings.TrimPrefix(m[2], "0x"), 16, 64); err == nil {
+				a.Addr = v
+			}
+			if v, err := strconv.Atoi(m[3]); err == nil {
+				a.Size = v
+			}
+			if m[5] != "" {
+				if v, err := strconv.Atoi(m[5]); err == nil {
+					a.CPU = v
+				}
+			}
+			r.Accesses = append(r.Accesses, a)
+			cur = &r.Accesses[len(r.Accesses)-1]
+			continue
+		}
+		if cur != nil && strings.HasPrefix(l, " ") {
+			if strings.Contains(l, "Kernel Concurrency Sanitizer") {
+				cur = nil
+				continue
+			}
+			if m := frameRe.FindStringSubmatch(l); m != nil {
+				f := Frame{Fn: m[1], Off: -1}
+				if m[2] != "" {
+					if v, err := strconv.ParseInt(m[2], 16, 64); err == nil {
+						f.Off = v
+					}
+				}
+				cur.Stack = append(cur.Stack, f)
+				continue
+			}
+		}
+		// A blank line, separator or any unindented line ends the
+		// current access block.
+		if strings.TrimSpace(l) == "" || !strings.HasPrefix(l, " ") {
+			cur = nil
+		}
+	}
+	return r, nil
+}
+
+// parseTitle recognizes the sanitizer header and extracts the failing
+// location.
+func parseTitle(title string) (sanitizer.Kind, Frame) {
+	for _, p := range titlePatterns {
+		if !strings.HasPrefix(title, p.prefix) {
+			continue
+		}
+		loc := strings.TrimPrefix(title, p.prefix)
+		loc = strings.TrimSuffix(loc, p.suffix)
+		// Trailing context like "fn+0x3/0x12 [module]" or "fn!extra":
+		// keep the first whitespace-separated token.
+		if f := strings.Fields(loc); len(f) > 0 {
+			loc = f[0]
+		}
+		return p.kind, parseLoc(loc)
+	}
+	return sanitizer.KindNone, Frame{Off: -1}
+}
+
+// parseLoc splits "fn+0x3/0x12" (or bare "fn") into a Frame.
+func parseLoc(loc string) Frame {
+	if i := strings.IndexByte(loc, '/'); i >= 0 {
+		loc = loc[:i]
+	}
+	f := Frame{Fn: loc, Off: -1}
+	if i := strings.LastIndex(loc, "+0x"); i >= 0 {
+		if v, err := strconv.ParseInt(loc[i+3:], 16, 64); err == nil {
+			f.Fn, f.Off = loc[:i], v
+		}
+	}
+	return f
+}
+
+func isSeparator(l string) bool {
+	t := strings.TrimSpace(l)
+	return t != "" && strings.Trim(t, "=") == ""
+}

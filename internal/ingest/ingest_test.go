@@ -1,0 +1,473 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// kcsanSample is shaped like a real syzbot KCSAN report.
+const kcsanSample = `BUG: KASAN: use-after-free in fanout_demux+0x2
+==================================================================
+BUG: KCSAN: data-race in fanout_add / fanout_unlink
+
+write to 0x104 of 8 bytes by task setsockopt$1 on cpu 0:
+ fanout_add+0x3/0x12
+ packet_setsockopt+0x5/0x9
+read to 0x104 of 8 bytes by task close$2 on cpu 1:
+ fanout_unlink+0x1/0x6
+Reported by Kernel Concurrency Sanitizer on:
+CPU: 1 PID: 6541 Comm: close$2 Not tainted 6.6.0 #0
+==================================================================`
+
+func TestParseKCSANSample(t *testing.T) {
+	r, err := Parse(kcsanSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != sanitizer.KindUseAfterFree {
+		t.Errorf("kind = %v", r.Kind)
+	}
+	if r.Site.Fn != "fanout_demux" || r.Site.Off != 2 {
+		t.Errorf("site = %+v", r.Site)
+	}
+	if r.RacePair != [2]string{"fanout_add", "fanout_unlink"} {
+		t.Errorf("race pair = %v", r.RacePair)
+	}
+	if len(r.Accesses) != 2 {
+		t.Fatalf("accesses = %d", len(r.Accesses))
+	}
+	w, rd := r.Accesses[0], r.Accesses[1]
+	if !w.Write || w.Addr != 0x104 || w.Size != 8 || w.Task != "setsockopt$1" || w.CPU != 0 {
+		t.Errorf("write access = %+v", w)
+	}
+	if len(w.Stack) != 2 || w.Stack[0] != (Frame{Fn: "fanout_add", Off: 3}) ||
+		w.Stack[1] != (Frame{Fn: "packet_setsockopt", Off: 5}) {
+		t.Errorf("write stack = %+v", w.Stack)
+	}
+	if rd.Write || rd.Task != "close$2" || len(rd.Stack) != 1 {
+		t.Errorf("read access = %+v", rd)
+	}
+}
+
+func TestParseTitleKinds(t *testing.T) {
+	for _, p := range titlePatterns {
+		title := p.prefix + "some_fn+0x4" + p.suffix
+		kind, site := parseTitle(title)
+		if kind != p.kind {
+			t.Errorf("%q parsed as %v, want %v", title, kind, p.kind)
+		}
+		if site.Fn != "some_fn" || site.Off != 4 {
+			t.Errorf("%q site = %+v", title, site)
+		}
+	}
+	if kind, _ := parseTitle("something completely different"); kind != sanitizer.KindNone {
+		t.Errorf("unknown title parsed as %v", kind)
+	}
+}
+
+func TestParseLenient(t *testing.T) {
+	for _, text := range []string{
+		"", "\n\n", "====\n\n====",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted a title-less report", text)
+		}
+	}
+	// Garbage and truncation must never panic and still yield a report.
+	for _, text := range []string{
+		"kernel BUG at !",
+		"BUG: KASAN: use-after-free in f\nwrite to 0xzz of x bytes by task on cpu :",
+		kcsanSample[:len(kcsanSample)/2],
+		strings.ReplaceAll(kcsanSample, "0x104", "????"),
+	} {
+		if _, err := Parse(text); err != nil {
+			t.Errorf("Parse(%.40q...) = %v", text, err)
+		}
+	}
+}
+
+// fanoutProg builds a small program matching kcsanSample's symbols.
+func fanoutProg(t testing.TB) *kir.Program {
+	if t != nil {
+		t.Helper()
+	}
+	b := kir.NewBuilder()
+	b.Var("po_list", 0)
+	fa := b.Func("fanout_add")
+	fa.Load(kir.R1, kir.G("po_list"))
+	fa.Load(kir.R2, kir.G("po_list"))
+	fa.Nop()
+	fa.Store(kir.G("po_list"), kir.Imm(1)).L("FA3")
+	fa.Ret()
+	fu := b.Func("fanout_unlink")
+	fu.Nop()
+	fu.Load(kir.R2, kir.G("po_list")).L("FU1")
+	fu.Ret()
+	se := b.Func("packet_setsockopt")
+	se.Nop()
+	se.Nop()
+	se.Nop()
+	se.Nop()
+	se.Nop()
+	se.Call("fanout_add")
+	se.Ret()
+	b.Thread("setsockopt$1", "packet_setsockopt")
+	b.Thread("close$2", "fanout_unlink")
+	prog, err := b.Build()
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return prog
+}
+
+func TestResolveFull(t *testing.T) {
+	prog := fanoutProg(t)
+	r, err := Parse(kcsanSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := Resolve(prog, r)
+	// fanout_demux is not in the program: the failure site degrades,
+	// everything else resolves.
+	if want := []Reason{ReasonUnknownSite}; len(ps.Partial) != 1 || ps.Partial[0] != want[0] {
+		t.Errorf("partial = %v, want %v", ps.Partial, want)
+	}
+	if ps.Site != kir.NoInstr {
+		t.Errorf("site = %v", ps.Site)
+	}
+	if len(ps.Suspects) != 2 {
+		t.Fatalf("suspects = %+v", ps.Suspects)
+	}
+	fa3, _ := prog.ByLabel("FA3")
+	fu1, _ := prog.ByLabel("FU1")
+	if ps.Suspects[0].Instr != fa3.ID || !ps.Suspects[0].Write || ps.Suspects[0].Thread != "setsockopt$1" {
+		t.Errorf("suspect 0 = %+v, want instr %d", ps.Suspects[0], fa3.ID)
+	}
+	if ps.Suspects[1].Instr != fu1.ID || ps.Suspects[1].Write {
+		t.Errorf("suspect 1 = %+v, want instr %d", ps.Suspects[1], fu1.ID)
+	}
+	if len(ps.Threads) != 2 {
+		t.Errorf("threads = %v", ps.Threads)
+	}
+	if ps.Ambiguous() {
+		t.Error("fully offset-resolved report marked ambiguous")
+	}
+	if cs := ps.Candidates(8); len(cs) != 1 {
+		t.Errorf("candidates = %d, want 1", len(cs))
+	}
+}
+
+func TestResolveUnderspecified(t *testing.T) {
+	prog := fanoutProg(t)
+
+	t.Run("no-accesses", func(t *testing.T) {
+		r, err := Parse("BUG: KASAN: use-after-free in fanout_unlink+0x1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonNoAccesses) {
+			t.Errorf("partial = %v", ps.Partial)
+		}
+		fu1, _ := prog.ByLabel("FU1")
+		if ps.Site != fu1.ID {
+			t.Errorf("site = %v, want %v", ps.Site, fu1.ID)
+		}
+		if len(ps.Suspects) != 0 || ps.Threads != nil {
+			t.Errorf("slice = %+v", ps)
+		}
+	})
+
+	t.Run("single-access", func(t *testing.T) {
+		text := "BUG: KASAN: use-after-free in fanout_unlink+0x1\n" +
+			"read to 0x104 of 8 bytes by task close$2 on cpu 1:\n fanout_unlink+0x1/0x6\n"
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonSingleAccess) || len(ps.Suspects) != 1 {
+			t.Errorf("slice = %+v", ps)
+		}
+	})
+
+	t.Run("missing-stack", func(t *testing.T) {
+		text := "BUG: KASAN: use-after-free in fanout_unlink+0x1\n" +
+			"write to 0x104 of 8 bytes by task setsockopt$1 on cpu 0:\n"
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonMissingStack) || len(ps.Suspects) != 0 {
+			t.Errorf("slice = %+v", ps)
+		}
+	})
+
+	t.Run("unknown-symbol", func(t *testing.T) {
+		text := "BUG: KASAN: use-after-free in fanout_unlink+0x1\n" +
+			"write to 0x104 of 8 bytes by task setsockopt$1 on cpu 0:\n __alloc_skb+0x1f/0x40\n"
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonUnknownSymbol) || len(ps.Suspects) != 0 {
+			t.Errorf("slice = %+v", ps)
+		}
+	})
+
+	t.Run("ambiguous-site", func(t *testing.T) {
+		// No offset on the inner frame: every load of fanout_add is a
+		// candidate read.
+		text := "BUG: KASAN: use-after-free in fanout_unlink+0x1\n" +
+			"read to 0x104 of 8 bytes by task setsockopt$1 on cpu 0:\n fanout_add\n" +
+			"read to 0x104 of 8 bytes by task close$2 on cpu 1:\n fanout_unlink\n"
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonAmbiguousSite) || !ps.Ambiguous() {
+			t.Fatalf("slice = %+v", ps)
+		}
+		if len(ps.Suspects) != 2 {
+			t.Fatalf("suspects = %+v", ps.Suspects)
+		}
+		cs := ps.Candidates(8)
+		if len(cs) < 2 {
+			t.Errorf("candidates = %d, want fan-out", len(cs))
+		}
+		for _, c := range cs {
+			if c.Ambiguous() {
+				t.Errorf("candidate still ambiguous: %+v", c.Suspects)
+			}
+		}
+		// The cap must hold.
+		if got := ps.Candidates(2); len(got) != 2 {
+			t.Errorf("capped candidates = %d", len(got))
+		}
+	})
+
+	t.Run("unknown-task", func(t *testing.T) {
+		text := "BUG: KASAN: use-after-free in fanout_unlink+0x1\n" +
+			"write to 0x104 of 8 bytes by task kworker:fanout_work on cpu 0:\n fanout_add+0x3/0x12\n"
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if !hasReason(ps, ReasonUnknownTask) || ps.Threads != nil {
+			t.Errorf("slice = %+v", ps)
+		}
+		// The suspect still seeds with the runtime worker name.
+		if len(ps.Suspects) != 1 || ps.Suspects[0].Thread != "kworker:fanout_work" {
+			t.Errorf("suspects = %+v", ps.Suspects)
+		}
+	})
+
+	t.Run("unknown-kind", func(t *testing.T) {
+		r, err := Parse("Oops: mystery failure in fanout_unlink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := Resolve(prog, r)
+		if ps.Kind != sanitizer.KindNone || !hasReason(ps, ReasonUnknownKind) {
+			t.Errorf("slice = %+v", ps)
+		}
+	})
+}
+
+func hasReason(ps *PartialSlice, r Reason) bool {
+	for _, have := range ps.Partial {
+		if have == r {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSynthesizeRoundTrip: a scenario's reproduced failure renders as a
+// report whose parse+resolve recovers the failure kind, the failing
+// instruction and both racing accesses — the property the corpus report
+// gate is built on.
+func TestSynthesizeRoundTrip(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := Synthesize(prog, rep.Run, rep.Races)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse synthesized report:\n%s\n%v", text, err)
+	}
+	if r.Kind != rep.Run.Failure.Kind {
+		t.Errorf("kind = %v, want %v", r.Kind, rep.Run.Failure.Kind)
+	}
+	ps := Resolve(prog, r)
+	if ps.Degraded() {
+		t.Errorf("synthesized report degraded: %v\n%s", ps.Partial, text)
+	}
+	if ps.Site != rep.Run.Failure.Instr {
+		t.Errorf("site = %v, want %v", ps.Site, rep.Run.Failure.Instr)
+	}
+	if len(ps.Suspects) != 2 {
+		t.Fatalf("suspects = %+v\n%s", ps.Suspects, text)
+	}
+	// The suspects must be the synthesized race's two sites.
+	var race *struct{ first, second kir.InstrID }
+	for i := len(rep.Races) - 1; i >= 0; i-- {
+		if !rep.Races[i].Phantom {
+			race = &struct{ first, second kir.InstrID }{rep.Races[i].First.Instr, rep.Races[i].Second.Instr}
+			break
+		}
+	}
+	if race == nil {
+		t.Fatal("no non-phantom race in reproduction")
+	}
+	if ps.Suspects[0].Instr != race.first || ps.Suspects[1].Instr != race.second {
+		t.Errorf("suspects = %+v, want %v/%v", ps.Suspects, race.first, race.second)
+	}
+	if ps.Suspects[0].Addr == 0 || ps.Suspects[0].Addr != ps.Suspects[1].Addr {
+		t.Errorf("suspect addrs = %#x/%#x", ps.Suspects[0].Addr, ps.Suspects[1].Addr)
+	}
+}
+
+// TestSynthesizeSpawnedThread: a failure involving a background worker
+// renders a stack for the spawned thread (entry via the spawning step)
+// and its task name survives the round trip.
+func TestSynthesizeSpawnedThread(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2019-6974")
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Synthesize(prog, rep.Run, rep.Races)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accesses) != 2 {
+		t.Fatalf("accesses = %d:\n%s", len(r.Accesses), text)
+	}
+	for _, a := range r.Accesses {
+		if len(a.Stack) == 0 {
+			t.Errorf("access by %s has no stack:\n%s", a.Task, text)
+		}
+	}
+}
+
+// TestResolveSpawnedTask: a report naming a spawned worker task
+// ("kworker:<site>" from queue_work, "rcu:<site>" from call_rcu)
+// resolves it back to the declared threads that can reach the spawn
+// site instead of degrading to unknown-task and widening the slice.
+func TestResolveSpawnedTask(t *testing.T) {
+	for _, name := range []string{"fig4a", "fig4b"} {
+		t.Run(name, func(t *testing.T) {
+			sc, _ := scenarios.ByName(name)
+			prog := sc.MustProgram()
+			m, err := kvm.New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Reproduce(m, core.LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			text, err := Synthesize(prog, rep.Run, rep.Races)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Parse(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spawned := false
+			for _, a := range r.Accesses {
+				if strings.HasPrefix(a.Task, "kworker:") || strings.HasPrefix(a.Task, "rcu:") {
+					spawned = true
+				}
+			}
+			if !spawned {
+				t.Fatalf("report names no spawned task:\n%s", text)
+			}
+			ps := Resolve(prog, r)
+			if hasReason(ps, ReasonUnknownTask) {
+				t.Fatalf("spawned task degraded to unknown-task: %v\n%s", ps.Partial, text)
+			}
+			if len(ps.Threads) == 0 {
+				t.Fatal("no threads resolved")
+			}
+			declared := map[string]bool{}
+			for _, td := range prog.Threads {
+				declared[td.Name] = true
+			}
+			for _, th := range ps.Threads {
+				if !declared[th] {
+					t.Errorf("resolved thread %q is not declared", th)
+				}
+			}
+		})
+	}
+}
+
+func TestSynthesizeNonFailing(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	if _, err := Synthesize(prog, nil, nil); err == nil {
+		t.Error("nil run accepted")
+	}
+	if _, err := Synthesize(prog, &sched.RunResult{}, nil); err == nil {
+		t.Error("non-failing run accepted")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	r1, err := Parse(kcsanSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Parse(kcsanSample + "\n\nextra trailing noise ignored by fingerprint? no — kept lines differ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2
+	if Fingerprint(r1) != Fingerprint(r1) {
+		t.Error("fingerprint unstable")
+	}
+	r3, err := Parse(strings.Replace(kcsanSample, "0x104", "0x108", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(r1) == Fingerprint(r3) {
+		t.Error("different reports share a fingerprint")
+	}
+}

@@ -1,0 +1,381 @@
+package ingest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// Reason is a machine-readable degradation marker: which part of the
+// report could not be resolved, and therefore which constraint the
+// diagnosis had to widen.
+type Reason string
+
+const (
+	// ReasonUnknownKind: the title matched no known sanitizer header;
+	// any non-watchdog failure at the site will be accepted.
+	ReasonUnknownKind Reason = "unknown-kind"
+	// ReasonUnknownSite: the failing location could not be resolved to
+	// an instruction; acceptance is widened to any location.
+	ReasonUnknownSite Reason = "unresolved-failure-site"
+	// ReasonNoAccesses: the report carried no parsable access blocks;
+	// the search runs without suspect seeding.
+	ReasonNoAccesses Reason = "no-access-blocks"
+	// ReasonSingleAccess: only one racing access was reported (the other
+	// was lost or inlined away); the search seeds a single suspect.
+	ReasonSingleAccess Reason = "single-access"
+	// ReasonMissingStack: an access block had no call stack; its suspect
+	// could not be resolved.
+	ReasonMissingStack Reason = "missing-stack"
+	// ReasonUnknownSymbol: a stack frame names a function absent from
+	// the program's symbol table.
+	ReasonUnknownSymbol Reason = "unknown-symbol"
+	// ReasonAmbiguousSite: a frame carried no (or an invalid) offset and
+	// maps to several plausible instructions; Candidates fans out over
+	// them.
+	ReasonAmbiguousSite Reason = "ambiguous-site"
+	// ReasonUnknownTask: a reported task matches no declared thread; the
+	// slice widens to every declared thread.
+	ReasonUnknownTask Reason = "unknown-task"
+)
+
+// Suspect is one racing access resolved against the program.
+type Suspect struct {
+	// Thread is the reported task name, kept verbatim: runtime thread
+	// names (including spawned kworker/rcu names) are what access
+	// seeding keys on.
+	Thread string
+	// Instr is the best-ranked instruction for the access.
+	Instr kir.InstrID
+	// Alternates are the other plausible instructions when the report's
+	// frame was ambiguous, in deterministic (program) order.
+	Alternates []kir.InstrID
+	Addr       uint64
+	Write      bool
+	Size       int
+}
+
+// PartialSlice is what a report resolves to: the constraints for a
+// guided search, plus the reasons any of them are missing. The name is
+// deliberate — unlike a history.Slice it is allowed to be underspecified,
+// and every hole is recorded in Partial rather than guessed silently.
+type PartialSlice struct {
+	// Kind is the failure to accept (KindNone widens to any).
+	Kind sanitizer.Kind
+	// Site is the instruction the failure must manifest at (NoInstr
+	// widens to any location).
+	Site kir.InstrID
+	// Threads are the declared threads implicated by the report's tasks.
+	// Nil means the report's tasks could not be matched and the whole
+	// declared set must be searched.
+	Threads []string
+	// Suspects are the resolved racing accesses (at most two).
+	Suspects []Suspect
+	// Partial lists what could not be resolved.
+	Partial []Reason
+}
+
+// Degraded reports whether any part of the report failed to resolve.
+func (ps *PartialSlice) Degraded() bool { return len(ps.Partial) > 0 }
+
+// Ambiguous reports whether any suspect maps to several instructions.
+func (ps *PartialSlice) Ambiguous() bool {
+	for _, s := range ps.Suspects {
+		if len(s.Alternates) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve maps a parsed report onto a program: the failing site and each
+// access's innermost frame are looked up in the symbol table, tasks are
+// matched against declared threads, and every hole degrades to a wider
+// constraint recorded in Partial. It never fails: the zero-information
+// report resolves to an unconstrained slice.
+func Resolve(prog *kir.Program, r *Report) *PartialSlice {
+	ps := &PartialSlice{Kind: r.Kind, Site: kir.NoInstr}
+	mark := func(reason Reason) {
+		for _, have := range ps.Partial {
+			if have == reason {
+				return
+			}
+		}
+		ps.Partial = append(ps.Partial, reason)
+	}
+
+	if r.Kind == sanitizer.KindNone {
+		mark(ReasonUnknownKind)
+	}
+
+	if in, ok := resolveFrame(prog, r.Site); ok {
+		ps.Site = in
+	} else {
+		mark(ReasonUnknownSite)
+	}
+
+	switch len(r.Accesses) {
+	case 0:
+		mark(ReasonNoAccesses)
+	case 1:
+		mark(ReasonSingleAccess)
+	}
+	tasksResolved := true
+	var threads []string
+	for _, a := range r.Accesses {
+		if len(a.Stack) == 0 {
+			mark(ReasonMissingStack)
+		} else {
+			s := Suspect{Thread: a.Task, Addr: a.Addr, Write: a.Write, Size: a.Size}
+			inner := a.Stack[0]
+			fn := prog.Funcs[inner.Fn]
+			switch {
+			case fn == nil:
+				mark(ReasonUnknownSymbol)
+			case inner.Off >= 0 && inner.Off < int64(len(fn.Instrs)) &&
+				matchesAccess(fn.Instrs[inner.Off], a.Write):
+				s.Instr = fn.Instrs[inner.Off].ID
+				ps.Suspects = append(ps.Suspects, s)
+			default:
+				// No usable offset: every instruction of the function
+				// performing this kind of access is a candidate.
+				cands := accessCandidates(fn, a.Write)
+				if len(cands) == 0 {
+					mark(ReasonUnknownSymbol)
+					break
+				}
+				mark(ReasonAmbiguousSite)
+				s.Instr = cands[0]
+				s.Alternates = cands[1:]
+				ps.Suspects = append(ps.Suspects, s)
+			}
+		}
+		switch sp := taskThreads(prog, a.Task); {
+		case len(sp) > 0:
+			threads = append(threads, sp...)
+		default:
+			tasksResolved = false
+		}
+	}
+	if len(r.Accesses) > 0 && tasksResolved {
+		seen := map[string]bool{}
+		for _, name := range threads {
+			if !seen[name] {
+				seen[name] = true
+				ps.Threads = append(ps.Threads, name)
+			}
+		}
+		sort.Strings(ps.Threads)
+	} else if len(r.Accesses) > 0 {
+		mark(ReasonUnknownTask)
+	}
+	return ps
+}
+
+// resolveFrame maps a report frame to the instruction it names.
+func resolveFrame(prog *kir.Program, f Frame) (kir.InstrID, bool) {
+	fn := prog.Funcs[f.Fn]
+	if fn == nil || f.Off < 0 || f.Off >= int64(len(fn.Instrs)) {
+		return kir.NoInstr, false
+	}
+	return fn.Instrs[f.Off].ID, true
+}
+
+// matchesAccess reports whether the instruction can perform the reported
+// access type.
+func matchesAccess(in kir.Instr, write bool) bool {
+	if write {
+		return in.Op.WritesMemory()
+	}
+	return in.Op.ReadsMemory()
+}
+
+// accessCandidates lists the instructions of fn that can perform the
+// reported access type, in program order; when none match exactly, any
+// memory access qualifies (reports sometimes misclassify marked
+// accesses).
+func accessCandidates(fn *kir.Func, write bool) []kir.InstrID {
+	var exact, any []kir.InstrID
+	for _, in := range fn.Instrs {
+		if !in.Op.AccessesMemory() {
+			continue
+		}
+		any = append(any, in.ID)
+		if matchesAccess(in, write) {
+			exact = append(exact, in.ID)
+		}
+	}
+	if len(exact) > 0 {
+		return exact
+	}
+	return any
+}
+
+// taskThreads maps a reported task name onto the declared threads it
+// implicates. A declared thread names itself. A spawned worker name
+// ("kworker:<site>", "rcu:<site>") names the declared threads that can
+// reach its spawn site — the worker only exists because one of them
+// queued it, so those spawners must stay in the slice. Nil means the
+// task resolved to nothing and the slice must widen to every thread.
+func taskThreads(prog *kir.Program, task string) []string {
+	for _, td := range prog.Threads {
+		if td.Name == task {
+			return []string{task}
+		}
+	}
+	if site, ok := spawnSite(prog, task); ok {
+		return spawners(prog, site)
+	}
+	return nil
+}
+
+// spawnSite resolves a runtime spawned-task name back to the spawn-site
+// instruction that created it. The VM names workers
+// "kworker:<site-name>" (queue_work) and "rcu:<site-name>" (call_rcu),
+// with a "#n" suffix distinguishing re-spawns from the same site;
+// <site-name> is the instruction's label, or "fn+idx" when unlabeled.
+func spawnSite(prog *kir.Program, task string) (kir.InstrID, bool) {
+	var wantOp kir.Op
+	var name string
+	switch {
+	case strings.HasPrefix(task, "kworker:"):
+		wantOp, name = kir.OpQueueWork, task[len("kworker:"):]
+	case strings.HasPrefix(task, "rcu:"):
+		wantOp, name = kir.OpCallRCU, task[len("rcu:"):]
+	default:
+		return kir.NoInstr, false
+	}
+	if i := strings.LastIndex(name, "#"); i >= 0 {
+		name = name[:i]
+	}
+	if in, ok := prog.ByLabel(name); ok && in.Op == wantOp {
+		return in.ID, true
+	}
+	fn, idxStr, ok := strings.Cut(name, "+")
+	if !ok {
+		return kir.NoInstr, false
+	}
+	idx, err := strconv.Atoi(idxStr)
+	f := prog.Funcs[fn]
+	if err != nil || f == nil || idx < 0 || idx >= len(f.Instrs) || f.Instrs[idx].Op != wantOp {
+		return kir.NoInstr, false
+	}
+	return f.Instrs[idx].ID, true
+}
+
+// spawners lists the declared threads whose entry function can
+// statically reach the function containing the spawn site (over the call
+// graph, spawn edges included).
+func spawners(prog *kir.Program, site kir.InstrID) []string {
+	f, ok := prog.FuncOf(site)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, td := range prog.Threads {
+		if reachesFunc(prog, td.Entry, f.Name) {
+			out = append(out, td.Name)
+		}
+	}
+	return out
+}
+
+// reachesFunc walks the static call graph (calls and spawns alike) from
+// one function looking for another.
+func reachesFunc(prog *kir.Program, from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	work := []string{from}
+	for len(work) > 0 {
+		fn := prog.Funcs[work[len(work)-1]]
+		work = work[:len(work)-1]
+		if fn == nil {
+			continue
+		}
+		for _, in := range fn.Instrs {
+			if !in.Op.UsesFunc() || seen[in.Target] {
+				continue
+			}
+			if in.Target == to {
+				return true
+			}
+			seen[in.Target] = true
+			work = append(work, in.Target)
+		}
+	}
+	return false
+}
+
+// Candidates enumerates the concrete resolutions of an ambiguous slice:
+// the cartesian product of each suspect's instruction candidates, in
+// deterministic rank order (best-ranked first), capped at limit. An
+// unambiguous slice yields itself. The first candidate is always the
+// best-ranked resolution.
+func (ps *PartialSlice) Candidates(limit int) []*PartialSlice {
+	if limit <= 0 {
+		limit = 1
+	}
+	out := []*PartialSlice{concrete(ps, nil)}
+	// Odometer over the alternate choices, skipping the all-zero
+	// combination already emitted.
+	idx := make([]int, len(ps.Suspects))
+	for len(out) < limit {
+		i := len(idx) - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] <= len(ps.Suspects[i].Alternates) {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		out = append(out, concrete(ps, idx))
+	}
+	return out
+}
+
+// concrete builds one fully resolved variant: suspect i takes its main
+// instruction when pick[i] is 0, otherwise Alternates[pick[i]-1].
+func concrete(ps *PartialSlice, pick []int) *PartialSlice {
+	c := &PartialSlice{
+		Kind:    ps.Kind,
+		Site:    ps.Site,
+		Threads: ps.Threads,
+		Partial: ps.Partial,
+	}
+	for i, s := range ps.Suspects {
+		cs := Suspect{Thread: s.Thread, Instr: s.Instr, Addr: s.Addr, Write: s.Write, Size: s.Size}
+		if pick != nil && pick[i] > 0 {
+			cs.Instr = s.Alternates[pick[i]-1]
+		}
+		c.Suspects = append(c.Suspects, cs)
+	}
+	return c
+}
+
+// Fingerprint is a stable digest of a report's diagnostic content (kind,
+// site, access pair) — the cache identity of a report-driven job.
+// Formatting noise (separators, footer lines, whitespace) does not
+// change it.
+func Fingerprint(r *Report) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "k=%d|s=%s|", r.Kind, r.Site)
+	fmt.Fprintf(h, "p=%s/%s|", r.RacePair[0], r.RacePair[1])
+	for _, a := range r.Accesses {
+		fmt.Fprintf(h, "a=%t:%x:%d:%s|", a.Write, a.Addr, a.Size, a.Task)
+		for _, f := range a.Stack {
+			fmt.Fprintf(h, "f=%s|", f)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

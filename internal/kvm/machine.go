@@ -245,6 +245,29 @@ func (m *Machine) LockOwner(addr uint64) (ThreadID, bool) {
 	return o, ok
 }
 
+// Pos is one call-stack position exposed by Frames: a function name and
+// the index of the next instruction to execute within it. For outer
+// frames the index is the continuation after the active call.
+type Pos struct {
+	Fn string
+	PC int
+}
+
+// Frames returns the thread's call stack, outermost first. Finished and
+// crashed threads return nil. Report-guided search uses the positions to
+// decide whether a thread can still reach a suspect instruction.
+func (m *Machine) Frames(tid ThreadID) []Pos {
+	t := m.Thread(tid)
+	if t == nil || (t.State != Runnable && t.State != Blocked) {
+		return nil
+	}
+	out := make([]Pos, len(t.frames))
+	for i, fr := range t.frames {
+		out[i] = Pos{Fn: fr.fn.Name, PC: fr.pc}
+	}
+	return out
+}
+
 // NextInstr returns the instruction the thread would execute next. ok is
 // false for finished or crashed threads.
 func (m *Machine) NextInstr(tid ThreadID) (kir.Instr, bool) {

@@ -16,6 +16,7 @@ import (
 	"aitia/internal/core"
 	"aitia/internal/faultinject"
 	"aitia/internal/history"
+	"aitia/internal/ingest"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
@@ -72,6 +73,10 @@ type Result struct {
 	Reproduction *core.Reproduction
 	// Diagnosis is the Causality Analysis output (chain, verdicts).
 	Diagnosis *core.Diagnosis
+	// Resolution records how the crash report resolved against the
+	// program — suspects, ambiguity fan-out, degradation reasons. Only
+	// set by DiagnoseReport.
+	Resolution *ingest.PartialSlice
 	// Stage wall-clock times.
 	ReproduceTime time.Duration
 	DiagnoseTime  time.Duration
@@ -134,12 +139,96 @@ func (m *Manager) Diagnose(ctx context.Context) (*Result, error) {
 	return m.diagnoseSlices(ctx, []history.Slice{sl}, lifs)
 }
 
+// reportCandidates caps the ambiguity fan-out of a report-driven
+// diagnosis: at most this many concrete suspect resolutions run as
+// guided searches (plus the unguided fallback).
+const reportCandidates = 8
+
+// DiagnoseReport runs the pipeline from a crash report alone — no
+// execution trace. The report is resolved against the program into a
+// PartialSlice (failure kind and site, suspect instruction pairs); each
+// concrete resolution of an ambiguous report becomes one guided LIFS
+// search over the full declared thread set, seeded with the suspect
+// pair as a phase-0 conflict and pruned to interleavings that can still
+// reach the reported accesses and failure site. An unguided search runs
+// at the last ordinal as the fallback for mis-resolved or degraded
+// reports, so an underspecified report widens the search instead of
+// failing it. The first (in candidate order) reproducing search wins,
+// exactly like slice ordering in DiagnoseTrace.
+func (m *Manager) DiagnoseReport(ctx context.Context, rpt *ingest.Report) (*Result, error) {
+	ps := ingest.Resolve(m.prog, rpt)
+	var names []string
+	for _, t := range m.prog.Threads {
+		names = append(names, t.Name)
+	}
+	// The guide subsumes thread restriction: candidates search the full
+	// declared set (ps.Threads is informational) so the winning chain is
+	// the one the full program yields, and spawner threads the report
+	// could not name stay available.
+	sl := history.Slice{Threads: names}
+
+	base := m.opts.LIFS
+	if m.opts.LIFSWorkers > 0 {
+		base.Workers = m.opts.LIFSWorkers
+	}
+	if ps.Kind != sanitizer.KindNone {
+		base.WantKind = ps.Kind
+	}
+	if ps.Site != kir.NoInstr {
+		base.WantInstr = ps.Site
+	}
+	if ps.Kind == sanitizer.KindMemoryLeak {
+		base.LeakCheck = true
+	}
+
+	var runs []sliceRun
+	for _, cand := range ps.Candidates(reportCandidates) {
+		if len(cand.Suspects) == 0 && base.WantInstr == kir.NoInstr {
+			continue // nothing to guide with; only the fallback remains
+		}
+		lifs := base
+		g := &core.Guide{}
+		for _, s := range cand.Suspects {
+			g.Suspects = append(g.Suspects, core.SuspectAccess{
+				Instr: s.Instr, Thread: s.Thread, Addr: s.Addr, Write: s.Write,
+			})
+		}
+		lifs.Guide = g
+		runs = append(runs, sliceRun{slice: sl, lifs: lifs})
+	}
+	// Unguided fallback at the last ordinal: it only wins when no guided
+	// candidate reproduces, so a wrong resolution costs candidates, not
+	// the diagnosis.
+	runs = append(runs, sliceRun{slice: sl, lifs: base})
+
+	res, err := m.diagnoseRuns(ctx, runs)
+	if err != nil {
+		return nil, err
+	}
+	res.Resolution = ps
+	return res, nil
+}
+
+// sliceRun is one reproducer launch: a thread slice plus the search
+// options to run it under.
+type sliceRun struct {
+	slice history.Slice
+	lifs  core.LIFSOptions
+}
+
 // diagnoseSlices launches reproducers over the candidate slices, in
 // parallel, and diagnoses the first (in slice order) that reproduces.
 func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, lifs core.LIFSOptions) (*Result, error) {
-	lifs.Fault = m.opts.Fault
-	lifs.Retry = m.opts.Retry
-	lifs.Checkpoint = m.opts.Checkpoint
+	runs := make([]sliceRun, len(slices))
+	for i, sl := range slices {
+		runs[i] = sliceRun{slice: sl, lifs: lifs}
+	}
+	return m.diagnoseRuns(ctx, runs)
+}
+
+// diagnoseRuns launches the reproducer fleet over the candidate runs, in
+// parallel, and diagnoses the first (in run order) that reproduces.
+func (m *Manager) diagnoseRuns(ctx context.Context, runs []sliceRun) (*Result, error) {
 	type repOut struct {
 		idx int
 		rep *core.Reproduction
@@ -158,7 +247,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	root := ptr.Begin("manager", "diagnose", 0)
 	best := -1
 	defer func() {
-		root.Arg("slices", int64(len(slices)))
+		root.Arg("slices", int64(len(runs)))
 		if best >= 0 {
 			root.Arg("slice", int64(best))
 		}
@@ -166,11 +255,11 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	}()
 
 	workers := m.opts.Workers
-	if workers > len(slices) {
-		workers = len(slices)
+	if workers > len(runs) {
+		workers = len(runs)
 	}
 	jobs := make(chan int)
-	outs := make(chan repOut, len(slices))
+	outs := make(chan repOut, len(runs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -184,12 +273,15 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 				// Each reproducer traces into its own child so slices
 				// do not interleave their spans; only the winner's are
 				// merged back.
-				slifs := lifs
+				slifs := runs[idx].lifs
+				slifs.Fault = m.opts.Fault
+				slifs.Retry = m.opts.Retry
+				slifs.Checkpoint = m.opts.Checkpoint
 				if ptr.Enabled() {
 					slifs.Tracer = obs.New()
 				}
 				t0 := ptr.Now()
-				rep, err := m.reproduce(ctx, slices[idx], slifs)
+				rep, err := m.reproduce(ctx, runs[idx].slice, slifs)
 				outs <- repOut{
 					idx: idx, rep: rep, err: err,
 					tr: slifs.Tracer, tStart: t0, tDur: ptr.Now() - t0,
@@ -199,7 +291,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 		}()
 	}
 	go func() {
-		for i := range slices {
+		for i := range runs {
 			jobs <- i
 		}
 		close(jobs)
@@ -211,7 +303,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	var bestTr *obs.Tracer
 	tried := 0
 	var lastErr error
-	attempts := make([]repOut, len(slices))
+	attempts := make([]repOut, len(runs))
 	for out := range outs {
 		tried++
 		attempts[out.idx] = out
@@ -259,7 +351,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	reproTime := time.Since(start)
 
 	// Diagnosing stage on the winning slice.
-	sliceProg, err := m.prog.Restrict(slices[best].Threads)
+	sliceProg, err := m.prog.Restrict(runs[best].slice.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +361,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	}
 	aopts := m.opts.Analysis
 	aopts.Workers = m.opts.Workers
-	aopts.LeakCheck = aopts.LeakCheck || lifs.LeakCheck
+	aopts.LeakCheck = aopts.LeakCheck || runs[best].lifs.LeakCheck
 	aopts.Tracer = ptr
 	aopts.Fault = m.opts.Fault
 	aopts.Retry = m.opts.Retry
@@ -281,7 +373,7 @@ func (m *Manager) diagnoseSlices(ctx context.Context, slices []history.Slice, li
 	}
 
 	return &Result{
-		Slice:         slices[best],
+		Slice:         runs[best].slice,
 		SlicesTried:   tried,
 		Reproduction:  bestRep,
 		Diagnosis:     diag,

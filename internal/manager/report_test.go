@@ -1,0 +1,146 @@
+package manager
+
+import (
+	"context"
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/ingest"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+// synthesizeReport reproduces the scenario blind and renders the failing
+// run as a crash report, returning the report and the blind search's
+// schedule count (the unseeded baseline).
+func synthesizeReport(t *testing.T, name string) (*ingest.Report, int) {
+	t.Helper()
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %s", name)
+	}
+	m, err := kvm.New(sc.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := ingest.Synthesize(sc.MustProgram(), rep.Run, rep.Races)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt, err := ingest.Parse(text)
+	if err != nil {
+		t.Fatalf("synthesized report does not parse: %v\n%s", err, text)
+	}
+	return rpt, rep.Stats.Schedules
+}
+
+// TestDiagnoseReport: the full report-driven pipeline on scenarios whose
+// synthesized reports resolve cleanly. The diagnosis from the report
+// alone must recover the golden chain, and the winning guided search
+// must run strictly fewer schedules than the blind baseline.
+func TestDiagnoseReport(t *testing.T) {
+	for _, name := range []string{"fig1", "cve-2017-15649", "syz09-seccomp-leak"} {
+		t.Run(name, func(t *testing.T) {
+			sc, _ := scenarios.ByName(name)
+			prog := sc.MustProgram()
+			rpt, blind := synthesizeReport(t, name)
+
+			mgr, err := New(prog, Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := mgr.DiagnoseReport(context.Background(), rpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Resolution == nil {
+				t.Fatal("Resolution not set")
+			}
+			if res.Resolution.Degraded() {
+				t.Errorf("synthesized report degraded: %v", res.Resolution.Partial)
+			}
+			if got, want := res.Diagnosis.Chain.Format(prog), scenarios.GoldenChains[name]; got != want {
+				t.Errorf("chain = %q, want %q", got, want)
+			}
+			if got := res.Reproduction.Stats.Schedules; got >= blind {
+				t.Errorf("guided search ran %d schedules, blind baseline %d — want strictly fewer", got, blind)
+			}
+		})
+	}
+}
+
+// TestDiagnoseReportDegraded: a title-only report (no access blocks)
+// falls through to the unguided fallback and still diagnoses, with the
+// holes recorded as machine-readable reasons.
+func TestDiagnoseReportDegraded(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	rpt, err := ingest.Parse("BUG: unable to handle kernel NULL pointer dereference in report_bug+0x0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.DiagnoseReport(context.Background(), rpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolution.Degraded() {
+		t.Error("title-only report should resolve degraded")
+	}
+	found := false
+	for _, r := range res.Resolution.Partial {
+		if r == ingest.ReasonNoAccesses {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Partial = %v, want %s", res.Resolution.Partial, ingest.ReasonNoAccesses)
+	}
+	if got, want := res.Diagnosis.Chain.Format(prog), scenarios.GoldenChains["fig1"]; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+}
+
+// TestDiagnoseReportUnresolvable: a report about a different kernel
+// (unknown symbols, unknown tasks) degrades to the unguided fallback —
+// which still reproduces whatever failure the program actually has.
+func TestDiagnoseReportUnresolvable(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	prog := sc.MustProgram()
+	rpt, err := ingest.Parse("BUG: unable to handle kernel NULL pointer dereference in ext4_panic+0x5\n" +
+		"==================================================================\n" +
+		"BUG: KCSAN: data-race in ext4_writepages / ext4_evict_inode\n\n" +
+		"write to 0xffff888107bc1000 of 8 bytes by task kworker/u4:1 on cpu 0:\n" +
+		" ext4_writepages+0x1b/0x2c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.DiagnoseReport(context.Background(), rpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Resolution
+	if !ps.Degraded() || len(ps.Suspects) != 0 || ps.Threads != nil {
+		t.Errorf("resolution = %+v, want fully degraded", ps)
+	}
+	// Nothing from the report resolved except the failure kind, so the
+	// unguided fallback carries the whole diagnosis.
+	if got, want := res.Diagnosis.Chain.Format(prog), scenarios.GoldenChains["fig1"]; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+}

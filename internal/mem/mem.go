@@ -390,6 +390,19 @@ func (s *Space) Free(base uint64, site kir.InstrID) *Fault {
 // ObjectAt returns the heap object covering addr, if any.
 func (s *Space) ObjectAt(addr uint64) *Object { return s.objectCovering(addr) }
 
+// LiveAllocSite reports whether any currently allocated, leak-checkable
+// (non-static) heap object was allocated at the given site. Report-guided
+// search uses it to decide whether a memory leak attributed to that site
+// is still possible.
+func (s *Space) LiveAllocSite(site kir.InstrID) bool {
+	for _, o := range s.objects {
+		if o.State == Allocated && !o.Static && o.AllocSite == site {
+			return true
+		}
+	}
+	return false
+}
+
 // ListAdd appends v to the list at addr (one shared-memory write).
 func (s *Space) ListAdd(addr uint64, v int64) *Fault {
 	if f := s.check(addr, true); f != nil {

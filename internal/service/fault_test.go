@@ -101,7 +101,7 @@ func TestRequeueBudgetExhausted(t *testing.T) {
 	s := New(Config{
 		Workers:     1,
 		MaxRequeues: 2,
-		Diagnoser:   faultingDiagnoser(1 << 30, &runs, nil),
+		Diagnoser:   faultingDiagnoser(1<<30, &runs, nil),
 	})
 	defer s.Shutdown(context.Background())
 

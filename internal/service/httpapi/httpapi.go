@@ -6,6 +6,10 @@
 //	                      The request's options.workers field parallelizes
 //	                      the job's LIFS search (clamped to the server's
 //	                      -max-job-workers cap).
+//	POST   /v1/diagnose-report  submit a report-driven job: the request's
+//	                      report field carries a KCSAN/KASAN-style crash
+//	                      report, diagnosed against the program named by
+//	                      scenario or source (400 without a report)
 //	GET    /v1/jobs       list all jobs
 //	GET    /v1/jobs/{id}  poll one job (includes the result when done)
 //	GET    /v1/jobs/{id}/trace  the job's execution trace as Chrome
@@ -32,6 +36,23 @@ func New(svc *service.Service) http.Handler {
 		var req service.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		st, err := svc.Submit(req)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("POST /v1/diagnose-report", func(w http.ResponseWriter, r *http.Request) {
+		var req service.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if req.Report == "" {
+			writeError(w, http.StatusBadRequest, "diagnose-report needs a non-empty report field")
 			return
 		}
 		st, err := svc.Submit(req)

@@ -101,6 +101,11 @@ type Metrics struct {
 	CacheHits     Counter // submissions answered from the result cache
 	CacheMisses   Counter // submissions that had to run the pipeline
 
+	// Per-kind splits (aitia_jobs_total{kind=...}): trace jobs diagnose
+	// a program blind, report jobs from a crash report.
+	JobsByKind      [numJobKinds]Counter // accepted submissions by input kind
+	CacheHitsByKind [numJobKinds]Counter // cache hits by input kind
+
 	QueueWait     Histogram // seconds from submit to worker pickup
 	ReproduceTime Histogram // seconds in the LIFS reproducing stage
 	DiagnoseTime  Histogram // seconds in the Causality Analysis stage
@@ -200,6 +205,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 
 	counter("aitia_jobs_submitted_total", "Diagnosis jobs accepted.", &m.JobsSubmitted)
+	fmt.Fprintf(w, "# HELP aitia_jobs_total Diagnosis jobs accepted, by input kind (trace = blind program search, report = crash-report driven).\n# TYPE aitia_jobs_total counter\n")
+	for i, kind := range jobKindNames {
+		fmt.Fprintf(w, "aitia_jobs_total{kind=%q} %d\n", kind, m.JobsByKind[i].Value())
+	}
 	counter("aitia_jobs_completed_total", "Diagnosis jobs completed successfully.", &m.JobsCompleted)
 	counter("aitia_jobs_failed_total", "Diagnosis jobs that failed.", &m.JobsFailed)
 	counter("aitia_jobs_canceled_total", "Diagnosis jobs canceled.", &m.JobsCanceled)
@@ -208,6 +217,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_jobs_partial_total", "Jobs completed with a Partial (degraded) diagnosis.", &m.JobsPartial)
 	counter("aitia_jobs_recovered_total", "Jobs re-enqueued from the journal after a restart.", &m.JobsRecovered)
 	counter("aitia_cache_hits_total", "Submissions served from the result cache.", &m.CacheHits)
+	// Same family, split by job kind; the unlabelled sample above stays
+	// the total.
+	for i, kind := range jobKindNames {
+		fmt.Fprintf(w, "aitia_cache_hits_total{kind=%q} %d\n", kind, m.CacheHitsByKind[i].Value())
+	}
 	counter("aitia_cache_misses_total", "Submissions that ran the diagnosis pipeline.", &m.CacheMisses)
 	hist("aitia_queue_wait_seconds", "Seconds jobs spent queued before a worker picked them up.", &m.QueueWait)
 	hist("aitia_reproduce_seconds", "Seconds spent in the LIFS reproducing stage.", &m.ReproduceTime)

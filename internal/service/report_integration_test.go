@@ -1,0 +1,102 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aitia"
+	"aitia/internal/scenarios"
+	"aitia/internal/service"
+	"aitia/internal/service/httpapi"
+)
+
+// TestServiceReportJob is the report-driven acceptance path: synthesize
+// fig1's crash report, POST it to /v1/diagnose-report, poll until the
+// diagnosis completes with the golden chain, then resubmit the same
+// crash with formatting noise and observe a cache hit keyed on the
+// report fingerprint — plus the per-kind job metrics.
+func TestServiceReportJob(t *testing.T) {
+	report, err := aitia.ScenarioReport("fig1", aitia.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	submit := func(rep string) service.JobStatus {
+		t.Helper()
+		body, _ := json.Marshal(service.Request{Scenario: "fig1", Report: rep})
+		code, resp := postJSON(t, client, srv.URL+"/v1/diagnose-report", string(body))
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/diagnose-report: status %d: %s", code, resp)
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(resp, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := submit(report)
+	final := pollDone(t, client, srv.URL, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job state = %q (error %q), want done", final.State, final.Error)
+	}
+	if want := scenarios.GoldenChains["fig1"]; final.Result.Chain != want {
+		t.Errorf("report-driven chain = %q, want %q", final.Result.Chain, want)
+	}
+	if len(final.Result.ReportPartial) != 0 {
+		t.Errorf("synthesized report resolved degraded: %v", final.Result.ReportPartial)
+	}
+
+	// The same crash, reframed: extra blank lines and separators do not
+	// change the report fingerprint, so this answers from the cache.
+	st2 := submit("\n\n" + report + "\n====\n")
+	if !st2.CacheHit || st2.State != service.StateDone {
+		t.Fatalf("reformatted resubmission not a cache hit: %+v", st2)
+	}
+	if st2.Result.Chain != final.Result.Chain {
+		t.Errorf("cached chain %q != original %q", st2.Result.Chain, final.Result.Chain)
+	}
+
+	code, metrics := getBody(t, client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if got := metricValue(t, metrics, `aitia_jobs_total{kind="report"}`); got != 2 {
+		t.Errorf(`aitia_jobs_total{kind="report"} = %g, want 2`, got)
+	}
+	if got := metricValue(t, metrics, `aitia_jobs_total{kind="trace"}`); got != 0 {
+		t.Errorf(`aitia_jobs_total{kind="trace"} = %g, want 0`, got)
+	}
+	if got := metricValue(t, metrics, `aitia_cache_hits_total{kind="report"}`); got != 1 {
+		t.Errorf(`aitia_cache_hits_total{kind="report"} = %g, want 1`, got)
+	}
+}
+
+// TestServiceReportJobValidation: the endpoint rejects empty and
+// unparsable reports with 400 before anything is queued.
+func TestServiceReportJobValidation(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 2})
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	code, _ := postJSON(t, client, srv.URL+"/v1/diagnose-report", `{"scenario": "fig1"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("missing report: status %d, want 400", code)
+	}
+	// Separator lines only: no title, Parse fails, surfaced as 400.
+	code, _ = postJSON(t, client, srv.URL+"/v1/diagnose-report",
+		`{"scenario": "fig1", "report": "====\n\n====\n"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unparsable report: status %d, want 400", code)
+	}
+	if n := svc.Metrics().JobsSubmitted.Value(); n != 0 {
+		t.Errorf("invalid submissions reached the queue: JobsSubmitted = %d", n)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"aitia/internal/core"
 	"aitia/internal/durable"
 	"aitia/internal/faultinject"
+	"aitia/internal/ingest"
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
 	"aitia/internal/manager"
@@ -163,6 +164,13 @@ type Request struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Source is kasm program text (exclusive with Scenario).
 	Source string `json:"source,omitempty"`
+	// Report is a KCSAN/KASAN-style textual crash report. When set, the
+	// job diagnoses from the report alone (report-driven reproduction:
+	// the report's suspects seed guided searches against the program
+	// named by Scenario or Source) instead of searching blind. Jobs are
+	// cached by program hash plus report fingerprint, so reformatted
+	// resubmissions of the same crash hit the cache.
+	Report string `json:"report,omitempty"`
 	// Options tune the pipeline.
 	Options RequestOptions `json:"options,omitempty"`
 }
@@ -480,10 +488,33 @@ func resolve(req Request) (*kir.Program, Request, error) {
 // excluded (failed jobs are never cached). Workers is included even
 // though serial and parallel searches return the same reproduction: the
 // result carries search statistics (schedule counts, snapshot bytes)
-// that do depend on it.
-func cacheKey(prog *kir.Program, o RequestOptions) string {
-	return fmt.Sprintf("%s|mi=%d|sb=%d|leak=%t|kind=%s|label=%s|w=%d",
+// that do depend on it. Report jobs additionally key on the report's
+// content fingerprint (kind, site, access pair — not formatting noise),
+// so the same crash resubmitted with different framing still hits.
+func cacheKey(prog *kir.Program, o RequestOptions, rpt *ingest.Report) string {
+	key := fmt.Sprintf("%s|mi=%d|sb=%d|leak=%t|kind=%s|label=%s|w=%d",
 		prog.Hash(), o.MaxInterleavings, o.StepBudget, o.LeakCheck, o.FailureKind, o.FailureLabel, o.Workers)
+	if rpt != nil {
+		key += "|rep=" + ingest.Fingerprint(rpt)
+	}
+	return key
+}
+
+// Job-kind indices for the per-kind metrics: trace jobs search blind
+// from the program, report jobs are driven by a crash report.
+const (
+	kindTrace = iota
+	kindReport
+	numJobKinds
+)
+
+var jobKindNames = [numJobKinds]string{"trace", "report"}
+
+func kindOf(req Request) int {
+	if req.Report != "" {
+		return kindReport
+	}
+	return kindTrace
 }
 
 // Submit accepts a diagnosis job. Cache hits complete synchronously;
@@ -500,7 +531,14 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	if req.Options.Workers > s.cfg.MaxJobWorkers {
 		req.Options.Workers = s.cfg.MaxJobWorkers
 	}
-	key := cacheKey(prog, req.Options)
+	var rpt *ingest.Report
+	if req.Report != "" {
+		rpt, err = ingest.Parse(req.Report)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	key := cacheKey(prog, req.Options, rpt)
 
 	seq := s.nextID.Add(1)
 	j := &job{
@@ -532,7 +570,9 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 		s.journalAppend(jobRecord{Op: opSubmit, ID: j.status.ID, Seq: seq, Req: &j.req, Key: key, CacheHit: true})
 		s.journalAppend(jobRecord{Op: opDone, ID: j.status.ID, Summary: sum})
 		s.metrics.JobsSubmitted.Inc()
+		s.metrics.JobsByKind[kindOf(req)].Inc()
 		s.metrics.CacheHits.Inc()
+		s.metrics.CacheHitsByKind[kindOf(req)].Inc()
 		s.metrics.JobsCompleted.Inc()
 		return j.status, nil
 	}
@@ -555,6 +595,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	s.jobs[j.status.ID] = j
 	s.journalAppend(jobRecord{Op: opSubmit, ID: j.status.ID, Seq: seq, Req: &j.req, Key: key})
 	s.metrics.JobsSubmitted.Inc()
+	s.metrics.JobsByKind[kindOf(req)].Inc()
 	s.metrics.CacheMisses.Inc()
 	s.metrics.QueueDepth.Inc()
 	return j.status, nil
@@ -836,7 +877,19 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 	if err != nil {
 		return nil, err
 	}
-	mres, err := mgr.Diagnose(ctx)
+	var mres *manager.Result
+	if req.Report != "" {
+		// Report-driven job: the crash report's resolved suspects seed
+		// guided searches; kind/site constraints come from the report
+		// itself (overriding the blind defaults set above).
+		rpt, perr := ingest.Parse(req.Report)
+		if perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, perr)
+		}
+		mres, err = mgr.DiagnoseReport(ctx, rpt)
+	} else {
+		mres, err = mgr.Diagnose(ctx)
+	}
 	if err != nil {
 		return nil, err
 	}

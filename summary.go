@@ -47,6 +47,10 @@ type ResultSummary struct {
 	PartialReason string `json:"partial_reason,omitempty"`
 	// Verdicts lists every tested race with its verdict.
 	Verdicts []RaceVerdict `json:"verdicts,omitempty"`
+	// ReportPartial lists the degradation reasons of a report-driven
+	// diagnosis whose crash report did not fully resolve against the
+	// program (see aitia.DiagnoseReport).
+	ReportPartial []string `json:"report_partial,omitempty"`
 
 	// SlicesTried counts reproducer launches until the failure reproduced.
 	SlicesTried int `json:"slices_tried,omitempty"`
@@ -90,6 +94,7 @@ func (r *Result) Summary() *ResultSummary {
 		UnknownRaces:      append([]Race(nil), r.Unknown...),
 		Partial:           r.Partial,
 		PartialReason:     r.PartialReason,
+		ReportPartial:     append([]string(nil), r.ReportPartial...),
 		SlicesTried:       r.SlicesTried,
 		ReproduceTime:     r.ReproduceTime,
 		DiagnoseTime:      r.DiagnoseTime,
