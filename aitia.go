@@ -203,6 +203,17 @@ type Result struct {
 	// SnapshotBytes is the copy-on-write checkpointing cost of the search.
 	LIFSPruned    int
 	SnapshotBytes uint64
+	// Incremental-replay prefix cache, summed over the search and the
+	// analysis: ExecutedInstrs is the total instruction work (replays
+	// included), ReplayedInstrs the share spent re-executing known
+	// prefixes, SavedInstrs the prefix work skipped by restoring pinned
+	// snapshots, PrefixHits the runs started from a pin, and PinnedBytes
+	// the peak bytes pinned by live prefix snapshots.
+	ExecutedInstrs uint64
+	ReplayedInstrs uint64
+	SavedInstrs    uint64
+	PrefixHits     int
+	PinnedBytes    uint64
 	// Phases reports per-phase schedule counts and wall-clock times of the
 	// iterative deepening.
 	Phases []PhaseStat
@@ -546,6 +557,15 @@ func FromManagerResult(prog *kir.Program, mres *manager.Result) *Result {
 	return res
 }
 
+// maxU64 returns the larger of two unsigned counters (PinnedBytes is a
+// high-water mark, not additive across stages).
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // buildResult converts internal results to the public shape.
 func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *Result {
 	m, _ := kvm.New(prog) // for symbolizing addresses
@@ -575,6 +595,11 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		TestSetSize:       d.Stats.TestSet,
 		MemAccesses:       d.Stats.MemAccesses,
 		SlicesTried:       1,
+		ExecutedInstrs:    rep.Stats.ExecutedInstrs + d.Stats.ExecutedInstrs,
+		ReplayedInstrs:    rep.Stats.ReplayedInstrs + d.Stats.ReplayedInstrs,
+		SavedInstrs:       rep.Stats.SavedInstrs + d.Stats.SavedInstrs,
+		PrefixHits:        rep.Stats.PrefixHits + d.Stats.PrefixHits,
+		PinnedBytes:       maxU64(rep.Stats.PinnedBytes, d.Stats.PinnedBytes),
 		ReproduceTime:     rep.Stats.Elapsed,
 		DiagnoseTime:      d.Stats.Elapsed,
 		Resumed:           rep.Stats.Resumed || d.Stats.Resumed,

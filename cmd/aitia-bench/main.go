@@ -427,6 +427,7 @@ type lifsArtifact struct {
 	Note       string            `json:"note"`
 	Parallel   []lifsParallelRow `json:"parallel"`
 	Snapshot   []lifsSnapshotRow `json:"snapshot"`
+	Replay     []lifsReplayRow   `json:"replay"`
 }
 
 type lifsParallelRow struct {
@@ -435,6 +436,27 @@ type lifsParallelRow struct {
 	ElapsedNS int64   `json:"elapsed_ns"`
 	Schedules int     `json:"schedules"`
 	Speedup   float64 `json:"speedup_vs_serial"`
+	// Instruction-level work of the measured search: total executed,
+	// executed per schedule, and the share spent re-executing known
+	// prefixes. In parallel runs ReplayedInstrs depends on how tasks land
+	// on workers (each worker primes its own pin), so only the serial
+	// rows are machine-comparable.
+	ExecutedInstrs    uint64  `json:"executed_instrs"`
+	InstrsPerSchedule float64 `json:"instrs_per_schedule"`
+	ReplayedInstrs    uint64  `json:"replayed_instrs"`
+}
+
+// lifsReplayRow is one corpus scenario's serial diagnosis (Reproduce +
+// Analyze) measured with the prefix cache on and off. The counts are
+// deterministic, machine-portable, and the -check-lifs replay gate runs
+// on their corpus totals.
+type lifsReplayRow struct {
+	Scenario    string `json:"scenario"`
+	ReplayedOff uint64 `json:"replayed_instrs_off"`
+	ReplayedOn  uint64 `json:"replayed_instrs_on"`
+	SavedInstrs uint64 `json:"saved_instrs"`
+	PrefixHits  int    `json:"prefix_hits"`
+	PinnedBytes uint64 `json:"pinned_bytes"`
 }
 
 type lifsSnapshotRow struct {
@@ -479,12 +501,13 @@ func printLIFS(outPath string) (*lifsArtifact, error) {
 		{syz.Name, syz.MustProgram(), core.LIFSOptions{WantKind: syz.WantKind, WantInstr: syz.WantInstr()}},
 	}
 	t := report.Table{Title: "Parallel LIFS search (best of 3 runs)"}
-	t.Add("Scenario", "Workers", "Elapsed", "# sched", "Speedup")
+	t.Add("Scenario", "Workers", "Elapsed", "# sched", "Speedup", "instrs/sched", "replayed")
 	for _, c := range cases {
 		var serial time.Duration
 		for _, workers := range []int{1, 2, 4, 8} {
 			best := time.Duration(0)
 			scheds := 0
+			var executed, replayed uint64
 			for rep := 0; rep < 3; rep++ {
 				m, err := kvm.New(c.prog)
 				if err != nil {
@@ -501,22 +524,54 @@ func printLIFS(outPath string) (*lifsArtifact, error) {
 					best = el
 				}
 				scheds = r.Stats.Schedules
+				executed = r.Stats.ExecutedInstrs
+				replayed = r.Stats.ReplayedInstrs
 			}
 			if workers == 1 {
 				serial = best
 			}
 			speedup := float64(serial) / float64(best)
+			perSched := 0.0
+			if scheds > 0 {
+				perSched = float64(executed) / float64(scheds)
+			}
 			art.Parallel = append(art.Parallel, lifsParallelRow{
 				Scenario: c.name, Workers: workers,
 				ElapsedNS: best.Nanoseconds(), Schedules: scheds,
-				Speedup: speedup,
+				Speedup:           speedup,
+				ExecutedInstrs:    executed,
+				InstrsPerSchedule: perSched,
+				ReplayedInstrs:    replayed,
 			})
 			t.Add(c.name, fmt.Sprint(workers), fmt.Sprint(best.Round(10_000)),
-				fmt.Sprint(scheds), fmt.Sprintf("%.2fx", speedup))
+				fmt.Sprint(scheds), fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%.1f", perSched), fmt.Sprint(replayed))
 		}
 	}
 	t.Write(os.Stdout)
 	fmt.Printf("  (%d CPUs, GOMAXPROCS %d — %s)\n\n", art.CPUs, art.GOMAXPROCS, art.Note)
+
+	// Incremental replay: the whole corpus diagnosed serially with the
+	// prefix cache on and off. The counts are deterministic; golden-chain
+	// equality across both modes is asserted here, so a cache bug cannot
+	// ship a "fast" artifact with wrong diagnoses.
+	rows, err := measureReplay()
+	if err != nil {
+		return nil, err
+	}
+	art.Replay = rows
+	var offTot, onTot uint64
+	rt := report.Table{Title: "Incremental replay: prefix cache off vs on (serial diagnosis, corpus)"}
+	rt.Add("Scenario", "replayed off", "replayed on", "saved", "hits", "pinned B")
+	for _, r := range rows {
+		offTot += r.ReplayedOff
+		onTot += r.ReplayedOn
+		rt.Add(r.Scenario, fmt.Sprint(r.ReplayedOff), fmt.Sprint(r.ReplayedOn),
+			fmt.Sprint(r.SavedInstrs), fmt.Sprint(r.PrefixHits), fmt.Sprint(r.PinnedBytes))
+	}
+	rt.Write(os.Stdout)
+	fmt.Printf("  (corpus replayed instructions: %d off, %d on — %.1fx reduction)\n\n",
+		offTot, onTot, replayRatio(offTot, onTot))
 
 	// Snapshot strategy: checkpoint / 32-step burst / revert cycles. Deep
 	// copy scales with total state width, the journal with bytes dirtied.
@@ -567,6 +622,76 @@ func printLIFS(outPath string) (*lifsArtifact, error) {
 		fmt.Printf("wrote %s\n", outPath)
 	}
 	return &art, nil
+}
+
+// measureReplay diagnoses every corpus scenario serially with the prefix
+// cache disabled and enabled, returning the per-scenario replay counters.
+// Both modes must produce the scenario's golden chain and identical
+// schedule counts — the cache is a work optimization, never a result
+// change — so a divergence fails the measurement itself.
+func measureReplay() ([]lifsReplayRow, error) {
+	var rows []lifsReplayRow
+	for _, sc := range scenarios.All() {
+		var replayed [2]uint64
+		var chains [2]string
+		var scheds [2]int
+		row := lifsReplayRow{Scenario: sc.Name}
+		for i, disable := range []bool{true, false} {
+			m, err := kvm.New(sc.MustProgram())
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.Reproduce(m, core.LIFSOptions{
+				WantKind:  sc.WantKind,
+				WantInstr: sc.WantInstr(),
+				LeakCheck: sc.NeedsLeakCheck(),
+				Prefix:    core.PrefixConfig{Disable: disable},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replay-measure %s (cache=%v): %w", sc.Name, !disable, err)
+			}
+			d, err := core.Analyze(m, rep, core.AnalysisOptions{
+				LeakCheck: sc.NeedsLeakCheck(),
+				Prefix:    core.PrefixConfig{Disable: disable},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replay-measure %s analyze (cache=%v): %w", sc.Name, !disable, err)
+			}
+			replayed[i] = rep.Stats.ReplayedInstrs + d.Stats.ReplayedInstrs
+			chains[i] = d.Chain.Format(sc.MustProgram())
+			scheds[i] = rep.Stats.Schedules
+			if !disable {
+				row.SavedInstrs = rep.Stats.SavedInstrs + d.Stats.SavedInstrs
+				row.PrefixHits = rep.Stats.PrefixHits + d.Stats.PrefixHits
+				row.PinnedBytes = rep.Stats.PinnedBytes
+				if d.Stats.PinnedBytes > row.PinnedBytes {
+					row.PinnedBytes = d.Stats.PinnedBytes
+				}
+			}
+		}
+		if chains[0] != chains[1] {
+			return nil, fmt.Errorf("replay-measure %s: chain differs with the cache on (%q) vs off (%q)",
+				sc.Name, chains[1], chains[0])
+		}
+		if want, ok := scenarios.GoldenChains[sc.Name]; ok && chains[0] != want {
+			return nil, fmt.Errorf("replay-measure %s: chain %q does not match the golden %q", sc.Name, chains[0], want)
+		}
+		if scheds[0] != scheds[1] {
+			return nil, fmt.Errorf("replay-measure %s: schedule count differs with the cache on (%d) vs off (%d)",
+				sc.Name, scheds[1], scheds[0])
+		}
+		row.ReplayedOff, row.ReplayedOn = replayed[0], replayed[1]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// replayRatio is off/on with a zero-safe denominator.
+func replayRatio(off, on uint64) float64 {
+	if on == 0 {
+		on = 1
+	}
+	return float64(off) / float64(on)
 }
 
 // checkLIFSArtifact is the bench-regression CI gate: it re-measures the
@@ -642,6 +767,41 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 		}
 	}
 
+	// Replay gate: the prefix cache must keep earning its keep. The
+	// measured counts are deterministic and machine-portable, so the
+	// corpus totals carry a hard reduction floor plus a tolerance band
+	// against the baseline (improvements always pass; measureReplay has
+	// already asserted golden chains and cache-on/off schedule equality).
+	if len(base.Replay) == 0 {
+		fail("replay section missing from baseline %s — regenerate it with -lifs -out", baselinePath)
+	} else {
+		var baseOn, baseHits uint64
+		for _, r := range base.Replay {
+			baseOn += r.ReplayedOn
+			baseHits += uint64(r.PrefixHits)
+		}
+		var freshOff, freshOn, freshHits uint64
+		for _, r := range art.Replay {
+			freshOff += r.ReplayedOff
+			freshOn += r.ReplayedOn
+			freshHits += uint64(r.PrefixHits)
+		}
+		const minReplayReduction = 5.0
+		if ratio := replayRatio(freshOff, freshOn); ratio < minReplayReduction {
+			fail("replay reduction = %.1fx (corpus replayed %d off, %d on), floor %.0fx — the prefix cache stopped paying off",
+				ratio, freshOff, freshOn, minReplayReduction)
+		}
+		if ceil := float64(baseOn) * (1 + tol); float64(freshOn) > ceil {
+			fail("replayed instructions (cache on) = %d, baseline %d (ceiling +25%%: %.0f) — more prefix work is being re-executed",
+				freshOn, baseOn, ceil)
+		}
+		lo, hi := float64(baseHits)*(1-tol), float64(baseHits)*(1+tol)
+		if h := float64(freshHits); h < lo || h > hi {
+			fail("prefix hits = %d, baseline %d (±25%%: %.0f..%.0f) — the cache hit rate changed structurally",
+				freshHits, baseHits, lo, hi)
+		}
+	}
+
 	if bad > 0 {
 		where := ""
 		if outPath != "" {
@@ -649,7 +809,7 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 		}
 		return fmt.Errorf("check-lifs: %d regressions against %s%s", bad, baselinePath, where)
 	}
-	fmt.Printf("check-lifs: no regression against %s (tolerance ±25%%)\n", baselinePath)
+	fmt.Printf("check-lifs: no regression against %s (tolerance ±25%%, replay floor 5x)\n", baselinePath)
 	return nil
 }
 

@@ -74,6 +74,12 @@ type AnalysisStats struct {
 	// Resumed reports that settled flip verdicts were restored from a
 	// durable checkpoint instead of re-executed.
 	Resumed bool
+	// Incremental-replay prefix cache (AnalysisOptions.Prefix):
+	ExecutedInstrs uint64 // instructions executed across all machines, replays included
+	ReplayedInstrs uint64 // instructions spent re-executing failing-run prefixes
+	SavedInstrs    uint64 // prefix instructions skipped by restoring pinned snapshots
+	PrefixHits     int    // flip runs started from a pinned prefix snapshot
+	PinnedBytes    uint64 // peak bytes pinned by live prefix snapshots
 }
 
 // AnalysisOptions configure Causality Analysis.
@@ -102,6 +108,14 @@ type AnalysisOptions struct {
 	// and a restarted analysis re-executes only the flips the crash
 	// lost. Nil disables checkpointing at zero cost.
 	Checkpoint *CheckpointConfig
+	// Prefix configures the incremental-replay prefix cache: every flip
+	// schedule replays the failing run verbatim up to its race, so the
+	// analysis pins snapshots along the failing sequence and starts each
+	// flip from the deepest pinned ancestor of its cut, enforcing only
+	// the suffix. The zero value enables the cache with default knobs;
+	// verdicts and the diagnosis are identical with the cache on or off.
+	// See PrefixConfig.
+	Prefix PrefixConfig
 }
 
 // Diagnosis is the final output: the causality chain plus the full
@@ -144,11 +158,28 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	if rep == nil || rep.Run == nil || !rep.Run.Failed() {
 		return nil, fmt.Errorf("core: Analyze needs a failing reproduction")
 	}
-	if err := m.Reset(); err != nil {
-		return nil, err
+	// Warm handoff: when the reproduction carries live prefix pins for
+	// this very machine (it just replayed the failing run), adopt them
+	// instead of resetting — the flip cache starts with the whole failing
+	// sequence cached. execBase discounts the search's instructions from
+	// this analysis's ExecutedInstrs. Any mismatch (different machine,
+	// reset in between, cache off) falls back to the cold path, which is
+	// byte-identical to the pre-cache pipeline.
+	var init *kvm.Snapshot
+	var warmPins []flipPin
+	var execBase uint64
+	if pins, ok := rep.seed.adopt(m); ok && opts.Prefix.enabled() {
+		warmPins = pins
+		init = rep.seed.init
+		execBase = m.Executed()
+		m.SetFaultPlan(opts.Fault)
+	} else {
+		if err := m.Reset(); err != nil {
+			return nil, err
+		}
+		m.SetFaultPlan(opts.Fault)
+		init = m.Snapshot()
 	}
-	m.SetFaultPlan(opts.Fault)
-	init := m.Snapshot()
 	enf := sched.NewEnforcer(m)
 	runOpts := sched.Options{StepBudget: opts.StepBudget, LeakCheck: opts.LeakCheck}
 
@@ -161,6 +192,16 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	original := rep.Run.Failure
 	start := time.Now()
 
+	// Prefix cache: one flipCache per machine (snapshots are per-machine),
+	// all feeding the same counters. ps is tracked even with the cache
+	// off, so cache-on/off benchmark runs report comparable replay work.
+	var ps prefixStats
+	var fcMain *flipCache
+	if opts.Prefix.enabled() {
+		fcMain = newFlipCache(m, init, failSeq, opts.Prefix, opts.Fault, &ps)
+		fcMain.pins = warmPins
+	}
+
 	d := &Diagnosis{Failure: original}
 	d.Stats.TestSet = len(rep.Races)
 	az := opts.Tracer.Begin("ca", "analyze", 0)
@@ -171,6 +212,10 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		// equality across worker counts.
 		az.Arg("unknown", int64(len(d.Unknown)))
 		az.Info("schedules", int64(d.Stats.Schedules))
+		az.Info("prefix_hits", int64(d.Stats.PrefixHits))
+		az.Info("replayed_instrs", int64(d.Stats.ReplayedInstrs))
+		az.Info("saved_instrs", int64(d.Stats.SavedInstrs))
+		az.Info("pinned_bytes", int64(d.Stats.PinnedBytes))
 		if opts.Fault.Enabled() {
 			st := opts.Fault.Stats()
 			var fired uint64
@@ -198,22 +243,44 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	// is the flip's index in the deterministic test order, so for a fixed
 	// fault seed the same flips fault, retry and (rarely) exhaust no
 	// matter how the tests are spread over workers.
-	testRace := func(ctx context.Context, enf *sched.Enforcer, init *kvm.Snapshot, idx int, r sched.Race) (TestedRace, error) {
-		plan := sched.PlanFlipOpt(failSeq, r, fallback, fo)
+	testRace := func(ctx context.Context, enf *sched.Enforcer, init *kvm.Snapshot, fc *flipCache, idx int, r sched.Race) (TestedRace, error) {
+		// The flip schedule replays failSeq verbatim up to its cut; with
+		// the cache on, Seek brings the machine there (from the deepest
+		// pinned ancestor) and only the suffix plan is enforced, numbered
+		// from BaseSteps so the merged run is byte-identical to a full
+		// enforcement.
+		cut := sched.FlipCut(failSeq, r, fo)
+		var plan sched.Schedule
+		if fc != nil {
+			plan = sched.PlanFlipFrom(failSeq, r, fallback, fo, cut)
+		} else {
+			plan = sched.PlanFlipOpt(failSeq, r, fallback, fo)
+		}
 		var tr TestedRace
 		err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(ctx context.Context, attempt int) error {
-			if err := enf.Machine().TryRestore(init, "ca.flip", uint64(idx), attempt); err != nil {
-				return err
-			}
 			ro := runOpts
 			ro.Fault = opts.Fault
 			ro.FaultOp = "ca.flip"
 			ro.FaultKey = uint64(idx)
 			ro.FaultAttempt = attempt
 			ro.Ctx = ctx
+			if fc != nil {
+				if err := fc.Seek(cut, "ca.flip", uint64(idx), attempt); err != nil {
+					return err
+				}
+				ro.BaseSteps = cut
+			} else if err := enf.Machine().TryRestore(init, "ca.flip", uint64(idx), attempt); err != nil {
+				return err
+			}
 			res, err := enf.Run(plan, ro)
 			if err != nil {
 				return err
+			}
+			if fc != nil {
+				res = mergeFlipRun(failSeq[:cut], res)
+			} else {
+				// Cache off: the full plan re-enforced the known prefix.
+				ps.replayed.Add(uint64(cut))
 			}
 			tr = TestedRace{
 				Race:         r,
@@ -244,6 +311,9 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	// Stats.Schedules counts runs actually executed: a canceled or failed
 	// analysis reports only the flip tests that ran, not the test-set size.
 	var executed atomic.Int64
+	// workerMachines collects the diagnoser VMs so ExecutedInstrs can sum
+	// their work alongside the main machine's.
+	var workerMachines []*kvm.Machine
 	d.Tested = make([]TestedRace, len(order))
 	// Flip spans are measured where the test ran and committed in test
 	// order below, after the verdicts (including the ambiguity pass) are
@@ -318,7 +388,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 				return err
 			}
 			err := timeFlip(-1, i, func() error {
-				tr, err := testRace(ctx, enf, init, i, r)
+				tr, err := testRace(ctx, enf, init, fcMain, i, r)
 				if err != nil {
 					return err
 				}
@@ -343,7 +413,9 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		type flipVM struct {
 			enf  *sched.Enforcer
 			init *kvm.Snapshot
+			fc   *flipCache // this diagnoser's private prefix cache
 		}
+		var wmMu sync.Mutex
 		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(order),
 			func(int) (*flipVM, error) {
 				var vm *flipVM
@@ -357,6 +429,12 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 					}
 					wm.SetFaultPlan(opts.Fault)
 					vm = &flipVM{enf: sched.NewEnforcer(wm), init: wm.Snapshot()}
+					if opts.Prefix.enabled() {
+						vm.fc = newFlipCache(wm, vm.init, failSeq, opts.Prefix, opts.Fault, &ps)
+					}
+					wmMu.Lock()
+					workerMachines = append(workerMachines, wm)
+					wmMu.Unlock()
 					return nil
 				})
 				return vm, err
@@ -368,7 +446,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 					return nil
 				}
 				return timeFlip(worker, idx, func() error {
-					tr, err := testRace(ctx, vm.enf, vm.init, idx, order[idx])
+					tr, err := testRace(ctx, vm.enf, vm.init, vm.fc, idx, order[idx])
 					if err != nil {
 						return err
 					}
@@ -448,6 +526,14 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	}
 
 	d.Chain = buildChain(d, original)
+	d.Stats.ReplayedInstrs = ps.replayed.Load()
+	d.Stats.SavedInstrs = ps.saved.Load()
+	d.Stats.PrefixHits = int(ps.hits.Load())
+	d.Stats.PinnedBytes = ps.pinned.Load()
+	d.Stats.ExecutedInstrs = m.Executed() - execBase
+	for _, wm := range workerMachines {
+		d.Stats.ExecutedInstrs += wm.Executed()
+	}
 	d.Stats.Elapsed = time.Since(start)
 	return d, nil
 }

@@ -78,6 +78,13 @@ type LIFSOptions struct {
 	// Ignored under NoLeastFirst (the ablation has no phase structure
 	// worth cutting at).
 	Checkpoint *CheckpointConfig
+	// Prefix configures the incremental-replay prefix cache: each
+	// group's branch state is pinned as a copy-on-write snapshot so
+	// task units resume from it instead of replaying the group prefix
+	// from instruction 0. The zero value enables the cache with default
+	// knobs; the explored tree, the reproduction and Stats.Schedules
+	// are identical with the cache on or off. See PrefixConfig.
+	Prefix PrefixConfig
 
 	// Ablation switches (all default off, i.e. the paper's design):
 
@@ -106,13 +113,31 @@ type PhaseStat struct {
 
 // SearchStats summarize a LIFS search.
 type SearchStats struct {
-	Schedules     int           // complete runs executed by THIS process (resumed work not re-counted)
+	// Schedules counts the complete runs executed by THIS process
+	// (checkpoint-resumed work is not re-counted). The count is
+	// deterministic for a given worker count but bounded, not equal,
+	// across worker counts: a serial search prunes on every earlier
+	// unit's visited-state claims, while a parallel task may consult
+	// only claims that deterministically exist at its point of the
+	// serial visit order (probe claims of its group or lower) — sibling
+	// tasks' claims land in timing-dependent order and are ignored. A
+	// parallel search therefore executes the same value >= the serial
+	// count at every worker count; the prefix cache changes neither
+	// (it skips replay work, never schedules). Pinned by
+	// TestParallelScheduleCountBound.
+	Schedules     int
 	Interleavings int           // preemption count at which the failure reproduced
 	Pruned        int           // branches pruned as equivalent states
 	GuidePruned   int           // branches pruned by report-guided reachability (LIFSOptions.Guide)
 	SnapshotBytes uint64        // bytes copied by copy-on-write checkpointing
 	Elapsed       time.Duration // wall-clock search time
 	Phases        []PhaseStat   // per-phase schedule throughput (includes checkpointed phases)
+	// Incremental-replay prefix cache (LIFSOptions.Prefix):
+	ExecutedInstrs uint64 // instructions executed across all machines, replays included
+	ReplayedInstrs uint64 // instructions spent re-executing already-known prefixes
+	SavedInstrs    uint64 // prefix instructions skipped by restoring pinned snapshots
+	PrefixHits     int    // runs started from a pinned prefix snapshot
+	PinnedBytes    uint64 // peak bytes pinned by live prefix snapshots
 	// Resumed reports that the search continued from a durable
 	// checkpoint; CheckpointAge is how old that snapshot was.
 	Resumed       bool
@@ -136,6 +161,11 @@ type Reproduction struct {
 	Accesses *sched.AccessMap
 	Stats    SearchStats
 	Leaves   []LeafTrace // only when LIFSOptions.RecordLeaves
+
+	// seed holds the prefix-cache pins taken along the final replay, so
+	// an Analyze on the same machine starts with the failing sequence
+	// already cached. Nil when the cache is disabled; see prefixSeed.
+	seed *prefixSeed
 }
 
 // ErrNotReproduced is returned (wrapped) when the search space is
@@ -244,6 +274,10 @@ func reproduceContext(ctx context.Context, m *kvm.Machine, opts LIFSOptions, all
 		search.Info("schedules", int64(s.stats.Schedules))
 		search.Info("pruned", int64(s.stats.Pruned))
 		search.Info("snapshot_bytes", int64(s.stats.SnapshotBytes))
+		search.Info("prefix_hits", s.prefix.hits.Load())
+		search.Info("replayed_instrs", int64(s.prefix.replayed.Load()))
+		search.Info("saved_instrs", int64(s.prefix.saved.Load()))
+		search.Info("pinned_bytes", int64(s.prefix.pinned.Load()))
 		if opts.Fault.Enabled() {
 			st := opts.Fault.Stats()
 			var fired uint64
@@ -364,8 +398,18 @@ rounds:
 	rp := opts.Tracer.Begin("lifs", "replay", 0)
 	var res *sched.RunResult
 	var attempts int
+	// The replay is the one execution of the failing sequence the pipeline
+	// cannot skip; pin snapshots along it so a subsequent Analyze on this
+	// machine seeks its flip cuts without re-executing the prefix.
+	var seedFC *flipCache
+	if opts.Prefix.enabled() {
+		seedFC = newFlipCache(m, s.init, nil, opts.Prefix, opts.Fault, &s.prefix)
+	}
 	err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(ctx context.Context, attempt int) error {
 		attempts = attempt + 1
+		if seedFC != nil {
+			seedFC.drop(0) // a retry restores init, staling earlier pins
+		}
 		if err := m.TryRestore(s.init, "lifs.replay", 0, attempt); err != nil {
 			return err
 		}
@@ -374,6 +418,13 @@ rounds:
 		ro.FaultOp = "lifs.replay"
 		ro.FaultAttempt = attempt
 		ro.Ctx = ctx
+		if seedFC != nil {
+			ro.OnStep = func(pos int) {
+				if pos%seedFC.stride == 0 {
+					seedFC.pin(pos)
+				}
+			}
+		}
 		r, err := enf.Run(schedule, ro)
 		if err != nil {
 			return err
@@ -401,6 +452,15 @@ rounds:
 	}
 	s.am.RecordRun(res)
 
+	// Prefix-cache and work counters, including the final replay's
+	// instructions (the replay itself is validation, not prefix replay,
+	// so it counts toward ExecutedInstrs only).
+	s.stats.ReplayedInstrs = s.prefix.replayed.Load()
+	s.stats.SavedInstrs = s.prefix.saved.Load()
+	s.stats.PrefixHits = int(s.prefix.hits.Load())
+	s.stats.PinnedBytes = s.prefix.pinned.Load()
+	s.stats.ExecutedInstrs = m.Executed() + s.workerExecuted()
+
 	races := sched.ExtractRaces(res)
 	if !opts.NoPhantom {
 		races = append(races, sched.PhantomRaces(res, s.am)...)
@@ -424,14 +484,18 @@ rounds:
 		})
 	}
 
-	return &Reproduction{
+	rep := &Reproduction{
 		Run:      res,
 		Schedule: schedule,
 		Races:    races,
 		Accesses: s.am,
 		Stats:    s.stats,
 		Leaves:   s.leaves,
-	}, nil
+	}
+	if seedFC != nil {
+		rep.seed = &prefixSeed{m: m, init: s.init, pins: seedFC.pins}
+	}
+	return rep, nil
 }
 
 // searcher carries the state of one LIFS search.
@@ -454,6 +518,7 @@ type searcher struct {
 	guidePruned atomic.Int64
 	exhausted   atomic.Bool  // MaxSchedules hit
 	best        atomic.Int64 // lowest unit ordinal with an accepted leaf this phase
+	prefix      prefixStats  // prefix-cache work counters (always tracked)
 
 	spareMu sync.Mutex
 	spare   []*workerVM // worker machines reused across phases
@@ -473,10 +538,18 @@ type searcher struct {
 	lastSave int64
 }
 
-// workerVM is one parallel worker's private kernel VM.
+// workerVM is one parallel worker's private kernel VM. Snapshots are
+// per-machine, so each worker pins its own copy of a group's branch
+// state (pin); the machine-independent script is shared from the probe.
+// A pin is valid only for tasks of the same phase and group — anything
+// else restores init, which truncates the journal under the pin.
 type workerVM struct {
 	m    *kvm.Machine
 	init *kvm.Snapshot
+
+	pin      *kvm.Snapshot // pinned branch state, nil when cold
+	pinPhase *phaseRun
+	pinGroup int
 }
 
 // acquireVM pops a spare worker machine or builds a fresh one. A fresh
@@ -529,6 +602,51 @@ func (s *searcher) workerBytes() uint64 {
 		n += vm.m.SnapshotBytes()
 	}
 	return n
+}
+
+// workerExecuted sums the executed-instruction counters over the worker
+// machines (all workers sit in the spare pool between phases and at
+// search end).
+func (s *searcher) workerExecuted() uint64 {
+	s.spareMu.Lock()
+	defer s.spareMu.Unlock()
+	var n uint64
+	for _, vm := range s.spare {
+		n += vm.m.Executed()
+	}
+	return n
+}
+
+// pinBranch pins the machine's current (branch) state for the prefix
+// cache, unless the cache is disabled or the pinned-bytes budget is
+// exhausted.
+func (s *searcher) pinBranch(m *kvm.Machine) *kvm.Snapshot {
+	if !s.opts.Prefix.enabled() {
+		return nil
+	}
+	lb := m.LiveBytes()
+	if lb > s.opts.Prefix.budget() {
+		return nil
+	}
+	s.prefix.notePinned(lb)
+	return m.Snapshot()
+}
+
+// restorePin restores a pinned branch snapshot and credits the skipped
+// prefix. It reports false when the prefix-restore fault fires — a
+// corrupt pin — in which case the machine is untouched and the caller
+// degrades to a from-scratch replay. The fault is keyed by a plan-global
+// sequence, like worker death: which runs hit a pin differs across
+// worker counts, but a degraded restore only changes work, never the
+// explored tree.
+func (s *searcher) restorePin(m *kvm.Machine, pin *kvm.Snapshot, saved int) bool {
+	if err := s.opts.Fault.Check(faultinject.KindPrefixRestore, "lifs.pin", s.opts.Fault.Seq(), 0); err != nil {
+		return false
+	}
+	m.Restore(pin)
+	s.prefix.hits.Add(1)
+	s.prefix.saved.Add(uint64(saved))
+	return true
 }
 
 func (s *searcher) setCtxErr(err error) {
@@ -655,7 +773,8 @@ type unit struct {
 	rec    *sched.AccessMap // accesses recorded by this unit
 	leaves []LeafTrace
 	cand   *candidate
-	branch branchInfo // probe only
+	branch branchInfo    // probe only
+	script *branchScript // probe only: resume state for pinned tasks
 
 	// Span timing (obs): the wall window where the unit ran and the
 	// worker slot that ran it (-1 for the main machine). Spans are
@@ -672,6 +791,10 @@ type phaseRun struct {
 	base  *sched.AccessMap // frozen decision map: conflict points for the whole phase
 	vis   *visitedSet
 	units []*unit
+	// scripts maps group index to the probe's branch script. Written
+	// serially during the group loop (probes always run on the main
+	// machine, before any parallel dispatch), read-only afterwards.
+	scripts map[int]*branchScript
 }
 
 func (p *phaseRun) addUnit(group int, probe bool, choice int, initial kvm.ThreadID) *unit {
@@ -711,7 +834,7 @@ func (s *searcher) phase(k int) error {
 		ph.Info("pruned", s.pruned.Load()-prunedBefore)
 		ph.End()
 	}()
-	p := &phaseRun{s: s, k: k, base: s.am, vis: newVisitedSet()}
+	p := &phaseRun{s: s, k: k, base: s.am, vis: newVisitedSet(), scripts: make(map[int]*branchScript)}
 	s.best.Store(math.MaxInt64)
 	parallel := s.opts.Workers > 1
 
@@ -756,6 +879,17 @@ func (s *searcher) phase(k int) error {
 		pu := p.addUnit(gi, true, -1, t.ID)
 		s.m.Restore(s.init)
 		s.runUnit(p, pu, s.m, true, -1, k)
+		// The probe left the machine at the group's branch state: pin it
+		// so the group's tasks resume from there instead of replaying the
+		// prefix. (Parallel workers pin their own machines lazily; the
+		// main machine is only used for probes there.)
+		var pin *kvm.Snapshot
+		if pu.script != nil {
+			p.scripts[gi] = pu.script
+			if !parallel {
+				pin = s.pinBranch(s.m)
+			}
+		}
 		var groupTasks []*unit
 		for c := 0; c < pu.branch.choices; c++ {
 			groupTasks = append(groupTasks, p.addUnit(gi, false, c, t.ID))
@@ -770,6 +904,13 @@ func (s *searcher) phase(k int) error {
 			}
 			if s.best.Load() < int64(tu.ordinal) {
 				break
+			}
+			if pin != nil {
+				if s.restorePin(s.m, pin, len(pu.script.trace)) {
+					s.runUnitPinned(p, tu, s.m, -1, k, pu.script)
+					continue
+				}
+				pin = nil // corrupt pin: the rest of the group replays from scratch
 			}
 			s.m.Restore(s.init)
 			s.runUnit(p, tu, s.m, false, -1, k)
@@ -799,8 +940,19 @@ func (s *searcher) phase(k int) error {
 				if s.exhausted.Load() || s.best.Load() < int64(tu.ordinal) {
 					return nil
 				}
+				// Resume from this worker's pin when it holds the right
+				// group's branch state; otherwise replay the prefix once
+				// and pin it at the branch for the group's later tasks.
+				sc := p.scripts[tu.group]
+				if sc != nil && vm.pin != nil && vm.pinPhase == p && vm.pinGroup == tu.group {
+					if s.restorePin(vm.m, vm.pin, len(sc.trace)) {
+						s.runUnitPinned(p, tu, vm.m, worker, k, sc)
+						return nil
+					}
+				}
+				vm.pin, vm.pinPhase = nil, nil // init restore invalidates any pin
 				vm.m.Restore(vm.init)
-				s.runUnit(p, tu, vm.m, false, worker, k)
+				s.runUnitPinning(p, tu, vm, worker, k)
 				return nil
 			})
 		s.releaseVMs(vms)
@@ -925,19 +1077,52 @@ func (s *searcher) maybeSavePartial(p *phaseRun, k, groupsDone int) {
 	})
 }
 
-// runUnit drives one unit's exploration on m, recording the unit's wall
-// window and worker slot for the tracer when enabled. The span itself is
-// committed later, by the phase merge step, in ordinal order.
+// runUnit drives one unit's exploration on m from the initial state.
 func (s *searcher) runUnit(p *phaseRun, u *unit, m *kvm.Machine, probe bool, worker, k int) {
+	s.timeUnit(u, worker, func() {
+		newExplorer(p, u, m, probe).run(k)
+	})
+}
+
+// runUnitPinned drives a task unit from its group's restored branch
+// state: the machine already sits at the branch, and the script supplies
+// the exploration state the prefix replay would have rebuilt.
+func (s *searcher) runUnitPinned(p *phaseRun, u *unit, m *kvm.Machine, worker, k int, sc *branchScript) {
+	s.timeUnit(u, worker, func() {
+		newExplorer(p, u, m, false).resumeFromPin(sc, k)
+	})
+}
+
+// runUnitPinning drives a task unit from the initial state on a worker
+// VM, pinning the machine at the group's branch event so the worker's
+// later tasks of the same group can resume from it.
+func (s *searcher) runUnitPinning(p *phaseRun, u *unit, vm *workerVM, worker, k int) {
+	s.timeUnit(u, worker, func() {
+		e := newExplorer(p, u, vm.m, false)
+		if s.opts.Prefix.enabled() {
+			e.onBranch = func() {
+				if pin := s.pinBranch(vm.m); pin != nil {
+					vm.pin, vm.pinPhase, vm.pinGroup = pin, p, u.group
+				}
+			}
+		}
+		e.run(k)
+	})
+}
+
+// timeUnit records the unit's wall window and worker slot for the tracer
+// when enabled. The span itself is committed later, by the phase merge
+// step, in ordinal order.
+func (s *searcher) timeUnit(u *unit, worker int, f func()) {
 	u.ran = true
 	u.tWorker = worker
 	tr := s.opts.Tracer
 	if tr == nil {
-		newExplorer(p, u, m, probe).run(k)
+		f()
 		return
 	}
 	u.tStart = tr.Now()
-	newExplorer(p, u, m, probe).run(k)
+	f()
 	u.tDur = tr.Now() - u.tStart
 }
 
@@ -988,6 +1173,16 @@ type explorer struct {
 	// splitPending is true until the unit passes its group's branch event:
 	// the probe stops there, a task takes its assigned choice there.
 	splitPending bool
+	// onBranch, when set, fires once at the task's branch event, with the
+	// machine at the branch state and before the choice is taken — the
+	// parallel workers' pin point.
+	onBranch func()
+	// skipBranch makes the first loop iteration of a pin-resumed
+	// fall-through task skip the return-stack check and the conflict
+	// block: an uncached fall-through proceeds straight from the branch
+	// event to the Step without re-entering the loop top, so a resumed
+	// one must not re-run the checks that sit above it.
+	skipBranch bool
 	// serialOrder is true when units run strictly in ordinal order and
 	// insert into the shared visited set (probing, and serial mode); false
 	// for parallel tasks, whose own revisits go to the local map instead.
@@ -1027,6 +1222,48 @@ func newExplorer(p *phaseRun, u *unit, m *kvm.Machine, probe bool) *explorer {
 // run explores the unit from the machine's initial state.
 func (e *explorer) run(budget int) {
 	e.explore(e.u.initial, budget, nil)
+}
+
+// resumeFromPin continues a task from its group's restored branch state,
+// reproducing exactly what the uncached task would do after replaying
+// the prefix and flipping splitPending: take the assigned choice. The
+// shared script trace is adopted with its capacity clamped so appends
+// copy instead of clobbering sibling tasks.
+func (e *explorer) resumeFromPin(sc *branchScript, budget int) {
+	e.splitPending = false
+	e.trace = sc.trace[:len(sc.trace):len(sc.trace)]
+	e.suspectSeen = sc.seen
+	if sc.natural {
+		e.explore(sc.choices[e.u.choice], budget, cloneStack(sc.stack))
+		return
+	}
+	if c := e.u.choice; c < len(sc.choices) {
+		// Preemption: switch to the target, spending one budget unit —
+		// the uncached task recurses into explore the same way.
+		e.explore(sc.choices[c], budget-1, cloneStack(sc.stack))
+		return
+	}
+	// Fall-through: continue the conflict-point thread. The uncached
+	// task proceeds straight to the Step; skipBranch suppresses the
+	// loop-top checks it would not have re-run.
+	e.skipBranch = true
+	e.explore(sc.cur, budget, cloneStack(sc.stack))
+}
+
+// captureScript saves the machine-independent half of the branch state
+// (probe only), so pinned tasks can resume without replaying the prefix.
+func (e *explorer) captureScript(natural bool, choices []kvm.ThreadID, cur kvm.ThreadID, stack []kvm.ThreadID) {
+	if !e.s.opts.Prefix.enabled() {
+		return
+	}
+	e.u.script = &branchScript{
+		trace:   append([]sched.Exec(nil), e.trace...),
+		seen:    e.suspectSeen,
+		stack:   cloneStack(stack),
+		natural: natural,
+		choices: append([]kvm.ThreadID(nil), choices...),
+		cur:     cur,
+	}
 }
 
 // canceled polls the context (every 64 calls — it sits on the per-step
@@ -1094,8 +1331,10 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 		}
 
 		// Return from a lock diversion as soon as the diverted-from thread
-		// can run again (mirrors the enforcement engine).
-		if n := len(returnStack); n > 0 {
+		// can run again (mirrors the enforcement engine). A pin-resumed
+		// fall-through skips the first check: its uncached twin stepped
+		// straight from the branch event without re-entering the loop top.
+		if n := len(returnStack); n > 0 && !e.skipBranch {
 			t := e.m.Thread(returnStack[n-1])
 			if e.viable(t) {
 				cur = t.ID
@@ -1140,9 +1379,15 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 				// choices become task units; a task takes its one choice.
 				if e.probe {
 					e.u.branch = branchInfo{natural: true, choices: len(choices)}
+					e.captureScript(true, choices, cur, returnStack)
 					return false
 				}
 				e.splitPending = false
+				// The trace so far re-executed the probe's known prefix.
+				e.s.prefix.replayed.Add(uint64(len(e.trace)))
+				if e.onBranch != nil {
+					e.onBranch()
+				}
 				cur = choices[e.u.choice]
 				continue
 			}
@@ -1172,7 +1417,11 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 		// thread. Off-report paths skip this entirely: they neither branch
 		// nor claim visited states (their subtree fate differs from a
 		// normal path's, so a claim here would dedup-prune live work).
-		if !e.offReport && e.isConflictPoint(cur) {
+		if e.skipBranch {
+			// Pin-resumed fall-through: the branch event (prune check
+			// included) already ran in the probe; proceed to the Step.
+			e.skipBranch = false
+		} else if !e.offReport && e.isConflictPoint(cur) {
 			branched := false
 			if e.splitPending && budget > 0 {
 				if others := e.othersViable(cur); len(others) > 0 {
@@ -1183,9 +1432,15 @@ func (e *explorer) explore(cur kvm.ThreadID, budget int, returnStack []kvm.Threa
 					}
 					if e.probe {
 						e.u.branch = branchInfo{choices: len(others) + 1}
+						e.captureScript(false, others, cur, returnStack)
 						return false
 					}
 					e.splitPending = false
+					// The trace so far re-executed the probe's known prefix.
+					e.s.prefix.replayed.Add(uint64(len(e.trace)))
+					if e.onBranch != nil {
+						e.onBranch()
+					}
 					if c := e.u.choice; c < len(others) {
 						return e.explore(others[c], budget-1, cloneStack(returnStack))
 					}
@@ -1422,9 +1677,13 @@ func (e *explorer) exempt(c int) bool {
 	if replay {
 		return true
 	}
-	// Parallel task: only lower groups' probes have provably claimed the
-	// state at this point of the serial order.
-	return !(cu.probe && cu.group < e.u.group)
+	// Parallel task: prune only on probe claims of this group or lower —
+	// the claims that provably exist at this point of the serial visit
+	// order (every probe up to and including the own group ran to
+	// completion before any of the group's tasks were dispatched). An
+	// own-group probe claim hit after the branch event is a loop back
+	// into the prefix, which the serial search prunes too.
+	return !(cu.probe && cu.group <= e.u.group)
 }
 
 // guidePruned applies the report guide's reachability test to the

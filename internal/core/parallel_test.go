@@ -14,9 +14,11 @@ import (
 
 // TestParallelReproduceMatchesSerial: the parallel search must return the
 // exact same reproduction as the serial one — schedule, race set and
-// interleaving count — across the whole scenario corpus. (Stats.Schedules
-// and Stats.Pruned may legitimately differ: parallel units cannot see
-// their in-flight siblings' visited states.)
+// interleaving count — across the whole scenario corpus, and an 8-worker
+// analysis of the parallel reproduction must yield a byte-identical
+// diagnosis, with the prefix cache on. (Stats.Schedules and Stats.Pruned
+// may legitimately differ: parallel units cannot see their in-flight
+// siblings' visited states; see TestParallelScheduleCountBound.)
 func TestParallelReproduceMatchesSerial(t *testing.T) {
 	for _, sc := range scenarios.All() {
 		sc := sc
@@ -29,18 +31,24 @@ func TestParallelReproduceMatchesSerial(t *testing.T) {
 				LeakCheck: sc.NeedsLeakCheck(),
 			}
 
-			serial, err := Reproduce(mustMachine(t, prog), opts)
+			mS := mustMachine(t, prog)
+			serial, err := Reproduce(mS, opts)
 			if err != nil {
 				if IsNotReproduced(err) {
 					t.Skipf("scenario does not reproduce serially: %v", err)
 				}
 				t.Fatalf("serial Reproduce: %v", err)
 			}
+			serialD, err := Analyze(mS, serial, AnalysisOptions{})
+			if err != nil {
+				t.Fatalf("serial Analyze: %v", err)
+			}
 
 			for _, workers := range []int{2, 8} {
 				popts := opts
 				popts.Workers = workers
-				par, err := Reproduce(mustMachine(t, prog), popts)
+				mP := mustMachine(t, prog)
+				par, err := Reproduce(mP, popts)
 				if err != nil {
 					t.Fatalf("workers=%d Reproduce: %v", workers, err)
 				}
@@ -54,8 +62,73 @@ func TestParallelReproduceMatchesSerial(t *testing.T) {
 					t.Errorf("workers=%d interleavings = %d, want %d",
 						workers, par.Stats.Interleavings, serial.Stats.Interleavings)
 				}
+				parD, err := Analyze(mP, par, AnalysisOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d Analyze: %v", workers, err)
+				}
+				if cs, cp := serialD.Chain.Format(prog), parD.Chain.Format(prog); cs != cp {
+					t.Errorf("workers=%d chain = %q, want %q", workers, cp, cs)
+				}
+				if len(parD.Tested) != len(serialD.Tested) {
+					t.Fatalf("workers=%d test-set size = %d, want %d", workers, len(parD.Tested), len(serialD.Tested))
+				}
+				for i := range serialD.Tested {
+					if serialD.Tested[i].Verdict != parD.Tested[i].Verdict {
+						t.Errorf("workers=%d verdict %d = %v, want %v",
+							workers, i, parD.Tested[i].Verdict, serialD.Tested[i].Verdict)
+					}
+				}
 			}
 		})
+	}
+}
+
+// TestParallelScheduleCountBound documents and pins the schedule-count
+// drift between serial and parallel searches on syz08-j1939-refcount
+// (the corpus's widest search). The counts differ by design: a serial
+// search prunes on every earlier unit's visited-state claims, while a
+// parallel task may prune only on claims that deterministically exist at
+// its point of the serial visit order — probe claims of its own group or
+// lower. Sibling tasks' claims land in timing-dependent order and must
+// be ignored, so the parallel search re-executes the few schedules a
+// serial search would have pruned against an earlier task. Both counts
+// are deterministic: the serial count is fixed, the parallel count is
+// the same value >= it for every worker count, and the prefix cache
+// changes neither (it skips replay work, not schedules).
+func TestParallelScheduleCountBound(t *testing.T) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	prog := sc.MustProgram()
+	const serialWant, parallelWant = 21, 23
+	for _, disable := range []bool{false, true} {
+		opts := LIFSOptions{
+			WantKind:  sc.WantKind,
+			WantInstr: sc.WantInstr(),
+			LeakCheck: sc.NeedsLeakCheck(),
+			Prefix:    PrefixConfig{Disable: disable},
+		}
+		serial, err := Reproduce(mustMachine(t, prog), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Stats.Schedules != serialWant {
+			t.Errorf("cache-disable=%v serial schedules = %d, want %d", disable, serial.Stats.Schedules, serialWant)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			popts := opts
+			popts.Workers = workers
+			par, err := Reproduce(mustMachine(t, prog), popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Stats.Schedules != parallelWant {
+				t.Errorf("cache-disable=%v workers=%d schedules = %d, want %d",
+					disable, workers, par.Stats.Schedules, parallelWant)
+			}
+			if par.Stats.Schedules < serial.Stats.Schedules {
+				t.Errorf("workers=%d executed fewer schedules (%d) than serial (%d); the bound is serial <= parallel",
+					workers, par.Stats.Schedules, serial.Stats.Schedules)
+			}
+		}
 	}
 }
 

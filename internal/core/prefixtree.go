@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aitia/internal/faultinject"
+	"aitia/internal/kvm"
+	"aitia/internal/sched"
+)
+
+// This file implements the incremental-replay prefix cache: the search
+// and the causality analysis both execute large families of schedules
+// that share long prefixes (every task unit of a LIFS group replays the
+// group's prefix; every flip test replays the failing run up to its
+// race). Instead of re-enforcing each schedule from instruction 0, the
+// pipeline pins copy-on-write snapshots (kvm.Machine.Snapshot, O(1)) at
+// interior states of that shared prefix tree and starts each run from
+// the deepest pinned ancestor, replaying only the suffix.
+//
+// The cache is purely a work optimization: the explored tree, the
+// reproduction, every flip verdict and the diagnosis are identical with
+// the cache on or off. Pins live only in memory — a checkpoint-resumed
+// search starts cold — and journal-based snapshots force LIFO restores,
+// so eviction is structural: seeking below a pin drops everything
+// deeper (the deepest pins go first), and creation stops once the
+// pinned bytes exceed the budget.
+
+// Default prefix-cache knobs.
+const (
+	// DefaultPinStride is the schedule-position stride at which the flip
+	// replay cache pins snapshots along the canonical failing sequence.
+	// Snapshots are O(1) copy-on-write journal marks, so a dense stride
+	// costs almost nothing and keeps the per-flip replay gap at most
+	// stride-1 steps.
+	DefaultPinStride = 2
+	// DefaultPinBudget bounds the bytes pinned by live prefix snapshots
+	// (64 MiB; scenario-sized kernels pin a few KiB per run).
+	DefaultPinBudget = 64 << 20
+)
+
+// PrefixConfig configures the incremental-replay prefix cache. The zero
+// value enables the cache with the default stride and byte budget.
+type PrefixConfig struct {
+	// Disable turns the cache off: every run replays its schedule from
+	// instruction 0, as the pipeline did before the cache existed.
+	// Results are identical either way — only the work differs — so
+	// Disable exists for benchmarking and defense in depth.
+	Disable bool
+	// Stride pins a snapshot every Stride schedule positions along a
+	// cached flip prefix; zero means DefaultPinStride. Smaller strides
+	// shrink the replayed gap per flip at the cost of more pins.
+	Stride int
+	// BudgetBytes bounds the bytes pinned by live prefix snapshots
+	// (measured with kvm.Machine.LiveBytes). Zero means
+	// DefaultPinBudget. When the budget is exhausted no further pins
+	// are created — deeper states replay from the deepest affordable
+	// ancestor — so the budget caps memory without affecting results.
+	BudgetBytes uint64
+}
+
+func (c PrefixConfig) enabled() bool { return !c.Disable }
+
+func (c PrefixConfig) stride() int {
+	if c.Stride > 0 {
+		return c.Stride
+	}
+	return DefaultPinStride
+}
+
+func (c PrefixConfig) budget() uint64 {
+	if c.BudgetBytes > 0 {
+		return c.BudgetBytes
+	}
+	return DefaultPinBudget
+}
+
+// prefixStats aggregates the cache's work counters across a search or
+// analysis (shared by every worker machine).
+type prefixStats struct {
+	replayed atomic.Uint64 // instructions spent re-executing known prefixes
+	saved    atomic.Uint64 // prefix instructions skipped via pin restores
+	hits     atomic.Int64  // runs started from a pinned snapshot
+	pinned   atomic.Uint64 // peak LiveBytes at any pin creation
+}
+
+// notePinned records the pinned-bytes high-water mark (CAS-max).
+func (ps *prefixStats) notePinned(b uint64) {
+	for {
+		cur := ps.pinned.Load()
+		if b <= cur || ps.pinned.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// branchScript is the machine-independent half of a LIFS branch pin: the
+// exploration state a task unit needs to resume from its group's branch
+// event without replaying the prefix. The probe captures it at the
+// branch; the machine-specific half (the snapshot) is pinned separately
+// per machine, so parallel workers share one script but own their pins.
+type branchScript struct {
+	trace   []sched.Exec   // executed prefix (shared read-only; resume clamps cap)
+	seen    uint32         // guide suspects executed on the prefix
+	stack   []kvm.ThreadID // lock-diversion return stack at the branch
+	natural bool           // natural switch (else conflict preemption)
+	choices []kvm.ThreadID // natural: viable threads; conflict: preemption targets
+	cur     kvm.ThreadID   // conflict: the thread at the conflict point
+}
+
+// flipCache incrementally replays prefixes of the canonical failing
+// sequence for the analysis's flip tests. A flip at cut n shares
+// seq[:n] with the failing run verbatim; the cache pins snapshots every
+// stride positions along the sequence and serves each Seek from the
+// deepest pinned ancestor, replaying only the gap. One cache per
+// machine: serial analysis has one, each parallel flip worker its own.
+type flipCache struct {
+	m      *kvm.Machine
+	init   *kvm.Snapshot
+	seq    []sched.Exec // canonical failing sequence (position-stamped)
+	stride int
+	budget uint64
+	fault  *faultinject.Plan
+	stats  *prefixStats
+	pins   []flipPin // ascending pos; restores are LIFO by construction
+}
+
+type flipPin struct {
+	pos  int
+	snap *kvm.Snapshot
+}
+
+func newFlipCache(m *kvm.Machine, init *kvm.Snapshot, seq []sched.Exec, cfg PrefixConfig, fault *faultinject.Plan, stats *prefixStats) *flipCache {
+	return &flipCache{
+		m: m, init: init, seq: seq,
+		stride: cfg.stride(), budget: cfg.budget(),
+		fault: fault, stats: stats,
+	}
+}
+
+// Seek brings the machine to schedule position n of the failing
+// sequence, after which the caller enforces the flip suffix with
+// sched.Options.BaseSteps = n. It preserves the cache-off fault
+// identity: the legacy snapshot-restore check is drawn first with the
+// same (op, key, attempt), so chaos fates match a cache-off run. A
+// fired prefix-restore fault (a corrupt pin) degrades to a from-scratch
+// replay and never surfaces as an error — degradation costs work, not
+// correctness.
+func (c *flipCache) Seek(n int, op string, key uint64, attempt int) error {
+	if err := c.fault.Check(faultinject.KindSnapshotRestore, op, key, attempt); err != nil {
+		return err
+	}
+	i := len(c.pins) - 1
+	for i >= 0 && c.pins[i].pos > n {
+		i--
+	}
+	from := 0
+	if i >= 0 {
+		if err := c.fault.Check(faultinject.KindPrefixRestore, op, key, attempt); err != nil {
+			// Corrupt pin: any cached node may share the corruption, so
+			// drop the whole cache and replay from the initial state.
+			c.drop(0)
+			c.m.Restore(c.init)
+		} else {
+			from = c.pins[i].pos
+			c.drop(i + 1) // the restore truncates the journal above the pin
+			c.m.Restore(c.pins[i].snap)
+			c.stats.hits.Add(1)
+			c.stats.saved.Add(uint64(from))
+		}
+	} else {
+		c.drop(0)
+		c.m.Restore(c.init)
+	}
+	return c.replay(from, n, false)
+}
+
+// replay re-executes seq[from:n] step by step, re-pinning stride
+// positions on the way. A divergence from a pinned state degrades to
+// one from-scratch replay; diverging from the initial state is a real
+// bug and fails loudly.
+func (c *flipCache) replay(from, n int, retried bool) error {
+	for j := from; j < n; j++ {
+		ev, err := c.m.Step(c.seq[j].Thread)
+		if err != nil || !ev.Executed {
+			if retried {
+				return fmt.Errorf("core: prefix replay diverged from the recorded sequence at step %d of %d", j, n)
+			}
+			c.drop(0)
+			c.m.Restore(c.init)
+			return c.replay(0, n, true)
+		}
+		c.stats.replayed.Add(1)
+		if pos := j + 1; pos%c.stride == 0 {
+			c.pin(pos)
+		}
+	}
+	// Pin the sought position itself: flip retries and sibling flips of
+	// the same race seek the same cut, and a pin exactly there makes the
+	// repeat gap zero.
+	if n > from && n%c.stride != 0 {
+		c.pin(n)
+	}
+	return nil
+}
+
+// pin snapshots the machine's current position unless the pinned-bytes
+// budget is exhausted.
+func (c *flipCache) pin(pos int) {
+	lb := c.m.LiveBytes()
+	if lb > c.budget {
+		return
+	}
+	c.pins = append(c.pins, flipPin{pos: pos, snap: c.m.Snapshot()})
+	c.stats.notePinned(lb)
+}
+
+// drop evicts pins[i:], clearing references so snapshots can be
+// collected.
+func (c *flipCache) drop(i int) {
+	for j := i; j < len(c.pins); j++ {
+		c.pins[j] = flipPin{}
+	}
+	c.pins = c.pins[:i]
+}
+
+// prefixSeed carries warm pins from a reproduction's final replay into
+// the analysis. Reproduce already executes the winning schedule once (to
+// validate it and leave the machine in the failing state); pinning along
+// that replay means the analysis's flip cache starts with the whole
+// failing sequence cached instead of rebuilding it from instruction 0.
+// The seed is memory-only and machine-bound: Analyze adopts it only when
+// handed the same machine with the pins still live (SnapshotLive), and
+// falls back to a cold cache otherwise.
+type prefixSeed struct {
+	m    *kvm.Machine
+	init *kvm.Snapshot
+	pins []flipPin
+}
+
+// adopt validates the seed against the machine and returns the still-live
+// pins. Pins die from the deepest position down (journal truncation), so
+// filtering preserves the ascending LIFO order the cache requires.
+func (sd *prefixSeed) adopt(m *kvm.Machine) ([]flipPin, bool) {
+	if sd == nil || sd.m != m || !m.SnapshotLive(sd.init) {
+		return nil, false
+	}
+	var live []flipPin
+	for _, p := range sd.pins {
+		if m.SnapshotLive(p.snap) {
+			live = append(live, p)
+		}
+	}
+	return live, true
+}
+
+// mergeFlipRun reassembles the full flip run from the replayed prefix
+// and the enforced suffix. The suffix was numbered from BaseSteps =
+// len(prefix), so Seq, Failure, Missed and Threads — everything verdicts
+// and race extraction consume — are byte-identical to a cache-off
+// full-schedule enforcement. Switches (unconsumed for flips) adds the
+// prefix's thread boundaries plus the seam as an approximation of the
+// decisions the skipped enforcement would have counted.
+func mergeFlipRun(prefix []sched.Exec, suffix *sched.RunResult) *sched.RunResult {
+	if len(prefix) == 0 {
+		return suffix
+	}
+	out := &sched.RunResult{
+		Seq:      append(prefix[:len(prefix):len(prefix)], suffix.Seq...),
+		Failure:  suffix.Failure,
+		Switches: suffix.Switches,
+		Missed:   suffix.Missed,
+		Threads:  suffix.Threads,
+	}
+	for i := 1; i < len(prefix); i++ {
+		if prefix[i].Name != prefix[i-1].Name {
+			out.Switches++
+		}
+	}
+	if len(suffix.Seq) > 0 && suffix.Seq[0].Name != prefix[len(prefix)-1].Name {
+		out.Switches++
+	}
+	return out
+}

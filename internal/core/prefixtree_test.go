@@ -1,0 +1,208 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aitia/internal/faultinject"
+	"aitia/internal/scenarios"
+)
+
+// prefixPipeline runs the serial Reproduce+Analyze pipeline on a fresh
+// machine under the given prefix config and fault plan.
+func prefixPipeline(t *testing.T, sc *scenarios.Scenario, cfg PrefixConfig, plan *faultinject.Plan) (*Reproduction, *Diagnosis) {
+	t.Helper()
+	m := mustMachine(t, sc.MustProgram())
+	rep, err := Reproduce(m, LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+		Prefix:    cfg,
+		Fault:     plan,
+		Retry:     quickRetry,
+	})
+	if err != nil {
+		if IsNotReproduced(err) {
+			t.Skipf("scenario does not reproduce: %v", err)
+		}
+		t.Fatalf("Reproduce: %v", err)
+	}
+	d, err := Analyze(m, rep, AnalysisOptions{Prefix: cfg, Fault: plan, Retry: quickRetry})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return rep, d
+}
+
+// comparePipelines asserts that two pipeline runs explored the same tree
+// and reached the same diagnosis — the cache-on/off, budget and fault
+// variants must differ only in work, never in results.
+func comparePipelines(t *testing.T, sc *scenarios.Scenario, repA, repB *Reproduction, dA, dB *Diagnosis) {
+	t.Helper()
+	prog := sc.MustProgram()
+	if !reflect.DeepEqual(repA.Schedule, repB.Schedule) {
+		t.Errorf("schedules differ:\n  a: %v\n  b: %v", repA.Schedule, repB.Schedule)
+	}
+	if !reflect.DeepEqual(repA.Races, repB.Races) {
+		t.Errorf("race sets differ")
+	}
+	if repA.Stats.Schedules != repB.Stats.Schedules {
+		t.Errorf("search schedules differ: %d vs %d", repA.Stats.Schedules, repB.Stats.Schedules)
+	}
+	if repA.Stats.Interleavings != repB.Stats.Interleavings {
+		t.Errorf("interleavings differ: %d vs %d", repA.Stats.Interleavings, repB.Stats.Interleavings)
+	}
+	if dA.Stats.Schedules != dB.Stats.Schedules {
+		t.Errorf("analysis schedules differ: %d vs %d", dA.Stats.Schedules, dB.Stats.Schedules)
+	}
+	if len(dA.Tested) != len(dB.Tested) {
+		t.Fatalf("test-set sizes differ: %d vs %d", len(dA.Tested), len(dB.Tested))
+	}
+	for i := range dA.Tested {
+		if dA.Tested[i].Verdict != dB.Tested[i].Verdict {
+			t.Errorf("verdict %d differs: %v vs %v", i, dA.Tested[i].Verdict, dB.Tested[i].Verdict)
+		}
+		ra, rb := dA.Tested[i].FlipRun, dB.Tested[i].FlipRun
+		if (ra == nil) != (rb == nil) {
+			t.Errorf("flip run %d present in one pipeline only", i)
+		} else if ra != nil && !reflect.DeepEqual(ra.Seq, rb.Seq) {
+			t.Errorf("flip run %d differs step for step", i)
+		}
+	}
+	if ca, cb := dA.Chain.Format(prog), dB.Chain.Format(prog); ca != cb {
+		t.Errorf("chains differ:\n  a: %q\n  b: %q", ca, cb)
+	}
+}
+
+// TestPrefixCacheOnOffIdentical: across the corpus, the prefix cache is a
+// pure work optimization — the explored tree, the schedule counts, every
+// flip run and the chain are byte-identical with the cache on or off.
+func TestPrefixCacheOnOffIdentical(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			repOn, dOn := prefixPipeline(t, sc, PrefixConfig{}, nil)
+			repOff, dOff := prefixPipeline(t, sc, PrefixConfig{Disable: true}, nil)
+			comparePipelines(t, sc, repOn, repOff, dOn, dOff)
+
+			// Cache off, nothing may be pinned or restored from pins.
+			for name, st := range map[string][3]uint64{
+				"search":   {repOff.Stats.SavedInstrs, uint64(repOff.Stats.PrefixHits), repOff.Stats.PinnedBytes},
+				"analysis": {dOff.Stats.SavedInstrs, uint64(dOff.Stats.PrefixHits), dOff.Stats.PinnedBytes},
+			} {
+				if st[0] != 0 || st[1] != 0 || st[2] != 0 {
+					t.Errorf("%s cache-off stats nonzero: saved=%d hits=%d pinned=%d", name, st[0], st[1], st[2])
+				}
+			}
+			if repOn.Stats.PinnedBytes > DefaultPinBudget || dOn.Stats.PinnedBytes > DefaultPinBudget {
+				t.Errorf("pinned bytes exceed the default budget: %d / %d",
+					repOn.Stats.PinnedBytes, dOn.Stats.PinnedBytes)
+			}
+		})
+	}
+}
+
+// TestPrefixBudgetExhaustionKeepsResults: a 1-byte budget refuses every
+// pin, so the pipeline degrades to from-scratch replays — zero pins, zero
+// hits, zero saved work — with the exact default-config diagnosis.
+func TestPrefixBudgetExhaustionKeepsResults(t *testing.T) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	repDef, dDef := prefixPipeline(t, sc, PrefixConfig{}, nil)
+	repTiny, dTiny := prefixPipeline(t, sc, PrefixConfig{BudgetBytes: 1}, nil)
+	comparePipelines(t, sc, repDef, repTiny, dDef, dTiny)
+
+	for name, st := range map[string][3]uint64{
+		"search":   {repTiny.Stats.SavedInstrs, uint64(repTiny.Stats.PrefixHits), repTiny.Stats.PinnedBytes},
+		"analysis": {dTiny.Stats.SavedInstrs, uint64(dTiny.Stats.PrefixHits), dTiny.Stats.PinnedBytes},
+	} {
+		if st[0] != 0 || st[1] != 0 || st[2] != 0 {
+			t.Errorf("%s pinned past an exhausted budget: saved=%d hits=%d pinned=%d", name, st[0], st[1], st[2])
+		}
+	}
+	// Sanity: the default config does exercise the cache on this scenario.
+	if repDef.Stats.PrefixHits == 0 || dDef.Stats.PrefixHits == 0 {
+		t.Errorf("default config never hit the cache (search=%d analysis=%d hits)",
+			repDef.Stats.PrefixHits, dDef.Stats.PrefixHits)
+	}
+	if dDef.Stats.SavedInstrs == 0 {
+		t.Error("default config saved no replay work")
+	}
+}
+
+// TestPrefixRestoreFaultDegradesToFullReplay: rate-1 prefix-restore
+// faults corrupt every pinned node at restore time; the pipeline must
+// degrade to from-scratch replays (zero cache hits) and still produce the
+// exact fault-free diagnosis — degradation costs work, never correctness.
+func TestPrefixRestoreFaultDegradesToFullReplay(t *testing.T) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	repClean, dClean := prefixPipeline(t, sc, PrefixConfig{}, nil)
+	plan := faultinject.NewPlan(5, 0).SetRate(faultinject.KindPrefixRestore, 1)
+	repFaulted, dFaulted := prefixPipeline(t, sc, PrefixConfig{}, plan)
+	comparePipelines(t, sc, repClean, repFaulted, dClean, dFaulted)
+
+	if repFaulted.Stats.PrefixHits != 0 || dFaulted.Stats.PrefixHits != 0 {
+		t.Errorf("corrupt pins were still restored: search=%d analysis=%d hits",
+			repFaulted.Stats.PrefixHits, dFaulted.Stats.PrefixHits)
+	}
+	if repFaulted.Stats.SavedInstrs != 0 || dFaulted.Stats.SavedInstrs != 0 {
+		t.Errorf("corrupt pins still credited saved work: search=%d analysis=%d",
+			repFaulted.Stats.SavedInstrs, dFaulted.Stats.SavedInstrs)
+	}
+	if st := plan.Stats(); st.Fired[faultinject.KindPrefixRestore] == 0 {
+		t.Error("the prefix-restore fault never fired; the degradation path went untested")
+	}
+}
+
+// TestAnalyzeWarmHandoff: an Analyze handed the machine Reproduce just
+// left in the failing state adopts the final replay's pins, so the whole
+// failing sequence is cached before the first flip — the analysis replays
+// (almost) nothing. A Reset between the stages stales the seed and falls
+// back to the cold path with the same diagnosis.
+func TestAnalyzeWarmHandoff(t *testing.T) {
+	sc, _ := scenarios.ByName("syz08-j1939-refcount")
+	prog := sc.MustProgram()
+	opts := LIFSOptions{WantKind: sc.WantKind, WantInstr: sc.WantInstr(), LeakCheck: sc.NeedsLeakCheck()}
+
+	m := mustMachine(t, prog)
+	rep, err := Reproduce(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Analyze(m, rep, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := mustMachine(t, prog)
+	rep2, err := Reproduce(m2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Reset(); err != nil { // stales the seed pins (generation bump)
+		t.Fatal(err)
+	}
+	cold, err := Analyze(m2, rep2, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cw, cc := warm.Chain.Format(prog), cold.Chain.Format(prog); cw != cc {
+		t.Fatalf("warm and cold chains differ:\n  warm: %q\n  cold: %q", cw, cc)
+	}
+	if len(warm.Tested) == 0 {
+		t.Fatal("expected a non-empty test set")
+	}
+	if warm.Stats.PrefixHits == 0 {
+		t.Error("warm analysis never hit a pinned snapshot")
+	}
+	if warm.Stats.ReplayedInstrs >= cold.Stats.ReplayedInstrs {
+		t.Errorf("warm replay %d >= cold replay %d: the handoff saved nothing",
+			warm.Stats.ReplayedInstrs, cold.Stats.ReplayedInstrs)
+	}
+	// The whole point: with the failing sequence pre-cached, analysis-side
+	// replay is far below even one pass over the sequence.
+	if seq := uint64(len(rep.Run.Seq)); warm.Stats.ReplayedInstrs >= seq {
+		t.Errorf("warm replay %d >= failing-sequence length %d", warm.Stats.ReplayedInstrs, seq)
+	}
+}

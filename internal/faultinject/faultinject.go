@@ -51,8 +51,12 @@ const (
 	// KindQueueAdmit fails a job admission into the service queue (a
 	// transient hiccup surfaced to clients as 429 backpressure).
 	KindQueueAdmit
+	// KindPrefixRestore corrupts a pinned prefix-cache snapshot at restore
+	// time: the incremental-replay cache must degrade to a from-scratch
+	// replay instead of resuming from (possibly wrong) cached state.
+	KindPrefixRestore
 
-	numKinds = 4
+	numKinds = 5
 )
 
 // String returns the kind's metric label.
@@ -66,6 +70,8 @@ func (k Kind) String() string {
 		return "worker-death"
 	case KindQueueAdmit:
 		return "queue-admit"
+	case KindPrefixRestore:
+		return "prefix-restore"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -73,7 +79,7 @@ func (k Kind) String() string {
 
 // Kinds lists every injection kind, for metric exporters.
 func Kinds() []Kind {
-	return []Kind{KindSnapshotRestore, KindEnforceStall, KindWorkerDeath, KindQueueAdmit}
+	return []Kind{KindSnapshotRestore, KindEnforceStall, KindWorkerDeath, KindQueueAdmit, KindPrefixRestore}
 }
 
 // Fault is the error an injection point returns when the plan fires. It

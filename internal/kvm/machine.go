@@ -135,8 +135,11 @@ type Machine struct {
 	journaling bool
 	epoch      uint64
 	copied     uint64 // approximate bytes journaled, for metrics
+	live       uint64 // approximate bytes currently held by the journal
 	snapshots  uint64
 	restores   uint64
+	executed   uint64 // total instructions ever executed; never rewound
+	gen        uint64 // bumped by Reset/RestoreDeep; stales every Snapshot
 }
 
 // New creates a machine with the program's declared threads ready to run.
@@ -178,6 +181,12 @@ func (m *Machine) Space() *mem.Space { return m.space }
 
 // Steps returns the number of instructions executed so far.
 func (m *Machine) Steps() uint64 { return m.steps }
+
+// Executed returns the total number of instructions the machine has ever
+// executed. Unlike Steps, it is monotonic: Restore rewinds the logical
+// step counter but not this one, so it measures real execution work across
+// an entire search, replays included.
+func (m *Machine) Executed() uint64 { return m.executed }
 
 // NumThreads returns the number of threads spawned so far.
 func (m *Machine) NumThreads() int { return len(m.threads) }
@@ -414,6 +423,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 		t.WaitLock = 0
 		fr.pc++
 		m.steps++
+		m.executed++
 		t.normalize()
 		ev.Done = t.State == Done
 		return ev, nil
@@ -664,6 +674,7 @@ func (m *Machine) Step(tid ThreadID) (StepEvent, error) {
 		fr.pc++
 	}
 	m.steps++
+	m.executed++
 	t.normalize()
 	ev.Done = t.State == Done
 	return ev, nil

@@ -48,6 +48,7 @@ func (m *Machine) saveThread(t *Thread) {
 	cp := t.clone()
 	m.mappend(mundo{kind: muThread, tid: t.ID, thr: cp})
 	m.copied += uint64(threadBytes + 8*len(cp.Locks) + 16*len(cp.frames))
+	m.live += uint64(threadBytes + 8*len(cp.Locks) + 16*len(cp.frames))
 }
 
 // threadBytes approximates the fixed size of one Thread clone, for the
@@ -62,6 +63,7 @@ func (m *Machine) saveLock(addr uint64) {
 	o, had := m.lockOwner[addr]
 	m.mappend(mundo{kind: muLock, addr: addr, owner: o, had: had})
 	m.copied += 24
+	m.live += 24
 }
 
 // saveSpawnSeq journals the spawnSeq counter for instr before a mutation.
@@ -72,6 +74,7 @@ func (m *Machine) saveSpawnSeq(instr kir.InstrID) {
 	n, had := m.spawnSeq[instr]
 	m.mappend(mundo{kind: muSpawnSeq, instr: instr, n: n, had: had})
 	m.copied += 24
+	m.live += 24
 }
 
 // noteSpawn journals the append of a freshly spawned thread; undo pops it.
@@ -81,6 +84,7 @@ func (m *Machine) noteSpawn() {
 	}
 	m.mappend(mundo{kind: muSpawn})
 	m.copied += 8
+	m.live += 8
 }
 
 // Snapshot is a copy-on-write machine checkpoint: a position in the
@@ -96,6 +100,7 @@ type Snapshot struct {
 	space   *mem.Snapshot
 	pos     int
 	seq     uint64
+	gen     uint64
 	failure *sanitizer.Failure
 	steps   uint64
 }
@@ -117,15 +122,26 @@ func (m *Machine) Snapshot() *Snapshot {
 		space:   m.space.Snapshot(),
 		pos:     len(m.journal),
 		seq:     last,
+		gen:     m.gen,
 		failure: m.failure,
 		steps:   m.steps,
 	}
 }
 
+// SnapshotLive reports whether sn is still restorable on this machine:
+// taken in the machine's current generation (no Reset or RestoreDeep
+// since) and not truncated away by a restore to an older snapshot. The
+// prefix cache uses it to validate warm pins handed from a reproduction
+// to the analysis.
+func (m *Machine) SnapshotLive(sn *Snapshot) bool {
+	return sn.gen == m.gen && sn.pos <= len(m.journal) &&
+		(sn.pos == 0 || m.journal[sn.pos-1].seq == sn.seq)
+}
+
 // Restore rewinds the machine to a snapshot by reverse-replaying the undo
 // journal. The snapshot remains usable for further LIFO restores.
 func (m *Machine) Restore(sn *Snapshot) {
-	if sn.pos > len(m.journal) || (sn.pos > 0 && m.journal[sn.pos-1].seq != sn.seq) {
+	if !m.SnapshotLive(sn) {
 		panic("kvm: restore of a stale snapshot (restores must be LIFO-ordered)")
 	}
 	for i := len(m.journal) - 1; i >= sn.pos; i-- {
@@ -133,20 +149,24 @@ func (m *Machine) Restore(sn *Snapshot) {
 		switch r.kind {
 		case muThread:
 			m.threads[r.tid] = r.thr
+			m.live -= uint64(threadBytes + 8*len(r.thr.Locks) + 16*len(r.thr.frames))
 		case muLock:
 			if r.had {
 				m.lockOwner[r.addr] = r.owner
 			} else {
 				delete(m.lockOwner, r.addr)
 			}
+			m.live -= 24
 		case muSpawnSeq:
 			if r.had {
 				m.spawnSeq[r.instr] = r.n
 			} else {
 				delete(m.spawnSeq, r.instr)
 			}
+			m.live -= 24
 		case muSpawn:
 			m.threads = m.threads[:len(m.threads)-1]
+			m.live -= 8
 		}
 		*r = mundo{} // drop references so truncated entries can be collected
 	}
@@ -162,6 +182,13 @@ func (m *Machine) Restore(sn *Snapshot) {
 // machine's copy-on-write journaling (thread clones, lock/spawn records
 // and memory undo entries) since the machine was created, for metrics.
 func (m *Machine) SnapshotBytes() uint64 { return m.copied + m.space.CopiedBytes() }
+
+// LiveBytes returns the approximate number of bytes currently held by the
+// machine's undo journals (thread clones, lock/spawn records and memory
+// undo entries) — the memory a snapshot of the present state pins relative
+// to the oldest live snapshot. The prefix cache uses it to enforce its
+// pinned-bytes budget.
+func (m *Machine) LiveBytes() uint64 { return m.live + m.space.LiveBytes() }
 
 // DeepSnapshot is a full deep copy of the machine state: memory, threads,
 // lock ownership and counters. It is kept alongside the journal-based
@@ -217,7 +244,9 @@ func (m *Machine) RestoreDeep(sn *DeepSnapshot) {
 		m.spawnSeq[k] = v
 	}
 	m.journal = nil
+	m.live = 0
 	m.epoch++
+	m.gen++ // every journal-based Snapshot is now stale
 }
 
 // Reset rewinds the machine to its initial state (equivalent to New).
@@ -230,6 +259,7 @@ func (m *Machine) Reset() error {
 	if m.fault != nil {
 		fresh.SetFaultPlan(m.fault)
 	}
+	fresh.gen = m.gen + 1 // stale out snapshots of the pre-reset machine
 	*m = *fresh
 	return nil
 }

@@ -155,6 +155,7 @@ type Space struct {
 	epoch      uint64            // bumped on Snapshot and Restore
 	listSaved  map[uint64]uint64 // list addr -> epoch of its last saved copy
 	copied     uint64            // approximate bytes journaled (CoW metric)
+	live       uint64            // approximate bytes currently held by the journal
 }
 
 // undoKind tags one journal entry.
@@ -195,6 +196,7 @@ func (s *Space) saveWord(addr uint64) {
 	v, ok := s.words[addr]
 	s.append(undoRec{kind: undoWord, addr: addr, val: v, existed: ok})
 	s.copied += 16
+	s.live += 16
 }
 
 // saveList journals the list at addr, at most once per snapshot epoch,
@@ -208,6 +210,7 @@ func (s *Space) saveList(addr uint64) {
 	l, ok := s.lists[addr]
 	s.append(undoRec{kind: undoList, addr: addr, list: append([]int64(nil), l...), existed: ok})
 	s.copied += 16 + 8*uint64(len(l))
+	s.live += 16 + 8*uint64(len(l))
 }
 
 // NewSpace builds an address space with the given globals laid out from
@@ -362,6 +365,7 @@ func (s *Space) Alloc(size int64, site kir.InstrID) uint64 {
 		// they need no journal entries.
 		s.append(undoRec{kind: undoAlloc})
 		s.copied += 8
+		s.live += 8
 	}
 	for a := base; a < base+uint64(size); a++ {
 		delete(s.words, a)
@@ -381,6 +385,7 @@ func (s *Space) Free(base uint64, site kir.InstrID) *Fault {
 	if s.journaling {
 		s.append(undoRec{kind: undoFree, obj: obj, state: obj.State, site: obj.FreeSite})
 		s.copied += 24
+		s.live += 24
 	}
 	obj.State = Freed
 	obj.FreeSite = site
@@ -561,17 +566,21 @@ func (s *Space) Restore(sn *Snapshot) {
 			} else {
 				delete(s.words, r.addr)
 			}
+			s.live -= 16
 		case undoList:
 			if r.existed {
 				s.lists[r.addr] = r.list
 			} else {
 				delete(s.lists, r.addr)
 			}
+			s.live -= 16 + 8*uint64(len(r.list))
 		case undoFree:
 			r.obj.State = r.state
 			r.obj.FreeSite = r.site
+			s.live -= 24
 		case undoAlloc:
 			s.objects = s.objects[:len(s.objects)-1]
+			s.live -= 8
 		}
 		*r = undoRec{} // drop references so truncated entries can be collected
 	}
@@ -583,6 +592,12 @@ func (s *Space) Restore(sn *Snapshot) {
 // CopiedBytes returns the approximate number of bytes the undo journal has
 // copied since the space was created — the total CoW cost, for metrics.
 func (s *Space) CopiedBytes() uint64 { return s.copied }
+
+// LiveBytes returns the approximate number of bytes currently held by the
+// undo journal — the memory a snapshot of the present state would pin
+// relative to the oldest live snapshot. Restores shrink it; RestoreDeep
+// zeroes it.
+func (s *Space) LiveBytes() uint64 { return s.live }
 
 // DeepSnapshot is a full deep copy of a Space's mutable state. It is kept
 // alongside the journal-based Snapshot as the benchmark baseline and as an
@@ -634,5 +649,6 @@ func (s *Space) RestoreDeep(sn *DeepSnapshot) {
 	}
 	s.next = sn.next
 	s.journal = nil
+	s.live = 0
 	s.epoch++
 }

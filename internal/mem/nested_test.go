@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"testing"
+
+	"aitia/internal/kir"
+)
+
+// TestNestedSnapshotRestore exercises the stacked restores the kvm layer
+// (and through it the prefix cache) performs: restore to an interior
+// snapshot, mutate divergently, restore to its ancestor. Each restore must
+// land on the exact captured state — words, allocations and free states —
+// stale everything deeper, and settle the byte accounting.
+func TestNestedSnapshotRestore(t *testing.T) {
+	s, err := NewSpace([]kir.GlobalDef{{Name: "g", Size: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := s.GlobalAddr("g")
+	load := func() int64 {
+		v, f := s.Load(g)
+		if f != nil {
+			t.Fatalf("load g: %v", f)
+		}
+		return v
+	}
+
+	s.Store(g, 1) // pre-snapshot state, never journaled
+	a := s.Snapshot()
+	s.Store(g, 2)
+	base := s.Alloc(2, kir.NoInstr)
+	s.Store(base, 40)
+	b := s.Snapshot()
+	s.Store(g, 3)
+	if f := s.Free(base, kir.NoInstr); f != nil {
+		t.Fatalf("free: %v", f)
+	}
+	c := s.Snapshot()
+	s.Store(g, 4)
+	copied := s.CopiedBytes()
+
+	// LIFO restores land on the exact captured states.
+	s.Restore(c)
+	if load() != 3 {
+		t.Errorf("after Restore(c): g = %d, want 3", load())
+	}
+	if obj := s.ObjectAt(base); obj == nil || obj.State != Freed {
+		t.Errorf("after Restore(c): object = %+v, want freed", obj)
+	}
+	s.Restore(b)
+	if load() != 2 {
+		t.Errorf("after Restore(b): g = %d, want 2", load())
+	}
+	if obj := s.ObjectAt(base); obj == nil || obj.State != Allocated {
+		t.Errorf("after Restore(b): object = %+v, want allocated (free undone)", obj)
+	}
+	if v, f := s.Load(base); f != nil || v != 40 {
+		t.Errorf("after Restore(b): heap word = %d (%v), want 40", v, f)
+	}
+
+	// Diverge from the interior state: c is now stale and must refuse.
+	s.Store(g, 9)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("restore of a stale snapshot did not panic")
+			}
+		}()
+		s.Restore(c)
+	}()
+
+	// The ancestor restores across the divergence; the allocation itself
+	// is undone and the journal fully released.
+	s.Restore(a)
+	if load() != 1 {
+		t.Errorf("after Restore(a): g = %d, want 1", load())
+	}
+	if obj := s.ObjectAt(base); obj != nil {
+		t.Errorf("after Restore(a): allocation survived: %+v", obj)
+	}
+	if s.LiveBytes() != 0 {
+		t.Errorf("LiveBytes = %d after restoring the oldest snapshot, want 0", s.LiveBytes())
+	}
+	if s.CopiedBytes() < copied {
+		t.Errorf("CopiedBytes = %d rewound below %d", s.CopiedBytes(), copied)
+	}
+
+	// a remains restorable repeatedly.
+	s.Store(g, 7)
+	s.Restore(a)
+	if load() != 1 {
+		t.Errorf("second Restore(a): g = %d, want 1", load())
+	}
+}

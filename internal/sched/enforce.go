@@ -19,6 +19,19 @@ type Options struct {
 	// LeakCheck runs the memory-leak check when all threads finish.
 	LeakCheck bool
 
+	// BaseSteps is the number of schedule steps already executed before
+	// this run started — non-zero when the caller restored a prefix-cache
+	// snapshot and enforces only a suffix schedule. Executed steps are
+	// numbered, and the watchdog/stall budgets accounted, from BaseSteps,
+	// so a suffix run behaves byte-identically to the tail of a full run.
+	BaseSteps int
+
+	// OnStep, when non-nil, is called after every executed step with the
+	// cumulative schedule position (BaseSteps + steps executed so far).
+	// The prefix cache uses it to pin snapshots along a replayed run
+	// without re-stepping it.
+	OnStep func(pos int)
+
 	// Fault arms deterministic fault injection for this run: an
 	// enforce-stall decision is drawn once at entry from (FaultOp,
 	// FaultKey, FaultAttempt), and when it fires the run aborts with the
@@ -245,7 +258,7 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 		}
 
 		exec := Exec{
-			Step:   len(res.Seq),
+			Step:   opts.BaseSteps + len(res.Seq),
 			Thread: cur,
 			Name:   curT.Name,
 			Instr:  ev.Instr,
@@ -263,8 +276,11 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 			exec.Spawned = e.m.Thread(ev.Spawned).Name
 		}
 		res.Seq = append(res.Seq, exec)
+		if opts.OnStep != nil {
+			opts.OnStep(opts.BaseSteps + len(res.Seq))
+		}
 
-		if stallAt >= 0 && len(res.Seq) > stallAt {
+		if stallAt >= 0 && opts.BaseSteps+len(res.Seq) > stallAt {
 			return nil, &faultinject.Fault{
 				Kind:    faultinject.KindEnforceStall,
 				Op:      faultOp,
@@ -272,7 +288,7 @@ func (e *Enforcer) Run(sch Schedule, opts Options) (*RunResult, error) {
 				Attempt: opts.FaultAttempt,
 			}
 		}
-		if len(res.Seq) > budget {
+		if opts.BaseSteps+len(res.Seq) > budget {
 			e.failWatchdog(curT, ev.Instr.ID)
 			return finish(), nil
 		}

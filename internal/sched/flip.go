@@ -278,6 +278,94 @@ func PlanPhantomFlip(seq []Exec, r Race, fallback []string) Schedule {
 	return sch
 }
 
+// FlipCut returns the length of the verbatim prefix the flip plan for race
+// r shares with the original failing sequence: the number of leading steps
+// whose enforced execution is identical to the recorded run. A prefix
+// cache can restore machine state at that position and enforce only the
+// suffix plan built by PlanFlipFrom.
+//
+// For a displacement flip the cut is the first position whose entry moved
+// (entries keep their original Step stamps through FlipSeqOpt and
+// repairSpawnOrder, so the cut is the first Step mismatch). For a phantom
+// race the plan replays the recorded order verbatim up to the First
+// access, so the cut is FirstStep.
+func FlipCut(seq []Exec, r Race, fo FlipOptions) int {
+	// The cut detection relies on position stamps; a synthetic sequence
+	// without them shares no provable prefix.
+	for k := range seq {
+		if seq[k].Step != k {
+			return 0
+		}
+	}
+	if r.Phantom {
+		return r.FirstStep
+	}
+	flipped := FlipSeqOpt(seq, r, fo)
+	for k := range flipped {
+		if flipped[k].Step != k {
+			return k
+		}
+	}
+	return len(flipped)
+}
+
+// PlanFlipFrom builds the suffix of the flip plan for race r that starts
+// at position n of the enforced order, where n must be at most
+// FlipCut(seq, r, fo). Enforcing it with Options.BaseSteps = n on a
+// machine restored to the state just before step n behaves byte-
+// identically to the tail of a full PlanFlipOpt enforcement: the suffix's
+// first segment re-derives exactly the Skip count the full plan's pending
+// head would have left unconsumed at n, and Initial names the thread the
+// full run would be executing there.
+func PlanFlipFrom(seq []Exec, r Race, fallback []string, fo FlipOptions, n int) Schedule {
+	if r.Phantom {
+		return planPhantomFlipFrom(seq, r, fallback, n)
+	}
+	flipped := FlipSeqOpt(seq, r, fo)
+	return fromEntries(project(flipped)[n:], fallback)
+}
+
+// planPhantomFlipFrom is PlanPhantomFlip minus its first n steps, with
+// n <= r.FirstStep. At n == FirstStep the recorded prefix is fully
+// consumed: every matching occurrence the suspend point would have
+// skipped lies inside the replayed prefix, so the remaining Skip is zero,
+// and control sits with the thread that executed step n-1.
+func planPhantomFlipFrom(seq []Exec, r Race, fallback []string, n int) Schedule {
+	if n == 0 {
+		return PlanPhantomFlip(seq, r, fallback)
+	}
+	entries := project(seq)
+	i := r.FirstStep
+
+	sch := Schedule{Fallback: fallback}
+	if n < i {
+		prefix := fromEntries(entries[n:i], fallback)
+		sch.Initial = prefix.Initial
+		sch.Points = append(sch.Points, prefix.Points...)
+		sch.Points = append(sch.Points, Point{
+			Run:  r.First.Thread,
+			At:   r.First.Instr,
+			Skip: skipWithinFinalSegment(entries[n:i], r.First.Thread, r.First.Instr),
+			To:   r.Second.Thread,
+		})
+	} else {
+		sch.Initial = entries[n-1].name
+		sch.Points = append(sch.Points, Point{
+			Run: r.First.Thread,
+			At:  r.First.Instr,
+			To:  r.Second.Thread,
+		})
+	}
+	sch.Points = append(sch.Points, Point{
+		Run:   r.Second.Thread,
+		At:    r.Second.Instr,
+		After: true,
+		To:    r.First.Thread,
+	})
+	sch.Points = append(sch.Points, fromEntries(entries[i:], fallback).Points...)
+	return sch
+}
+
 // skipWithinFinalSegment computes how many matching occurrences the
 // pre-exec flip point will see before its intended firing position: the
 // occurrences of (thread, instr) inside the thread's final segment of the

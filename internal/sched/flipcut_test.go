@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"aitia/internal/kvm"
+)
+
+// failingPhantomRun reproduces the canonical failing run of phantomProg
+// (A executes A1, B fails at B3 before A2 runs) and returns the machine,
+// its initial snapshot, the run and its full race set (concrete plus
+// phantom).
+func failingPhantomRun(t *testing.T) (*kvm.Machine, *kvm.Snapshot, *RunResult, []Race) {
+	t.Helper()
+	prog := phantomProg(t)
+	m, err := kvm.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := NewAccessMap()
+	init := m.Snapshot()
+	res0, err := NewEnforcer(m).Run(Serial("A", "B"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.RecordRun(res0)
+
+	m.Restore(init)
+	a2, _ := prog.ByLabel("A2")
+	sch := Schedule{
+		Initial:  "A",
+		Points:   []Point{{Run: "A", At: a2.ID, To: "B"}},
+		Fallback: []string{"A", "B"},
+	}
+	res, err := NewEnforcer(m).Run(sch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatalf("run did not fail: %s", res.FormatSeq(prog, false))
+	}
+	am.RecordRun(res)
+	races := append(ExtractRaces(res), PhantomRaces(res, am)...)
+	if len(races) == 0 {
+		t.Fatal("no races in the failing run")
+	}
+	return m, init, res, races
+}
+
+// TestPlanFlipFromMatchesFullPlan is the contract the prefix cache is
+// built on: for any race, enforcing the suffix plan from the flip cut —
+// after bringing the machine to that position by replaying the recorded
+// sequence — produces exactly the steps and failure that enforcing the
+// full flip plan from the initial state produces, and the full plan's
+// prefix is the recorded sequence verbatim.
+func TestPlanFlipFromMatchesFullPlan(t *testing.T) {
+	m, init, res, races := failingPhantomRun(t)
+	fallback := []string{"A", "B"}
+	fo := FlipOptions{}
+	for i, r := range races {
+		cut := FlipCut(res.Seq, r, fo)
+		if cut < 0 || cut > len(res.Seq) {
+			t.Fatalf("race %d: cut = %d out of range [0, %d]", i, cut, len(res.Seq))
+		}
+		full := PlanFlipOpt(res.Seq, r, fallback, fo)
+		suffix := PlanFlipFrom(res.Seq, r, fallback, fo, cut)
+
+		m.Restore(init)
+		fres, err := NewEnforcer(m).Run(full, Options{})
+		if err != nil {
+			t.Fatalf("race %d: full plan: %v", i, err)
+		}
+		// The full plan replays the recorded sequence verbatim up to the
+		// cut — the shared prefix the cache gets to skip.
+		if !reflect.DeepEqual(fres.Seq[:cut], res.Seq[:cut]) {
+			t.Errorf("race %d: full plan diverged from the recorded prefix before the cut", i)
+		}
+
+		m.Restore(init)
+		for j := 0; j < cut; j++ {
+			ev, err := m.Step(res.Seq[j].Thread)
+			if err != nil || !ev.Executed {
+				t.Fatalf("race %d: prefix replay step %d: executed=%v err=%v", i, j, ev.Executed, err)
+			}
+		}
+		sres, err := NewEnforcer(m).Run(suffix, Options{BaseSteps: cut})
+		if err != nil {
+			t.Fatalf("race %d: suffix plan: %v", i, err)
+		}
+
+		if !reflect.DeepEqual(fres.Seq[cut:], sres.Seq) {
+			t.Errorf("race %d: suffix steps differ from the full plan's tail\nfull tail: %v\nsuffix:    %v",
+				i, fres.Seq[cut:], sres.Seq)
+		}
+		if !reflect.DeepEqual(fres.Failure, sres.Failure) {
+			t.Errorf("race %d: failures differ: %v vs %v", i, fres.Failure, sres.Failure)
+		}
+	}
+}
+
+// TestEnforcerOnStepPositions: the OnStep hook fires once per executed
+// step with the cumulative schedule position (BaseSteps + steps so far) —
+// the positions the prefix cache pins at.
+func TestEnforcerOnStepPositions(t *testing.T) {
+	m, init, _, _ := failingPhantomRun(t)
+	m.Restore(init)
+	const base = 3
+	var got []int
+	rr, err := NewEnforcer(m).Run(Serial("A", "B"), Options{
+		BaseSteps: base,
+		OnStep:    func(pos int) { got = append(got, pos) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rr.Seq) {
+		t.Fatalf("OnStep fired %d times for %d executed steps", len(got), len(rr.Seq))
+	}
+	for i, pos := range got {
+		if pos != base+i+1 {
+			t.Fatalf("OnStep[%d] = %d, want %d", i, pos, base+i+1)
+		}
+	}
+}

@@ -118,6 +118,14 @@ type Metrics struct {
 	LIFSPruned    Counter // branches pruned as equivalent states
 	SnapshotBytes Counter // bytes copied by copy-on-write checkpointing
 	PruneRatio    FGauge  // pruned/(pruned+schedules) of the last completed job
+
+	// Incremental-replay prefix-cache telemetry, aggregated over
+	// completed jobs (search + analysis per job).
+	ExecutedInstrs Counter // total instructions executed by the pipelines
+	ReplayedInstrs Counter // instructions spent re-executing known prefixes
+	SavedInstrs    Counter // prefix instructions skipped via pinned snapshots
+	PrefixHits     Counter // runs started from a pinned prefix snapshot
+	PinnedBytes    Gauge   // last completed job's peak pinned prefix bytes
 	// PhaseRate is the last completed job's per-phase schedule throughput
 	// (schedules per second), indexed by the phase's preemption budget.
 	PhaseRate [maxPhaseRate]FGauge
@@ -153,6 +161,11 @@ func (m *Metrics) observeSearch(sum *aitia.ResultSummary) {
 	if total := sum.LIFSSchedules + sum.LIFSPruned; total > 0 {
 		m.PruneRatio.Set(float64(sum.LIFSPruned) / float64(total))
 	}
+	m.ExecutedInstrs.Add(sum.ExecutedInstrs)
+	m.ReplayedInstrs.Add(sum.ReplayedInstrs)
+	m.SavedInstrs.Add(sum.SavedInstrs)
+	m.PrefixHits.Add(uint64(sum.PrefixHits))
+	m.PinnedBytes.Set(int64(sum.PinnedBytes))
 	for _, p := range sum.Phases {
 		i := p.Budget
 		if i >= maxPhaseRate {
@@ -231,6 +244,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_lifs_schedules_total", "Schedules executed by the LIFS searches of completed jobs.", &m.LIFSSchedules)
 	counter("aitia_lifs_pruned_total", "LIFS branches pruned as equivalent states.", &m.LIFSPruned)
 	counter("aitia_snapshot_bytes_total", "Bytes copied by copy-on-write checkpointing during the searches.", &m.SnapshotBytes)
+	counter("aitia_executed_instrs_total", "Instructions executed by the diagnosis pipelines of completed jobs.", &m.ExecutedInstrs)
+	counter("aitia_replayed_instrs_total", "Instructions spent re-executing known schedule prefixes.", &m.ReplayedInstrs)
+	counter("aitia_saved_instrs_total", "Prefix instructions skipped by restoring pinned snapshots.", &m.SavedInstrs)
+	counter("aitia_prefix_hits_total", "Runs started from a pinned prefix snapshot.", &m.PrefixHits)
+	gauge("aitia_prefix_pinned_bytes", "Last completed job's peak bytes pinned by live prefix snapshots.", &m.PinnedBytes)
 	fmt.Fprintf(w, "# HELP aitia_lifs_prune_ratio Pruned fraction of the last completed job's search.\n# TYPE aitia_lifs_prune_ratio gauge\naitia_lifs_prune_ratio %g\n", m.PruneRatio.Value())
 	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
 	for i := range m.PhaseRate {

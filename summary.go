@@ -68,6 +68,15 @@ type ResultSummary struct {
 	// SnapshotBytes is the search's copy-on-write checkpointing cost.
 	LIFSPruned    int    `json:"lifs_pruned,omitempty"`
 	SnapshotBytes uint64 `json:"snapshot_bytes,omitempty"`
+	// Incremental-replay prefix cache (search + analysis): total
+	// instruction work, the share spent re-executing known prefixes, the
+	// prefix work skipped via pinned snapshots, the runs started from a
+	// pin, and the peak bytes pinned.
+	ExecutedInstrs uint64 `json:"executed_instrs,omitempty"`
+	ReplayedInstrs uint64 `json:"replayed_instrs,omitempty"`
+	SavedInstrs    uint64 `json:"saved_instrs,omitempty"`
+	PrefixHits     int    `json:"prefix_hits,omitempty"`
+	PinnedBytes    uint64 `json:"pinned_bytes,omitempty"`
 	// Phases reports the iterative deepening's per-phase schedule counts
 	// and wall-clock times.
 	Phases []PhaseStat `json:"phases,omitempty"`
@@ -105,6 +114,11 @@ func (r *Result) Summary() *ResultSummary {
 		MemAccesses:       r.MemAccesses,
 		LIFSPruned:        r.LIFSPruned,
 		SnapshotBytes:     r.SnapshotBytes,
+		ExecutedInstrs:    r.ExecutedInstrs,
+		ReplayedInstrs:    r.ReplayedInstrs,
+		SavedInstrs:       r.SavedInstrs,
+		PrefixHits:        r.PrefixHits,
+		PinnedBytes:       r.PinnedBytes,
 		Phases:            append([]PhaseStat(nil), r.Phases...),
 		Spans:             append([]obs.SpanStat(nil), r.Spans...),
 		Resumed:           r.Resumed,
