@@ -45,9 +45,11 @@ import (
 	"aitia/internal/kvm"
 	"aitia/internal/manager"
 	"aitia/internal/obs"
+	"aitia/internal/prior"
 	"aitia/internal/report"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
+	"aitia/internal/sched"
 )
 
 // Options configure a diagnosis.
@@ -101,6 +103,39 @@ type Options struct {
 	// mid-phase after this many schedules. Zero checkpoints at phase
 	// boundaries only. Ignored without CheckpointDir.
 	CheckpointEvery int
+	// PriorDir, when set, arms the learned flip prior: settled flip
+	// verdicts are aggregated into per-race-pair statistics (keyed by a
+	// stable cross-program signature, persisted in this directory) and
+	// every diagnosis ranks its flip tests by the learned root-cause
+	// probability, skipping the flips the prior has proven benign. The
+	// causality chain is byte-identical to fixed-order analysis —
+	// ranking changes the work, never the answer. An absent or corrupt
+	// prior degrades to fixed order. Empty disables the prior at zero
+	// cost.
+	PriorDir string
+}
+
+// priorStore opens and warm-loads the options' flip prior, or returns
+// nils when the prior is off. The returned checkpoint store is where a
+// completed diagnosis persists what it learned (savePrior).
+func priorStore(opts Options) (*prior.Store, *durable.CheckpointStore, error) {
+	if opts.PriorDir == "" {
+		return nil, nil, nil
+	}
+	store, err := durable.OpenCheckpointStore(opts.PriorDir, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	pst, _ := prior.LoadFrom(store, prior.Config{})
+	return pst, store, nil
+}
+
+// savePrior persists what a completed diagnosis taught the prior.
+func savePrior(pst *prior.Store, store *durable.CheckpointStore) {
+	if pst == nil || store == nil {
+		return
+	}
+	_ = pst.SaveTo(store)
 }
 
 // checkpointConfig opens the options' checkpoint store, or returns nil
@@ -160,6 +195,12 @@ type Race struct {
 	// Ambiguous marks surrounding races that could not be tested in
 	// isolation (§3.4).
 	Ambiguous bool `json:"ambiguous,omitempty"`
+	// Sig is the stable cross-program pair signature the learned flip
+	// prior keys this race by (see internal/prior.Signature).
+	Sig string `json:"sig,omitempty"`
+	// Prior marks a benign verdict settled by the learned prior without
+	// executing a flip test.
+	Prior bool `json:"prior,omitempty"`
 }
 
 // PhaseStat summarizes one iterative-deepening phase of the LIFS search.
@@ -214,6 +255,12 @@ type Result struct {
 	SavedInstrs    uint64
 	PrefixHits     int
 	PinnedBytes    uint64
+	// Learned flip ordering (Options.PriorDir): flip tests executed,
+	// flip tests settled benign by the prior without a run, and tested
+	// races whose signature had prior observations.
+	FlipsExecuted int
+	FlipsSkipped  int
+	PriorHits     int
 	// Phases reports per-phase schedule counts and wall-clock times of the
 	// iterative deepening.
 	Phases []PhaseStat
@@ -339,6 +386,10 @@ func DiagnoseReport(p *Program, reportText string, opts Options) (*Result, error
 	}
 	lifs := lifsOptions(p.prog, opts, plan)
 	lifs.Tracer = nil // per-candidate child tracers; the manager adopts the winner's
+	pst, pstore, err := priorStore(opts)
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := manager.New(p.prog, manager.Options{
 		Workers:     opts.Workers,
 		LIFSWorkers: opts.LIFSWorkers,
@@ -351,6 +402,7 @@ func DiagnoseReport(p *Program, reportText string, opts Options) (*Result, error
 		Fault:      plan,
 		Retry:      opts.Retry,
 		Checkpoint: ck,
+		Prior:      pst,
 	})
 	if err != nil {
 		return nil, err
@@ -359,6 +411,7 @@ func DiagnoseReport(p *Program, reportText string, opts Options) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	savePrior(pst, pstore)
 	res := FromManagerResult(p.prog, mres)
 	attachSpans(res, opts.Tracer)
 	return res, nil
@@ -438,6 +491,10 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 	}
 	lifs := lifsOptions(p.prog, opts, plan)
 	lifs.Tracer = nil // per-slice child tracers; the manager adopts the winner's
+	pst, pstore, err := priorStore(opts)
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := manager.New(p.prog, manager.Options{
 		Workers:    opts.Workers,
 		LIFS:       lifs,
@@ -445,6 +502,7 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 		Fault:      plan,
 		Retry:      opts.Retry,
 		Checkpoint: ck,
+		Prior:      pst,
 	})
 	if err != nil {
 		return nil, err
@@ -453,6 +511,7 @@ func FuzzAndDiagnose(p *Program, seed int64, maxRuns int, opts Options) (*FuzzRe
 	if err != nil {
 		return nil, err
 	}
+	savePrior(pst, pstore)
 	res := FromManagerResult(p.prog, mres)
 	attachSpans(res, opts.Tracer)
 	return &FuzzResult{
@@ -504,11 +563,15 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 	}
 	lifs := lifsOptions(prog, opts, plan)
 	lifs.Checkpoint = ck
+	pst, pstore, err := priorStore(opts)
+	if err != nil {
+		return nil, err
+	}
 	rep, err := core.Reproduce(m, lifs)
 	if err != nil {
 		return nil, err
 	}
-	d, err := core.Analyze(m, rep, core.AnalysisOptions{
+	aopts := core.AnalysisOptions{
 		StepBudget: opts.StepBudget,
 		LeakCheck:  opts.LeakCheck,
 		Workers:    opts.Workers,
@@ -516,9 +579,17 @@ func diagnose(prog *kir.Program, opts Options) (*Result, error) {
 		Fault:      plan,
 		Retry:      opts.Retry,
 		Checkpoint: ck,
-	})
+	}
+	if pst != nil {
+		aopts.Ranker = pst
+	}
+	d, err := core.Analyze(m, rep, aopts)
 	if err != nil {
 		return nil, err
+	}
+	if pst != nil {
+		pst.ObserveDiagnosis(prog, d)
+		savePrior(pst, pstore)
 	}
 	res := buildResult(prog, rep, d)
 	attachSpans(res, opts.Tracer)
@@ -594,6 +665,9 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 		AnalysisSchedules: d.Stats.Schedules,
 		TestSetSize:       d.Stats.TestSet,
 		MemAccesses:       d.Stats.MemAccesses,
+		FlipsExecuted:     d.Stats.FlipsExecuted,
+		FlipsSkipped:      d.Stats.FlipsSkipped,
+		PriorHits:         d.Stats.PriorHits,
 		SlicesTried:       1,
 		ExecutedInstrs:    rep.Stats.ExecutedInstrs + d.Stats.ExecutedInstrs,
 		ReplayedInstrs:    rep.Stats.ReplayedInstrs + d.Stats.ReplayedInstrs,
@@ -613,6 +687,16 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 	for _, r := range d.Ambiguous {
 		ambiguous[r.Format(prog)] = true
 	}
+	// The races carry the prior's pair signature, and verdicts settled
+	// by the prior (benign or chain members) are marked — a store
+	// rebuilt from summaries (see service recovery) must not feed them
+	// back to itself.
+	priorSkipped := make(map[sched.RaceKey]bool)
+	for _, tr := range d.Tested {
+		if tr.PriorSkipped {
+			priorSkipped[tr.Race.Key()] = true
+		}
+	}
 	for _, r := range d.Chain.Races() {
 		res.ChainRaces = append(res.ChainRaces, Race{
 			First:        prog.InstrName(r.First.Instr),
@@ -622,6 +706,8 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 			Variable:     variable(r.Addr),
 			Phantom:      r.Phantom,
 			Ambiguous:    ambiguous[r.Format(prog)],
+			Sig:          prior.Signature(prog, r),
+			Prior:        priorSkipped[r.Key()],
 		})
 	}
 	for _, r := range d.Benign {
@@ -632,6 +718,8 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 			SecondThread: r.Second.Thread,
 			Variable:     variable(r.Addr),
 			Phantom:      r.Phantom,
+			Sig:          prior.Signature(prog, r),
+			Prior:        priorSkipped[r.Key()],
 		})
 	}
 	for _, r := range d.Unknown {
@@ -642,6 +730,7 @@ func buildResult(prog *kir.Program, rep *core.Reproduction, d *core.Diagnosis) *
 			SecondThread: r.Second.Thread,
 			Variable:     variable(r.Addr),
 			Phantom:      r.Phantom,
+			Sig:          prior.Signature(prog, r),
 		})
 	}
 	res.Partial = d.Partial

@@ -31,6 +31,7 @@ import (
 	"aitia/internal/kvm"
 	"aitia/internal/manager"
 	"aitia/internal/obs"
+	"aitia/internal/prior"
 	"aitia/internal/report"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
@@ -47,7 +48,8 @@ func main() {
 		repro    = flag.Bool("reproduction", false, "compare LIFS vs random scheduling for reproduction cost")
 		chains   = flag.Bool("chains", false, "print every scenario's causality chain")
 		lifs     = flag.Bool("lifs", false, "run the LIFS performance artifact (parallel search + snapshot strategy)")
-		out      = flag.String("out", "", "with -lifs: also write the artifact as JSON to this path")
+		flips    = flag.Bool("flips", false, "run the learned flip-ordering artifact: diagnose the corpus cold (no prior) and warm (prior fed by the cold pass), comparing flip-test counts")
+		out      = flag.String("out", "", "with -lifs, -flips or their -check gates: also write the artifact as JSON to this path")
 		seed     = flag.Int64("seed", 1, "seed for the baselines' execution corpus")
 		checkCh  = flag.Bool("check-chains", false, "re-diagnose the corpus and fail unless every chain matches the golden set (the CI corpus gate)")
 		checkRep = flag.Bool("check-reports", false, "report-corpus gate: synthesize each scenario's crash report, re-diagnose from the report alone, and fail unless the chain is golden and the seeded search runs strictly fewer schedules than the blind baseline")
@@ -55,6 +57,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "chaos gate: re-diagnose the corpus under deterministic fault injection (seeded by -seed) and fail unless serial and 8-worker runs agree and every chain is golden or Partial with a machine-readable reason")
 		faultR   = flag.Float64("fault-rate", 0.1, "with -faults: per-decision fault probability")
 		checkLF  = flag.String("check-lifs", "", "run the -lifs artifact and fail if schedule counts or speedups regress more than 25% against the committed baseline JSON at this path")
+		checkFl  = flag.String("check-flips", "", "flip-regression gate: run the -flips artifact and fail unless every warm chain is byte-identical to cold, the warm pass skips at least 25% of flip tests, and flip counts stay within ±25% of the committed baseline JSON at this path")
 		crashRes = flag.Bool("crash-resume", false, "crash-recovery gate, in-process half: interrupt checkpointed diagnoses mid-search and mid-analysis and fail unless they resume to the golden diagnosis with strictly fewer schedules")
 		killRec  = flag.String("kill-recover", "", "crash-recovery gate, process half: path to an aitia-serve binary to spawn with a durable data dir, SIGKILL mid-diagnosis, restart, and fail unless every submitted job recovers to its golden chain")
 		killDir  = flag.String("kill-data-dir", "", "with -kill-recover: use this data dir (left in place on failure for artifact upload); empty uses a temp dir")
@@ -63,7 +66,7 @@ func main() {
 		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*checkCh && !*checkRep && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *trace == "" {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*flips && !*checkCh && !*checkRep && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *checkFl == "" && *trace == "" {
 		*all = true
 	}
 
@@ -95,6 +98,10 @@ func main() {
 		_, err := printLIFS(*out)
 		check(err)
 	}
+	if *flips {
+		_, err := printFlips(*out)
+		check(err)
+	}
 	if *checkCh {
 		check(checkChains())
 	}
@@ -114,6 +121,9 @@ func main() {
 	}
 	if *checkLF != "" {
 		check(checkLIFSArtifact(*checkLF, *out))
+	}
+	if *checkFl != "" {
+		check(checkFlipsArtifact(*checkFl, *out))
 	}
 	if *trace != "" && !*faults {
 		check(writeTrace(*trace, *traceSc, *traceW))
@@ -786,6 +796,7 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 			freshOn += r.ReplayedOn
 			freshHits += uint64(r.PrefixHits)
 		}
+		replayBad := bad
 		const minReplayReduction = 5.0
 		if ratio := replayRatio(freshOff, freshOn); ratio < minReplayReduction {
 			fail("replay reduction = %.1fx (corpus replayed %d off, %d on), floor %.0fx — the prefix cache stopped paying off",
@@ -800,6 +811,11 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 			fail("prefix hits = %d, baseline %d (±25%%: %.0f..%.0f) — the cache hit rate changed structurally",
 				freshHits, baseHits, lo, hi)
 		}
+		// The checks above compare corpus totals; name the scenarios that
+		// moved so the CI log pinpoints the regression without a local rerun.
+		if bad > replayBad {
+			printReplayRows(base.Replay, art.Replay)
+		}
 	}
 
 	if bad > 0 {
@@ -811,6 +827,284 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 	}
 	fmt.Printf("check-lifs: no regression against %s (tolerance ±25%%, replay floor 5x)\n", baselinePath)
 	return nil
+}
+
+// printReplayRows shows each scenario's replay counters next to the
+// baseline's when a corpus-total replay check fails, marking the rows
+// that moved, so the offending scenarios are visible in the CI log.
+func printReplayRows(baseRows, freshRows []lifsReplayRow) {
+	base := make(map[string]lifsReplayRow, len(baseRows))
+	for _, r := range baseRows {
+		base[r.Scenario] = r
+	}
+	t := report.Table{Title: "  per-scenario replay counters (fresh vs baseline)"}
+	t.Add("Scenario", "replayed on", "base", "hits", "base")
+	for _, r := range freshRows {
+		b := base[r.Scenario]
+		name := r.Scenario
+		if r.ReplayedOn != b.ReplayedOn || r.PrefixHits != b.PrefixHits {
+			name = "! " + name
+		}
+		t.Add(name, fmt.Sprint(r.ReplayedOn), fmt.Sprint(b.ReplayedOn),
+			fmt.Sprint(r.PrefixHits), fmt.Sprint(b.PrefixHits))
+	}
+	t.Write(os.Stdout)
+}
+
+// The JSON shape of the -flips learned-ordering artifact (BENCH_flips.json).
+type flipsArtifact struct {
+	Generated   string     `json:"generated"`
+	Note        string     `json:"note"`
+	PriorPairs  int        `json:"prior_pairs"`
+	ColdFlips   int        `json:"cold_flips_total"`
+	WarmFlips   int        `json:"warm_flips_total"`
+	WarmSkipped int        `json:"warm_skipped_total"`
+	Reduction   float64    `json:"reduction"`
+	Scenarios   []flipsRow `json:"scenarios"`
+}
+
+// flipsRow is one corpus scenario diagnosed cold (no prior, the exact
+// fixed backward order) and warm (ranked by a prior fed with the whole
+// corpus' cold verdicts). The counts are deterministic and
+// machine-portable; the chain is asserted byte-identical across all
+// passes before a row is emitted.
+type flipsRow struct {
+	Scenario    string `json:"scenario"`
+	TestSet     int    `json:"test_set"`
+	ColdFlips   int    `json:"cold_flips"`
+	WarmFlips   int    `json:"warm_flips"`
+	WarmSkipped int    `json:"warm_skipped"`
+	PriorHits   int    `json:"prior_hits"`
+	Chain       string `json:"chain"`
+}
+
+// diagnoseFlips reproduces one scenario serially and analyzes it with
+// the given worker count and optional flip ranker.
+func diagnoseFlips(sc *scenarios.Scenario, ranker core.FlipRanker, workers int) (*core.Diagnosis, *kir.Program, error) {
+	prog := sc.MustProgram()
+	m, err := kvm.New(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := core.Reproduce(m, core.LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		LeakCheck: sc.NeedsLeakCheck(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := core.Analyze(m, rep, core.AnalysisOptions{
+		LeakCheck: sc.NeedsLeakCheck(),
+		Workers:   workers,
+		Ranker:    ranker,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, prog, nil
+}
+
+// measureFlips runs the cold and warm corpus passes behind the -flips
+// artifact. Cold analyses run with no ranker — the exact fixed backward
+// order — and feed every settled verdict into one shared prior store;
+// warm analyses rank and skip with that store, serially and with 8
+// workers. Any chain divergence or an executed+skipped/test-set mismatch
+// fails the measurement itself: the artifact can only ever report a
+// speedup over byte-identical diagnoses.
+func measureFlips() (*flipsArtifact, error) {
+	art := &flipsArtifact{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note: "flip counts are deterministic and machine-portable; warm chains are " +
+			"asserted byte-identical to cold (serial and 8-worker) before a row is emitted",
+	}
+	pst := prior.NewStore(prior.Config{})
+
+	for _, sc := range scenarios.All() {
+		d, prog, err := diagnoseFlips(sc, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("flips-measure %s (cold): %w", sc.Name, err)
+		}
+		chain := d.Chain.Format(prog)
+		if want, ok := scenarios.GoldenChains[sc.Name]; ok && chain != want {
+			return nil, fmt.Errorf("flips-measure %s: cold chain %q does not match the golden %q", sc.Name, chain, want)
+		}
+		pst.ObserveDiagnosis(prog, d)
+		art.Scenarios = append(art.Scenarios, flipsRow{
+			Scenario:  sc.Name,
+			TestSet:   d.Stats.TestSet,
+			ColdFlips: d.Stats.FlipsExecuted,
+			Chain:     chain,
+		})
+	}
+
+	for i, sc := range scenarios.All() {
+		row := &art.Scenarios[i]
+		for _, workers := range []int{0, 8} {
+			d, prog, err := diagnoseFlips(sc, pst, workers)
+			if err != nil {
+				return nil, fmt.Errorf("flips-measure %s (warm, workers=%d): %w", sc.Name, workers, err)
+			}
+			if chain := d.Chain.Format(prog); chain != row.Chain {
+				return nil, fmt.Errorf("flips-measure %s: warm chain (workers=%d) %q differs from cold %q — the prior changed the diagnosis",
+					sc.Name, workers, chain, row.Chain)
+			}
+			if got := d.Stats.FlipsExecuted + d.Stats.FlipsSkipped; got != d.Stats.TestSet {
+				return nil, fmt.Errorf("flips-measure %s (workers=%d): executed %d + skipped %d != test set %d",
+					sc.Name, workers, d.Stats.FlipsExecuted, d.Stats.FlipsSkipped, d.Stats.TestSet)
+			}
+			if workers == 0 {
+				row.WarmFlips = d.Stats.FlipsExecuted
+				row.WarmSkipped = d.Stats.FlipsSkipped
+				row.PriorHits = d.Stats.PriorHits
+			} else if d.Stats.FlipsExecuted != row.WarmFlips || d.Stats.FlipsSkipped != row.WarmSkipped {
+				return nil, fmt.Errorf("flips-measure %s: 8-worker pass executed/skipped %d/%d, serial %d/%d — the skip set depends on scheduling",
+					sc.Name, d.Stats.FlipsExecuted, d.Stats.FlipsSkipped, row.WarmFlips, row.WarmSkipped)
+			}
+		}
+		art.ColdFlips += row.ColdFlips
+		art.WarmFlips += row.WarmFlips
+		art.WarmSkipped += row.WarmSkipped
+	}
+	art.PriorPairs = pst.Pairs()
+	if art.ColdFlips > 0 {
+		art.Reduction = 1 - float64(art.WarmFlips)/float64(art.ColdFlips)
+	}
+	return art, nil
+}
+
+// printFlips measures the learned flip-ordering prior over the corpus —
+// a cold pass feeding one shared store, then a warm pass ranking and
+// skipping with it — and writes the numbers to stdout and, with -out,
+// to a JSON artifact. The measured artifact is returned so -check-flips
+// can compare it against a committed baseline.
+func printFlips(outPath string) (*flipsArtifact, error) {
+	art, err := measureFlips()
+	if err != nil {
+		return nil, err
+	}
+	t := report.Table{Title: "Learned flip ordering: cold vs warm prior (corpus, serial + 8 workers)"}
+	t.Add("Scenario", "test set", "cold flips", "warm flips", "skipped", "prior hits")
+	for _, r := range art.Scenarios {
+		t.Add(r.Scenario, fmt.Sprint(r.TestSet), fmt.Sprint(r.ColdFlips),
+			fmt.Sprint(r.WarmFlips), fmt.Sprint(r.WarmSkipped), fmt.Sprint(r.PriorHits))
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("  (corpus flip tests: %d cold, %d warm — %.0f%% skipped; %d signature pairs learned)\n\n",
+		art.ColdFlips, art.WarmFlips, art.Reduction*100, art.PriorPairs)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return art, nil
+}
+
+// checkFlipsArtifact is the flip-regression CI gate: it re-measures the
+// -flips artifact (which itself hard-fails on any warm chain diverging
+// from cold or golden) and then holds the flip counts to the committed
+// baseline at baselinePath: the warm pass must skip at least 25% of the
+// corpus' flip tests, and per-scenario and corpus-total counts must stay
+// within ±25% of the baseline. Corpus-total failures also print the
+// per-scenario rows, so a CI log pinpoints which diagnosis regressed.
+// With -out, the fresh artifact is written there so CI can upload it.
+func checkFlipsArtifact(baselinePath, outPath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("check-flips: %w", err)
+	}
+	var base flipsArtifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("check-flips: parsing %s: %w", baselinePath, err)
+	}
+	art, err := printFlips(outPath)
+	if err != nil {
+		return err
+	}
+
+	const tol = 0.25
+	const minReduction = 0.25
+	bad := 0
+	fail := func(format string, args ...any) {
+		fmt.Printf("FAIL "+format+"\n", args...)
+		bad++
+	}
+
+	baseRows := make(map[string]flipsRow, len(base.Scenarios))
+	for _, r := range base.Scenarios {
+		baseRows[r.Scenario] = r
+	}
+	for _, r := range art.Scenarios {
+		b, ok := baseRows[r.Scenario]
+		if !ok {
+			fail("%-22s not in baseline %s — regenerate it with -flips -out", r.Scenario, baselinePath)
+			continue
+		}
+		if r.ColdFlips != b.ColdFlips {
+			fail("%-22s cold flips = %d, baseline %d — the test set itself changed; regenerate the baseline",
+				r.Scenario, r.ColdFlips, b.ColdFlips)
+		}
+		lo, hi := float64(b.WarmFlips)*(1-tol), float64(b.WarmFlips)*(1+tol)
+		if w := float64(r.WarmFlips); w < lo || w > hi {
+			fail("%-22s warm flips = %d, baseline %d (±25%%: %.1f..%.1f)",
+				r.Scenario, r.WarmFlips, b.WarmFlips, lo, hi)
+		}
+	}
+
+	aggBad := false
+	if art.Reduction < minReduction {
+		fail("corpus warm pass skips %.0f%% of flip tests (%d cold -> %d warm), floor %.0f%% — the prior stopped paying off",
+			art.Reduction*100, art.ColdFlips, art.WarmFlips, minReduction*100)
+		aggBad = true
+	}
+	if ceil := float64(base.WarmFlips) * (1 + tol); float64(art.WarmFlips) > ceil {
+		fail("corpus warm flips = %d, baseline %d (ceiling +25%%: %.0f) — warm diagnoses execute more flip tests",
+			art.WarmFlips, base.WarmFlips, ceil)
+		aggBad = true
+	}
+	if aggBad {
+		printFlipsRows(base.Scenarios, art.Scenarios)
+	}
+
+	if bad > 0 {
+		where := ""
+		if outPath != "" {
+			where = fmt.Sprintf(" (fresh artifact written to %s)", outPath)
+		}
+		return fmt.Errorf("check-flips: %d regressions against %s%s", bad, baselinePath, where)
+	}
+	fmt.Printf("check-flips: no regression against %s (chains byte-identical, %.0f%% of flip tests skipped warm, tolerance ±25%%)\n",
+		baselinePath, art.Reduction*100)
+	return nil
+}
+
+// printFlipsRows shows each scenario's flip counts next to the
+// baseline's when a corpus-total check fails, marking the rows that
+// moved, so the offending scenarios are visible in the CI log without
+// a local rerun.
+func printFlipsRows(baseRows, freshRows []flipsRow) {
+	base := make(map[string]flipsRow, len(baseRows))
+	for _, r := range baseRows {
+		base[r.Scenario] = r
+	}
+	t := report.Table{Title: "  per-scenario flip counts (fresh vs baseline)"}
+	t.Add("Scenario", "warm", "base warm", "skipped", "base skipped")
+	for _, r := range freshRows {
+		b := base[r.Scenario]
+		name := r.Scenario
+		if r.WarmFlips != b.WarmFlips || r.WarmSkipped != b.WarmSkipped {
+			name = "! " + name
+		}
+		t.Add(name, fmt.Sprint(r.WarmFlips), fmt.Sprint(b.WarmFlips),
+			fmt.Sprint(r.WarmSkipped), fmt.Sprint(b.WarmSkipped))
+	}
+	t.Write(os.Stdout)
 }
 
 // snapshotCycle times one checkpoint / burst / revert cycle, best of 3

@@ -41,6 +41,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "directory for the durable job journal and search checkpoints; empty runs in-memory (no crash recovery)")
 		syncWrites = flag.Bool("sync", false, "with -data-dir: fsync every journal append (slower, survives power loss, not just process death)")
 		ckEvery    = flag.Int("checkpoint-every", 0, "with -data-dir: also checkpoint LIFS every N schedules within a phase (serial searches only); 0 checkpoints at phase boundaries only")
+		priorMin   = flag.Int("prior-min-support", 0, "benign observations required before the learned prior skips a flip test (0 = default 1, negative disables the prior)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		DataDir:         *dataDir,
 		SyncWrites:      *syncWrites,
 		CheckpointEvery: *ckEvery,
+		PriorMinSupport: *priorMin,
 		Fault:           plan,
 		Retry: faultinject.RetryPolicy{
 			MaxAttempts: *retryMax,

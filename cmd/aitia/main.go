@@ -52,6 +52,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the diagnosis' execution trace as Chrome trace-event JSON to this path (open in chrome://tracing or https://ui.perfetto.dev)")
 		faultSeed  = flag.Int64("fault-seed", 0, "seed for deterministic fault injection (chaos-testing the diagnoser); active when -fault-rate > 0")
 		faultRate  = flag.Float64("fault-rate", 0, "per-decision fault probability (snapshot restores, schedule enforcement, worker VMs); 0 disables injection")
+		priorDir   = flag.String("prior", "", "directory for the learned flip-ordering prior; diagnoses load it to rank and skip flip tests, then fold their verdicts back in")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 		LeakCheck:    *leak,
 		FaultSeed:    *faultSeed,
 		FaultRate:    *faultRate,
+		PriorDir:     *priorDir,
 	}
 	if *traceOut != "" {
 		opts.Tracer = obs.New()

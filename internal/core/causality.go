@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aitia/internal/faultinject"
+	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
 	"aitia/internal/sanitizer"
@@ -63,6 +64,50 @@ type TestedRace struct {
 	FlipRealized bool
 	// FlipRun is the run with this race flipped.
 	FlipRun *sched.RunResult
+	// PriorSkipped marks a verdict settled by the learned flip prior
+	// (AnalysisOptions.Ranker) without executing a flip test; FlipRun is
+	// nil for such races.
+	PriorSkipped bool
+	// PriorKills is the prior's kill row for a skipped chain member
+	// (PriorSkipped with a non-benign verdict): the test-order indices
+	// of the races this flip is predicted to make disappear. It stands
+	// in for the missing FlipRun when the chain is built.
+	PriorKills []int
+}
+
+// FlipPrior is one race's learned prior, aligned by index with the
+// candidate slice given to RankFlips.
+type FlipPrior struct {
+	// Score is the expected root-cause probability; higher scores are
+	// flip-tested first. Equal scores preserve the backward test order.
+	Score float64
+	// Hit reports that the ranker had prior observations for this race's
+	// signature (counted in AnalysisStats.PriorHits).
+	Hit bool
+	// SettledBenign asserts the race is benign with enough support that
+	// its flip test can be skipped: the analysis settles it as
+	// VerdictBenign without a run. Sound because flip tests are mutually
+	// independent and benign races never shape the chain, so the
+	// diagnosis is byte-identical to one that executed the flip —
+	// provided the assertion is correct.
+	SettledBenign bool
+	// SettledRootCause asserts the race is a chain member with enough
+	// support to settle as VerdictRootCause without a run (the ambiguity
+	// pass still demotes surrounding races as usual). Kills is its
+	// predicted kill row, aligned with the candidate slice: Kills[j]
+	// reports that this flip makes candidate j's pair disappear. The
+	// chain builder consumes the row in place of the missing flip run,
+	// so a ranker must only set SettledRootCause with a complete row.
+	SettledRootCause bool
+	Kills            []bool
+}
+
+// FlipRanker orders the flip tests of a causality analysis by expected
+// root-cause probability (see AnalysisOptions.Ranker).
+type FlipRanker interface {
+	// RankFlips returns one FlipPrior per race, aligned by index. A
+	// result of any other length is ignored (fixed-order analysis).
+	RankFlips(prog *kir.Program, races []sched.Race) []FlipPrior
 }
 
 // AnalysisStats summarize one Causality Analysis.
@@ -80,6 +125,11 @@ type AnalysisStats struct {
 	SavedInstrs    uint64 // prefix instructions skipped by restoring pinned snapshots
 	PrefixHits     int    // flip runs started from a pinned prefix snapshot
 	PinnedBytes    uint64 // peak bytes pinned by live prefix snapshots
+	// Learned flip ordering (AnalysisOptions.Ranker); both count THIS
+	// process — checkpoint-restored flips land in neither.
+	FlipsExecuted int // flip tests actually run
+	FlipsSkipped  int // flip tests settled benign by the prior without a run
+	PriorHits     int // tested races whose signature had prior observations
 }
 
 // AnalysisOptions configure Causality Analysis.
@@ -116,6 +166,17 @@ type AnalysisOptions struct {
 	// verdicts and the diagnosis are identical with the cache on or off.
 	// See PrefixConfig.
 	Prefix PrefixConfig
+	// Ranker, when set, reorders the flip tests by learned expected
+	// root-cause probability (the fixed backward order breaks ties) and
+	// skips the flips the prior has settled: unanimously benign races
+	// settle as VerdictBenign without a run, and unanimous chain members
+	// with a fully known kill row settle as VerdictRootCause (the kill
+	// row replaces the flip run in chain construction). Reordering and
+	// skipping never change the verdicts of executed flips (each flip
+	// test is independent), so with correct priors the diagnosis is
+	// byte-identical to fixed-order analysis. Nil preserves the exact
+	// fixed backward order.
+	Ranker FlipRanker
 }
 
 // Diagnosis is the final output: the causality chain plus the full
@@ -211,7 +272,12 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		// seed, so it rides in Args and the obs validation enforces its
 		// equality across worker counts.
 		az.Arg("unknown", int64(len(d.Unknown)))
+		// Skip and hit counts are pure functions of the prior snapshot
+		// and the test set, so they too must match across worker counts.
+		az.Arg("flips_skipped", int64(d.Stats.FlipsSkipped))
+		az.Arg("prior_hits", int64(d.Stats.PriorHits))
 		az.Info("schedules", int64(d.Stats.Schedules))
+		az.Info("flips_executed", int64(d.Stats.FlipsExecuted))
 		az.Info("prefix_hits", int64(d.Stats.PrefixHits))
 		az.Info("replayed_instrs", int64(d.Stats.ReplayedInstrs))
 		az.Info("saved_instrs", int64(d.Stats.SavedInstrs))
@@ -237,6 +303,47 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 	// Test order: backward from the failure point; a nested race is
 	// tested before any race surrounding it (§3.4).
 	order := testOrder(rep.Races)
+
+	// Learned prior (opts.Ranker): score each flip, mark the ones the
+	// prior settles as benign, and build the execution order — score
+	// descending, the canonical backward-order index as the deterministic
+	// tie-break. The skip set and order are fixed up front from the prior
+	// snapshot alone, never from this run's outcomes, so serial and
+	// parallel analyses settle identical verdicts regardless of worker
+	// completion order.
+	var priors []FlipPrior
+	if opts.Ranker != nil {
+		if p := opts.Ranker.RankFlips(m.Prog(), order); len(p) == len(order) {
+			priors = p
+		}
+	}
+	skip := make([]bool, len(order))
+	execOrder := make([]int, 0, len(order))
+	for i := range order {
+		if priors != nil {
+			if priors[i].Hit {
+				d.Stats.PriorHits++
+			}
+			if priors[i].SettledBenign {
+				skip[i] = true
+				continue
+			}
+			if priors[i].SettledRootCause && len(priors[i].Kills) == len(order) {
+				skip[i] = true
+				continue
+			}
+		}
+		execOrder = append(execOrder, i)
+	}
+	if priors != nil {
+		sort.SliceStable(execOrder, func(a, b int) bool {
+			ia, ib := execOrder[a], execOrder[b]
+			if priors[ia].Score != priors[ib].Score {
+				return priors[ia].Score > priors[ib].Score
+			}
+			return ia < ib
+		})
+	}
 
 	fo := sched.FlipOptions{NoCriticalSections: opts.NoCriticalSections}
 	// One flip test, retried under the fault plan. The operation identity
@@ -353,7 +460,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		ckSnaps     []flipSnap
 	)
 	if checkpointing {
-		ckFP = caFingerprint(m.Prog().Hash(), rep, order, opts)
+		ckFP = caFingerprint(m.Prog().Hash(), rep, order, opts, skip, priors)
 		ckKey = caCheckpointKey(m.Prog().Hash(), ckFP)
 		if ck := loadCACheckpoint(opts.Checkpoint, ckKey, ckFP, len(order)); ck != nil {
 			for _, fs := range ck.Flips {
@@ -379,8 +486,29 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		saveCACheckpoint(opts.Checkpoint, ckKey, &caCheckpoint{Fingerprint: ckFP, Flips: ckSnaps})
 	}
 
+	// Settle the prior-skipped flips immediately (unless a restored
+	// checkpoint already settled them): benign by the prior's assertion,
+	// or a root-cause member carrying its predicted kill row in place of
+	// a run — either way nil FlipRun, exactly what a skip restores to.
+	for i := range order {
+		if skip[i] && !done[i] {
+			tr := TestedRace{Race: order[i], Verdict: VerdictBenign, PriorSkipped: true}
+			if priors[i].SettledRootCause {
+				tr.Verdict = VerdictRootCause
+				for j, killed := range priors[i].Kills {
+					if killed && j != i {
+						tr.PriorKills = append(tr.PriorKills, j)
+					}
+				}
+			}
+			settle(i, tr)
+			d.Stats.FlipsSkipped++
+		}
+	}
+
 	serialFlips := func() error {
-		for i, r := range order {
+		for _, i := range execOrder {
+			r := order[i]
 			if done[i] {
 				continue
 			}
@@ -416,7 +544,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 			fc   *flipCache // this diagnoser's private prefix cache
 		}
 		var wmMu sync.Mutex
-		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(order),
+		err := runWorkers(ctx, opts.Tracer, "ca-flip", opts.Workers, len(execOrder),
 			func(int) (*flipVM, error) {
 				var vm *flipVM
 				err := faultinject.Do(ctx, opts.Fault, opts.Retry, func(context.Context, int) error {
@@ -439,7 +567,8 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 				})
 				return vm, err
 			},
-			func(ctx context.Context, vm *flipVM, worker, idx int) error {
+			func(ctx context.Context, vm *flipVM, worker, pos int) error {
+				idx := execOrder[pos]
 				if done[idx] {
 					// Settled by the restored checkpoint before the
 					// pool started.
@@ -468,6 +597,7 @@ func AnalyzeContext(ctx context.Context, m *kvm.Machine, rep *Reproduction, opts
 		return nil, err
 	}
 	d.Stats.Schedules += int(executed.Load())
+	d.Stats.FlipsExecuted = int(executed.Load())
 
 	// Ambiguity: a surrounding race whose flip avoids the failure cannot
 	// be attributed when its nested race is itself a root cause — flipping

@@ -197,6 +197,8 @@ type flipSnap struct {
 	Verdict  uint8      `json:"verdict"`
 	Realized bool       `json:"realized,omitempty"`
 	Failed   bool       `json:"failed,omitempty"`
+	Skipped  bool       `json:"skipped,omitempty"`
+	Kills    []int      `json:"kills,omitempty"`
 	Seq      []flipExec `json:"seq,omitempty"`
 }
 
@@ -214,6 +216,8 @@ func snapFlip(idx int, tr TestedRace) flipSnap {
 		Idx:      idx,
 		Verdict:  uint8(tr.Verdict),
 		Realized: tr.FlipRealized,
+		Skipped:  tr.PriorSkipped,
+		Kills:    tr.PriorKills,
 	}
 	if tr.FlipRun != nil {
 		fs.Failed = tr.FlipRun.Failed()
@@ -239,6 +243,14 @@ func restoreFlip(r sched.Race, fs flipSnap) TestedRace {
 		Verdict:      Verdict(fs.Verdict),
 		FlipRealized: fs.Realized,
 	}
+	if fs.Skipped {
+		// Settled by the learned prior without a run; restores to the
+		// same shape a fresh skip settles to (nil FlipRun, and for a
+		// skipped chain member, the prior's kill row).
+		tr.PriorSkipped = true
+		tr.PriorKills = fs.Kills
+		return tr
+	}
 	if Verdict(fs.Verdict) == VerdictUnknown {
 		return tr
 	}
@@ -257,12 +269,30 @@ func restoreFlip(r sched.Race, fs flipSnap) TestedRace {
 
 // caFingerprint identifies one analysis problem: the program, the full
 // test set (order and identity of every race), the failing sequence
-// length and the options that decide verdicts. A checkpoint whose
-// fingerprint mismatches is ignored.
-func caFingerprint(progHash string, rep *Reproduction, order []sched.Race, opts AnalysisOptions) string {
+// length, the options that decide verdicts, and — under a ranker — the
+// prior's skip set and the kill rows of skipped chain members. A
+// checkpoint whose fingerprint mismatches is ignored; in particular,
+// resuming under a prior snapshot that skips a different set of flips
+// (or predicts different kill rows) restarts fresh rather than mixing
+// the two.
+func caFingerprint(progHash string, rep *Reproduction, order []sched.Race, opts AnalysisOptions, skip []bool, priors []FlipPrior) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|seq=%d|sb=%d|leak=%t|ncs=%t|races=%d",
-		progHash, len(rep.Run.Seq), opts.StepBudget, opts.LeakCheck, opts.NoCriticalSections, len(order))
+	fmt.Fprintf(h, "%s|seq=%d|sb=%d|leak=%t|ncs=%t|ranked=%t|races=%d",
+		progHash, len(rep.Run.Seq), opts.StepBudget, opts.LeakCheck, opts.NoCriticalSections, opts.Ranker != nil, len(order))
+	for i, s := range skip {
+		if !s {
+			continue
+		}
+		fmt.Fprintf(h, "|sk%d", i)
+		if priors != nil && priors[i].SettledRootCause {
+			fmt.Fprintf(h, "rc")
+			for j, killed := range priors[i].Kills {
+				if killed {
+					fmt.Fprintf(h, ",%d", j)
+				}
+			}
+		}
+	}
 	for _, r := range order {
 		fmt.Fprintf(h, "|%s/%d=>%s/%d@%x:%d,%d,%t,%x",
 			r.First.Thread, r.First.Instr, r.Second.Thread, r.Second.Instr,

@@ -20,6 +20,7 @@ import (
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/obs"
+	"aitia/internal/prior"
 	"aitia/internal/sanitizer"
 )
 
@@ -61,6 +62,12 @@ type Options struct {
 	// resumes from the latest snapshots and produces the same diagnosis.
 	// Nil disables checkpointing at zero cost.
 	Checkpoint *core.CheckpointConfig
+	// Prior, when set, closes the learning loop around the analysis: it
+	// serves as the flip-test ranker (core.AnalysisOptions.Ranker) and
+	// every completed diagnosis's executed verdicts are folded back into
+	// it. The chain is byte-identical with or without it. Nil disables
+	// the prior at zero cost.
+	Prior *prior.Store
 }
 
 // Result is a completed diagnosis.
@@ -366,10 +373,18 @@ func (m *Manager) diagnoseRuns(ctx context.Context, runs []sliceRun) (*Result, e
 	aopts.Fault = m.opts.Fault
 	aopts.Retry = m.opts.Retry
 	aopts.Checkpoint = m.opts.Checkpoint
+	if m.opts.Prior != nil {
+		aopts.Ranker = m.opts.Prior
+	}
 	diagStart := time.Now()
 	diag, err := core.AnalyzeContext(ctx, dm, bestRep, aopts)
 	if err != nil {
 		return nil, err
+	}
+	if m.opts.Prior != nil {
+		// Feed the executed verdicts back: the next diagnosis ranks its
+		// flips by what this one settled.
+		m.opts.Prior.ObserveDiagnosis(sliceProg, diag)
 	}
 
 	return &Result{

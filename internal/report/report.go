@@ -113,8 +113,12 @@ func WriteSwimlanes(w io.Writer, prog *kir.Program, seq []sched.Exec) {
 // Disappeared lists the labelled instructions of the original failing run
 // that no longer execute in a perturbed run — the paper's Figure 6(a)
 // "Disappeared" column, the visible footprint of a race-steered control
-// flow.
+// flow. A nil perturbed run (a flip settled by the learned prior without
+// executing) has no footprint.
 func Disappeared(original, perturbed *sched.RunResult) []string {
+	if perturbed == nil {
+		return nil
+	}
 	var out []string
 	seenOut := make(map[string]bool)
 	for _, e := range original.Seq {

@@ -11,6 +11,7 @@ import (
 	"aitia"
 	"aitia/internal/durable"
 	"aitia/internal/faultinject"
+	"aitia/internal/prior"
 )
 
 // Counter is a monotonically increasing metric.
@@ -126,6 +127,11 @@ type Metrics struct {
 	SavedInstrs    Counter // prefix instructions skipped via pinned snapshots
 	PrefixHits     Counter // runs started from a pinned prefix snapshot
 	PinnedBytes    Gauge   // last completed job's peak pinned prefix bytes
+
+	// Learned flip-ordering telemetry, aggregated over completed jobs.
+	FlipsExecuted Counter // causality flip tests actually run
+	FlipsSkipped  Counter // flip tests settled benign by the prior without a run
+	PriorHits     Counter // tested races whose signature had prior observations
 	// PhaseRate is the last completed job's per-phase schedule throughput
 	// (schedules per second), indexed by the phase's preemption budget.
 	PhaseRate [maxPhaseRate]FGauge
@@ -146,6 +152,9 @@ type Metrics struct {
 	// own atomic counters; these are just the export hooks.
 	Journal     *durable.Journal
 	Checkpoints *durable.CheckpointStore
+	// Prior, when set, exports the learned flip prior's size
+	// (aitia_prior_pairs / aitia_prior_observations_total).
+	Prior *prior.Store
 }
 
 // maxPhaseRate bounds the exported per-phase gauges; deeper phases (which
@@ -166,6 +175,9 @@ func (m *Metrics) observeSearch(sum *aitia.ResultSummary) {
 	m.SavedInstrs.Add(sum.SavedInstrs)
 	m.PrefixHits.Add(uint64(sum.PrefixHits))
 	m.PinnedBytes.Set(int64(sum.PinnedBytes))
+	m.FlipsExecuted.Add(uint64(sum.FlipsExecuted))
+	m.FlipsSkipped.Add(uint64(sum.FlipsSkipped))
+	m.PriorHits.Add(uint64(sum.PriorHits))
 	for _, p := range sum.Phases {
 		i := p.Budget
 		if i >= maxPhaseRate {
@@ -249,6 +261,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_saved_instrs_total", "Prefix instructions skipped by restoring pinned snapshots.", &m.SavedInstrs)
 	counter("aitia_prefix_hits_total", "Runs started from a pinned prefix snapshot.", &m.PrefixHits)
 	gauge("aitia_prefix_pinned_bytes", "Last completed job's peak bytes pinned by live prefix snapshots.", &m.PinnedBytes)
+	counter("aitia_flips_executed_total", "Causality flip tests executed by completed jobs.", &m.FlipsExecuted)
+	counter("aitia_flips_skipped_total", "Flip tests settled benign by the learned prior without a run.", &m.FlipsSkipped)
+	counter("aitia_prior_hits_total", "Tested races whose pair signature had prior observations.", &m.PriorHits)
 	fmt.Fprintf(w, "# HELP aitia_lifs_prune_ratio Pruned fraction of the last completed job's search.\n# TYPE aitia_lifs_prune_ratio gauge\naitia_lifs_prune_ratio %g\n", m.PruneRatio.Value())
 	fmt.Fprintf(w, "# HELP aitia_lifs_phase_schedules_per_second Last completed job's schedule throughput by preemption budget.\n# TYPE aitia_lifs_phase_schedules_per_second gauge\n")
 	for i := range m.PhaseRate {
@@ -276,6 +291,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		raw("aitia_checkpoint_invalid_total", "Checkpoint loads rejected as invalid.", "counter", st.Invalid)
 		raw("aitia_checkpoint_misses_total", "Checkpoint loads with no snapshot present.", "counter", st.Misses)
 		raw("aitia_checkpoint_deletes_total", "Checkpoints deleted (e.g. stale terminal snapshots).", "counter", st.Deletes)
+	}
+	if p := m.Prior; p != nil {
+		raw("aitia_prior_pairs", "Distinct race-pair signatures in the learned flip prior.", "gauge", uint64(p.Pairs()))
+		raw("aitia_prior_observations_total", "Flip verdicts folded into the learned prior.", "counter", p.Observations())
 	}
 
 	if p := m.FaultPlan; p != nil {

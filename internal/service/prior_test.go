@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aitia/internal/durable"
+	"aitia/internal/prior"
+)
+
+// runCorpusJob submits one real diagnosis (default pipeline Diagnoser)
+// and waits for it to complete.
+func runCorpusJob(t *testing.T, s *Service) {
+	t.Helper()
+	st, err := s.Submit(Request{Scenario: "cve-2017-15649"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("job state = %q (error %q), want done", final.State, final.Error)
+	}
+}
+
+// TestPriorLearnsAndPersists: a completed diagnosis feeds the learned
+// flip prior, the prior is checkpointed durably, and the next service
+// incarnation on the same data dir warm-loads it.
+func TestPriorLearnsAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir, Config{Workers: 1})
+	runCorpusJob(t, s1)
+	if obs := s1.Prior().Observations(); obs == 0 {
+		t.Error("completed diagnosis fed no observations into the prior")
+	}
+	if kp := s1.Prior().KillPairs(); kp == 0 {
+		t.Error("completed diagnosis recorded no kill relations")
+	}
+	wantPairs := s1.Prior().Pairs()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	s2 := openDurable(t, dir, Config{Workers: 1, Diagnoser: instantDiagnoser("x")})
+	defer s2.Shutdown(context.Background())
+	if got := s2.Prior().Pairs(); got != wantPairs {
+		t.Errorf("warm-loaded prior has %d pairs, want %d", got, wantPairs)
+	}
+	if got := s2.Prior().LoadReason(); got != prior.ReasonLoaded {
+		t.Errorf("LoadReason = %q, want %q", got, prior.ReasonLoaded)
+	}
+	h := s2.Health()
+	if h.PriorPairs != wantPairs || h.PriorReason != prior.ReasonLoaded {
+		t.Errorf("Health prior = %d pairs, reason %q; want %d, %q",
+			h.PriorPairs, h.PriorReason, wantPairs, prior.ReasonLoaded)
+	}
+	if kp := s2.Prior().KillPairs(); kp == 0 {
+		t.Error("warm-loaded prior lost its kill relations")
+	}
+}
+
+// TestPriorCorruptCheckpointRebuildsFromJournal: a corrupt prior
+// checkpoint degrades with a machine-readable reason, and the journaled
+// result summaries rebuild the verdict statistics (kill relations are
+// not journaled, so only benign skips remain armed until fresh
+// diagnoses).
+func TestPriorCorruptCheckpointRebuildsFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir, Config{Workers: 1})
+	runCorpusJob(t, s1)
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	ck, err := durable.OpenCheckpointStore(filepath.Join(dir, "checkpoints"), false)
+	if err != nil {
+		t.Fatalf("open checkpoint store: %v", err)
+	}
+	if err := ck.Save(prior.CheckpointKey, 1, []byte("corrupt")); err != nil {
+		t.Fatalf("corrupt checkpoint: %v", err)
+	}
+
+	s2 := openDurable(t, dir, Config{Workers: 1, Diagnoser: instantDiagnoser("x")})
+	defer s2.Shutdown(context.Background())
+	if reason := s2.Prior().LoadReason(); !strings.HasPrefix(reason, prior.ReasonInvalid) {
+		t.Errorf("LoadReason = %q, want %q prefix", reason, prior.ReasonInvalid)
+	}
+	if got := s2.Prior().Pairs(); got == 0 {
+		t.Error("journal rebuild restored no verdict statistics")
+	}
+	if kp := s2.Prior().KillPairs(); kp != 0 {
+		t.Errorf("journal rebuild restored %d kill pairs; summaries carry none", kp)
+	}
+	if !strings.HasPrefix(s2.Health().PriorReason, prior.ReasonInvalid) {
+		t.Errorf("Health().PriorReason = %q, want %q prefix", s2.Health().PriorReason, prior.ReasonInvalid)
+	}
+}
+
+// TestPriorDisabled: a negative PriorMinSupport disables the prior
+// entirely — no store, no health fields.
+func TestPriorDisabled(t *testing.T) {
+	s := openDurable(t, t.TempDir(), Config{Workers: 1, Diagnoser: instantDiagnoser("x"), PriorMinSupport: -1})
+	defer s.Shutdown(context.Background())
+	if s.Prior() != nil {
+		t.Error("Prior() != nil with PriorMinSupport < 0")
+	}
+	h := s.Health()
+	if h.PriorPairs != 0 || h.PriorReason != "" {
+		t.Errorf("health advertises a disabled prior: %+v", h)
+	}
+}

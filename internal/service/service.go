@@ -38,6 +38,7 @@ import (
 	"aitia/internal/kir"
 	"aitia/internal/manager"
 	"aitia/internal/obs"
+	"aitia/internal/prior"
 	"aitia/internal/sanitizer"
 	"aitia/internal/scenarios"
 )
@@ -112,6 +113,16 @@ type Config struct {
 	// mid-phase after this many schedules (core.CheckpointConfig.Every).
 	// Zero checkpoints at phase boundaries only.
 	CheckpointEvery int
+	// PriorMinSupport tunes the learned flip prior that completed jobs
+	// feed and later jobs rank their flip tests by
+	// (prior.Config.MinSupport): how many unanimous benign verdicts a
+	// race signature needs before its flips are settled without a run.
+	// Zero means the default (1); negative disables the prior entirely
+	// (every analysis runs in fixed backward order). With DataDir the
+	// prior persists in the checkpoint store and is warm-loaded on
+	// recovery; an absent or corrupt snapshot is rebuilt from the
+	// journal's completed diagnoses.
+	PriorMinSupport int
 }
 
 // Diagnoser runs one resolved job. prog is the compiled program and req
@@ -261,6 +272,9 @@ type Service struct {
 	// pipeline checkpoint store.
 	journal *durable.Journal
 	ckStore *durable.CheckpointStore
+	// prior is the learned flip-ordering store shared by all jobs (nil
+	// when Config.PriorMinSupport < 0).
+	prior *prior.Store
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -294,6 +308,10 @@ func Open(cfg Config) (*Service, error) {
 		drain:   make(chan struct{}),
 		jobs:    make(map[string]*job),
 	}
+	pcfg := prior.Config{MinSupport: cfg.PriorMinSupport}
+	if cfg.PriorMinSupport >= 0 {
+		s.prior = prior.NewStore(pcfg)
+	}
 	queueDepth := cfg.QueueDepth
 	var pending []*job
 	if cfg.DataDir != "" {
@@ -309,6 +327,16 @@ func Open(cfg Config) (*Service, error) {
 		}
 		s.ckStore, s.journal = ck, jnl
 		s.metrics.Journal, s.metrics.Checkpoints = jnl, ck
+		// Warm-load the prior from its checkpoint. When the snapshot is
+		// absent or corrupt the store comes back empty (with a
+		// machine-readable reason) and restoreJobs rebuilds it from the
+		// journal's completed diagnoses instead.
+		rebuildPrior := false
+		if s.prior != nil {
+			var reason string
+			s.prior, reason = prior.LoadFrom(ck, pcfg)
+			rebuildPrior = reason != prior.ReasonLoaded
+		}
 		st, err := foldJournal(jnl)
 		if err != nil {
 			_ = jnl.Close()
@@ -320,16 +348,20 @@ func Open(cfg Config) (*Service, error) {
 			_ = jnl.Close()
 			return nil, err
 		}
-		pending = s.restoreJobs(st)
+		pending = s.restoreJobs(st, rebuildPrior)
 		if len(pending) > queueDepth {
 			// Every interrupted job must fit back on the queue.
 			queueDepth = len(pending)
 		}
 		span.Arg("jobs", int64(len(st.jobs)))
 		span.Arg("requeued", int64(len(pending)))
+		if s.prior != nil {
+			span.Arg("prior_pairs", int64(s.prior.Pairs()))
+		}
 		span.End()
 		s.metrics.observeSpans(obs.Summarize(tr.Events()))
 	}
+	s.metrics.Prior = s.prior
 	s.queue = make(chan *job, queueDepth)
 	for _, j := range pending {
 		s.queue <- j
@@ -348,8 +380,10 @@ func Open(cfg Config) (*Service, error) {
 // the oldest journaled results first. Jobs that were queued or running
 // when the process died are returned for re-enqueueing, journaled as
 // requeued under a forked fault epoch (the crash was this epoch's
-// failure — the next run must not re-draw its exact faults).
-func (s *Service) restoreJobs(st *replayState) []*job {
+// failure — the next run must not re-draw its exact faults). With
+// feedPrior set, the warmed summaries also rebuild the flip prior (the
+// persisted snapshot was absent or corrupt).
+func (s *Service) restoreJobs(st *replayState, feedPrior bool) []*job {
 	s.nextID.Store(st.maxSeq)
 	var pending []*job
 	for _, id := range st.order {
@@ -405,8 +439,39 @@ func (s *Service) restoreJobs(st *replayState) []*job {
 			continue
 		}
 		s.cache.add(rj.submit.Key, rec.Summary)
+		if feedPrior {
+			s.feedPriorSummary(rec.Summary)
+		}
 	}
 	return pending
+}
+
+// feedPriorSummary rebuilds prior statistics from a journaled result
+// summary — the fallback feed when the persisted prior snapshot is
+// absent or corrupt but the journal still holds completed diagnoses.
+// Verdicts the prior itself settled carry no new evidence and are
+// skipped; so are unknown verdicts.
+func (s *Service) feedPriorSummary(sum *aitia.ResultSummary) {
+	if s.prior == nil || sum == nil {
+		return
+	}
+	for _, v := range sum.Verdicts {
+		if v.Race.Sig == "" || v.Race.Prior {
+			continue
+		}
+		s.prior.ObserveVerdict(v.Race.Sig, v.Verdict)
+	}
+}
+
+// persistPrior checkpoints the flip prior (atomic tmp+rename in the
+// durable store), so a restarted service warm-loads everything earlier
+// jobs taught it. Concurrent saves serialize on the snapshot encoding's
+// read lock and the store's atomic write.
+func (s *Service) persistPrior() {
+	if s.prior == nil || s.ckStore == nil {
+		return
+	}
+	_ = s.prior.SaveTo(s.ckStore)
 }
 
 // Metrics returns the service's metric registry.
@@ -426,6 +491,12 @@ type Health struct {
 	// Durable reports that the service runs with a job journal and
 	// checkpoint store (Config.DataDir).
 	Durable bool `json:"durable,omitempty"`
+	// PriorPairs is the number of race-pair signatures in the learned
+	// flip prior; PriorReason is how the store came up ("prior_loaded",
+	// "prior_absent", or a "prior_invalid: ..." detail; empty for an
+	// in-memory prior).
+	PriorPairs  int    `json:"prior_pairs,omitempty"`
+	PriorReason string `json:"prior_reason,omitempty"`
 }
 
 // Health reports the service's occupancy and drain state.
@@ -437,7 +508,7 @@ func (s *Service) Health() Health {
 	if closed {
 		status = "draining"
 	}
-	return Health{
+	h := Health{
 		Status:       status,
 		Workers:      s.cfg.Workers,
 		BusyWorkers:  s.metrics.BusyWorkers.Value(),
@@ -446,7 +517,16 @@ func (s *Service) Health() Health {
 		CachedChains: s.cache.len(),
 		Durable:      s.journal != nil,
 	}
+	if s.prior != nil {
+		h.PriorPairs = s.prior.Pairs()
+		h.PriorReason = s.prior.LoadReason()
+	}
+	return h
 }
+
+// Prior exposes the service's learned flip prior (nil when disabled),
+// for introspection and tests.
+func (s *Service) Prior() *prior.Store { return s.prior }
 
 // resolve compiles the request into a program and normalizes the options
 // (scenario defaults applied), so equivalent submissions share one cache
@@ -777,6 +857,13 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	run.End()
 	j.cancel()
 
+	if err == nil {
+		// Persist what the job taught the prior before publishing the
+		// result: a crash after this point recovers a prior at least as
+		// informed as the journaled outcome implies.
+		s.persistPrior()
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.status.RunMS = time.Since(j.picked).Milliseconds()
@@ -873,6 +960,7 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 		Fault:      fi.Plan,
 		Retry:      fi.Retry,
 		Checkpoint: ck,
+		Prior:      s.prior,
 	})
 	if err != nil {
 		return nil, err

@@ -77,6 +77,12 @@ type ResultSummary struct {
 	SavedInstrs    uint64 `json:"saved_instrs,omitempty"`
 	PrefixHits     int    `json:"prefix_hits,omitempty"`
 	PinnedBytes    uint64 `json:"pinned_bytes,omitempty"`
+	// Learned flip ordering (Options.PriorDir / the service's prior):
+	// flip tests executed, flip tests settled benign by the prior
+	// without a run, and tested races with prior observations.
+	FlipsExecuted int `json:"flips_executed,omitempty"`
+	FlipsSkipped  int `json:"flips_skipped,omitempty"`
+	PriorHits     int `json:"prior_hits,omitempty"`
 	// Phases reports the iterative deepening's per-phase schedule counts
 	// and wall-clock times.
 	Phases []PhaseStat `json:"phases,omitempty"`
@@ -119,6 +125,9 @@ func (r *Result) Summary() *ResultSummary {
 		SavedInstrs:       r.SavedInstrs,
 		PrefixHits:        r.PrefixHits,
 		PinnedBytes:       r.PinnedBytes,
+		FlipsExecuted:     r.FlipsExecuted,
+		FlipsSkipped:      r.FlipsSkipped,
+		PriorHits:         r.PriorHits,
 		Phases:            append([]PhaseStat(nil), r.Phases...),
 		Spans:             append([]obs.SpanStat(nil), r.Spans...),
 		Resumed:           r.Resumed,
