@@ -176,7 +176,7 @@ func crashResumeOne(name string, workers, every int) error {
 // with its golden chain. dataDir == "" uses a temp dir; a non-empty one
 // is left in place on failure so CI can upload the journal as an
 // artifact (the server log is written there either way).
-func runKillRecover(serveBin, dataDir string) (err error) {
+func runKillRecover(list []*scenarios.Scenario, serveBin, dataDir string) (err error) {
 	if _, serr := os.Stat(serveBin); serr != nil {
 		return fmt.Errorf("kill-recover: serve binary: %w", serr)
 	}
@@ -222,9 +222,8 @@ func runKillRecover(serveBin, dataDir string) (err error) {
 		return fmt.Errorf("first incarnation never became healthy: %w", err)
 	}
 
-	all := scenarios.All()
-	jobs := make(map[string]string, len(all)) // job ID -> scenario name
-	for _, sc := range all {
+	jobs := make(map[string]string, len(list)) // job ID -> scenario name
+	for _, sc := range list {
 		id, err := submitScenario(base, sc.Name)
 		if err != nil {
 			return fmt.Errorf("submitting %s: %w", sc.Name, err)

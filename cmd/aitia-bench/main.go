@@ -25,6 +25,7 @@ import (
 
 	"aitia/internal/core"
 	"aitia/internal/eval"
+	"aitia/internal/factory"
 	"aitia/internal/faultinject"
 	"aitia/internal/ingest"
 	"aitia/internal/kir"
@@ -61,12 +62,15 @@ func main() {
 		crashRes = flag.Bool("crash-resume", false, "crash-recovery gate, in-process half: interrupt checkpointed diagnoses mid-search and mid-analysis and fail unless they resume to the golden diagnosis with strictly fewer schedules")
 		killRec  = flag.String("kill-recover", "", "crash-recovery gate, process half: path to an aitia-serve binary to spawn with a durable data dir, SIGKILL mid-diagnosis, restart, and fail unless every submitted job recovers to its golden chain")
 		killDir  = flag.String("kill-data-dir", "", "with -kill-recover: use this data dir (left in place on failure for artifact upload); empty uses a temp dir")
+		corpus   = flag.String("corpus", "", "scenario subset for the corpus gates (all, handbuilt, generated, or a group name); empty picks each gate's default — handbuilt for the perf and resilience gates, all for the correctness gates")
+		checkMx  = flag.Bool("check-matrix", false, "bug-class coverage gate: classify the corpus into the failure-class × interleaving-structure matrix and fail unless every failure class keeps at least -matrix-min representatives")
+		matrixMn = flag.Int("matrix-min", 3, "with -check-matrix: minimum representatives per failure class")
 		trace    = flag.String("trace", "", "write an execution trace of diagnosing -trace-scenario as Chrome trace-event JSON to this path")
 		traceSc  = flag.String("trace-scenario", "cve-2017-15649", "scenario to diagnose for -trace")
 		traceW   = flag.Int("trace-workers", runtime.GOMAXPROCS(0), "worker count for the -trace diagnosis")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*flips && !*checkCh && !*checkRep && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *checkFl == "" && *trace == "" {
+	if !*all && *table == 0 && !*concise && !*baseline && !*figure5 && !*chains && !*ablation && !*repro && !*lifs && !*flips && !*checkCh && !*checkRep && !*checkMx && !*faults && !*crashRes && *killRec == "" && *checkLF == "" && *checkFl == "" && *trace == "" {
 		*all = true
 	}
 
@@ -95,51 +99,103 @@ func main() {
 		check(printChains())
 	}
 	if *lifs {
-		_, err := printLIFS(*out)
+		list, _ := gateCorpus(*corpus, "handbuilt")
+		_, err := printLIFS(list, *out)
 		check(err)
 	}
 	if *flips {
-		_, err := printFlips(*out)
+		list, _ := gateCorpus(*corpus, "handbuilt")
+		_, err := printFlips(list, *out)
 		check(err)
 	}
 	if *checkCh {
-		check(checkChains())
+		list, name := gateCorpus(*corpus, "all")
+		check(checkChains(list, name))
 	}
 	if *checkRep {
-		check(checkReports(*repArt))
+		list, name := gateCorpus(*corpus, "all")
+		check(checkReports(list, name, *repArt))
+	}
+	if *checkMx {
+		list, name := gateCorpus(*corpus, "all")
+		check(checkMatrix(list, name, *matrixMn))
 	}
 	if *faults {
 		// With -faults, -trace names the failure artifact runChaos writes
 		// for the first violating scenario, not a standalone trace run.
-		check(runChaos(*seed, *faultR, *trace))
+		list, name := gateCorpus(*corpus, "handbuilt")
+		check(runChaos(*seed, *faultR, *trace, list, name))
 	}
 	if *crashRes {
 		check(runCrashResume())
 	}
 	if *killRec != "" {
-		check(runKillRecover(*killRec, *killDir))
+		list, _ := gateCorpus(*corpus, "handbuilt")
+		check(runKillRecover(list, *killRec, *killDir))
 	}
 	if *checkLF != "" {
-		check(checkLIFSArtifact(*checkLF, *out))
+		list, _ := gateCorpus(*corpus, "handbuilt")
+		check(checkLIFSArtifact(list, *checkLF, *out))
 	}
 	if *checkFl != "" {
-		check(checkFlipsArtifact(*checkFl, *out))
+		list, _ := gateCorpus(*corpus, "handbuilt")
+		check(checkFlipsArtifact(list, *checkFl, *out))
 	}
 	if *trace != "" && !*faults {
 		check(writeTrace(*trace, *traceSc, *traceW))
 	}
 }
 
-// checkChains is the CI corpus gate: it re-diagnoses every scenario and
-// compares the causality chain against scenarios.GoldenChains,
-// independently of `go test` — an edited or skipped golden test cannot
-// hide a regression from this path.
-func checkChains() error {
-	rows, err := eval.RunAll()
+// gateCorpus resolves the -corpus flag for one gate: an explicit value
+// wins, otherwise the gate's default applies. The perf and resilience
+// gates default to "handbuilt" so the growing generated corpus never
+// shifts their committed baselines; the correctness gates default to
+// "all" so every emitted scenario is held to its pinned ground truth.
+func gateCorpus(flagVal, def string) ([]*scenarios.Scenario, string) {
+	name := flagVal
+	if name == "" {
+		name = def
+	}
+	list, err := scenarios.Subset(name)
+	check(err)
+	if len(list) == 0 {
+		check(fmt.Errorf("corpus subset %q is empty", name))
+	}
+	return list, name
+}
+
+// checkMatrix is the bug-class coverage CI gate: it classifies the
+// selected corpus into the failure-class × interleaving-structure matrix
+// (the Tables 2–3 bug taxonomy) and fails unless every failure class
+// keeps at least minPer representatives. The full matrix prints either
+// way, so a failing run shows exactly which cells went empty.
+func checkMatrix(list []*scenarios.Scenario, name string, minPer int) error {
+	m := factory.NewMatrix()
+	for _, sc := range list {
+		m.AddScenario(sc)
+	}
+	fmt.Printf("bug-class matrix (%s corpus, %d scenarios):\n%s", name, m.Total(), m)
+	if missing := m.MissingFailure(minPer); len(missing) > 0 {
+		return fmt.Errorf("check-matrix: failure classes below %d representatives in the %s corpus: %s",
+			minPer, name, strings.Join(missing, ", "))
+	}
+	fmt.Printf("check-matrix: every failure class has >= %d representatives across %d scenarios\n",
+		minPer, len(list))
+	return nil
+}
+
+// checkChains is the CI corpus gate: it re-diagnoses every scenario of
+// the selected subset and compares the causality chain against
+// scenarios.GoldenChains, independently of `go test` — an edited or
+// skipped golden test cannot hide a regression from this path.
+func checkChains(list []*scenarios.Scenario, name string) error {
+	rows, err := eval.Run(list)
 	if err != nil {
 		return err
 	}
-	if len(rows) != len(scenarios.GoldenChains) {
+	// Only the full corpus can account for every golden chain; a subset
+	// run still requires a golden for each of its own scenarios below.
+	if name == "all" && len(rows) != len(scenarios.GoldenChains) {
 		return fmt.Errorf("check-chains: corpus has %d scenarios but %d golden chains — regenerate with -chains and update internal/scenarios/golden.go",
 			len(rows), len(scenarios.GoldenChains))
 	}
@@ -173,9 +229,16 @@ func checkChains() error {
 // baseline — the whole point of constraining LIFS with report suspects.
 // When artifactDir is set, each violating scenario leaves its report and
 // an execution trace of the report-driven run there for upload.
-func checkReports(artifactDir string) error {
-	bad := 0
-	for _, sc := range scenarios.All() {
+// Generated scenarios whose manifest recorded ReportOK=false at emission
+// are skipped with a visible line rather than failed.
+func checkReports(list []*scenarios.Scenario, name, artifactDir string) error {
+	bad, checked := 0, 0
+	for _, sc := range list {
+		if sc.GenInfo != nil && !sc.GenInfo.ReportOK {
+			fmt.Printf("skip %-22s synthesized report does not round-trip (recorded at emission)\n", sc.Name)
+			continue
+		}
+		checked++
 		prog := sc.MustProgram()
 		m, err := kvm.New(prog)
 		if err != nil {
@@ -229,10 +292,10 @@ func checkReports(artifactDir string) error {
 		}
 	}
 	if bad > 0 {
-		return fmt.Errorf("check-reports: %d of %d scenarios fail the report-driven gate", bad, len(scenarios.All()))
+		return fmt.Errorf("check-reports: %d of %d scenarios fail the report-driven gate", bad, checked)
 	}
-	fmt.Printf("check-reports: all %d scenarios diagnose from their crash report alone, each with fewer schedules than blind\n",
-		len(scenarios.All()))
+	fmt.Printf("check-reports: all %d scenarios (%s corpus) diagnose from their crash report alone, each with fewer schedules than blind\n",
+		checked, name)
 	return nil
 }
 
@@ -264,7 +327,7 @@ func writeReportArtifacts(dir, name, reportText string, tr *obs.Tracer) error {
 // or a classified retry exhaustion (which a service deployment would
 // requeue). Anything else — divergent chains, unclassified errors, a
 // silently wrong chain — fails the gate.
-func runChaos(seed int64, rate float64, tracePath string) error {
+func runChaos(seed int64, rate float64, tracePath string, list []*scenarios.Scenario, name string) error {
 	retry := faultinject.RetryPolicy{
 		MaxAttempts: 6,
 		BaseBackoff: 100 * time.Microsecond,
@@ -310,7 +373,7 @@ func runChaos(seed int64, rate float64, tracePath string) error {
 			firstBad = sc
 		}
 	}
-	for _, sc := range scenarios.All() {
+	for _, sc := range list {
 		ds, cs, serr := pipeline(sc, 1, nil)
 		dp, cp, perr := pipeline(sc, 8, nil)
 		switch {
@@ -350,8 +413,8 @@ func runChaos(seed int64, rate float64, tracePath string) error {
 		}
 		return fmt.Errorf("faults: %d scenarios violated the chaos invariant (seed %d, rate %g)", bad, seed, rate)
 	}
-	fmt.Printf("faults: all %d scenarios deterministic under injection (seed %d, rate %g)\n",
-		len(scenarios.All()), seed, rate)
+	fmt.Printf("faults: all %d %s scenarios deterministic under injection (seed %d, rate %g)\n",
+		len(list), name, seed, rate)
 	return nil
 }
 
@@ -481,8 +544,10 @@ type lifsSnapshotRow struct {
 // sharding (LIFSOptions.Workers) and copy-on-write snapshots — and writes
 // the numbers to stdout and, with -out, to a JSON artifact. All timings are
 // best-of-3 to damp scheduler noise. The measured artifact is returned so
-// -check-lifs can compare it against a committed baseline.
-func printLIFS(outPath string) (*lifsArtifact, error) {
+// -check-lifs can compare it against a committed baseline. The replay
+// section measures the scenarios in list (the -corpus subset, hand-built
+// by default so the committed baseline is insensitive to corpus growth).
+func printLIFS(list []*scenarios.Scenario, outPath string) (*lifsArtifact, error) {
 	art := lifsArtifact{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		CPUs:       runtime.NumCPU(),
@@ -565,7 +630,7 @@ func printLIFS(outPath string) (*lifsArtifact, error) {
 	// prefix cache on and off. The counts are deterministic; golden-chain
 	// equality across both modes is asserted here, so a cache bug cannot
 	// ship a "fast" artifact with wrong diagnoses.
-	rows, err := measureReplay()
+	rows, err := measureReplay(list)
 	if err != nil {
 		return nil, err
 	}
@@ -639,9 +704,9 @@ func printLIFS(outPath string) (*lifsArtifact, error) {
 // Both modes must produce the scenario's golden chain and identical
 // schedule counts — the cache is a work optimization, never a result
 // change — so a divergence fails the measurement itself.
-func measureReplay() ([]lifsReplayRow, error) {
+func measureReplay(list []*scenarios.Scenario) ([]lifsReplayRow, error) {
 	var rows []lifsReplayRow
-	for _, sc := range scenarios.All() {
+	for _, sc := range list {
 		var replayed [2]uint64
 		var chains [2]string
 		var scheds [2]int
@@ -713,7 +778,7 @@ func replayRatio(off, on uint64) float64 {
 // never does). Parallel speedups are skipped when this machine has
 // fewer CPUs than the baseline machine. With -out, the fresh artifact
 // is written there so CI can upload it as the new candidate baseline.
-func checkLIFSArtifact(baselinePath, outPath string) error {
+func checkLIFSArtifact(list []*scenarios.Scenario, baselinePath, outPath string) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("check-lifs: %w", err)
@@ -722,7 +787,7 @@ func checkLIFSArtifact(baselinePath, outPath string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("check-lifs: parsing %s: %w", baselinePath, err)
 	}
-	art, err := printLIFS(outPath)
+	art, err := printLIFS(list, outPath)
 	if err != nil {
 		return err
 	}
@@ -912,7 +977,7 @@ func diagnoseFlips(sc *scenarios.Scenario, ranker core.FlipRanker, workers int) 
 // workers. Any chain divergence or an executed+skipped/test-set mismatch
 // fails the measurement itself: the artifact can only ever report a
 // speedup over byte-identical diagnoses.
-func measureFlips() (*flipsArtifact, error) {
+func measureFlips(list []*scenarios.Scenario) (*flipsArtifact, error) {
 	art := &flipsArtifact{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Note: "flip counts are deterministic and machine-portable; warm chains are " +
@@ -920,7 +985,7 @@ func measureFlips() (*flipsArtifact, error) {
 	}
 	pst := prior.NewStore(prior.Config{})
 
-	for _, sc := range scenarios.All() {
+	for _, sc := range list {
 		d, prog, err := diagnoseFlips(sc, nil, 0)
 		if err != nil {
 			return nil, fmt.Errorf("flips-measure %s (cold): %w", sc.Name, err)
@@ -938,7 +1003,7 @@ func measureFlips() (*flipsArtifact, error) {
 		})
 	}
 
-	for i, sc := range scenarios.All() {
+	for i, sc := range list {
 		row := &art.Scenarios[i]
 		for _, workers := range []int{0, 8} {
 			d, prog, err := diagnoseFlips(sc, pst, workers)
@@ -978,8 +1043,8 @@ func measureFlips() (*flipsArtifact, error) {
 // skipping with it — and writes the numbers to stdout and, with -out,
 // to a JSON artifact. The measured artifact is returned so -check-flips
 // can compare it against a committed baseline.
-func printFlips(outPath string) (*flipsArtifact, error) {
-	art, err := measureFlips()
+func printFlips(list []*scenarios.Scenario, outPath string) (*flipsArtifact, error) {
+	art, err := measureFlips(list)
 	if err != nil {
 		return nil, err
 	}
@@ -1014,7 +1079,7 @@ func printFlips(outPath string) (*flipsArtifact, error) {
 // within ±25% of the baseline. Corpus-total failures also print the
 // per-scenario rows, so a CI log pinpoints which diagnosis regressed.
 // With -out, the fresh artifact is written there so CI can upload it.
-func checkFlipsArtifact(baselinePath, outPath string) error {
+func checkFlipsArtifact(list []*scenarios.Scenario, baselinePath, outPath string) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("check-flips: %w", err)
@@ -1023,7 +1088,7 @@ func checkFlipsArtifact(baselinePath, outPath string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("check-flips: parsing %s: %w", baselinePath, err)
 	}
-	art, err := printFlips(outPath)
+	art, err := printFlips(list, outPath)
 	if err != nil {
 		return err
 	}

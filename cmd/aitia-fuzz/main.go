@@ -5,18 +5,27 @@
 // aitia (or the library) consumes — and, with -diagnose, runs the full
 // diagnosis right away.
 //
+// With -factory it switches roles and runs the scenario factory instead:
+// seeded fuzz campaigns over program generators and corpus mutators,
+// each finding delta-debugged, diagnosed, classified into the bug-class
+// matrix and emitted as a self-contained generated scenario.
+//
 // Usage:
 //
 //	aitia-fuzz -scenario cve-2017-15649 -seed 7
 //	aitia-fuzz -file bug.kasm -runs 50000 -diagnose
+//	aitia-fuzz -factory -seed 1 -target-count 75 -out internal/scenarios/generated
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"aitia"
+	"aitia/internal/factory"
 	findingpkg "aitia/internal/finding"
 	"aitia/internal/fuzz"
 	"aitia/internal/history"
@@ -33,9 +42,20 @@ func main() {
 		runs     = flag.Int("runs", 0, "maximum runs (0 = default)")
 		leak     = flag.Bool("leak-check", false, "enable the memory-leak oracle")
 		diagnose = flag.Bool("diagnose", false, "diagnose the finding with AITIA")
-		out      = flag.String("out", "", "write the finding to a JSON file (consumed by 'aitia -finding')")
+		out      = flag.String("out", "", "write the finding to a JSON file (consumed by 'aitia -finding'); with -factory, the corpus output directory")
+
+		factoryMode  = flag.Bool("factory", false, "run the scenario factory: fuzz, minimize, diagnose, classify, emit")
+		targetCount  = flag.Int("target-count", 75, "factory: number of scenarios to emit")
+		minClass     = flag.Int("min-class", 3, "factory: minimum combined representatives per failure class (-1 disables)")
+		campaignRuns = flag.Int("campaign-runs", 0, "factory: max runs per fuzz campaign (0 = default)")
+		metricsAddr  = flag.String("metrics-addr", "", "factory: serve Prometheus progress counters on this address (e.g. :9190)")
 	)
 	flag.Parse()
+
+	if *factoryMode {
+		runFactory(*seed, *targetCount, *minClass, *campaignRuns, *out, *metricsAddr)
+		return
+	}
 
 	var (
 		prog *kir.Program
@@ -108,6 +128,51 @@ func main() {
 		}
 		fmt.Print(fres.Diagnosis.Report)
 	}
+}
+
+// runFactory drives a full factory run and writes the corpus. Progress
+// counters stream over -metrics-addr in the same aitia_* Prometheus
+// family the service exposes.
+func runFactory(seed int64, targetCount, minClass, campaignRuns int, out, metricsAddr string) {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "aitia-fuzz: -factory needs -out <dir>")
+		os.Exit(2)
+	}
+	stats := &factory.Stats{}
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			stats.WriteMetrics(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "aitia-fuzz: metrics:", err)
+			}
+		}()
+		fmt.Printf("factory metrics on http://%s/metrics\n", metricsAddr)
+	}
+	sum, err := factory.Run(context.Background(), factory.Options{
+		Seed:         seed,
+		TargetCount:  targetCount,
+		MinPerClass:  minClass,
+		CampaignRuns: campaignRuns,
+		Stats:        stats,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := factory.WriteCorpus(out, sum.Emitted); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nemitted %d scenarios to %s after %d campaigns\n", len(sum.Emitted), out, sum.Attempts)
+	fmt.Printf("campaigns=%d findings=%d emitted=%d duplicates=%d rejected=%d minimize_replays=%d\n",
+		stats.Campaigns.Load(), stats.Findings.Load(), stats.Emitted.Load(),
+		stats.Duplicates.Load(), stats.Rejected.Load(), stats.MinReplays.Load())
+	fmt.Printf("\ncombined bug-class matrix (hand-built + emitted):\n%s", sum.Matrix)
 }
 
 func fatal(err error) {

@@ -400,9 +400,10 @@ func TestStaleTerminalCheckpointFallsBack(t *testing.T) {
 
 // TestTerminalReplayAcrossScenarios runs every reproducible scenario
 // twice against one store and requires the second run to be a zero-
-// search terminal replay with identical races and schedule.
+// search terminal replay with identical races and schedule. Scoped to
+// the hand-built subset so factory growth does not swell the sweep.
 func TestTerminalReplayAcrossScenarios(t *testing.T) {
-	for _, sc := range scenarios.All() {
+	for _, sc := range scenarios.HandBuilt() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			prog := sc.MustProgram()

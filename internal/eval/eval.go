@@ -77,6 +77,10 @@ func RunGroup(g scenarios.Group) ([]Row, error) {
 // RunAll diagnoses the entire corpus.
 func RunAll() ([]Row, error) { return runAll(scenarios.All()) }
 
+// Run diagnoses a caller-selected scenario list (e.g. a -corpus subset),
+// in parallel, returning rows in list order.
+func Run(list []*scenarios.Scenario) ([]Row, error) { return runAll(list) }
+
 func runAll(list []*scenarios.Scenario) ([]Row, error) {
 	rows := make([]Row, len(list))
 	errs := make([]error, len(list))

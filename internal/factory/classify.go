@@ -1,0 +1,142 @@
+package factory
+
+import (
+	"fmt"
+	"strings"
+
+	"aitia/internal/core"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+// StructureOf classifies a diagnosed chain into the interleaving-structure
+// taxonomy (SNIPPETS §3). Deadlocks carry their own kind and an empty
+// chain. A single-race chain is a plain data race. A multi-race chain
+// where some thread appears on the early side of one race and the late
+// side of another had a region of that thread cut open by the other
+// thread — the check-then-act shape of an atomicity violation. Chains
+// whose races all push the victim the same way are order violations
+// (publish-before-init and friends).
+func StructureOf(kind sanitizer.Kind, chain *core.Chain) string {
+	if kind == sanitizer.KindDeadlock {
+		return scenarios.StructDeadlock
+	}
+	races := chain.Races()
+	if len(races) <= 1 {
+		return scenarios.StructDataRace
+	}
+	for i, a := range races {
+		for j, b := range races {
+			if i != j && a.First.Thread == b.Second.Thread {
+				return scenarios.StructAtomicity
+			}
+		}
+	}
+	return scenarios.StructOrder
+}
+
+// Matrix is the bug-class coverage matrix: failure class (Tables 2–3 bug
+// type) × interleaving structure (§3 taxonomy), with per-cell counts.
+type Matrix struct {
+	cells map[cellKey]int
+}
+
+type cellKey struct{ failure, structure string }
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix { return &Matrix{cells: make(map[cellKey]int)} }
+
+// Add records one scenario in the given cell.
+func (m *Matrix) Add(failure, structure string) {
+	m.cells[cellKey{failure, structure}]++
+}
+
+// AddScenario records a scenario under its derived classes.
+func (m *Matrix) AddScenario(sc *scenarios.Scenario) {
+	m.Add(sc.FailureClass(), sc.StructureClass())
+}
+
+// FailureCount returns the row total for one failure class.
+func (m *Matrix) FailureCount(failure string) int {
+	n := 0
+	for k, c := range m.cells {
+		if k.failure == failure {
+			n += c
+		}
+	}
+	return n
+}
+
+// StructureCount returns the column total for one structure class.
+func (m *Matrix) StructureCount(structure string) int {
+	n := 0
+	for k, c := range m.cells {
+		if k.structure == structure {
+			n += c
+		}
+	}
+	return n
+}
+
+// Total returns the number of recorded scenarios.
+func (m *Matrix) Total() int {
+	n := 0
+	for _, c := range m.cells {
+		n += c
+	}
+	return n
+}
+
+// MissingFailure lists the taxonomy failure classes with fewer than min
+// representatives, in taxonomy order.
+func (m *Matrix) MissingFailure(min int) []string {
+	var out []string
+	for _, fc := range scenarios.FailureClasses() {
+		if m.FailureCount(fc) < min {
+			out = append(out, fc)
+		}
+	}
+	return out
+}
+
+// MissingStructure lists the structure classes with fewer than min
+// representatives, in taxonomy order.
+func (m *Matrix) MissingStructure(min int) []string {
+	var out []string
+	for _, sc := range scenarios.StructureClasses() {
+		if m.StructureCount(sc) < min {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// String renders the full class × count matrix, empty cells included, so
+// a failing -check-matrix gate shows exactly which cells need filling.
+func (m *Matrix) String() string {
+	structs := scenarios.StructureClasses()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s", "failure \\ structure")
+	for _, sc := range structs {
+		fmt.Fprintf(&b, " %19s", sc)
+	}
+	fmt.Fprintf(&b, " %6s\n", "total")
+	for _, fc := range scenarios.FailureClasses() {
+		fmt.Fprintf(&b, "%-26s", fc)
+		for _, sc := range structs {
+			n := m.cells[cellKey{fc, sc}]
+			cell := "."
+			if n > 0 {
+				cell = fmt.Sprintf("%d", n)
+			}
+			fmt.Fprintf(&b, " %19s", cell)
+		}
+		fmt.Fprintf(&b, " %6d\n", m.FailureCount(fc))
+	}
+	fmt.Fprintf(&b, "%-26s", "total")
+	for _, sc := range structs {
+		fmt.Fprintf(&b, " %19d", m.StructureCount(sc))
+	}
+	fmt.Fprintf(&b, " %6d\n", m.Total())
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package factory
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCorpus materializes a factory run into dir: one <name>.kasm
+// program and one <name>.json manifest per emitted scenario. Stale
+// gen-*.{kasm,json} files from a previous run are removed first, other
+// files (README.md) are left alone. Output is byte-deterministic: struct
+// field order fixes the JSON layout and the sources are canonical
+// disassembly.
+func WriteCorpus(dir string, emitted []Emitted) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "gen-*"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if strings.HasSuffix(f, ".kasm") || strings.HasSuffix(f, ".json") {
+			if err := os.Remove(f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, em := range emitted {
+		src := em.Source
+		if !strings.HasSuffix(src, "\n") {
+			src += "\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, em.Manifest.Name+".kasm"), []byte(src), 0o644); err != nil {
+			return err
+		}
+		raw, err := json.MarshalIndent(em.Manifest, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(filepath.Join(dir, em.Manifest.Name+".json"), raw, 0o644); err != nil {
+			return err
+		}
+	}
+	if len(emitted) > 0 {
+		return nil
+	}
+	return fmt.Errorf("factory: nothing to write")
+}

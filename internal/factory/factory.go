@@ -1,0 +1,367 @@
+package factory
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/ingest"
+	"aitia/internal/kir"
+	"aitia/internal/kvm"
+	"aitia/internal/manager"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+	"aitia/internal/sched"
+)
+
+// Options configure a factory run.
+type Options struct {
+	// Seed drives everything: recipe parameters, campaign seeds, strategy
+	// cycling. The same seed yields a byte-identical corpus.
+	Seed int64
+	// TargetCount is the number of scenarios to emit (default 75).
+	TargetCount int
+	// MinPerClass is the minimum number of combined-corpus (hand-built +
+	// emitted) representatives required per failure class before the run
+	// may stop (default 3, the -check-matrix gate's bar; negative
+	// disables the floor for small test runs).
+	MinPerClass int
+	// CampaignRuns bounds each fuzz campaign (default 3000).
+	CampaignRuns int
+	// MaxAttempts bounds total campaigns before the run fails (default
+	// 40 × TargetCount).
+	MaxAttempts int
+	// Log, when non-nil, receives one line per emission/rejection.
+	Log func(format string, args ...any)
+	// Stats, when non-nil, accumulates live progress counters.
+	Stats *Stats
+}
+
+// Emitted is one accepted scenario: canonical program source plus its
+// ground-truth manifest.
+type Emitted struct {
+	Manifest scenarios.GenManifest
+	Source   string
+
+	progHash string // dedupe key of the minimized program
+}
+
+// Summary is the outcome of a factory run.
+type Summary struct {
+	Emitted  []Emitted
+	Matrix   *Matrix // combined corpus: hand-built + emitted
+	Attempts int
+}
+
+// Run executes fuzz campaigns over the recipe pool until TargetCount
+// scenarios are emitted and every failure class has MinPerClass combined
+// representatives. Each finding is minimized, diagnosed for ground
+// truth, validated (serial-clean, fix-effective, hash-unique, report
+// round-trip) and converted to an Emitted. The run is a deterministic
+// function of Options.Seed; it does not touch the filesystem — pass the
+// result to WriteCorpus.
+func Run(ctx context.Context, opts Options) (*Summary, error) {
+	if opts.TargetCount <= 0 {
+		opts.TargetCount = 75
+	}
+	if opts.MinPerClass == 0 {
+		opts.MinPerClass = 3
+	} else if opts.MinPerClass < 0 {
+		opts.MinPerClass = 0
+	}
+	if opts.CampaignRuns <= 0 {
+		opts.CampaignRuns = 3000
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 40 * opts.TargetCount
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &Stats{}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	recipes := append(Recipes(), CorpusRecipes()...)
+	strategies := fuzz.Strategies()
+
+	// Seed the matrix and the dedupe set from the hand-built corpus only:
+	// previously committed generated scenarios must not influence a
+	// regeneration, or the same seed would stop emitting the same files.
+	matrix := NewMatrix()
+	known := make(map[string]bool)
+	for _, sc := range scenarios.HandBuilt() {
+		matrix.AddScenario(sc)
+		if p, err := sc.RawProgram(); err == nil {
+			known[p.Hash()] = true
+		}
+	}
+
+	sum := &Summary{Matrix: matrix}
+	for len(sum.Emitted) < opts.TargetCount || len(matrix.MissingFailure(opts.MinPerClass)) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if sum.Attempts >= opts.MaxAttempts {
+			return nil, fmt.Errorf("factory: %d campaigns did not reach %d scenarios (missing classes: %v)",
+				sum.Attempts, opts.TargetCount, matrix.MissingFailure(opts.MinPerClass))
+		}
+		attempt := sum.Attempts
+		sum.Attempts++
+		recipe := pickRecipe(recipes, matrix, opts.MinPerClass, attempt)
+		strategy := strategies[attempt%len(strategies)]
+		// Two fixed draws per attempt keep the master stream aligned no
+		// matter what each recipe or campaign consumes.
+		buildSeed, campaignSeed := rng.Int63(), rng.Int63()
+
+		em, verdict, err := runAttempt(ctx, recipe, strategy, buildSeed, campaignSeed, opts, stats, known)
+		if err != nil {
+			return nil, err
+		}
+		if em == nil {
+			if verdict != "" {
+				logf("    %-22s %-9s %s", recipe.Name, strategy, verdict)
+			}
+			continue
+		}
+		em.Manifest.Name = fmt.Sprintf("gen-%03d-%s", len(sum.Emitted)+1, recipe.Name)
+		em.Manifest.Title = fmt.Sprintf("Generated %s (%s under %s scheduling)",
+			em.Manifest.FailureClass, recipe.Name, strategy)
+		known[em.progHash] = true
+		matrix.Add(em.Manifest.FailureClass, em.Manifest.StructureClass)
+		sum.Emitted = append(sum.Emitted, *em)
+		stats.Emitted.Add(1)
+		logf("ok  %-26s %-9s chain=%q interleavings=%d", em.Manifest.Name, strategy,
+			em.Manifest.Chain, em.Manifest.WantInterleavings)
+	}
+	return sum, nil
+}
+
+// pickRecipe prefers recipes whose failure class is under-represented in
+// the combined matrix, cycling deterministically within the candidate
+// pool; with no deficit it round-robins the full pool.
+func pickRecipe(recipes []Recipe, matrix *Matrix, minPerClass, attempt int) Recipe {
+	missing := matrix.MissingFailure(minPerClass)
+	if len(missing) > 0 {
+		want := make(map[string]bool, len(missing))
+		for _, fc := range missing {
+			want[fc] = true
+		}
+		var cands []Recipe
+		for _, r := range recipes {
+			if want[scenarios.FailureClassOf(r.Kind)] {
+				cands = append(cands, r)
+			}
+		}
+		if len(cands) > 0 {
+			return cands[attempt%len(cands)]
+		}
+	}
+	return recipes[attempt%len(recipes)]
+}
+
+// runAttempt executes one campaign end to end: build, fuzz, minimize,
+// validate. A nil Emitted with a verdict string is a (normal) rejection;
+// an error aborts the whole run.
+func runAttempt(ctx context.Context, recipe Recipe, strategy fuzz.Strategy,
+	buildSeed, campaignSeed int64, opts Options, stats *Stats, known map[string]bool) (*Emitted, string, error) {
+
+	prog, entries, err := recipe.Build(rand.New(rand.NewSource(buildSeed)))
+	if err != nil {
+		return nil, "", fmt.Errorf("factory: recipe %s: %w", recipe.Name, err)
+	}
+	fz, err := fuzz.New(prog, fuzz.Options{
+		Seed:      campaignSeed,
+		MaxRuns:   opts.CampaignRuns,
+		Strategy:  strategy,
+		LeakCheck: recipe.LeakCheck,
+		WantKind:  recipe.Kind,
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("factory: recipe %s: %w", recipe.Name, err)
+	}
+	stats.Campaigns.Add(1)
+	finding, err := fz.Campaign()
+	if err != nil {
+		return nil, "", err
+	}
+	if finding == nil {
+		return nil, "campaign exhausted", nil
+	}
+	stats.Findings.Add(1)
+
+	label := ""
+	if in, ok := prog.Instr(finding.Failure.Instr); ok {
+		label = in.Label
+	}
+	min, err := Minimize(prog, finding.Run, MinimizeOptions{
+		Kind: recipe.Kind, Label: label, LeakCheck: recipe.LeakCheck, Stats: stats,
+	})
+	if err != nil {
+		stats.Rejected.Add(1)
+		return nil, fmt.Sprintf("minimize: %v", err), nil
+	}
+	if known[min.Prog.Hash()] {
+		stats.Duplicates.Add(1)
+		return nil, "duplicate of known program", nil
+	}
+	em, verdict, err := validate(ctx, recipe, min, entries)
+	if err != nil {
+		return nil, "", err
+	}
+	if em == nil {
+		stats.Rejected.Add(1)
+		return nil, verdict, nil
+	}
+	em.Manifest.Recipe = recipe.Name
+	em.Manifest.Strategy = strategy.String()
+	em.Manifest.Seed = campaignSeed
+	em.Manifest.CampaignRuns = finding.Runs
+	em.Manifest.Minimize = min.Stats
+	return em, "", nil
+}
+
+// validate establishes the scenario's ground truth and applies every
+// invariant the committed corpus gates will later re-check: the failure
+// needs at least one interleaving, the serializing fix both keeps the
+// program working and stops reproduction, and (when possible) the
+// synthesized crash report round-trips through report-driven diagnosis
+// with fewer schedules than blind search. A verdict string (and nil
+// Emitted) rejects the finding.
+func validate(ctx context.Context, recipe Recipe, min *MinResult, entries []string) (*Emitted, string, error) {
+	prog := min.Prog
+	wantLabel := ""
+	wantInstr := kir.NoInstr
+	if min.Repro.Run.Failure != nil && min.Repro.Run.Failure.Instr != kir.NoInstr {
+		if in, ok := prog.Instr(min.Repro.Run.Failure.Instr); ok && in.Label != "" {
+			wantLabel, wantInstr = in.Label, in.ID
+		}
+	}
+
+	// Ground truth: the exact pipeline the golden gate runs
+	// (manager.Diagnose ≡ LIFS over the full declared set + Causality
+	// Analysis).
+	mgr, err := manager.New(prog, manager.Options{
+		Workers: 1,
+		LIFS:    core.LIFSOptions{WantKind: recipe.Kind, WantInstr: wantInstr, LeakCheck: recipe.LeakCheck},
+		Analysis: core.AnalysisOptions{
+			LeakCheck: recipe.LeakCheck,
+		},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := mgr.Diagnose(ctx)
+	if err != nil {
+		return nil, fmt.Sprintf("diagnose: %v", err), nil
+	}
+	rep, d := res.Reproduction, res.Diagnosis
+	if rep.Stats.Interleavings == 0 {
+		return nil, "fails under a serial order", nil
+	}
+
+	// The modelled fix must keep the program working and kill the bug —
+	// exactly what TestFixesPreventEveryFailure asserts on every
+	// committed scenario.
+	var kept []string
+	for _, e := range entries {
+		if _, ok := prog.Funcs[e]; ok {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, "minimization removed every fix entry", nil
+	}
+	if verdict := checkFix(prog, kept, recipe.Kind, wantLabel, recipe.LeakCheck); verdict != "" {
+		return nil, verdict, nil
+	}
+
+	chain := d.Chain.Format(prog)
+	em := &Emitted{
+		Source: min.Source,
+		Manifest: scenarios.GenManifest{
+			Kind:              recipe.Kind.String(),
+			FailureClass:      scenarios.FailureClassOf(recipe.Kind),
+			StructureClass:    StructureOf(recipe.Kind, d.Chain),
+			WantLabel:         wantLabel,
+			WantChainLen:      d.Chain.Len(),
+			Chain:             chain,
+			WantInterleavings: rep.Stats.Interleavings,
+			WantAmbiguous:     d.Chain.HasAmbiguity(),
+			BenignRaces:       len(d.Benign),
+			Threads:           len(prog.Threads),
+			FixEntries:        kept,
+		},
+	}
+	em.progHash = prog.Hash()
+
+	// Report round-trip, mirroring the -check-reports gate; failure here
+	// is recorded (the gate skips ReportOK=false scenarios), not fatal.
+	if text, err := ingest.Synthesize(prog, rep.Run, rep.Races); err == nil {
+		em.Manifest.Report = text
+		em.Manifest.ReportOK = reportRoundTrips(ctx, prog, text, chain, rep.Stats.Schedules)
+	}
+	return em, "", nil
+}
+
+// checkFix serializes the entries and verifies the patched program still
+// completes serially and no longer reproduces the failure. Empty verdict
+// means the fix works.
+func checkFix(prog *kir.Program, entries []string, kind sanitizer.Kind, wantLabel string, leak bool) string {
+	fixed, err := prog.FixSerialize(entries...)
+	if err != nil {
+		return fmt.Sprintf("fix serialize: %v", err)
+	}
+	m, err := kvm.New(fixed)
+	if err != nil {
+		return fmt.Sprintf("fixed program: %v", err)
+	}
+	var order []string
+	for _, td := range fixed.Threads {
+		order = append(order, td.Name)
+	}
+	res, err := sched.NewEnforcer(m).Run(sched.Serial(order...), sched.Options{})
+	if err != nil || res.Failure != nil {
+		return fmt.Sprintf("fixed program fails serially: %v %v", err, res.Failure)
+	}
+	if err := m.Reset(); err != nil {
+		return fmt.Sprintf("fixed program reset: %v", err)
+	}
+	wantInstr := kir.NoInstr
+	if wantLabel != "" {
+		if in, ok := fixed.ByLabel(wantLabel); ok {
+			wantInstr = in.ID
+		}
+	}
+	_, err = core.Reproduce(m, core.LIFSOptions{WantKind: kind, WantInstr: wantInstr, LeakCheck: leak})
+	if !core.IsNotReproduced(err) {
+		return fmt.Sprintf("fix does not prevent the failure (%v)", err)
+	}
+	return ""
+}
+
+// reportRoundTrips mirrors aitia-bench -check-reports: parse the
+// synthesized report, diagnose from it alone, and demand a non-degraded
+// resolution, the golden chain, and strictly fewer schedules than the
+// blind baseline.
+func reportRoundTrips(ctx context.Context, prog *kir.Program, text, wantChain string, blindSchedules int) bool {
+	rpt, err := ingest.Parse(text)
+	if err != nil {
+		return false
+	}
+	mgr, err := manager.New(prog, manager.Options{})
+	if err != nil {
+		return false
+	}
+	res, err := mgr.DiagnoseReport(ctx, rpt)
+	if err != nil || res.Resolution.Degraded() {
+		return false
+	}
+	return res.Diagnosis.Chain.Format(prog) == wantChain &&
+		res.Reproduction.Stats.Schedules < blindSchedules
+}

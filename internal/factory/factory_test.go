@@ -1,0 +1,198 @@
+package factory
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aitia/internal/core"
+	"aitia/internal/fuzz"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/manager"
+	"aitia/internal/sanitizer"
+	"aitia/internal/scenarios"
+)
+
+// smallRun executes a tiny factory run (no class floor) and caches
+// nothing: determinism is part of what the tests assert.
+func smallRun(t *testing.T, seed int64, count int) *Summary {
+	t.Helper()
+	sum, err := Run(context.Background(), Options{
+		Seed: seed, TargetCount: count, MinPerClass: -1, CampaignRuns: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Emitted) != count {
+		t.Fatalf("emitted %d, want %d", len(sum.Emitted), count)
+	}
+	return sum
+}
+
+func TestFactoryRunEmitsValidScenarios(t *testing.T) {
+	sum := smallRun(t, 5, 3)
+	for _, em := range sum.Emitted {
+		gm := em.Manifest
+		if gm.Name == "" || gm.Recipe == "" || gm.Strategy == "" {
+			t.Errorf("incomplete manifest: %+v", gm)
+		}
+		if gm.FailureClass == "" || gm.StructureClass == "" {
+			t.Errorf("%s: unclassified", gm.Name)
+		}
+		if gm.WantInterleavings < 1 {
+			t.Errorf("%s: reproduces serially (interleavings=%d)", gm.Name, gm.WantInterleavings)
+		}
+		if gm.Chain == "" {
+			t.Errorf("%s: empty chain", gm.Name)
+		}
+		if len(gm.FixEntries) == 0 {
+			t.Errorf("%s: no fix entries", gm.Name)
+		}
+		if em.Source == "" {
+			t.Errorf("%s: empty program", gm.Name)
+		}
+		if gm.Minimize.InstrsAfter > gm.Minimize.InstrsBefore ||
+			gm.Minimize.PointsAfter > gm.Minimize.PointsBefore {
+			t.Errorf("%s: minimization grew the finding: %+v", gm.Name, gm.Minimize)
+		}
+	}
+}
+
+func TestFactoryRunIsDeterministic(t *testing.T) {
+	a := smallRun(t, 9, 2)
+	b := smallRun(t, 9, 2)
+	ja, _ := json.Marshal(a.Emitted)
+	jb, _ := json.Marshal(b.Emitted)
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed, different corpus:\n%s\n--\n%s", ja, jb)
+	}
+}
+
+func TestMinimizePreservesFailureKindAndIsIdempotent(t *testing.T) {
+	for _, r := range Recipes() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(21))
+			prog, _, err := r.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fz, err := fuzz.New(prog, fuzz.Options{
+				Seed: 21, MaxRuns: 8000, WantKind: r.Kind, LeakCheck: r.LeakCheck,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			finding, err := fz.Campaign()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if finding == nil {
+				t.Skipf("recipe %s: campaign found nothing under this seed", r.Name)
+			}
+			label := ""
+			if in, ok := prog.Instr(finding.Failure.Instr); ok {
+				label = in.Label
+			}
+			mopts := MinimizeOptions{Kind: r.Kind, Label: label, LeakCheck: r.LeakCheck}
+			min1, err := Minimize(prog, finding.Run, mopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Kind preserved: the minimized reproduction fails the same way.
+			if min1.Repro.Run.Failure == nil || min1.Repro.Run.Failure.Kind != r.Kind {
+				t.Fatalf("minimized failure = %v, want kind %v", min1.Repro.Run.Failure, r.Kind)
+			}
+			if min1.Stats.InstrsAfter > min1.Stats.InstrsBefore {
+				t.Fatalf("minimization grew the program: %+v", min1.Stats)
+			}
+			// Idempotent: minimizing the minimized finding changes nothing.
+			min2, err := Minimize(min1.Prog, min1.Repro.Run, mopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min2.Source != min1.Source {
+				t.Errorf("not a fixed point:\n%s\n--\n%s", min1.Source, min2.Source)
+			}
+			if len(min2.Schedule.Points) != len(min1.Schedule.Points) {
+				t.Errorf("schedule not a fixed point: %d -> %d points",
+					len(min1.Schedule.Points), len(min2.Schedule.Points))
+			}
+			// Deterministic: same inputs, same result.
+			min3, err := Minimize(prog, finding.Run, mopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min3.Source != min1.Source || min3.Stats != min1.Stats {
+				t.Errorf("minimization not deterministic")
+			}
+		})
+	}
+}
+
+// TestGeneratedSampleDiagnosisWorkerIdentity: the ground truth pinned in
+// an emitted manifest is worker-count independent — a serial manager and
+// an 8-worker manager produce the identical chain on a generated sample.
+func TestGeneratedSampleDiagnosisWorkerIdentity(t *testing.T) {
+	sum := smallRun(t, 13, 1)
+	em := sum.Emitted[0]
+	prog, err := kasm.Parse(em.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, ok := sanitizer.KindByName(em.Manifest.Kind)
+	if !ok {
+		t.Fatalf("unknown kind %q", em.Manifest.Kind)
+	}
+	wantInstr := kir.NoInstr
+	if em.Manifest.WantLabel != "" {
+		wantInstr = prog.MustByLabel(em.Manifest.WantLabel).ID
+	}
+	leak := kind == sanitizer.KindMemoryLeak
+	diagnose := func(workers int) (string, int) {
+		mgr, err := manager.New(prog, manager.Options{
+			Workers:  workers,
+			LIFS:     core.LIFSOptions{WantKind: kind, WantInstr: wantInstr, LeakCheck: leak},
+			Analysis: core.AnalysisOptions{LeakCheck: leak},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mgr.Diagnose(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Diagnosis.Chain.Format(prog), res.Reproduction.Stats.Interleavings
+	}
+	chain1, il1 := diagnose(1)
+	chain8, il8 := diagnose(8)
+	if chain1 != chain8 || il1 != il8 {
+		t.Fatalf("worker-dependent diagnosis: serial %q/%d vs 8-worker %q/%d", chain1, il1, chain8, il8)
+	}
+	if chain1 != em.Manifest.Chain {
+		t.Fatalf("chain %q does not match manifest %q", chain1, em.Manifest.Chain)
+	}
+}
+
+func TestMatrixAccountsHandBuiltCorpus(t *testing.T) {
+	m := NewMatrix()
+	for _, sc := range scenarios.HandBuilt() {
+		m.AddScenario(sc)
+	}
+	if m.Total() != len(scenarios.HandBuilt()) {
+		t.Fatalf("total = %d, want %d", m.Total(), len(scenarios.HandBuilt()))
+	}
+	if got := m.MissingFailure(1); len(got) == 0 {
+		t.Fatal("hand-built corpus alone should miss at least the deadlock class")
+	}
+	out := m.String()
+	for _, fc := range scenarios.FailureClasses() {
+		if !strings.Contains(out, fc) {
+			t.Errorf("matrix table lacks row %q", fc)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package factory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aitia/internal/fuzz"
+)
+
+// FuzzMinimize drives the delta-debugger with arbitrary seeds: any
+// campaign finding it is handed must minimize without ever losing the
+// failure (Minimize verifies its own oracle and errors otherwise), must
+// terminate, and must be a fixed point — minimizing the minimized
+// finding changes nothing.
+func FuzzMinimize(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(21), uint8(3))
+	f.Add(int64(99), uint8(6))
+	recipes := Recipes()
+	f.Fuzz(func(t *testing.T, seed int64, pick uint8) {
+		r := recipes[int(pick)%len(recipes)]
+		prog, _, err := r.Build(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("recipe %s: %v", r.Name, err)
+		}
+		fz, err := fuzz.New(prog, fuzz.Options{
+			Seed: seed, MaxRuns: 400, WantKind: r.Kind, LeakCheck: r.LeakCheck,
+			Strategy: fuzz.Strategies()[int(pick/4)%4],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		finding, err := fz.Campaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if finding == nil {
+			t.Skip("campaign exhausted without a finding")
+		}
+		label := ""
+		if in, ok := prog.Instr(finding.Failure.Instr); ok {
+			label = in.Label
+		}
+		opts := MinimizeOptions{Kind: r.Kind, Label: label, LeakCheck: r.LeakCheck, MaxSchedules: 2000}
+		min1, err := Minimize(prog, finding.Run, opts)
+		if errors.Is(err, ErrOracle) {
+			// A finding the bounded search cannot re-establish is a valid
+			// rejection, not a crash.
+			t.Skipf("minimize rejected the finding: %v", err)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min1.Repro.Run.Failure == nil || min1.Repro.Run.Failure.Kind != r.Kind {
+			t.Fatalf("minimization lost the failure: %v", min1.Repro.Run.Failure)
+		}
+		if min1.Stats.InstrsAfter > min1.Stats.InstrsBefore ||
+			min1.Stats.ThreadsAfter > min1.Stats.ThreadsBefore ||
+			min1.Stats.PointsAfter > min1.Stats.PointsBefore {
+			t.Fatalf("minimization grew the finding: %+v", min1.Stats)
+		}
+		min2, err := Minimize(min1.Prog, min1.Repro.Run, opts)
+		if err != nil {
+			t.Fatalf("re-minimizing the minimized finding failed: %v", err)
+		}
+		if min2.Source != min1.Source {
+			t.Fatalf("minimization is not a fixed point:\n%s\n--\n%s", min1.Source, min2.Source)
+		}
+	})
+}

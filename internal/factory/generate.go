@@ -1,0 +1,412 @@
+// Package factory closes the fuzz-to-corpus loop (ROADMAP item 3): seeded
+// program generators and corpus-derived mutators feed internal/fuzz
+// campaigns under the §2 scheduling strategies; each finding is
+// delta-debugged down to a minimal schedule and program, diagnosed through
+// manager.Diagnose, classified into the bug-class matrix (Tables 2–3
+// failure classes × §3 interleaving structures) and emitted as a
+// self-contained generated scenario that internal/scenarios registers at
+// init. The whole pipeline is a deterministic function of the factory
+// seed: the same seed emits byte-identical scenario files.
+package factory
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// Recipe is one seeded program source: a generator template for a
+// taxonomy bug class, or a corpus-derived mutator. Build draws every
+// parameter (names, sizes, offsets, structure variants) from the rng, so
+// repeated builds of one recipe yield distinct programs.
+type Recipe struct {
+	// Name tags emitted scenarios (e.g. "toctou-null").
+	Name string
+	// Kind is the failure class the recipe plants; campaigns only accept
+	// findings of this kind.
+	Kind sanitizer.Kind
+	// LeakCheck arms the end-of-run leak oracle (memory-leak recipes).
+	LeakCheck bool
+	// Build generates a program variant and the entry functions a
+	// serializing fix must make mutually exclusive.
+	Build func(rng *rand.Rand) (*kir.Program, []string, error)
+}
+
+// Name pools for generated kernel objects. Drawing names (plus a numeric
+// tag) is what keeps repeated emissions of one recipe hash-distinct after
+// minimization strips the removable structure.
+var objPool = []string{"sock", "vdev", "inode", "conn", "pipe", "sess", "vq", "tty", "mdev", "nbd"}
+
+type names struct {
+	obj string // base object name, e.g. "sock3"
+}
+
+func pickNames(rng *rand.Rand) names {
+	return names{obj: fmt.Sprintf("%s%d", objPool[rng.Intn(len(objPool))], rng.Intn(100))}
+}
+
+// Recipes returns the generator templates covering the Tables 2–3 failure
+// taxonomy and the §3 structure taxonomy. Order is significant: the
+// factory cycles deterministically and prefers recipes whose failure
+// class is under-represented.
+func Recipes() []Recipe {
+	return []Recipe{
+		{Name: "toctou-null", Kind: sanitizer.KindNullDeref, Build: buildTOCTOUNull},
+		{Name: "toctou-uaf", Kind: sanitizer.KindUseAfterFree, Build: buildTOCTOUUAF},
+		{Name: "section-bugon", Kind: sanitizer.KindBugOn, Build: buildSectionBugOn},
+		{Name: "pair-bugon", Kind: sanitizer.KindBugOn, Build: buildPairBugOn},
+		{Name: "publish-gpf", Kind: sanitizer.KindGPF, Build: buildPublishGPF},
+		{Name: "retract-null", Kind: sanitizer.KindNullDeref, Build: buildRetractNull},
+		{Name: "abba-deadlock", Kind: sanitizer.KindDeadlock, Build: buildABBADeadlock},
+		{Name: "race-doublefree", Kind: sanitizer.KindDoubleFree, Build: buildRaceDoubleFree},
+		{Name: "install-leak", Kind: sanitizer.KindMemoryLeak, LeakCheck: true, Build: buildInstallLeak},
+		{Name: "resize-oob", Kind: sanitizer.KindOutOfBounds, Build: buildResizeOOB},
+		{Name: "rcu-uaf", Kind: sanitizer.KindUseAfterFree, Build: buildRCUUAF},
+	}
+}
+
+// buildTOCTOUNull: check-then-act on a (valid-flag, pointer) pair — the
+// Figure 1 shape. The nuller retracts the pointer between the user's
+// validity check and dereference.
+func buildTOCTOUNull(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	flag, ptr, obj := n.obj+"_ready", n.obj+"_ptr", n.obj+"_obj"
+	use, drop := n.obj+"_ioctl", n.obj+"_detach"
+	size := int64(1 + rng.Intn(3))
+	off := rng.Int63n(size)
+
+	b := kir.NewBuilder()
+	b.Var(flag, 0)
+	b.VarAddrOf(ptr, obj)
+	b.Global(obj, size, 40+rng.Int63n(60))
+
+	a := b.Func(use)
+	a.Store(kir.G(flag), kir.Imm(1)).L("A1")
+	a.Load(kir.R1, kir.G(ptr)).L("A2")
+	a.Load(kir.R2, kir.Ind(kir.R1, off)).L("A3")
+	a.Ret()
+
+	d := b.Func(drop)
+	d.Load(kir.R1, kir.G(flag)).L("B1")
+	d.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	d.Store(kir.G(ptr), kir.Imm(0)).L("B2")
+	d.At("out").Ret()
+
+	b.Thread("ioctl$"+n.obj, use)
+	b.Thread("detach$"+n.obj, drop)
+	prog, err := b.Build()
+	return prog, []string{use, drop}, err
+}
+
+// buildTOCTOUUAF: both threads guard on the published pointer, but the
+// freer frees the object between the user's check and use.
+func buildTOCTOUUAF(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_slot"
+	use, rel := n.obj+"_read", n.obj+"_release"
+	size := int64(1 + rng.Intn(3))
+	off := rng.Int63n(size)
+
+	b := kir.NewBuilder()
+	b.HeapObj(slot, size, 7+rng.Int63n(90))
+
+	a := b.Func(use)
+	a.Load(kir.R1, kir.G(slot)).L("A1")
+	a.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	a.Load(kir.R2, kir.Ind(kir.R1, off)).L("A2")
+	a.At("out").Ret()
+
+	f := b.Func(rel)
+	f.Load(kir.R1, kir.G(slot)).L("B1")
+	f.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	f.Store(kir.G(slot), kir.Imm(0)).L("B2")
+	f.Free(kir.R(kir.R1)).L("B3")
+	f.At("out").Ret()
+
+	b.Thread("read$"+n.obj, use)
+	b.Thread("close$"+n.obj, rel)
+	prog, err := b.Build()
+	return prog, []string{use, rel}, err
+}
+
+// buildSectionBugOn: a worker marks a critical section open/closed in a
+// state word; a checker asserts it never observes the section open —
+// true in every serial order, violated when the checker lands inside.
+func buildSectionBugOn(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	state, scratch := n.obj+"_busy", n.obj+"_stat"
+	wk, ck := n.obj+"_update", n.obj+"_assert"
+
+	b := kir.NewBuilder()
+	b.Var(state, 0)
+	b.Var(scratch, 0)
+
+	w := b.Func(wk)
+	w.Store(kir.G(state), kir.Imm(1)).L("A1")
+	w.Store(kir.G(scratch), kir.Imm(rng.Int63n(100))).L("A2")
+	w.Store(kir.G(state), kir.Imm(0)).L("A3")
+	w.Ret()
+
+	c := b.Func(ck)
+	c.Load(kir.R1, kir.G(state)).L("B1")
+	c.BugOn(kir.R(kir.R1)).L("B2")
+	c.Ret()
+
+	b.Thread("worker$"+n.obj, wk)
+	b.Thread("check$"+n.obj, ck)
+	prog, err := b.Build()
+	return prog, []string{wk, ck}, err
+}
+
+// buildPairBugOn: two correlated variables updated non-atomically; the
+// checker asserts their invariant (a == b) — the Figure 7 shape.
+func buildPairBugOn(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	va, vb := n.obj+"_head", n.obj+"_tail"
+	up, ck := n.obj+"_advance", n.obj+"_verify"
+	v := 1 + rng.Int63n(9)
+
+	b := kir.NewBuilder()
+	b.Var(va, 0)
+	b.Var(vb, 0)
+
+	u := b.Func(up)
+	u.Store(kir.G(va), kir.Imm(v)).L("A1")
+	u.Store(kir.G(vb), kir.Imm(v)).L("A2")
+	u.Store(kir.G(va), kir.Imm(0)).L("A3")
+	u.Store(kir.G(vb), kir.Imm(0)).L("A4")
+	u.Ret()
+
+	c := b.Func(ck)
+	c.Load(kir.R1, kir.G(va)).L("B1")
+	c.Load(kir.R2, kir.G(vb)).L("B2")
+	c.Mov(kir.R3, kir.R(kir.R1))
+	c.Sub(kir.R3, kir.R(kir.R2))
+	c.BugOn(kir.R(kir.R3)).L("B3")
+	c.Ret()
+
+	b.Thread("advance$"+n.obj, up)
+	b.Thread("verify$"+n.obj, ck)
+	prog, err := b.Build()
+	return prog, []string{up, ck}, err
+}
+
+// buildPublishGPF: the publisher parks a stale token in the slot before
+// swapping in the real allocation; a consumer that loads the token and
+// dereferences it takes a wild access (general protection fault).
+func buildPublishGPF(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_slot"
+	pub, use := n.obj+"_bind", n.obj+"_poll"
+	token := int64(0x50 + rng.Intn(0xa0)) // above NullTop, below GlobalBase: wild
+
+	b := kir.NewBuilder()
+	b.Var(slot, 0)
+
+	p := b.Func(pub)
+	p.Store(kir.G(slot), kir.Imm(token)).L("A1")
+	p.Alloc(kir.R1, 1)
+	p.Store(kir.Ind(kir.R1, 0), kir.Imm(rng.Int63n(100)))
+	p.Store(kir.G(slot), kir.R(kir.R1)).L("A2")
+	p.Ret()
+
+	u := b.Func(use)
+	u.Load(kir.R1, kir.G(slot)).L("B1")
+	u.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	u.Load(kir.R2, kir.Ind(kir.R1, 0)).L("B2")
+	u.At("out").Ret()
+
+	b.Thread("bind$"+n.obj, pub)
+	b.Thread("poll$"+n.obj, use)
+	prog, err := b.Build()
+	return prog, []string{pub, use}, err
+}
+
+// buildRetractNull: publish, then a queued worker retracts the slot; the
+// consumer's re-read between check and dereference picks up the NULL —
+// the Figure 4(a) shape with a background thread.
+func buildRetractNull(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_slot"
+	pub, use, wk := n.obj+"_open", n.obj+"_ioctl", n.obj+"_teardown"
+
+	b := kir.NewBuilder()
+	b.Var(slot, 0)
+
+	p := b.Func(pub)
+	p.Alloc(kir.R1, 1)
+	p.Store(kir.Ind(kir.R1, 0), kir.Imm(3+rng.Int63n(60)))
+	p.Store(kir.G(slot), kir.R(kir.R1)).L("A1")
+	p.QueueWork(wk, kir.Imm(0)).L("A2")
+	p.Ret()
+
+	u := b.Func(use)
+	u.Load(kir.R1, kir.G(slot)).L("B1")
+	u.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	u.Load(kir.R2, kir.G(slot)).L("B2")
+	u.Load(kir.R3, kir.Ind(kir.R2, 0)).L("B3")
+	u.At("out").Ret()
+
+	w := b.Func(wk)
+	w.Store(kir.G(slot), kir.Imm(0)).L("K1")
+	w.Ret()
+
+	b.Thread("open$"+n.obj, pub)
+	b.Thread("ioctl$"+n.obj, use)
+	prog, err := b.Build()
+	return prog, []string{pub, use, wk}, err
+}
+
+// buildABBADeadlock: the classic lock-order inversion, as a 2-cycle or a
+// 3-thread ring depending on the draw.
+func buildABBADeadlock(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	ring := 2 + rng.Intn(2) // 2 or 3 threads in the cycle
+	locks := make([]string, ring)
+	for i := range locks {
+		locks[i] = fmt.Sprintf("%s_mu%d", n.obj, i)
+	}
+	shared := n.obj + "_count"
+
+	b := kir.NewBuilder()
+	for _, l := range locks {
+		b.Var(l, 0)
+	}
+	b.Var(shared, 0)
+
+	var entries []string
+	for i := 0; i < ring; i++ {
+		fn := fmt.Sprintf("%s_path%d", n.obj, i)
+		entries = append(entries, fn)
+		first, second := locks[i], locks[(i+1)%ring]
+		f := b.Func(fn)
+		f.Lock(kir.G(first)).L(fmt.Sprintf("L%da", i))
+		f.Store(kir.G(shared), kir.Imm(int64(i+1)))
+		f.Lock(kir.G(second)).L(fmt.Sprintf("L%db", i))
+		f.Unlock(kir.G(second))
+		f.Unlock(kir.G(first))
+		f.Ret()
+		b.Thread(fmt.Sprintf("path%d$%s", i, n.obj), fn)
+	}
+	prog, err := b.Build()
+	return prog, entries, err
+}
+
+// buildRaceDoubleFree: two release paths race on the same published
+// object; both pass the non-NULL check before either clears the slot.
+func buildRaceDoubleFree(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_slot"
+	rel := n.obj + "_release"
+
+	b := kir.NewBuilder()
+	b.HeapObj(slot, 1, 5+rng.Int63n(90))
+
+	f := b.Func(rel)
+	f.Load(kir.R1, kir.G(slot)).L("C1")
+	f.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	f.Free(kir.R(kir.R1)).L("C2")
+	f.Store(kir.G(slot), kir.Imm(0)).L("C3")
+	f.At("out").Ret()
+
+	b.Thread("close$"+n.obj+"$1", rel)
+	b.Thread("close$"+n.obj+"$2", rel)
+	prog, err := b.Build()
+	return prog, []string{rel}, err
+}
+
+// buildInstallLeak: two installers race the check-then-install; the
+// loser's allocation becomes unreachable — kmemleak fires at run end.
+// Serially the loser's check fails before it allocates, so nothing leaks.
+func buildInstallLeak(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_filter"
+	ins := n.obj + "_install"
+
+	b := kir.NewBuilder()
+	b.Var(slot, 0)
+
+	f := b.Func(ins)
+	f.Load(kir.R1, kir.G(slot)).L("C1")
+	f.Bne(kir.R(kir.R1), kir.Imm(0), "out")
+	f.Alloc(kir.R2, 1).L("C2")
+	f.Store(kir.Ind(kir.R2, 0), kir.Imm(rng.Int63n(100)))
+	f.Store(kir.G(slot), kir.R(kir.R2)).L("C3")
+	f.At("out").Ret()
+
+	b.Thread("install$"+n.obj+"$1", ins)
+	b.Thread("install$"+n.obj+"$2", ins)
+	prog, err := b.Build()
+	return prog, []string{ins}, err
+}
+
+// buildResizeOOB: the reader indexes a fixed-size buffer through a shared
+// index variable; the resizer bumps the index past the buffer and
+// restores it — in-bounds in every serial order, a redzone hit when the
+// reader's indexed access lands inside the window.
+func buildResizeOOB(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	buf, idx := n.obj+"_buf", n.obj+"_len"
+	rd, rs := n.obj+"_copy", n.obj+"_resize"
+	size := int64(2 + rng.Intn(2))
+
+	b := kir.NewBuilder()
+	b.HeapObj(buf, size, 0)
+	b.Var(idx, size-1)
+
+	r := b.Func(rd)
+	r.Load(kir.R1, kir.G(buf)).L("A1")
+	r.Load(kir.R2, kir.G(idx)).L("A2")
+	r.Mov(kir.R3, kir.R(kir.R1))
+	r.Add(kir.R3, kir.R(kir.R2))
+	r.Load(kir.R4, kir.Ind(kir.R3, 0)).L("A3")
+	r.Ret()
+
+	z := b.Func(rs)
+	z.Store(kir.G(idx), kir.Imm(size)).L("B1") // one past the end
+	z.Store(kir.G(idx), kir.Imm(size-1)).L("B2")
+	z.Ret()
+
+	b.Thread("copy$"+n.obj, rd)
+	b.Thread("resize$"+n.obj, rs)
+	prog, err := b.Build()
+	return prog, []string{rd, rs}, err
+}
+
+// buildRCUUAF: the closer retracts the slot and hands the object to an
+// RCU callback that frees it; a user that loaded the pointer before the
+// retraction dereferences the freed object — the Figure 4(b) shape.
+func buildRCUUAF(rng *rand.Rand) (*kir.Program, []string, error) {
+	n := pickNames(rng)
+	slot := n.obj + "_slot"
+	cl, use, reap := n.obj+"_unhash", n.obj+"_send", n.obj+"_reap"
+	size := int64(1 + rng.Intn(2))
+	off := rng.Int63n(size)
+
+	b := kir.NewBuilder()
+	b.HeapObj(slot, size, 11+rng.Int63n(80))
+
+	c := b.Func(cl)
+	c.Load(kir.R1, kir.G(slot)).L("A1")
+	c.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	c.Store(kir.G(slot), kir.Imm(0)).L("A2")
+	c.CallRCU(reap, kir.R(kir.R1)).L("A3")
+	c.At("out").Ret()
+
+	u := b.Func(use)
+	u.Load(kir.R1, kir.G(slot)).L("B1")
+	u.Beq(kir.R(kir.R1), kir.Imm(0), "out")
+	u.Load(kir.R2, kir.Ind(kir.R1, off)).L("B2")
+	u.At("out").Ret()
+
+	w := b.Func(reap)
+	w.Free(kir.R(kir.R0)).L("K1")
+	w.Ret()
+
+	b.Thread("unhash$"+n.obj, cl)
+	b.Thread("send$"+n.obj, use)
+	prog, err := b.Build()
+	return prog, []string{cl, use, reap}, err
+}

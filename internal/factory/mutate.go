@@ -1,0 +1,36 @@
+package factory
+
+import (
+	"math/rand"
+
+	"aitia/internal/kir"
+	"aitia/internal/scenarios"
+)
+
+// CorpusRecipes derives one recipe per hand-built scenario whose fix is a
+// plain serialization (custom-patch scenarios carry no entry list to seed
+// a fix from). Each recipe replays the scenario's unpadded program
+// through a fresh campaign; the minimizer then strips whatever the
+// original includes beyond the failure core. Findings whose minimized
+// program collapses onto the hand-built hash are deduplicated upstream,
+// so only genuinely divergent variants are emitted.
+func CorpusRecipes() []Recipe {
+	var out []Recipe
+	for _, sc := range scenarios.HandBuilt() {
+		entries := sc.FixEntries()
+		if len(entries) == 0 {
+			continue
+		}
+		sc := sc
+		out = append(out, Recipe{
+			Name:      "corpus-" + sc.Name,
+			Kind:      sc.WantKind,
+			LeakCheck: sc.NeedsLeakCheck(),
+			Build: func(*rand.Rand) (*kir.Program, []string, error) {
+				prog, err := sc.RawProgram()
+				return prog, entries, err
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package factory
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Stats are the factory's progress counters. All fields are atomics so a
+// metrics listener can read them while a campaign runs.
+type Stats struct {
+	// Campaigns counts fuzz campaigns started; Findings those that
+	// surfaced a failure of the recipe's kind.
+	Campaigns atomic.Int64
+	Findings  atomic.Int64
+	// Emitted counts scenarios written out; Duplicates findings whose
+	// minimized program collapsed onto an already-known hash; Rejected
+	// findings that failed emission validation (fix ineffective,
+	// serial-order failure, chain instability).
+	Emitted    atomic.Int64
+	Duplicates atomic.Int64
+	Rejected   atomic.Int64
+	// Minimization work: oracle replays spent, and schedule points,
+	// instructions and threads removed (the "steps saved" of each
+	// scenario, summed).
+	MinReplays     atomic.Int64
+	PointsRemoved  atomic.Int64
+	InstrsRemoved  atomic.Int64
+	ThreadsRemoved atomic.Int64
+}
+
+// WriteMetrics renders the counters in Prometheus text format, matching
+// the aitia_* metric family of the service.
+func (s *Stats) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("aitia_factory_campaigns_total", "Fuzz campaigns started by the scenario factory.", s.Campaigns.Load())
+	counter("aitia_factory_findings_total", "Campaigns that surfaced a matching failure.", s.Findings.Load())
+	counter("aitia_factory_emitted_total", "Scenarios emitted.", s.Emitted.Load())
+	counter("aitia_factory_duplicates_total", "Findings deduplicated by program hash.", s.Duplicates.Load())
+	counter("aitia_factory_rejected_total", "Findings rejected by emission validation.", s.Rejected.Load())
+	counter("aitia_factory_minimize_replays_total", "Oracle replays spent minimizing.", s.MinReplays.Load())
+	counter("aitia_factory_points_removed_total", "Schedule points removed by minimization.", s.PointsRemoved.Load())
+	counter("aitia_factory_instrs_removed_total", "Instructions removed by minimization.", s.InstrsRemoved.Load())
+	counter("aitia_factory_threads_removed_total", "Threads removed by minimization.", s.ThreadsRemoved.Load())
+}

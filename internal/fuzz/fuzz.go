@@ -21,6 +21,60 @@ import (
 	"aitia/internal/sched"
 )
 
+// Strategy selects the scheduling policy a campaign fuzzes under. The
+// SKI/eBPF-concurrency line of work (SNIPPETS §2) observes that different
+// contention patterns surface qualitatively different bug classes, so the
+// scenario factory cycles campaigns through all of them.
+type Strategy uint8
+
+const (
+	// StrategyRandom is the default uniform policy: at every step, with
+	// probability PreemptProb, control moves to a uniformly random
+	// runnable thread.
+	StrategyRandom Strategy = iota
+	// StrategyStress maximizes contention: the preemption probability is
+	// raised to stressPreemptProb so threads interleave at nearly every
+	// shared access — the shortest route to atomicity violations.
+	StrategyStress
+	// StrategyPriority emulates priority-based contention: each thread
+	// draws a random priority and the highest-priority runnable thread
+	// always runs; with probability PreemptProb the priorities are
+	// redrawn (a priority-change event). Long uninterrupted runs followed
+	// by abrupt reordering expose order violations.
+	StrategyPriority
+	// StrategyInversion emulates priority inversion: the highest-priority
+	// runnable thread runs except that, with probability PreemptProb, the
+	// *lowest*-priority thread is scheduled instead — modelling a
+	// low-priority lock holder starving the high-priority path, the
+	// pattern that surfaces lock-ordering deadlocks.
+	StrategyInversion
+)
+
+// stressPreemptProb is the per-step switch probability under
+// StrategyStress.
+const stressPreemptProb = 0.5
+
+// String names the strategy for manifests and logs.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "random"
+	case StrategyStress:
+		return "stress"
+	case StrategyPriority:
+		return "priority"
+	case StrategyInversion:
+		return "inversion"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Strategies lists every scheduling strategy in cycling order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyRandom, StrategyStress, StrategyPriority, StrategyInversion}
+}
+
 // Options configure a fuzzing campaign.
 type Options struct {
 	// Seed makes the campaign reproducible.
@@ -28,8 +82,12 @@ type Options struct {
 	// MaxRuns bounds the campaign (default DefaultMaxRuns).
 	MaxRuns int
 	// PreemptProb is the per-step probability of switching to a random
-	// runnable thread (default 0.15).
+	// runnable thread (default 0.15). Under StrategyPriority and
+	// StrategyInversion it is the probability of the strategy's
+	// perturbation event instead.
 	PreemptProb float64
+	// Strategy selects the scheduling policy (default StrategyRandom).
+	Strategy Strategy
 	// StepBudget is the per-run watchdog limit.
 	StepBudget int
 	// LeakCheck enables the end-of-run memory-leak oracle.
@@ -142,12 +200,26 @@ func (f *Fuzzer) accepts(fail *sanitizer.Failure) bool {
 	return f.opts.WantKind == sanitizer.KindNone || fail.Kind == f.opts.WantKind
 }
 
-// randomRun executes one run under a random schedule: at every step,
-// with probability PreemptProb, control moves to a uniformly random
-// runnable thread.
+// randomRun executes one run under the campaign's scheduling strategy
+// (StrategyRandom: at every step, with probability PreemptProb, control
+// moves to a uniformly random runnable thread).
 func (f *Fuzzer) randomRun(m *kvm.Machine) (*sched.RunResult, error) {
 	res := &sched.RunResult{Threads: make(map[string]kvm.ThreadState)}
 	cur := kvm.NoThread
+	// Per-run thread priorities for the priority strategies, assigned
+	// lazily in deterministic (runnable-slice) order.
+	var prio map[kvm.ThreadID]int
+	prioOf := func(id kvm.ThreadID) int {
+		p, ok := prio[id]
+		if !ok {
+			p = f.rng.Intn(1 << 20)
+			prio[id] = p
+		}
+		return p
+	}
+	if f.opts.Strategy == StrategyPriority || f.opts.Strategy == StrategyInversion {
+		prio = make(map[kvm.ThreadID]int)
+	}
 	for steps := 0; ; steps++ {
 		if m.Failure() != nil {
 			break
@@ -180,8 +252,22 @@ func (f *Fuzzer) randomRun(m *kvm.Machine) (*sched.RunResult, error) {
 			break
 		}
 
-		if !contains(runnable, cur) || f.rng.Float64() < f.opts.PreemptProb {
-			cur = runnable[f.rng.Intn(len(runnable))]
+		switch f.opts.Strategy {
+		case StrategyPriority:
+			if f.rng.Float64() < f.opts.PreemptProb {
+				prio = make(map[kvm.ThreadID]int) // priority-change event
+			}
+			cur = pickByPrio(runnable, prioOf, true)
+		case StrategyInversion:
+			cur = pickByPrio(runnable, prioOf, f.rng.Float64() >= f.opts.PreemptProb)
+		default:
+			pp := f.opts.PreemptProb
+			if f.opts.Strategy == StrategyStress && pp < stressPreemptProb {
+				pp = stressPreemptProb
+			}
+			if !contains(runnable, cur) || f.rng.Float64() < pp {
+				cur = runnable[f.rng.Intn(len(runnable))]
+			}
 		}
 		ev, err := m.Step(cur)
 		if err != nil {
@@ -211,6 +297,21 @@ func (f *Fuzzer) randomRun(m *kvm.Machine) (*sched.RunResult, error) {
 		res.Threads[t.Name] = t.State
 	}
 	return res, nil
+}
+
+// pickByPrio returns the highest- (or lowest-) priority runnable thread;
+// ties break to the earliest thread in the runnable slice, so the pick is
+// deterministic for a given rng stream.
+func pickByPrio(runnable []kvm.ThreadID, prioOf func(kvm.ThreadID) int, highest bool) kvm.ThreadID {
+	best := runnable[0]
+	bp := prioOf(best)
+	for _, id := range runnable[1:] {
+		p := prioOf(id)
+		if (highest && p > bp) || (!highest && p < bp) {
+			best, bp = id, p
+		}
+	}
+	return best
 }
 
 func contains(ids []kvm.ThreadID, id kvm.ThreadID) bool {

@@ -78,6 +78,51 @@ func TestCollectRunsLabelsBoth(t *testing.T) {
 	}
 }
 
+func TestStrategiesFindKnownBugDeterministically(t *testing.T) {
+	sc, _ := scenarios.ByName("fig1")
+	for _, strat := range Strategies() {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			run := func() int {
+				fz, err := New(sc.MustProgram(), Options{Seed: 11, MaxRuns: 20000, Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				finding, err := fz.Campaign()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if finding == nil {
+					t.Fatalf("strategy %v found nothing", strat)
+				}
+				if finding.Failure.Kind != sanitizer.KindNullDeref {
+					t.Errorf("kind = %v", finding.Failure.Kind)
+				}
+				return finding.Runs
+			}
+			if a, b := run(), run(); a != b {
+				t.Errorf("same seed, different run counts under %v: %d vs %d", strat, a, b)
+			}
+		})
+	}
+}
+
+func TestStrategyNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Strategies() {
+		name := s.String()
+		if seen[name] {
+			t.Errorf("duplicate strategy name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{"random", "stress", "priority", "inversion"} {
+		if !seen[want] {
+			t.Errorf("missing strategy %q", want)
+		}
+	}
+}
+
 func TestCampaignExhaustsOnSafeProgram(t *testing.T) {
 	// fig7's program only fails under one specific order; with zero
 	// preemption probability forced high... use a trivially safe program:

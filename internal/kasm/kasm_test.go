@@ -1,4 +1,4 @@
-package kasm
+package kasm_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"aitia/internal/core"
+	"aitia/internal/kasm"
 	"aitia/internal/kir"
 	"aitia/internal/kvm"
 	"aitia/internal/scenarios"
@@ -61,7 +62,7 @@ end
 `
 
 func TestParseSample(t *testing.T) {
-	prog, err := Parse(sample)
+	prog, err := kasm.Parse(sample)
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
@@ -107,20 +108,20 @@ func TestParseErrors(t *testing.T) {
 		{"global x[z]", "bad size"},
 	}
 	for _, tc := range cases {
-		if _, err := Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
-			t.Errorf("Parse(%q) err = %v, want %q", tc.src, err, tc.want)
+		if _, err := kasm.Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("kasm.Parse(%q) err = %v, want %q", tc.src, err, tc.want)
 		}
 	}
 	// Errors carry line numbers.
-	_, err := Parse("global g = 1\n\nfunc f\nbroken here\nend")
-	pe, ok := err.(*ParseError)
+	_, err := kasm.Parse("global g = 1\n\nfunc f\nbroken here\nend")
+	pe, ok := err.(*kasm.ParseError)
 	if !ok || pe.Line != 4 {
 		t.Errorf("err = %v, want ParseError at line 4", err)
 	}
 }
 
 func TestCommentsAndWhitespace(t *testing.T) {
-	prog, err := Parse("; leading comment\nglobal g = 1 ; trailing\n\nfunc f\n  ret ; done\nend\nthread T f\n")
+	prog, err := kasm.Parse("; leading comment\nglobal g = 1 ; trailing\n\nfunc f\n  ret ; done\nend\nthread T f\n")
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
@@ -129,15 +130,15 @@ func TestCommentsAndWhitespace(t *testing.T) {
 	}
 }
 
-// TestRoundTrip: Disassemble(Parse(src)) parses back into a program with
+// TestRoundTrip: kasm.Disassemble(kasm.Parse(src)) parses back into a program with
 // identical instruction streams, globals and threads.
 func TestRoundTrip(t *testing.T) {
-	prog, err := Parse(sample)
+	prog, err := kasm.Parse(sample)
 	if err != nil {
 		t.Fatal(err)
 	}
-	src2 := Disassemble(prog)
-	prog2, err := Parse(src2)
+	src2 := kasm.Disassemble(prog)
+	prog2, err := kasm.Parse(src2)
 	if err != nil {
 		t.Fatalf("reparse failed: %v\nsource:\n%s", err, src2)
 	}
@@ -151,8 +152,8 @@ func TestScenarioRoundTrip(t *testing.T) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			prog := sc.MustProgram()
-			src := Disassemble(prog)
-			prog2, err := Parse(src)
+			src := kasm.Disassemble(prog)
+			prog2, err := kasm.Parse(src)
 			if err != nil {
 				t.Fatalf("reparse: %v\nsource:\n%s", err, src)
 			}
@@ -167,7 +168,7 @@ func TestScenarioRoundTrip(t *testing.T) {
 func TestRoundTripDiagnosis(t *testing.T) {
 	sc, _ := scenarios.ByName("cve-2017-15649")
 	prog := sc.MustProgram()
-	prog2, err := Parse(Disassemble(prog))
+	prog2, err := kasm.Parse(kasm.Disassemble(prog))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,11 +230,11 @@ func TestRoundTripBehaviour(t *testing.T) {
 	f := func(x, y int8) bool {
 		src := "global g = " + itoa(int64(x)) + "\nthread T f\nfunc f\nload r1, [g]\nadd r1, " +
 			itoa(int64(y)) + "\nstore [g], r1\nret\nend\n"
-		p1, err := Parse(src)
+		p1, err := kasm.Parse(src)
 		if err != nil {
 			return false
 		}
-		p2, err := Parse(Disassemble(p1))
+		p2, err := kasm.Parse(kasm.Disassemble(p1))
 		if err != nil {
 			return false
 		}

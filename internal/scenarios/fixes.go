@@ -127,6 +127,17 @@ var fixBuilders = map[string]func() (*kir.Program, error){
 	},
 }
 
+// FixEntries returns the entry functions a serializing fix wraps, or nil
+// when the scenario has no fix or uses a custom patched build. The
+// scenario factory seeds corpus-derived mutators from these.
+func (s *Scenario) FixEntries() []string {
+	entries, ok := fixEntries[s.Name]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), entries...)
+}
+
 // HasFix reports whether the scenario models its developer fix.
 func (s *Scenario) HasFix() bool {
 	_, a := fixEntries[s.Name]

@@ -1,0 +1,161 @@
+package scenarios
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+	"aitia/internal/sanitizer"
+)
+
+// The generated corpus: factory-emitted scenarios committed under
+// generated/ as a .kasm program plus a .json manifest pinning the ground
+// truth the factory measured at emission time (golden chain, interleaving
+// count, benign races, fix entries, synthesized crash report). They are
+// registered here at init so every corpus gate — golden chains, ground
+// truth, fixes, hash invariants — covers them exactly like the hand-built
+// scenarios.
+//
+// The files are byte-reproducible: `aitia-fuzz -factory` with the same
+// seed and target count re-emits the identical tree, and the
+// corpus-factory CI job enforces that.
+//
+//go:embed generated
+var generatedFS embed.FS
+
+// GenManifest is the ground-truth sidecar the factory writes next to each
+// generated .kasm program. Field order is emission order (encoding/json
+// preserves struct order), so manifests are byte-stable across runs.
+type GenManifest struct {
+	// Name is the registry key, e.g. "gen-001-atomicity-uaf".
+	Name string `json:"name"`
+	// Title summarizes the bug the way a fuzzer report would.
+	Title string `json:"title"`
+	// Recipe names the generator template or corpus mutator that built
+	// the program; Strategy the §2 scheduling strategy the finding
+	// campaign ran under; Seed the campaign seed.
+	Recipe   string `json:"recipe"`
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	// Kind is the sanitizer failure kind (sanitizer.KindByName spelling).
+	Kind string `json:"kind"`
+	// FailureClass and StructureClass place the scenario in the bug-class
+	// matrix (Tables 2–3 bug type × interleaving structure).
+	FailureClass   string `json:"failure_class"`
+	StructureClass string `json:"structure_class"`
+	// Ground truth measured by the factory's diagnosis at emission time.
+	WantLabel         string `json:"want_label,omitempty"`
+	WantChainLen      int    `json:"want_chain_len"`
+	Chain             string `json:"chain"`
+	WantInterleavings int    `json:"want_interleavings"`
+	WantAmbiguous     bool   `json:"want_ambiguous,omitempty"`
+	BenignRaces       int    `json:"benign_races"`
+	Threads           int    `json:"threads"`
+	// FixEntries are the entry functions a serializing patch must make
+	// mutually exclusive to prevent the failure (verified at emission).
+	FixEntries []string `json:"fix_entries"`
+	// ReportOK records whether the synthesized crash report round-trips
+	// through the report-driven diagnosis path with a non-degraded
+	// resolution and strictly fewer schedules than the blind search.
+	// -check-reports skips scenarios with ReportOK=false instead of
+	// failing them.
+	ReportOK bool `json:"report_ok"`
+	// Report is the synthesized KCSAN-style crash report.
+	Report string `json:"report,omitempty"`
+	// CampaignRuns is how many fuzzed runs the finding took.
+	CampaignRuns int `json:"campaign_runs"`
+	// Minimize records the delta-debugging work.
+	Minimize GenMinStats `json:"minimize"`
+}
+
+// GenMinStats summarizes one scenario's minimization.
+type GenMinStats struct {
+	// Schedule minimization: preemption points before and after.
+	PointsBefore int `json:"points_before"`
+	PointsAfter  int `json:"points_after"`
+	// Program minimization: instructions and threads before and after.
+	InstrsBefore  int `json:"instrs_before"`
+	InstrsAfter   int `json:"instrs_after"`
+	ThreadsBefore int `json:"threads_before"`
+	ThreadsAfter  int `json:"threads_after"`
+	// Replays is the number of oracle executions minimization spent.
+	Replays int `json:"replays"`
+}
+
+func init() {
+	manifests, err := LoadGenerated(generatedFS, "generated")
+	if err != nil {
+		panic("scenarios: embedded generated corpus: " + err.Error())
+	}
+	for _, gm := range manifests {
+		gm := gm
+		kind, ok := sanitizer.KindByName(gm.Kind)
+		if !ok {
+			panic(fmt.Sprintf("scenarios: generated %s: unknown kind %q", gm.Name, gm.Kind))
+		}
+		src, err := generatedFS.ReadFile("generated/" + gm.Name + ".kasm")
+		if err != nil {
+			panic(fmt.Sprintf("scenarios: generated %s: missing program: %v", gm.Name, err))
+		}
+		register(&Scenario{
+			Name:              gm.Name,
+			Title:             gm.Title,
+			Group:             GroupGenerated,
+			Subsystem:         gm.Recipe,
+			BugType:           gm.FailureClass,
+			Threads:           gm.Threads,
+			WantKind:          kind,
+			WantLabel:         gm.WantLabel,
+			WantChainLen:      gm.WantChainLen,
+			WantChain:         gm.Chain,
+			WantAmbiguous:     gm.WantAmbiguous,
+			WantInterleavings: gm.WantInterleavings,
+			BenignRaces:       gm.BenignRaces,
+			Structure:         gm.StructureClass,
+			Notes:             fmt.Sprintf("factory-generated (recipe %s, strategy %s, seed %d)", gm.Recipe, gm.Strategy, gm.Seed),
+			GenInfo:           &gm,
+			build: func() (*kir.Program, error) {
+				return kasm.Parse(string(src))
+			},
+		})
+		GoldenChains[gm.Name] = gm.Chain
+		if len(gm.FixEntries) > 0 {
+			fixEntries[gm.Name] = gm.FixEntries
+		}
+	}
+}
+
+// LoadGenerated reads every manifest under dir in fsys (a factory output
+// tree), sorted by name. The scenarios package uses it on the embedded
+// corpus; the factory uses it to dedupe against an output directory.
+func LoadGenerated(fsys fs.FS, dir string) ([]GenManifest, error) {
+	entries, err := fs.ReadDir(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []GenManifest
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := fs.ReadFile(fsys, dir+"/"+e.Name())
+		if err != nil {
+			return nil, err
+		}
+		var gm GenManifest
+		if err := json.Unmarshal(raw, &gm); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if gm.Name+".json" != e.Name() {
+			return nil, fmt.Errorf("%s: manifest name %q does not match file", e.Name(), gm.Name)
+		}
+		out = append(out, gm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -33,6 +33,20 @@ const (
 	// GroupExtension scenarios implement the paper's stated future work
 	// (hardware-IRQ contexts, §4.6).
 	GroupExtension Group = "extension"
+	// GroupGenerated scenarios were produced by the scenario factory
+	// (internal/factory): fuzzer-found failures, minimized, diagnosed and
+	// emitted under generated/ with their golden chain pinned at emission
+	// time.
+	GroupGenerated Group = "generated"
+)
+
+// Structure classes: the interleaving taxonomy the factory fills
+// (atomicity violations, order violations, data races, deadlocks).
+const (
+	StructAtomicity = "atomicity violation"
+	StructOrder     = "order violation"
+	StructDataRace  = "data race"
+	StructDeadlock  = "deadlock"
 )
 
 // Scenario is one concurrency failure with its ground truth.
@@ -81,8 +95,16 @@ type Scenario struct {
 	// chain must exclude all of them.
 	BenignRaces int
 
+	// Structure, when set, overrides the derived interleaving-structure
+	// class (see StructureClass).
+	Structure string
+
 	// Notes documents how the scenario maps to the real bug.
 	Notes string
+
+	// GenInfo carries the factory manifest for generated scenarios (nil
+	// for the hand-built corpus).
+	GenInfo *GenManifest
 
 	// Noise declares background-workload reader threads (thread name ->
 	// access specs, see kir.ExtendReaders) added by CorpusProgram for the
@@ -131,6 +153,80 @@ func (s *Scenario) CorpusProgram() (*kir.Program, error) {
 // through the end-of-run memory-leak oracle.
 func (s *Scenario) NeedsLeakCheck() bool {
 	return s.WantKind == sanitizer.KindMemoryLeak
+}
+
+// FailureClass returns the scenario's Tables 2–3 bug-type class, derived
+// canonically from the failure kind (the hand-written BugType strings
+// vary slightly; the matrix gate needs one spelling per class).
+func (s *Scenario) FailureClass() string { return FailureClassOf(s.WantKind) }
+
+// FailureClassOf maps a sanitizer kind to the paper's Tables 2–3
+// bug-type vocabulary.
+func FailureClassOf(k sanitizer.Kind) string {
+	switch k {
+	case sanitizer.KindBugOn:
+		return "assertion violation"
+	case sanitizer.KindUseAfterFree:
+		return "use-after-free access"
+	case sanitizer.KindNullDeref:
+		return "null-pointer dereference"
+	case sanitizer.KindOutOfBounds:
+		return "slab-out-of-bound access"
+	case sanitizer.KindDoubleFree:
+		return "double free"
+	case sanitizer.KindGPF:
+		return "general protection fault"
+	case sanitizer.KindMemoryLeak:
+		return "memory leak"
+	case sanitizer.KindDeadlock:
+		return "deadlock"
+	default:
+		return k.String()
+	}
+}
+
+// FailureClasses is the Tables 2–3 taxonomy the corpus must cover: every
+// class listed here needs at least MinClassReps representatives for the
+// `aitia-bench -check-matrix` gate to pass.
+func FailureClasses() []string {
+	return []string{
+		"assertion violation",
+		"use-after-free access",
+		"null-pointer dereference",
+		"slab-out-of-bound access",
+		"double free",
+		"general protection fault",
+		"memory leak",
+		"deadlock",
+	}
+}
+
+// StructureClasses is the interleaving-structure taxonomy (SNIPPETS §3):
+// the second axis of the bug-class matrix.
+func StructureClasses() []string {
+	return []string{StructAtomicity, StructOrder, StructDataRace, StructDeadlock}
+}
+
+// StructureClass returns the scenario's interleaving-structure class. An
+// explicit Structure label (generated scenarios record the factory's
+// classification of the diagnosed chain) wins; otherwise the class is
+// derived from the ground truth: deadlocks have no chain, a length-1
+// chain is a plain data race, multi-variable chains are atomicity
+// violations, and the rest are order violations.
+func (s *Scenario) StructureClass() string {
+	if s.Structure != "" {
+		return s.Structure
+	}
+	switch {
+	case s.WantKind == sanitizer.KindDeadlock:
+		return StructDeadlock
+	case s.WantChainLen <= 1:
+		return StructDataRace
+	case s.MultiVariable:
+		return StructAtomicity
+	default:
+		return StructOrder
+	}
 }
 
 // PadAccesses returns the number of non-racing prologue accesses each
@@ -224,3 +320,38 @@ func Table2() []*Scenario { return ByGroup(GroupCVE) }
 
 // Table3 returns the Syzkaller scenarios (paper Table 3).
 func Table3() []*Scenario { return ByGroup(GroupSyzkaller) }
+
+// HandBuilt returns the original curated corpus (every group except
+// generated), sorted by name. The perf and resilience gates (-check-lifs,
+// -check-flips, -faults, -crash-resume, -kill-recover) run against this
+// subset so growing the generated corpus never shifts their committed
+// baselines.
+func HandBuilt() []*Scenario {
+	var out []*Scenario
+	for _, s := range All() {
+		if s.Group != GroupGenerated {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Generated returns the factory-emitted corpus, sorted by name.
+func Generated() []*Scenario { return ByGroup(GroupGenerated) }
+
+// Subset resolves a named corpus subset: "all", "handbuilt", "generated",
+// or any group name ("cve", "syzkaller", "figure", "extension").
+func Subset(name string) ([]*Scenario, error) {
+	switch name {
+	case "", "all":
+		return All(), nil
+	case "handbuilt":
+		return HandBuilt(), nil
+	case "generated":
+		return Generated(), nil
+	case string(GroupCVE), string(GroupSyzkaller), string(GroupFigure), string(GroupExtension):
+		return ByGroup(Group(name)), nil
+	default:
+		return nil, fmt.Errorf("scenarios: unknown corpus subset %q (want all, handbuilt, generated, or a group name)", name)
+	}
+}
