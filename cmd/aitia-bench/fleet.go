@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aitia/internal/core"
+	"aitia/internal/faultinject"
+	"aitia/internal/fleet"
+	"aitia/internal/kvm"
+	"aitia/internal/scenarios"
+)
+
+// fleetNodes is the gate's cluster shape: three replicas, the smallest
+// fleet where both the coordinator and a branch executor can die while
+// a third node still carries the work.
+var fleetNodes = []string{"fleet-a", "fleet-b", "fleet-c"}
+
+// fleetOutcome records one scenario's gate result for the failure
+// artifact.
+type fleetOutcome struct {
+	Scenario    string         `json:"scenario"`
+	SerialChain string         `json:"serial_chain"`
+	FleetChain  string         `json:"fleet_chain"`
+	Degraded    string         `json:"degraded,omitempty"`
+	Killed      []string       `json:"killed,omitempty"`
+	Status      []fleet.Status `json:"nodes"`
+	Failure     string         `json:"failure,omitempty"`
+}
+
+// runFleet is the fleet chaos CI gate. Per corpus scenario it runs the
+// diagnosis three ways and demands byte-identical causality chains:
+//
+//  1. Serial baseline: the plain parallel search, no fleet, checked
+//     against the golden set.
+//  2. Chaos fleet: a fresh 3-node in-process fleet whose coordinator
+//     leases every deepening-phase branch to its peers, under seeded
+//     lease-expiry and handoff-drop faults at the given rate and node
+//     death at a quarter of it. Whatever the fleet drops, re-leases or
+//     loses to a SIGKILLed node, the chain must equal the serial one.
+//  3. Partitioned coordinator: the coordinator is cut off from both
+//     peers before the search starts; it must degrade to the local
+//     serial sweep with the machine-readable fleet_partitioned reason —
+//     and still produce the identical chain.
+//
+// The first scenario additionally exercises the job-routing handoff:
+// its ring owner is killed before submission and the next replica in
+// the ring takes the job over. Corpus-wide, the gate also fails unless
+// at least one injected lease expiry fired and at least one node was
+// actually killed mid-diagnosis — a chaos run where nothing went wrong
+// proves nothing.
+func runFleet(seed int64, rate float64, artifactDir string, list []*scenarios.Scenario, name string) error {
+	pipeline := func(sc *scenarios.Scenario, dispatch core.BranchDispatcher) (*core.Diagnosis, string, error) {
+		prog := sc.MustProgram()
+		m, err := kvm.New(prog)
+		if err != nil {
+			return nil, "", err
+		}
+		rep, err := core.Reproduce(m, core.LIFSOptions{
+			WantKind:  sc.WantKind,
+			WantInstr: sc.WantInstr(),
+			LeakCheck: sc.NeedsLeakCheck(),
+			Workers:   4,
+			Dispatch:  dispatch,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := core.Analyze(m, rep, core.AnalysisOptions{
+			LeakCheck: sc.NeedsLeakCheck(),
+			Workers:   4,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return d, d.Chain.Format(prog), nil
+	}
+	// coordinatorFor picks the scenario's ring owner among the live
+	// nodes — the replica a fleet submission would land on.
+	coordinatorFor := func(c *fleet.LocalCluster, progHash string) *fleet.Node {
+		any := c.Node(fleetNodes[0])
+		for _, id := range any.JobSequence(progHash) {
+			if !c.Killed(id) {
+				return c.Node(id)
+			}
+		}
+		return any
+	}
+
+	fmt.Printf("fleet gate: %d nodes, fault seed %d, rate %g (node death %g)\n",
+		len(fleetNodes), seed, rate, rate/4)
+	bad := 0
+	var outcomes []fleetOutcome
+	var totalExpiry, totalDrops, totalReexec, totalRemote, totalKills uint64
+	for i, sc := range list {
+		out := fleetOutcome{Scenario: sc.Name}
+		fail := func(format string, args ...any) {
+			out.Failure = fmt.Sprintf(format, args...)
+			fmt.Printf("FAIL %-22s %s\n", sc.Name, out.Failure)
+			bad++
+		}
+		progHash := sc.MustProgram().Hash()
+
+		// 1. Serial baseline, held to the golden chain.
+		_, chainSerial, serr := pipeline(sc, nil)
+		out.SerialChain = chainSerial
+		if serr != nil {
+			fail("serial baseline errored: %v", serr)
+			outcomes = append(outcomes, out)
+			continue
+		}
+		if want := scenarios.GoldenChains[sc.Name]; chainSerial != want {
+			fail("serial chain = %q, golden %q", chainSerial, want)
+			outcomes = append(outcomes, out)
+			continue
+		}
+
+		// 2. Chaos fleet: expiries and drops at rate, node death at a
+		// quarter of it (a death is fleet-wide and permanent, so it is
+		// the rarest event of the mix).
+		plan := faultinject.NewPlan(seed, 0).
+			SetRate(faultinject.KindLeaseExpiry, rate).
+			SetRate(faultinject.KindPartition, rate).
+			SetRate(faultinject.KindNodeDeath, rate/4)
+		cluster := fleet.NewLocalCluster(fleetNodes, fleet.ClusterConfig{
+			Epoch:    1,
+			LeaseTTL: 500 * time.Millisecond,
+			Fault:    plan,
+		})
+		coord := coordinatorFor(cluster, progHash)
+		if i == 0 {
+			// Job-routing handoff: the ring owner dies before this job
+			// arrives; the next replica in the ring must take it.
+			owner := coord.OwnerOf(progHash)
+			cluster.Kill(owner)
+			coord = coordinatorFor(cluster, progHash)
+			coord.NoteJobHandoff()
+			fmt.Printf("hand %-22s ring owner %s killed pre-submit, %s takes the job\n",
+				sc.Name, owner, coord.ID())
+		}
+		disp := coord.Dispatcher()
+		_, chainFleet, ferr := pipeline(sc, disp)
+		out.FleetChain = chainFleet
+		out.Degraded = disp.Degraded()
+		st := coord.Status()
+		out.Status = append(out.Status, st)
+		totalExpiry += st.InjectedExpiry
+		totalDrops += st.HandoffDrops
+		totalReexec += st.Reexecuted
+		totalRemote += st.RemoteBranches
+		for _, id := range fleetNodes {
+			if cluster.Killed(id) {
+				out.Killed = append(out.Killed, id)
+				totalKills++
+			}
+		}
+		switch {
+		case ferr != nil:
+			fail("fleet run errored: %v", ferr)
+		case chainFleet != chainSerial:
+			fail("fleet chain = %q, serial %q", chainFleet, chainSerial)
+		case disp.Degraded() != "" && disp.Degraded() != fleet.ReasonPartitioned:
+			fail("fleet degraded with unknown reason %q", disp.Degraded())
+		default:
+			fmt.Printf("ok   %-22s %d remote, %d expired, %d dropped, %d re-executed, killed %v\n",
+				sc.Name, st.RemoteBranches, st.InjectedExpiry, st.HandoffDrops, st.Reexecuted, out.Killed)
+		}
+
+		// 3. Partitioned coordinator: no chaos, just the cut. The search
+		// must degrade to local serial with the machine-readable reason,
+		// not hang and not diverge.
+		pcluster := fleet.NewLocalCluster(fleetNodes, fleet.ClusterConfig{Epoch: 1, LeaseTTL: 500 * time.Millisecond})
+		pcoord := coordinatorFor(pcluster, progHash)
+		pcluster.Partition(pcoord.ID())
+		pdisp := pcoord.Dispatcher()
+		_, chainPart, perr := pipeline(sc, pdisp)
+		switch {
+		case perr != nil:
+			fail("partitioned run errored: %v", perr)
+		case pdisp.Degraded() != fleet.ReasonPartitioned:
+			fail("partitioned coordinator degraded = %q, want %q", pdisp.Degraded(), fleet.ReasonPartitioned)
+		case chainPart != chainSerial:
+			fail("partitioned chain = %q, serial %q", chainPart, chainSerial)
+		default:
+			fmt.Printf("part %-22s degraded to local serial (%s), chain identical\n", sc.Name, pdisp.Degraded())
+		}
+		outcomes = append(outcomes, out)
+	}
+
+	fmt.Printf("fleet gate totals: %d remote branches, %d injected expiries, %d handoff drops, %d re-executions, %d node deaths\n",
+		totalRemote, totalExpiry, totalDrops, totalReexec, totalKills)
+	if totalExpiry == 0 {
+		fmt.Printf("FAIL corpus-wide: no injected lease expiry fired (seed %d, rate %g) — the chaos proved nothing\n", seed, rate)
+		bad++
+	}
+	if totalKills == 0 {
+		fmt.Printf("FAIL corpus-wide: no node death fired (seed %d, rate %g) — raise the rate or change the seed\n", seed, rate/4)
+		bad++
+	}
+	if bad > 0 {
+		if err := writeFleetArtifacts(artifactDir, outcomes); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: could not write artifacts: %v\n", err)
+		}
+		return fmt.Errorf("fleet: %d violations across %d %s scenarios (seed %d, rate %g)", bad, len(list), name, seed, rate)
+	}
+	fmt.Printf("fleet: all %d %s scenarios byte-identical to serial across chaos fleet, node death and coordinator partition (seed %d, rate %g)\n",
+		len(list), name, seed, rate)
+	return nil
+}
+
+// writeFleetArtifacts dumps every scenario's outcome (chains, degraded
+// reasons, node statuses, kill lists) as JSON so a failed CI gate
+// leaves a postmortem. A nil/empty dir disables artifacts.
+func writeFleetArtifacts(dir string, outcomes []fleetOutcome) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	payload, err := json.MarshalIndent(outcomes, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "fleet-outcomes.json"), payload, 0o644)
+}

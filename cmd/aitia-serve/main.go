@@ -13,13 +13,34 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"aitia/internal/faultinject"
+	"aitia/internal/fleet"
 	"aitia/internal/service"
 	"aitia/internal/service/httpapi"
 )
+
+// parsePeers parses the -peers flag: comma-separated id=url entries,
+// e.g. "n1=http://host1:8080,n2=http://host2:8080". The local node's
+// entry may be included (its URL is ignored for routing to self).
+func parsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(ent, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("malformed peer entry %q (want id=url)", ent)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	var (
@@ -42,6 +63,10 @@ func main() {
 		syncWrites = flag.Bool("sync", false, "with -data-dir: fsync every journal append (slower, survives power loss, not just process death)")
 		ckEvery    = flag.Int("checkpoint-every", 0, "with -data-dir: also checkpoint LIFS every N schedules within a phase (serial searches only); 0 checkpoints at phase boundaries only")
 		priorMin   = flag.Int("prior-min-support", 0, "benign observations required before the learned prior skips a flip test (0 = default 1, negative disables the prior)")
+		nodeID     = flag.String("node-id", "", "this replica's fleet identity; empty runs single-node")
+		peersSpec  = flag.String("peers", "", "fleet members as comma-separated id=url entries (e.g. n1=http://host1:8080,n2=http://host2:8080); requires -node-id")
+		leaseTTL   = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "branch-lease duration between heartbeats in fleet mode")
+		fleetEpoch = flag.Uint64("fleet-epoch", 1, "fleet incarnation; bump after a fleet-wide restart so stale leases from the old incarnation are fenced off")
 	)
 	flag.Parse()
 
@@ -63,6 +88,41 @@ func main() {
 		}()
 	}
 
+	// Fleet mode: build the node (membership rings + lease table) before
+	// the service opens, so Open can attach the WAL to the lease table
+	// and replay any leases the previous incarnation left out.
+	var fleetNode *fleet.Node
+	var peerURLs map[string]string
+	if *peersSpec != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "aitia-serve: -peers requires -node-id")
+			os.Exit(1)
+		}
+		urls, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aitia-serve: %v\n", err)
+			os.Exit(1)
+		}
+		peerURLs = urls
+		ids := make([]string, 0, len(urls)+1)
+		for id := range urls {
+			ids = append(ids, id)
+		}
+		if _, ok := urls[*nodeID]; !ok {
+			ids = append(ids, *nodeID)
+		}
+		fleetNode = fleet.New(fleet.Config{
+			ID:        *nodeID,
+			Peers:     ids,
+			Epoch:     *fleetEpoch,
+			LeaseTTL:  *leaseTTL,
+			Fault:     plan,
+			Transport: &fleet.HTTPTransport{Peers: urls},
+		})
+		fmt.Fprintf(os.Stderr, "aitia-serve: fleet member %s (epoch %d, %d members, lease TTL %s)\n",
+			*nodeID, *fleetEpoch, len(ids), *leaseTTL)
+	}
+
 	svc, err := service.Open(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -75,6 +135,8 @@ func main() {
 		SyncWrites:      *syncWrites,
 		CheckpointEvery: *ckEvery,
 		PriorMinSupport: *priorMin,
+		NodeID:          *nodeID,
+		Fleet:           fleetNode,
 		Fault:           plan,
 		Retry: faultinject.RetryPolicy{
 			MaxAttempts: *retryMax,
@@ -90,7 +152,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aitia-serve: durable state in %s (recovered %d jobs)\n",
 			*dataDir, svc.Metrics().JobsRecovered.Value())
 	}
-	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewWithFleet(svc, httpapi.FleetConfig{PeerURLs: peerURLs})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

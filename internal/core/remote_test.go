@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"aitia/internal/kir"
+	"aitia/internal/scenarios"
+)
+
+// loopbackDispatcher is the minimal BranchDispatcher: every branch is
+// executed in-process via ExecuteBranch from the serialized batch, the
+// exact round-trip a remote fleet worker performs. skip drops every
+// n-th branch (slot left nil) to exercise the local catch-up sweep;
+// skip 0 executes everything.
+type loopbackDispatcher struct {
+	skip     int
+	executed atomic.Int64
+	dropped  atomic.Int64
+	degraded string
+}
+
+func (d *loopbackDispatcher) Degraded() string { return d.degraded }
+
+func (d *loopbackDispatcher) RunBranches(ctx context.Context, prog *kir.Program, batch *BranchBatch) ([]*BranchResult, error) {
+	results := make([]*BranchResult, len(batch.Work))
+	for i := range batch.Work {
+		if d.skip > 0 && (int(d.executed.Load()+d.dropped.Load()))%d.skip == d.skip-1 {
+			d.dropped.Add(1)
+			continue
+		}
+		res, err := ExecuteBranch(ctx, prog, batch, i)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+		d.executed.Add(1)
+	}
+	return results, nil
+}
+
+// deadDispatcher executes nothing — the fully partitioned fleet. Every
+// branch must be swept up by the local serial fallback.
+type deadDispatcher struct{}
+
+func (deadDispatcher) Degraded() string { return "fleet_partitioned" }
+func (deadDispatcher) RunBranches(ctx context.Context, prog *kir.Program, batch *BranchBatch) ([]*BranchResult, error) {
+	return make([]*BranchResult, len(batch.Work)), nil
+}
+
+// TestDispatchedReproduceMatchesParallel: a search whose task units run
+// through the dispatch path — serialized to a BranchBatch, re-executed
+// on a fresh VM by ExecuteBranch, re-imported — must reproduce exactly
+// what the in-process parallel search finds, across the hand-built
+// corpus. This is the determinism contract fleet execution rests on.
+func TestDispatchedReproduceMatchesParallel(t *testing.T) {
+	for _, sc := range scenarios.HandBuilt() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := sc.MustProgram()
+			opts := LIFSOptions{
+				WantKind:  sc.WantKind,
+				WantInstr: sc.WantInstr(),
+				LeakCheck: sc.NeedsLeakCheck(),
+				Workers:   4,
+			}
+			base, err := Reproduce(mustMachine(t, prog), opts)
+			if err != nil {
+				if IsNotReproduced(err) {
+					t.Skipf("scenario does not reproduce: %v", err)
+				}
+				t.Fatalf("baseline Reproduce: %v", err)
+			}
+
+			for _, tc := range []struct {
+				name string
+				d    BranchDispatcher
+			}{
+				{"all-remote", &loopbackDispatcher{}},
+				{"every-3rd-dropped", &loopbackDispatcher{skip: 3}},
+				{"all-dropped", deadDispatcher{}},
+			} {
+				dopts := opts
+				dopts.Dispatch = tc.d
+				got, err := Reproduce(mustMachine(t, prog), dopts)
+				if err != nil {
+					t.Fatalf("%s Reproduce: %v", tc.name, err)
+				}
+				if !reflect.DeepEqual(got.Schedule, base.Schedule) {
+					t.Errorf("%s schedule = %v\nwant      %v", tc.name, got.Schedule, base.Schedule)
+				}
+				if !reflect.DeepEqual(got.Races, base.Races) {
+					t.Errorf("%s races = %v, want %v", tc.name, got.Races, base.Races)
+				}
+				if got.Stats.Interleavings != base.Stats.Interleavings {
+					t.Errorf("%s interleavings = %d, want %d", tc.name, got.Stats.Interleavings, base.Stats.Interleavings)
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteBranchValidation: a batch shipped to the wrong program (or
+// indexed out of range) is rejected, not silently mis-executed.
+func TestExecuteBranchValidation(t *testing.T) {
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	prog := sc.MustProgram()
+	d := &captureDispatcher{}
+	opts := LIFSOptions{
+		WantKind:  sc.WantKind,
+		WantInstr: sc.WantInstr(),
+		Workers:   4,
+		Dispatch:  d,
+	}
+	if _, err := Reproduce(mustMachine(t, prog), opts); err != nil {
+		t.Fatal(err)
+	}
+	if d.batch == nil {
+		t.Skip("search dispatched no task units for this scenario")
+	}
+	if _, err := ExecuteBranch(context.Background(), prog, d.batch, len(d.batch.Work)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	other, _ := scenarios.ByName("fig1")
+	if _, err := ExecuteBranch(context.Background(), other.MustProgram(), d.batch, 0); err == nil {
+		t.Error("batch executed against the wrong program")
+	}
+}
+
+// captureDispatcher records the first non-empty batch while executing
+// everything, so validation tests get a real batch to corrupt.
+type captureDispatcher struct {
+	inner loopbackDispatcher
+	batch *BranchBatch
+}
+
+func (d *captureDispatcher) Degraded() string { return "" }
+func (d *captureDispatcher) RunBranches(ctx context.Context, prog *kir.Program, batch *BranchBatch) ([]*BranchResult, error) {
+	if d.batch == nil && len(batch.Work) > 0 {
+		d.batch = batch
+	}
+	return d.inner.RunBranches(ctx, prog, batch)
+}

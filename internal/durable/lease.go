@@ -1,0 +1,258 @@
+package durable
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Lease ops journaled by the table. Fold order is append order, so the
+// latest record per key wins.
+const (
+	leaseOpGrant   = "grant"
+	leaseOpRenew   = "renew"
+	leaseOpRelease = "release"
+	leaseOpExpire  = "expire"
+)
+
+// leaseOp marks a journal payload as a lease record. The record
+// deliberately has no "id" field: the service's job-journal fold skips
+// records without one, so lease records and job records share a WAL
+// without either replayer tripping over the other's entries.
+const leaseOp = "lease"
+
+// LeaseRecord is the journaled form of one lease transition. Epoch is
+// the fleet epoch the lease belongs to; recovery discards records from
+// prior epochs (a restarted fleet must not honor a dead incarnation's
+// leases, whose holders are gone).
+type LeaseRecord struct {
+	Op     string `json:"op"` // always "lease"
+	Action string `json:"action"`
+	Key    string `json:"lease_key"`
+	Node   string `json:"node"`
+	Epoch  uint64 `json:"fleet_epoch"`
+	Fence  uint64 `json:"fence"`
+	// TTLMillis is the grant/renew duration; expiry is re-derived from
+	// the recovering process's clock, never persisted as an absolute
+	// time (nodes do not share one).
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// Lease is one live lease: the right of Node to execute the work unit
+// named by Key until Expires, provable by Fence. Fencing tokens are
+// per-key monotone: every grant after an expiry carries a larger token,
+// so a result produced under a stale lease is detectable (and rejected)
+// even if its holder was merely slow, not dead.
+type Lease struct {
+	Key     string
+	Node    string
+	Epoch   uint64
+	Fence   uint64
+	Expires time.Time
+}
+
+// LeaseStats counts table activity.
+type LeaseStats struct {
+	Grants     uint64
+	Renews     uint64
+	Releases   uint64
+	Expiries   uint64
+	StaleFence uint64 // renew/release/validate attempts with an outdated token
+	StaleEpoch uint64 // journal records discarded as prior-epoch on recovery
+}
+
+// LeaseTable tracks branch-execution leases with fencing tokens,
+// journaling every transition so a restarted coordinator knows which
+// work was out on lease when it died. A nil journal keeps the table
+// in-memory (the in-process fleet used by tests and the bench gate).
+type LeaseTable struct {
+	mu     sync.Mutex
+	j      *Journal
+	epoch  uint64
+	fences map[string]uint64 // per-key high-water fencing token
+	active map[string]Lease  // currently held leases by key
+	stats  LeaseStats
+}
+
+// NewLeaseTable creates a lease table for the given fleet epoch,
+// journaling transitions to j (nil for in-memory operation).
+func NewLeaseTable(j *Journal, epoch uint64) *LeaseTable {
+	return &LeaseTable{
+		j:      j,
+		epoch:  epoch,
+		fences: make(map[string]uint64),
+		active: make(map[string]Lease),
+	}
+}
+
+// Epoch returns the fleet epoch the table stamps on its leases.
+func (t *LeaseTable) Epoch() uint64 { return t.epoch }
+
+// SetJournal attaches (or replaces) the table's journal. The fleet node
+// is assembled before the service opens its WAL, so the service wires
+// the journal in here during Open, before any lease activity.
+func (t *LeaseTable) SetJournal(j *Journal) {
+	t.mu.Lock()
+	t.j = j
+	t.mu.Unlock()
+}
+
+// Restore folds one journal payload into the table, returning true when
+// it was a lease record (so a mixed-WAL replayer can route records).
+// Records from a prior fleet epoch advance the key's fencing high-water
+// mark but grant nothing: their holders died with the old incarnation,
+// and the bumped fence guarantees any of their late results are fenced
+// off. Called before the table goes live, single-threaded.
+func (t *LeaseTable) Restore(payload []byte) bool {
+	var rec LeaseRecord
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Op != leaseOp || rec.Key == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rec.Fence > t.fences[rec.Key] {
+		t.fences[rec.Key] = rec.Fence
+	}
+	if rec.Epoch != t.epoch {
+		t.stats.StaleEpoch++
+		return true
+	}
+	switch rec.Action {
+	case leaseOpGrant, leaseOpRenew:
+		t.active[rec.Key] = Lease{
+			Key: rec.Key, Node: rec.Node, Epoch: rec.Epoch, Fence: rec.Fence,
+			Expires: time.Now().Add(time.Duration(rec.TTLMillis) * time.Millisecond),
+		}
+	case leaseOpRelease, leaseOpExpire:
+		if cur, ok := t.active[rec.Key]; ok && cur.Fence <= rec.Fence {
+			delete(t.active, rec.Key)
+		}
+	}
+	return true
+}
+
+// Acquire grants a lease on key to node for ttl, or fails when a live
+// lease (unexpired, this epoch) is already out. The granted fence is
+// strictly larger than every fence ever issued for the key.
+func (t *LeaseTable) Acquire(key, node string, ttl time.Duration, now time.Time) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.active[key]; ok {
+		if now.Before(cur.Expires) {
+			return Lease{}, false
+		}
+		// Expired in place: reclaim as part of the new grant.
+		delete(t.active, key)
+		t.stats.Expiries++
+		t.append(LeaseRecord{Action: leaseOpExpire, Key: key, Node: cur.Node, Epoch: cur.Epoch, Fence: cur.Fence})
+	}
+	fence := t.fences[key] + 1
+	t.fences[key] = fence
+	l := Lease{Key: key, Node: node, Epoch: t.epoch, Fence: fence, Expires: now.Add(ttl)}
+	t.active[key] = l
+	t.stats.Grants++
+	t.append(LeaseRecord{Action: leaseOpGrant, Key: key, Node: node, Epoch: t.epoch, Fence: fence, TTLMillis: ttl.Milliseconds()})
+	return l, true
+}
+
+// Renew extends a held lease (the heartbeat path). It fails — and the
+// holder must abandon its work — when the lease was expired or re-granted
+// under a larger fence in the meantime.
+func (t *LeaseTable) Renew(l Lease, ttl time.Duration, now time.Time) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.active[l.Key]
+	if !ok || cur.Fence != l.Fence || cur.Epoch != t.epoch {
+		t.stats.StaleFence++
+		return Lease{}, false
+	}
+	cur.Expires = now.Add(ttl)
+	t.active[l.Key] = cur
+	t.stats.Renews++
+	t.append(LeaseRecord{Action: leaseOpRenew, Key: l.Key, Node: l.Node, Epoch: l.Epoch, Fence: l.Fence, TTLMillis: ttl.Milliseconds()})
+	return cur, true
+}
+
+// Release ends a lease after its work completed. A stale fence is
+// counted and ignored: the lease was already reclaimed and re-granted,
+// and the releasing holder's result must be (and is) fenced off by
+// Valid.
+func (t *LeaseTable) Release(l Lease) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.active[l.Key]
+	if !ok || cur.Fence != l.Fence {
+		t.stats.StaleFence++
+		return
+	}
+	delete(t.active, l.Key)
+	t.stats.Releases++
+	t.append(LeaseRecord{Action: leaseOpRelease, Key: l.Key, Node: l.Node, Epoch: l.Epoch, Fence: l.Fence})
+}
+
+// Expire force-expires the lease currently held on key (TTL ran out, or
+// the holder is known dead). It is a no-op when the key is free or the
+// fence moved on. Returns true when a lease was actually reclaimed.
+func (t *LeaseTable) Expire(key string, fence uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.active[key]
+	if !ok || cur.Fence != fence {
+		return false
+	}
+	delete(t.active, key)
+	t.stats.Expiries++
+	t.append(LeaseRecord{Action: leaseOpExpire, Key: key, Node: cur.Node, Epoch: cur.Epoch, Fence: cur.Fence})
+	return true
+}
+
+// Valid reports whether l is still the key's live lease — the fencing
+// check a coordinator runs before accepting a result produced under l.
+func (t *LeaseTable) Valid(l Lease) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.active[l.Key]
+	if ok && cur.Fence == l.Fence && cur.Epoch == t.epoch {
+		return true
+	}
+	t.stats.StaleFence++
+	return false
+}
+
+// Holder returns the live lease on key, if any.
+func (t *LeaseTable) Holder(key string) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.active[key]
+	return l, ok
+}
+
+// Active returns the number of live leases.
+func (t *LeaseTable) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Stats snapshots the table's counters.
+func (t *LeaseTable) Stats() LeaseStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// append journals one transition. Callers hold t.mu, so journal order
+// equals transition order; append errors are swallowed like the service
+// job journal's — durability is best-effort and must never wedge a live
+// lease operation.
+func (t *LeaseTable) append(rec LeaseRecord) {
+	if t.j == nil {
+		return
+	}
+	rec.Op = leaseOp
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	_ = t.j.Append(payload)
+}

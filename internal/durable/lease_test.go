@@ -1,0 +1,201 @@
+package durable
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestLeaseAcquireReleaseCycle: the basic state machine — a key can be
+// leased, not double-leased while live, and re-leased after release
+// with a strictly larger fence.
+func TestLeaseAcquireReleaseCycle(t *testing.T) {
+	lt := NewLeaseTable(nil, 1)
+	l1, ok := lt.Acquire("b1", "n1", time.Second, t0)
+	if !ok {
+		t.Fatal("first Acquire failed")
+	}
+	if l1.Fence != 1 || l1.Node != "n1" || l1.Epoch != 1 {
+		t.Fatalf("lease = %+v, want fence 1 node n1 epoch 1", l1)
+	}
+	if _, ok := lt.Acquire("b1", "n2", time.Second, t0); ok {
+		t.Fatal("double Acquire on a live lease succeeded")
+	}
+	if !lt.Valid(l1) {
+		t.Fatal("live lease reported invalid")
+	}
+	lt.Release(l1)
+	if lt.Valid(l1) {
+		t.Fatal("released lease still valid")
+	}
+	l2, ok := lt.Acquire("b1", "n2", time.Second, t0)
+	if !ok {
+		t.Fatal("re-Acquire after release failed")
+	}
+	if l2.Fence <= l1.Fence {
+		t.Fatalf("fence did not advance: %d then %d", l1.Fence, l2.Fence)
+	}
+}
+
+// TestLeaseExpiryFencesSlowHolder: a lease that times out is reclaimed
+// by the next Acquire; the original holder's renews, releases and
+// validity checks are all fenced off, so its late result is rejectable.
+func TestLeaseExpiryFencesSlowHolder(t *testing.T) {
+	lt := NewLeaseTable(nil, 1)
+	ttl := time.Second
+	l1, _ := lt.Acquire("b1", "slow", ttl, t0)
+	// TTL elapses; a new holder claims the branch.
+	l2, ok := lt.Acquire("b1", "fast", ttl, t0.Add(2*ttl))
+	if !ok {
+		t.Fatal("Acquire after expiry failed")
+	}
+	if l2.Fence <= l1.Fence {
+		t.Fatalf("reclaim did not bump the fence: %d then %d", l1.Fence, l2.Fence)
+	}
+	if lt.Valid(l1) {
+		t.Fatal("expired lease still valid — the slow holder's result would be accepted")
+	}
+	if _, ok := lt.Renew(l1, ttl, t0.Add(2*ttl)); ok {
+		t.Fatal("stale holder renewed a reclaimed lease")
+	}
+	lt.Release(l1) // must be ignored, not release l2
+	if !lt.Valid(l2) {
+		t.Fatal("stale release revoked the live holder's lease")
+	}
+	st := lt.Stats()
+	if st.Expiries != 1 || st.StaleFence == 0 {
+		t.Errorf("stats = %+v, want 1 expiry and stale-fence rejections", st)
+	}
+}
+
+// TestLeaseRenewExtends: the heartbeat path pushes Expires forward so a
+// long-running holder survives many TTLs.
+func TestLeaseRenewExtends(t *testing.T) {
+	lt := NewLeaseTable(nil, 1)
+	ttl := time.Second
+	l, _ := lt.Acquire("b1", "n1", ttl, t0)
+	for i := 1; i <= 5; i++ {
+		var ok bool
+		l, ok = lt.Renew(l, ttl, t0.Add(time.Duration(i)*ttl/2))
+		if !ok {
+			t.Fatalf("renew %d failed", i)
+		}
+	}
+	// Well past the original TTL but within the renewed one.
+	if _, ok := lt.Acquire("b1", "thief", ttl, t0.Add(3*ttl)); ok {
+		t.Fatal("heartbeated lease was stolen")
+	}
+}
+
+// TestLeaseExpireForce: Expire reclaims exactly the fence it names — a
+// stale force-expire (fence moved on) is a no-op.
+func TestLeaseExpireForce(t *testing.T) {
+	lt := NewLeaseTable(nil, 1)
+	l1, _ := lt.Acquire("b1", "n1", time.Second, t0)
+	if !lt.Expire("b1", l1.Fence) {
+		t.Fatal("Expire of a held lease failed")
+	}
+	l2, _ := lt.Acquire("b1", "n2", time.Second, t0)
+	if lt.Expire("b1", l1.Fence) {
+		t.Fatal("Expire with a stale fence reclaimed the new lease")
+	}
+	if !lt.Valid(l2) {
+		t.Fatal("live lease lost to a stale expire")
+	}
+}
+
+// TestLeaseJournalRoundTrip: every transition is journaled; a fresh
+// table restored from the journal reproduces the live leases and the
+// per-key fence high-water marks.
+func TestLeaseJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := NewLeaseTable(j, 3)
+	la, _ := lt.Acquire("a", "n1", time.Minute, time.Now())
+	lb, _ := lt.Acquire("b", "n2", time.Minute, time.Now())
+	lt.Release(lb)
+	lt.Expire("a", la.Fence)
+	lc, _ := lt.Acquire("a", "n2", time.Minute, time.Now())
+	_ = lc
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	lt2 := NewLeaseTable(j2, 3)
+	n := 0
+	err = j2.Replay(func(payload []byte) error {
+		if lt2.Restore(payload) {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no lease records replayed")
+	}
+	if lt2.Active() != 1 {
+		t.Fatalf("restored table has %d active leases, want 1 (key a)", lt2.Active())
+	}
+	h, ok := lt2.Holder("a")
+	if !ok || h.Node != "n2" || h.Fence != lc.Fence {
+		t.Fatalf("restored holder = %+v/%v, want n2 with fence %d", h, ok, lc.Fence)
+	}
+	// The fence high-water survived: a new grant on "b" must exceed the
+	// released lease's fence, not restart from 1.
+	nb, ok := lt2.Acquire("b", "n3", time.Minute, time.Now())
+	if !ok || nb.Fence <= lb.Fence {
+		t.Fatalf("post-restore fence on b = %d/%v, want > %d", nb.Fence, ok, lb.Fence)
+	}
+}
+
+// TestLeaseRestorePriorEpoch: records journaled by a previous fleet
+// incarnation grant nothing on replay (their holders are gone) but
+// still advance the fencing high-water mark, so even a zombie from the
+// old incarnation is fenced off.
+func TestLeaseRestorePriorEpoch(t *testing.T) {
+	old := NewLeaseTable(nil, 1)
+	rec, _ := json.Marshal(LeaseRecord{Op: "lease", Action: "grant", Key: "b1", Node: "dead", Epoch: 1, Fence: 7, TTLMillis: 60000})
+	_ = old
+
+	lt := NewLeaseTable(nil, 2)
+	if !lt.Restore(rec) {
+		t.Fatal("lease record not recognized")
+	}
+	if lt.Active() != 0 {
+		t.Fatal("prior-epoch record granted a live lease")
+	}
+	if st := lt.Stats(); st.StaleEpoch != 1 {
+		t.Errorf("stale_epoch = %d, want 1", st.StaleEpoch)
+	}
+	l, ok := lt.Acquire("b1", "n1", time.Minute, time.Now())
+	if !ok || l.Fence <= 7 {
+		t.Fatalf("fence = %d/%v, want > 7 (prior-epoch high-water honored)", l.Fence, ok)
+	}
+}
+
+// TestLeaseRestoreIgnoresAlienRecords: job records (and garbage) in the
+// shared WAL are not lease records.
+func TestLeaseRestoreIgnoresAlienRecords(t *testing.T) {
+	lt := NewLeaseTable(nil, 1)
+	for _, payload := range []string{
+		`{"op":"submit","id":"job-1"}`,
+		`{"op":"lease"}`, // no key
+		`not json`,
+	} {
+		if lt.Restore([]byte(payload)) {
+			t.Errorf("Restore(%q) claimed a lease record", payload)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aitia/internal/core"
+	"aitia/internal/durable"
+	"aitia/internal/faultinject"
+	"aitia/internal/kir"
+)
+
+// Dispatcher leases a phase's branch units to remote executors — the
+// fleet implementation of core.BranchDispatcher. One dispatcher serves
+// one diagnosis (its Degraded reason becomes that diagnosis's
+// PartialReason); the lease table and peer-liveness view are the
+// node's, shared across jobs.
+//
+// The lease state machine per branch:
+//
+//	free --Acquire--> held --Release--> done (result accepted)
+//	              |         --Expire---> free (TTL ran out, holder dead,
+//	              |                       or an injected expiry): fence
+//	              |                       bumped, branch re-leased
+//	              +--- heartbeat Renew keeps held alive at TTL/3
+//
+// A result is accepted only while its lease is Valid (same fence, same
+// epoch) — a slow holder whose lease was reclaimed gets fenced off and
+// its branch re-executed, which is harmless precisely because branch
+// execution is deterministic: the re-execution is byte-identical.
+type Dispatcher struct {
+	n *Node
+
+	mu       sync.Mutex
+	degraded string
+}
+
+// Dispatcher returns a per-job branch dispatcher backed by this node.
+func (n *Node) Dispatcher() *Dispatcher { return &Dispatcher{n: n} }
+
+// Degraded reports the machine-readable reason this job's dispatch fell
+// back to local-only search ("" while the fleet held).
+func (d *Dispatcher) Degraded() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+func (d *Dispatcher) setDegraded(reason string) {
+	d.mu.Lock()
+	d.degraded = reason
+	d.mu.Unlock()
+	d.n.setDegraded(reason)
+}
+
+// leaseKey names a branch for leasing and fault injection: the stable
+// identity (program, phase budget, unit ordinal) — independent of fleet
+// size, placement and timing.
+func leaseKey(batch *core.BranchBatch, ordinal int) string {
+	return fmt.Sprintf("branch|%s|k=%d|ord=%d", batch.ProgHash, batch.Budget, ordinal)
+}
+
+// RunBranches leases every work item of the batch to a remote executor
+// and collects results. A slot is left nil when the fleet could not
+// execute that branch (victim nodes dead, leases fenced, messages
+// dropped past the retry budget): the search sweeps those up locally,
+// so RunBranches degrades by returning less, never by blocking or
+// failing the search.
+func (d *Dispatcher) RunBranches(ctx context.Context, prog *kir.Program, batch *core.BranchBatch) ([]*core.BranchResult, error) {
+	results := make([]*core.BranchResult, len(batch.Work))
+	if len(batch.Work) == 0 {
+		return results, nil
+	}
+	if len(d.n.workRing.Nodes()) == 0 {
+		d.setDegraded(ReasonPartitioned)
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	for i := range batch.Work {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = d.runOne(ctx, prog, batch, i)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	executed := 0
+	for _, r := range results {
+		if r != nil {
+			executed++
+		}
+	}
+	if executed == 0 {
+		// Not one branch made it out and back: the coordinator is cut
+		// off. The search runs serially on the local machine and the
+		// diagnosis carries the reason.
+		d.setDegraded(ReasonPartitioned)
+	}
+	return results, nil
+}
+
+// runOne drives one branch through the lease state machine until a
+// result survives its fencing check or the retry budget is spent.
+// Every fault decision is keyed by (branch identity, attempt), so a
+// chaos seed fires the same faults however the fleet is shaped.
+func (d *Dispatcher) runOne(ctx context.Context, prog *kir.Program, batch *core.BranchBatch, i int) *core.BranchResult {
+	n := d.n
+	w := batch.Work[i]
+	key := leaseKey(batch, w.Ordinal)
+	keyHash := fnv64(key)
+	seq := n.workRing.Sequence(key)
+	maxAttempts := 2*len(seq) + 2
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		executor := d.pickAlive(seq, attempt)
+		if executor == "" {
+			break // every peer down: abandon to the local sweep
+		}
+		// Node death: the fault elects the chosen executor as victim and
+		// kills it fleet-wide — every lease it holds will expire, every
+		// message to it will fail from here on.
+		if n.cfg.Fault.Check(faultinject.KindNodeDeath, "fleet.branch", keyHash, attempt) != nil {
+			sp := n.span("node-death")
+			sp.Info("ordinal", int64(w.Ordinal))
+			sp.Info("attempt", int64(attempt))
+			sp.End()
+			n.kill(executor)
+			continue
+		}
+		lease, ok := n.leases.Acquire(key, executor, n.cfg.LeaseTTL, time.Now())
+		if !ok {
+			// A live lease is out (a prior attempt's holder may still be
+			// executing). Force it over: its fence dies with it.
+			if cur, held := n.leases.Holder(key); held {
+				n.leases.Expire(key, cur.Fence)
+			}
+			continue
+		}
+		sp := n.span("lease-grant")
+		sp.Info("ordinal", int64(w.Ordinal))
+		sp.Info("fence", int64(lease.Fence))
+		sp.End()
+		// Partition: the dispatch message is dropped on the wire. The
+		// lease dies, the branch is re-leased on the next attempt
+		// (possibly to another node — a handoff).
+		if n.cfg.Fault.Check(faultinject.KindPartition, "fleet.send", keyHash, attempt) != nil {
+			n.stats.handoffDrops.Add(1)
+			n.leases.Expire(key, lease.Fence)
+			hsp := n.span("handoff-drop")
+			hsp.Info("ordinal", int64(w.Ordinal))
+			hsp.Info("attempt", int64(attempt))
+			hsp.End()
+			continue
+		}
+		res, err := d.execute(ctx, executor, prog, batch, i, lease)
+		if err != nil {
+			// The peer is gone (or the send failed): reclaim and hand off.
+			n.MarkDown(executor)
+			n.leases.Expire(key, lease.Fence)
+			continue
+		}
+		// Lease expiry: the holder "stopped heartbeating" — the lease is
+		// reclaimed just before its result lands, so the fencing check
+		// below rejects the result and the branch is re-executed. The
+		// re-execution returns identical bytes; only stats move.
+		if n.cfg.Fault.Check(faultinject.KindLeaseExpiry, "fleet.lease", keyHash, attempt) != nil {
+			n.stats.injectedExpiry.Add(1)
+			n.leases.Expire(key, lease.Fence)
+			esp := n.span("lease-expire")
+			esp.Info("ordinal", int64(w.Ordinal))
+			esp.Info("fence", int64(lease.Fence))
+			esp.End()
+		}
+		if !n.leases.Valid(lease) {
+			n.stats.reexecs.Add(1)
+			continue
+		}
+		n.leases.Release(lease)
+		n.stats.remoteBranches.Add(1)
+		return res
+	}
+	n.stats.abandoned.Add(1)
+	return nil
+}
+
+// pickAlive chooses the attempt's executor: the branch's failover
+// sequence rotated by attempt, skipping peers observed down. Rotation
+// (rather than always-first-alive) spreads retries of a flaky branch
+// across the fleet instead of hammering one node.
+func (d *Dispatcher) pickAlive(seq []string, attempt int) string {
+	if len(seq) == 0 {
+		return ""
+	}
+	for off := 0; off < len(seq); off++ {
+		peer := seq[(attempt+off)%len(seq)]
+		if d.n.Alive(peer) {
+			return peer
+		}
+	}
+	return ""
+}
+
+// execute ships the branch to its executor, heartbeating the lease at
+// TTL/3 for as long as the execution runs. A failed heartbeat (the
+// lease was fenced off under us) cancels the execution — its result
+// would be rejected anyway.
+func (d *Dispatcher) execute(ctx context.Context, executor string, prog *kir.Program, batch *core.BranchBatch, i int, lease durable.Lease) (*core.BranchResult, error) {
+	n := d.n
+	hbCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		tick := time.NewTicker(n.cfg.LeaseTTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				if _, ok := n.leases.Renew(lease, n.cfg.LeaseTTL, time.Now()); !ok {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	sp := n.span("branch-remote")
+	sp.Info("ordinal", int64(batch.Work[i].Ordinal))
+	res, err := n.cfg.Transport.ExecuteBranch(hbCtx, executor, prog, batch, i)
+	sp.End()
+	return res, err
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"aitia/internal/core"
+	"aitia/internal/kasm"
+	"aitia/internal/kir"
+)
+
+// branchRequest is the wire form of one branch execution: the program
+// travels as kasm text (the parse∘disassemble fixpoint the corpus
+// factory already relies on), the batch as its JSON projection.
+type branchRequest struct {
+	Prog  string            `json:"prog"`
+	Batch *core.BranchBatch `json:"batch"`
+	Index int               `json:"index"`
+}
+
+type branchResponse struct {
+	Result *core.BranchResult `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// HTTPTransport reaches fleet peers over their HTTP APIs — the
+// process-fleet counterpart of LocalCluster's in-memory links.
+type HTTPTransport struct {
+	// Peers maps node ID to base URL (e.g. "http://10.0.0.2:8080").
+	Peers  map[string]string
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (t *HTTPTransport) base(node string) (string, error) {
+	u, ok := t.Peers[node]
+	if !ok {
+		return "", fmt.Errorf("%w: no address for %s", ErrNodeDown, node)
+	}
+	return u, nil
+}
+
+// ExecuteBranch ships one branch to a peer's /v1/fleet/branch.
+func (t *HTTPTransport) ExecuteBranch(ctx context.Context, node string, prog *kir.Program, batch *core.BranchBatch, i int) (*core.BranchResult, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(branchRequest{Prog: kasm.Disassemble(prog), Batch: batch, Index: i})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/fleet/branch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNodeDown, node, err)
+	}
+	defer resp.Body.Close()
+	var br branchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNodeDown, node, err)
+	}
+	if resp.StatusCode != http.StatusOK || br.Result == nil {
+		return nil, fmt.Errorf("fleet: %s rejected branch: %s", node, br.Error)
+	}
+	return br.Result, nil
+}
+
+// Ping probes a peer's /v1/fleet/ping.
+func (t *HTTPTransport) Ping(ctx context.Context, node string) error {
+	base, err := t.base(node)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/fleet/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNodeDown, node, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s: status %d", ErrNodeDown, node, resp.StatusCode)
+	}
+	return nil
+}
+
+// BranchHandler serves /v1/fleet/branch: the executor side of the HTTP
+// transport. It parses the shipped program and runs core.ExecuteBranch
+// — stateless, so any replica can execute any branch.
+func BranchHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req branchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Batch == nil {
+			writeBranch(w, http.StatusBadRequest, branchResponse{Error: "malformed branch request"})
+			return
+		}
+		prog, err := kasm.Parse(req.Prog)
+		if err != nil {
+			writeBranch(w, http.StatusBadRequest, branchResponse{Error: fmt.Sprintf("parse program: %v", err)})
+			return
+		}
+		res, err := core.ExecuteBranch(r.Context(), prog, req.Batch, req.Index)
+		if err != nil {
+			writeBranch(w, http.StatusUnprocessableEntity, branchResponse{Error: err.Error()})
+			return
+		}
+		writeBranch(w, http.StatusOK, branchResponse{Result: res})
+	}
+}
+
+func writeBranch(w http.ResponseWriter, code int, resp branchResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aitia/internal/scenarios"
+)
+
+// TestHTTPTransportExecutesBranch: a full diagnosis whose branches
+// travel over the real wire — program as kasm text, batch and result as
+// JSON, executed by BranchHandler on a remote listener — must be
+// byte-identical to the in-process baseline. This pins the entire
+// serialization path: kasm parse∘disassemble, access-map export/import,
+// trace and leaf round-trips.
+func TestHTTPTransportExecutesBranch(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/branch", BranchHandler())
+	mux.HandleFunc("GET /v1/fleet/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	coord := New(Config{
+		ID:       "coord",
+		Peers:    []string{"coord", "worker"},
+		Epoch:    1,
+		LeaseTTL: time.Second,
+		Transport: &HTTPTransport{
+			Peers: map[string]string{"worker": srv.URL},
+		},
+	})
+
+	for _, name := range []string{"cve-2017-15649", "syz08-j1939-refcount"} {
+		sc, ok := scenarios.ByName(name)
+		if !ok {
+			t.Fatalf("unknown scenario %s", name)
+		}
+		want := fleetPipeline(t, sc, nil)
+		disp := coord.Dispatcher()
+		got := fleetPipeline(t, sc, disp)
+		if got != want {
+			t.Errorf("%s: chain over HTTP = %q, want %q", name, got, want)
+		}
+		if disp.Degraded() != "" {
+			t.Errorf("%s: degraded %q over a healthy wire", name, disp.Degraded())
+		}
+	}
+	if coord.Status().RemoteBranches == 0 {
+		t.Error("no branch crossed the wire")
+	}
+
+	tr := coord.cfg.Transport
+	if err := tr.Ping(context.Background(), "worker"); err != nil {
+		t.Errorf("ping: %v", err)
+	}
+	if err := tr.Ping(context.Background(), "stranger"); err == nil {
+		t.Error("ping to an unknown peer succeeded")
+	}
+}
+
+// TestHTTPTransportPeerGone: a connection-refused peer surfaces as
+// ErrNodeDown-wrapped, which the dispatcher turns into mark-down and
+// re-lease rather than a failed search.
+func TestHTTPTransportPeerGone(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // nothing listens anymore
+
+	coord := New(Config{
+		ID:        "coord",
+		Peers:     []string{"coord", "worker"},
+		Epoch:     1,
+		LeaseTTL:  time.Second,
+		Transport: &HTTPTransport{Peers: map[string]string{"worker": url}},
+	})
+	sc, _ := scenarios.ByName("cve-2017-15649")
+	want := fleetPipeline(t, sc, nil)
+	disp := coord.Dispatcher()
+	got := fleetPipeline(t, sc, disp)
+	if got != want {
+		t.Errorf("chain with dead worker = %q, want %q", got, want)
+	}
+	if disp.Degraded() != ReasonPartitioned {
+		t.Errorf("degraded = %q, want %q (the only worker is unreachable)", disp.Degraded(), ReasonPartitioned)
+	}
+}

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aitia/internal/core"
+	"aitia/internal/faultinject"
+	"aitia/internal/kir"
+	"aitia/internal/obs"
+)
+
+// ClusterConfig shapes a LocalCluster.
+type ClusterConfig struct {
+	Epoch    uint64
+	LeaseTTL time.Duration
+	// Fault arms the fleet chaos kinds on every node's dispatcher (one
+	// shared plan: decisions are keyed by branch identity, so sharing
+	// changes nothing but the counters).
+	Fault  *faultinject.Plan
+	Tracer *obs.Tracer
+}
+
+// LocalCluster is an in-process fleet: N nodes sharing one transport,
+// with SIGKILL (Kill) and network-partition (Partition) controls. It
+// backs the fleet tests and the aitia-bench chaos gate — the same
+// dispatcher, lease and routing code a process fleet runs, minus the
+// wire.
+type LocalCluster struct {
+	mu          sync.Mutex
+	nodes       map[string]*Node
+	order       []string
+	killed      map[string]bool
+	partitioned map[string]bool
+}
+
+// NewLocalCluster builds an in-process fleet over the given node IDs.
+func NewLocalCluster(ids []string, cfg ClusterConfig) *LocalCluster {
+	c := &LocalCluster{
+		nodes:       make(map[string]*Node, len(ids)),
+		killed:      make(map[string]bool),
+		partitioned: make(map[string]bool),
+	}
+	for _, id := range ids {
+		c.order = append(c.order, id)
+		c.nodes[id] = New(Config{
+			ID:        id,
+			Peers:     ids,
+			Epoch:     cfg.Epoch,
+			LeaseTTL:  cfg.LeaseTTL,
+			Fault:     cfg.Fault,
+			Tracer:    cfg.Tracer,
+			Transport: &localTransport{c: c, from: id},
+			Killer:    c.Kill,
+		})
+	}
+	return c
+}
+
+// Node returns a member by ID (nil when unknown).
+func (c *LocalCluster) Node(id string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// Nodes returns the member IDs in construction order.
+func (c *LocalCluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Kill SIGKILLs a node: every subsequent message to it fails, its
+// in-flight executions are lost, and it never comes back. Accepted
+// work (results already returned and merged) survives — that is the
+// point of the lease protocol.
+func (c *LocalCluster) Kill(id string) {
+	c.mu.Lock()
+	c.killed[id] = true
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	// Every survivor observes the death at its next send; mark eagerly
+	// so routing skips the corpse immediately.
+	for _, n := range nodes {
+		if n.ID() != id {
+			n.MarkDown(id)
+		}
+	}
+}
+
+// Killed reports whether a node has been killed.
+func (c *LocalCluster) Killed(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed[id]
+}
+
+// Partition cuts a node off from every peer (messages in both
+// directions drop) until Heal.
+func (c *LocalCluster) Partition(id string) {
+	c.mu.Lock()
+	c.partitioned[id] = true
+	c.mu.Unlock()
+}
+
+// Heal reconnects a partitioned node and clears the down marks its
+// peers accumulated for it (and it for them).
+func (c *LocalCluster) Heal(id string) {
+	c.mu.Lock()
+	delete(c.partitioned, id)
+	killed := c.killed[id]
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	if killed {
+		return // death is forever
+	}
+	for _, n := range nodes {
+		if n.ID() != id {
+			n.MarkUp(id)
+		}
+		if n.ID() == id {
+			for _, p := range n.Peers() {
+				if p != id && !c.Killed(p) {
+					n.MarkUp(p)
+				}
+			}
+		}
+	}
+}
+
+// reachable decides whether a message from one node to another gets
+// through right now.
+func (c *LocalCluster) reachable(from, to string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed[to] {
+		return fmt.Errorf("%w: %s is dead", ErrNodeDown, to)
+	}
+	if c.partitioned[from] || c.partitioned[to] {
+		return fmt.Errorf("%w: %s cannot reach %s (partitioned)", ErrNodeDown, from, to)
+	}
+	if _, ok := c.nodes[to]; !ok {
+		return fmt.Errorf("%w: unknown node %s", ErrNodeDown, to)
+	}
+	return nil
+}
+
+// localTransport carries one node's outbound messages across the
+// cluster — in process, but through the same liveness gates a wire
+// would impose.
+type localTransport struct {
+	c    *LocalCluster
+	from string
+}
+
+func (t *localTransport) ExecuteBranch(ctx context.Context, node string, prog *kir.Program, batch *core.BranchBatch, i int) (*core.BranchResult, error) {
+	if err := t.c.reachable(t.from, node); err != nil {
+		return nil, err
+	}
+	res, err := core.ExecuteBranch(ctx, prog, batch, i)
+	if err != nil {
+		return nil, err
+	}
+	// The result travels back over the same link: a node killed or
+	// partitioned mid-execution loses the reply.
+	if rerr := t.c.reachable(node, t.from); rerr != nil {
+		return nil, rerr
+	}
+	return res, nil
+}
+
+func (t *localTransport) Ping(ctx context.Context, node string) error {
+	return t.c.reachable(t.from, node)
+}

@@ -19,31 +19,67 @@
 //	GET    /v1/scenarios  list the built-in crash-scenario corpus
 //	GET    /metrics       Prometheus text-format metrics
 //	GET    /healthz       occupancy and drain state
+//	GET    /readyz        routability: 503 while draining or while journal
+//	                      recovery is still re-enqueueing, so a fleet load
+//	                      balancer stops routing before the drain
+//	GET    /v1/fleet      fleet membership, leases and handoff counters
+//	                      (404 single-node)
+//	POST   /v1/fleet/branch  execute one leased LIFS branch (fleet peers
+//	                      only; the distributed-search executor side)
+//	GET    /v1/fleet/ping    liveness probe for fleet peers
+//
+// In fleet mode, POST /v1/diagnose(-report) consistently hashes the
+// request's program to its owning replica and proxies the submission
+// there (one hop at most, marked by an X-Aitia-Fleet-Forwarded header);
+// a dead owner's jobs are accepted locally — the handoff.
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"time"
 
+	"aitia/internal/fleet"
 	"aitia/internal/service"
 )
 
-// New returns the HTTP handler for a running service.
-func New(svc *service.Service) http.Handler {
+// forwardedHeader breaks proxy loops: a submission that already hopped
+// once is handled where it lands.
+const forwardedHeader = "X-Aitia-Fleet-Forwarded"
+
+// FleetConfig wires a handler's fleet mode: the peer URL map for
+// submission proxying ("" or nil entries disable proxying to that
+// peer).
+type FleetConfig struct {
+	// PeerURLs maps fleet node IDs to base URLs.
+	PeerURLs map[string]string
+	// Client is the proxy HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+// New returns the HTTP handler for a running service (single-node: no
+// submission proxying; the fleet endpoints still serve when the service
+// carries a fleet node).
+func New(svc *service.Service) http.Handler { return NewWithFleet(svc, FleetConfig{}) }
+
+// NewWithFleet returns the HTTP handler with fleet submission routing.
+func NewWithFleet(svc *service.Service, fc FleetConfig) http.Handler {
 	mux := http.NewServeMux()
+	submit := func(w http.ResponseWriter, r *http.Request, req service.Request) {
+		if st, ok := routeSubmit(w, r, svc, fc, req); ok {
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	}
 	mux.HandleFunc("POST /v1/diagnose", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 			return
 		}
-		st, err := svc.Submit(req)
-		if err != nil {
-			writeError(w, statusFor(err), err.Error())
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
+		submit(w, r, req)
 	})
 	mux.HandleFunc("POST /v1/diagnose-report", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
@@ -55,12 +91,7 @@ func New(svc *service.Service) http.Handler {
 			writeError(w, http.StatusBadRequest, "diagnose-report needs a non-empty report field")
 			return
 		}
-		st, err := svc.Submit(req)
-		if err != nil {
-			writeError(w, statusFor(err), err.Error())
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
+		submit(w, r, req)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Jobs())
@@ -107,7 +138,102 @@ func New(svc *service.Service) http.Handler {
 		}
 		writeJSON(w, code, h)
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ok, reason := svc.Ready()
+		if ok {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not_ready", "reason": reason})
+	})
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		n := svc.Fleet()
+		if n == nil {
+			writeError(w, http.StatusNotFound, "not a fleet member")
+			return
+		}
+		writeJSON(w, http.StatusOK, n.Status())
+	})
+	mux.HandleFunc("POST /v1/fleet/branch", func(w http.ResponseWriter, r *http.Request) {
+		fleet.BranchHandler()(w, r)
+	})
+	mux.HandleFunc("GET /v1/fleet/ping", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "node": svc.NodeID()})
+	})
 	return mux
+}
+
+// routeSubmit decides where a submission runs. Single-node (or already
+// forwarded, or no peer URLs): locally. Fleet mode: the program hash's
+// ring owner; a submission landing on the wrong replica is proxied to
+// the owner with the forwarded marker set — unless the owner is dead or
+// unreachable, in which case the local node takes the job over (the
+// handoff) rather than failing the client. Returns (status, true) when
+// the job was accepted locally; otherwise the response (proxied or
+// error) has already been written.
+func routeSubmit(w http.ResponseWriter, r *http.Request, svc *service.Service, fc FleetConfig, req service.Request) (service.JobStatus, bool) {
+	n := svc.Fleet()
+	if n == nil || len(fc.PeerURLs) == 0 || r.Header.Get(forwardedHeader) != "" {
+		return submitLocal(w, svc, req)
+	}
+	hash, err := service.HashRequest(req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return service.JobStatus{}, false
+	}
+	owner := n.OwnerOf(hash)
+	if owner == "" || owner == n.ID() || !n.Alive(owner) || fc.PeerURLs[owner] == "" {
+		if owner != "" && owner != n.ID() {
+			n.NoteJobHandoff()
+		}
+		return submitLocal(w, svc, req)
+	}
+	if proxySubmit(w, r, fc, owner, req) {
+		return service.JobStatus{}, false
+	}
+	// The owner did not answer: mark it down and take the job — a
+	// replica-to-replica handoff, never a client-visible failure.
+	n.MarkDown(owner)
+	n.NoteJobHandoff()
+	return submitLocal(w, svc, req)
+}
+
+func submitLocal(w http.ResponseWriter, svc *service.Service, req service.Request) (service.JobStatus, bool) {
+	st, err := svc.Submit(req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return service.JobStatus{}, false
+	}
+	return st, true
+}
+
+// proxySubmit forwards the submission to the owner and relays its
+// response verbatim. Reports success of the proxying itself, not of the
+// submission.
+func proxySubmit(w http.ResponseWriter, r *http.Request, fc FleetConfig, owner string, req service.Request) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	client := fc.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, fc.PeerURLs[owner]+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardedHeader, "1")
+	resp, err := client.Do(preq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
 }
 
 // statusFor maps the service's sentinel errors to HTTP status codes.

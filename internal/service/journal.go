@@ -39,6 +39,7 @@ type jobRecord struct {
 	// Progress/terminal fields.
 	Epoch       int                  `json:"epoch,omitempty"` // requeue count = fault-plan fork epoch
 	Error       string               `json:"error,omitempty"`
+	Reason      string               `json:"reason,omitempty"` // machine-readable failure class
 	Summary     *aitia.ResultSummary `json:"summary,omitempty"`
 	QueueWaitMS int64                `json:"queue_wait_ms,omitempty"`
 	RunMS       int64                `json:"run_ms,omitempty"`
@@ -66,6 +67,7 @@ type replayedJob struct {
 	state  State
 	epoch  int
 	err    string
+	reason string
 	sum    *aitia.ResultSummary
 	wait   int64
 	run    int64
@@ -123,6 +125,7 @@ func foldJournal(j *durable.Journal) (*replayState, error) {
 		case opFailed:
 			rj.state = StateFailed
 			rj.err = rec.Error
+			rj.reason = rec.Reason
 			rj.run = rec.RunMS
 		case opCanceled:
 			rj.state = StateCanceled
@@ -160,7 +163,7 @@ func (rj *replayedJob) records() []jobRecord {
 	case StateDone:
 		recs = append(recs, jobRecord{Op: opDone, ID: rj.submit.ID, Summary: rj.sum, RunMS: rj.run, At: rj.submit.At})
 	case StateFailed:
-		recs = append(recs, jobRecord{Op: opFailed, ID: rj.submit.ID, Error: rj.err, RunMS: rj.run, At: rj.submit.At})
+		recs = append(recs, jobRecord{Op: opFailed, ID: rj.submit.ID, Error: rj.err, Reason: rj.reason, RunMS: rj.run, At: rj.submit.At})
 	case StateCanceled:
 		recs = append(recs, jobRecord{Op: opCanceled, ID: rj.submit.ID, Error: rj.err, At: rj.submit.At})
 	}

@@ -97,6 +97,10 @@ type Metrics struct {
 	JobsCanceled  Counter // canceled before completing
 	JobsRejected  Counter // rejected with queue-full backpressure
 	JobsRequeued  Counter // put back on the queue after classified infrastructure faults
+	// JobsRequeueExhausted counts jobs that failed because they hit the
+	// MaxRequeues budget — distinct from JobsFailed so operators can
+	// tell "infrastructure kept flaking" from "the diagnosis broke".
+	JobsRequeueExhausted Counter
 	JobsPartial   Counter // completed with a Partial (degraded) diagnosis
 	JobsRecovered Counter // re-enqueued from the journal after a restart
 	CacheHits     Counter // submissions answered from the result cache
@@ -239,6 +243,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("aitia_jobs_canceled_total", "Diagnosis jobs canceled.", &m.JobsCanceled)
 	counter("aitia_jobs_rejected_total", "Submissions rejected because the queue was full.", &m.JobsRejected)
 	counter("aitia_jobs_requeued_total", "Jobs requeued after classified infrastructure faults.", &m.JobsRequeued)
+	counter("aitia_jobs_requeue_exhausted_total", "Jobs failed after exhausting the requeue budget.", &m.JobsRequeueExhausted)
 	counter("aitia_jobs_partial_total", "Jobs completed with a Partial (degraded) diagnosis.", &m.JobsPartial)
 	counter("aitia_jobs_recovered_total", "Jobs re-enqueued from the journal after a restart.", &m.JobsRecovered)
 	counter("aitia_cache_hits_total", "Submissions served from the result cache.", &m.CacheHits)

@@ -33,6 +33,7 @@ import (
 	"aitia/internal/core"
 	"aitia/internal/durable"
 	"aitia/internal/faultinject"
+	"aitia/internal/fleet"
 	"aitia/internal/ingest"
 	"aitia/internal/kasm"
 	"aitia/internal/kir"
@@ -123,6 +124,16 @@ type Config struct {
 	// recovery; an absent or corrupt snapshot is rebuilt from the
 	// journal's completed diagnoses.
 	PriorMinSupport int
+	// NodeID names this replica in a fleet; it is stamped on job
+	// statuses so clients can see which node ran their diagnosis.
+	// Empty for single-node deployments.
+	NodeID string
+	// Fleet, when set, puts the service in multi-node mode: each job's
+	// LIFS branch search is distributed to fleet peers under leases,
+	// and a partitioned dispatch annotates the diagnosis with a
+	// machine-readable PartialReason. With DataDir the node's lease
+	// table journals into (and recovers from) the service WAL.
+	Fleet *fleet.Node
 }
 
 // Diagnoser runs one resolved job. prog is the compiled program and req
@@ -226,11 +237,22 @@ type JobStatus struct {
 	// QueueWaitMS and RunMS are filled as the job progresses.
 	QueueWaitMS int64 `json:"queue_wait_ms"`
 	RunMS       int64 `json:"run_ms"`
-	// Error is set for failed/canceled jobs.
-	Error string `json:"error,omitempty"`
+	// Error is set for failed/canceled jobs; FailReason is the
+	// machine-readable failure class when one applies (currently
+	// ReasonRequeueExhausted: the job burned its whole requeue budget
+	// on classified infrastructure faults).
+	Error      string `json:"error,omitempty"`
+	FailReason string `json:"fail_reason,omitempty"`
+	// Node is the fleet replica that accepted the job ("" single-node).
+	Node string `json:"node,omitempty"`
 	// Result is the diagnosis, set when State is "done".
 	Result *aitia.ResultSummary `json:"result,omitempty"`
 }
+
+// ReasonRequeueExhausted marks a job that failed because it hit the
+// MaxRequeues budget — infrastructure kept flaking, the diagnosis never
+// got a clean run.
+const ReasonRequeueExhausted = "requeue_exhausted"
 
 // job is the internal job record; mutable fields are guarded by
 // Service.mu.
@@ -252,6 +274,9 @@ type job struct {
 	// fork epoch. Mutated only between runs, so runJob may read it
 	// without the lock.
 	requeues int
+	// recovered marks a job re-enqueued by journal recovery; cleared
+	// (with the service's recovering gauge) when a worker picks it up.
+	recovered bool
 }
 
 // Service is the diagnosis service: queue, worker fleet, result cache
@@ -275,6 +300,12 @@ type Service struct {
 	// prior is the learned flip-ordering store shared by all jobs (nil
 	// when Config.PriorMinSupport < 0).
 	prior *prior.Store
+
+	// recovering counts journal-recovered jobs not yet picked back up:
+	// while it is nonzero the node reports not-ready, so a fleet load
+	// balancer does not route fresh work at a replica still chewing
+	// through its recovery backlog.
+	recovering atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -337,6 +368,19 @@ func Open(cfg Config) (*Service, error) {
 			s.prior, reason = prior.LoadFrom(ck, pcfg)
 			rebuildPrior = reason != prior.ReasonLoaded
 		}
+		// Fleet lease recovery runs first, over the raw WAL: lease
+		// records must be folded before compaction rewrites the journal
+		// (compaction keeps only job state). Records from a prior fleet
+		// epoch bump fencing high-water marks but grant nothing — a dead
+		// incarnation's holders are gone, and their late results must be
+		// fenced off, not honored.
+		if cfg.Fleet != nil {
+			cfg.Fleet.Leases().SetJournal(jnl)
+			_ = jnl.Replay(func(payload []byte) error {
+				cfg.Fleet.RestoreLease(payload)
+				return nil
+			})
+		}
 		st, err := foldJournal(jnl)
 		if err != nil {
 			_ = jnl.Close()
@@ -363,7 +407,9 @@ func Open(cfg Config) (*Service, error) {
 	}
 	s.metrics.Prior = s.prior
 	s.queue = make(chan *job, queueDepth)
+	s.recovering.Store(int64(len(pending)))
 	for _, j := range pending {
+		j.recovered = true
 		s.queue <- j
 		s.metrics.QueueDepth.Inc()
 	}
@@ -403,6 +449,7 @@ func (s *Service) restoreJobs(st *replayState, feedPrior bool) []*job {
 				Submitted:   rj.submit.At,
 				QueueWaitMS: rj.wait,
 				RunMS:       rj.run,
+				Node:        s.cfg.NodeID,
 			},
 		}
 		switch rj.state {
@@ -413,6 +460,7 @@ func (s *Service) restoreJobs(st *replayState, feedPrior bool) []*job {
 		case StateFailed, StateCanceled:
 			j.status.State = rj.state
 			j.status.Error = rj.err
+			j.status.FailReason = rj.reason
 			close(j.done)
 		default: // queued or running at crash time: run it again
 			prog, req, err := resolve(j.req)
@@ -497,6 +545,13 @@ type Health struct {
 	// in-memory prior).
 	PriorPairs  int    `json:"prior_pairs,omitempty"`
 	PriorReason string `json:"prior_reason,omitempty"`
+	// RequeueExhausted counts jobs that failed after burning the whole
+	// MaxRequeues budget on classified infrastructure faults — a
+	// distinct, machine-readable failure class (the job statuses carry
+	// FailReason "requeue_exhausted").
+	RequeueExhausted uint64 `json:"requeue_exhausted,omitempty"`
+	// Node is this replica's fleet identity ("" single-node).
+	Node string `json:"node,omitempty"`
 }
 
 // Health reports the service's occupancy and drain state.
@@ -517,11 +572,49 @@ func (s *Service) Health() Health {
 		CachedChains: s.cache.len(),
 		Durable:      s.journal != nil,
 	}
+	h.RequeueExhausted = uint64(s.metrics.JobsRequeueExhausted.Value())
+	h.Node = s.cfg.NodeID
 	if s.prior != nil {
 		h.PriorPairs = s.prior.Pairs()
 		h.PriorReason = s.prior.LoadReason()
 	}
 	return h
+}
+
+// Ready reports whether the node should receive traffic, with a
+// machine-readable reason when it should not: "draining" once Shutdown
+// started, "recovering" while journal recovery's re-enqueued jobs are
+// still waiting to be picked back up. Distinct from Health (which
+// answers "is the process alive"): a fleet load balancer polls /readyz
+// and stops routing to a node before its drain, not after.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "draining"
+	}
+	if s.recovering.Load() > 0 {
+		return false, "recovering"
+	}
+	return true, ""
+}
+
+// Fleet exposes the node's fleet membership (nil single-node).
+func (s *Service) Fleet() *fleet.Node { return s.cfg.Fleet }
+
+// NodeID returns this replica's fleet identity ("" single-node).
+func (s *Service) NodeID() string { return s.cfg.NodeID }
+
+// HashRequest resolves a request far enough to return its program's
+// content hash — the fleet job-routing key. Transports use it to decide
+// which replica owns a submission before accepting it locally.
+func HashRequest(req Request) (string, error) {
+	prog, _, err := resolve(req)
+	if err != nil {
+		return "", err
+	}
+	return prog.Hash(), nil
 }
 
 // Prior exposes the service's learned flip prior (nil when disabled),
@@ -631,6 +724,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 			ID:        fmt.Sprintf("job-%06d", seq),
 			Scenario:  req.Scenario,
 			Submitted: time.Now(),
+			Node:      s.cfg.NodeID,
 		},
 	}
 
@@ -734,6 +828,10 @@ func (s *Service) Cancel(id string) error {
 	}
 	switch j.status.State {
 	case StateQueued:
+		if j.recovered {
+			j.recovered = false
+			s.recovering.Add(-1)
+		}
 		j.status.State = StateCanceled
 		j.status.Error = context.Canceled.Error()
 		s.journalAppend(jobRecord{Op: opCanceled, ID: id, Error: j.status.Error})
@@ -828,6 +926,10 @@ func (s *Service) pickUp(j *job) (context.Context, bool) {
 	if ms := j.req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
 		timeout = time.Duration(ms) * time.Millisecond
 	}
+	if j.recovered {
+		j.recovered = false
+		s.recovering.Add(-1)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	j.cancel = cancel
 	j.picked = time.Now()
@@ -893,8 +995,8 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		// Classified infrastructure failures (injected faults, retry
 		// exhaustion) are requeued under a fresh fault epoch — up to
 		// MaxRequeues times, and never once the service is draining.
-		if (faultinject.Is(err) || errors.Is(err, faultinject.ErrExhausted)) &&
-			j.requeues < s.cfg.MaxRequeues && !s.closed {
+		classified := faultinject.Is(err) || errors.Is(err, faultinject.ErrExhausted)
+		if classified && j.requeues < s.cfg.MaxRequeues && !s.closed {
 			select {
 			case s.queue <- j:
 				j.requeues++
@@ -911,7 +1013,14 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		}
 		j.status.State = StateFailed
 		j.status.Error = err.Error()
-		s.journalAppend(jobRecord{Op: opFailed, ID: j.status.ID, Error: j.status.Error, RunMS: j.status.RunMS})
+		if classified && j.requeues >= s.cfg.MaxRequeues {
+			// The whole requeue budget went to infrastructure flakes:
+			// surface that as its own machine-readable failure class,
+			// not just a fault string buried in Error.
+			j.status.FailReason = ReasonRequeueExhausted
+			s.metrics.JobsRequeueExhausted.Inc()
+		}
+		s.journalAppend(jobRecord{Op: opFailed, ID: j.status.ID, Error: j.status.Error, Reason: j.status.FailReason, RunMS: j.status.RunMS})
 		s.metrics.JobsFailed.Inc()
 	}
 	close(j.done)
@@ -948,6 +1057,15 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 	if s.ckStore != nil {
 		ck = &core.CheckpointConfig{Store: s.ckStore, Every: s.cfg.CheckpointEvery}
 	}
+	// Fleet mode: the job's branch search is distributed under leases.
+	// One dispatcher per job, so its degradation reason annotates this
+	// diagnosis and no other.
+	var disp *fleet.Dispatcher
+	var dispatch core.BranchDispatcher
+	if s.cfg.Fleet != nil && req.Options.Workers > 1 {
+		disp = s.cfg.Fleet.Dispatcher()
+		dispatch = disp
+	}
 	mgr, err := manager.New(prog, manager.Options{
 		Workers:     s.cfg.JobWorkers,
 		LIFSWorkers: req.Options.Workers,
@@ -960,6 +1078,7 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 		Fault:      fi.Plan,
 		Retry:      fi.Retry,
 		Checkpoint: ck,
+		Dispatch:   dispatch,
 		Prior:      s.prior,
 	})
 	if err != nil {
@@ -983,5 +1102,14 @@ func (s *Service) runManager(ctx context.Context, prog *kir.Program, req Request
 	}
 	res := aitia.FromManagerResult(prog, mres)
 	res.Scenario = req.Scenario
-	return res.Summary(), nil
+	sum := res.Summary()
+	if disp != nil {
+		if reason := disp.Degraded(); reason != "" && !sum.Partial {
+			// The chain itself is intact (local sweep re-ran every
+			// abandoned branch), but the fleet did not hold: surface it.
+			sum.Partial = true
+			sum.PartialReason = reason
+		}
+	}
+	return sum, nil
 }
